@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benchmark binaries.
+ *
+ * Every bench accepts the same Monte-Carlo flags and prints a table
+ * with a "paper" column (where §3 of the paper quotes a number) next
+ * to the measured value. Absolute agreement is not expected — the
+ * paper ran 2048 pages, we default to fewer for speed — but ordering,
+ * ratios and crossovers should match (EXPERIMENTS.md records both).
+ */
+
+#ifndef AEGIS_BENCH_BENCH_COMMON_H
+#define AEGIS_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+namespace aegis::bench {
+
+/** Register the flags shared by all figure benches. */
+inline void
+addCommonFlags(CliParser &cli)
+{
+    cli.addUint("pages", 64, "4KB pages per Monte-Carlo run "
+                             "(paper: 2048 = 8MB)");
+    cli.addUint("blocks", 512, "blocks for block-level studies");
+    cli.addUint("seed", 1, "master random seed");
+    cli.addDouble("lifetime-mean", 1e8, "mean cell lifetime in writes");
+    cli.addDouble("lifetime-cv", 0.25, "lifetime coefficient of "
+                                       "variation");
+    cli.addString("lifetime-kind", "normal",
+                  "lifetime distribution: normal|lognormal|weibull|"
+                  "uniform");
+    cli.addUint("labelings", 256,
+                "W/R labeling samples for data-dependent schemes");
+    cli.addBool("csv", false, "emit CSV instead of aligned tables");
+}
+
+/** Build the experiment config implied by the parsed flags. */
+inline sim::ExperimentConfig
+configFrom(const CliParser &cli, std::uint32_t block_bits)
+{
+    sim::ExperimentConfig cfg;
+    cfg.blockBits = block_bits;
+    cfg.pages = static_cast<std::uint32_t>(cli.getUint("pages"));
+    cfg.seed = cli.getUint("seed");
+    cfg.lifetimeKind = cli.getString("lifetime-kind");
+    cfg.lifetimeMean = cli.getDouble("lifetime-mean");
+    cfg.lifetimeParam = cli.getDouble("lifetime-cv");
+    cfg.tracker.labelingSamples =
+        static_cast<std::uint32_t>(cli.getUint("labelings"));
+    return cfg;
+}
+
+/** Print @p table as text or CSV per the --csv flag. */
+inline void
+emit(const TablePrinter &table, const CliParser &cli)
+{
+    if (cli.getBool("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Wrap main-body logic with uniform error reporting. */
+template <typename Fn>
+int
+runBench(int argc, const char *const *argv, CliParser &cli, Fn body)
+{
+    try {
+        if (!cli.parse(argc, argv))
+            return 0;
+        body();
+        return 0;
+    } catch (const std::exception &ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 1;
+    }
+}
+
+/** A paper-quoted reference value, or "-" when the text gives none. */
+inline std::string
+paperRef(double value)
+{
+    return value > 0 ? TablePrinter::num(value, 0) : "-";
+}
+
+} // namespace aegis::bench
+
+#endif // AEGIS_BENCH_BENCH_COMMON_H

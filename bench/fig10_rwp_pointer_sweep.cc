@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 10: lifetime of a 512-bit data block under
+ * Aegis-rw-p as the pointer budget p grows, for the four A x B
+ * formations the paper sweeps (23x23, 17x31, 9x61, 8x71). Expected
+ * shape: rapid growth at small p, then a plateau at the lifetime of
+ * the corresponding Aegis-rw scheme; the plateau rises with B (the
+ * paper reports +24% from B = 23 to B = 71).
+ */
+
+#include <vector>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig10_rwp_pointer_sweep",
+                  "Reproduce Figure 10 (Aegis-rw-p block lifetime vs "
+                  "pointer count)");
+    bench::addCommonFlags(cli);
+    cli.addUint("max-pointers", 15, "largest pointer budget");
+    return bench::runBench(argc, argv, cli, [&] {
+        const std::vector<std::string> formations{"23x23", "17x31",
+                                                  "9x61", "8x71"};
+        const auto blocks =
+            static_cast<std::uint32_t>(cli.getUint("blocks"));
+        const auto max_p =
+            static_cast<std::uint32_t>(cli.getUint("max-pointers"));
+
+        TablePrinter t("Figure 10 — Aegis-rw-p 512-bit block lifetime "
+                       "(M block writes) vs pointer budget, " +
+                       std::to_string(blocks) + " blocks/point");
+        std::vector<std::string> header{"formation"};
+        for (std::uint32_t p = 1; p <= max_p; p += 2)
+            header.push_back("p=" + std::to_string(p));
+        header.push_back("aegis-rw (plateau)");
+        t.setHeader(header);
+
+        for (const std::string &formation : formations) {
+            std::vector<std::string> row{formation};
+            for (std::uint32_t p = 1; p <= max_p; p += 2) {
+                sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
+                cfg.scheme = "aegis-rw-p" + std::to_string(p) + "-" +
+                             formation;
+                const sim::BlockStudy study =
+                    sim::runBlockStudy(cfg, blocks);
+                row.push_back(TablePrinter::num(
+                    study.blockLifetime.mean() / 1e6, 2));
+            }
+            // The plateau reference: the un-pointered Aegis-rw.
+            sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
+            cfg.scheme = "aegis-rw-" + formation;
+            const sim::BlockStudy plateau =
+                sim::runBlockStudy(cfg, blocks);
+            row.push_back(TablePrinter::num(
+                plateau.blockLifetime.mean() / 1e6, 2));
+            t.addRow(row);
+        }
+        bench::emit(t, cli);
+    });
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 11: recoverable faults per 4KB page (512-bit
+ * blocks) for Aegis vs Aegis-rw vs Aegis-rw-p across the four paper
+ * formations. The paper reports Aegis-rw recovering +52/+41/+33/+28%
+ * more faults than basic Aegis for 23x23 / 17x31 / 9x61 / 8x71, and
+ * Aegis-rw-p dropping back near basic Aegis once its overhead falls
+ * below Aegis-rw's.
+ */
+
+#include <vector>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+/** The representative pointer budgets of §3.3. */
+std::string
+rwpName(const std::string &formation)
+{
+    if (formation == "23x23")
+        return "aegis-rw-p4-23x23";
+    if (formation == "17x31")
+        return "aegis-rw-p5-17x31";
+    if (formation == "9x61")
+        return "aegis-rw-p9-9x61";
+    return "aegis-rw-p9-8x71";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig11_variants_faults",
+                  "Reproduce Figure 11 (recoverable faults: Aegis vs "
+                  "rw vs rw-p)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        const std::vector<std::string> formations{"23x23", "17x31",
+                                                  "9x61", "8x71"};
+        const double paper_rw_gain[4] = {52, 41, 33, 28};
+
+        TablePrinter t("Figure 11 — recoverable faults per 4KB page, "
+                       "512-bit blocks (" +
+                       std::to_string(cli.getUint("pages")) +
+                       " pages)");
+        t.setHeader({"formation", "aegis (bits)", "faults",
+                     "aegis-rw (bits)", "faults", "gain %",
+                     "paper gain %", "aegis-rw-p (bits)", "faults"});
+        for (std::size_t i = 0; i < formations.size(); ++i) {
+            const std::string &formation = formations[i];
+            sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
+
+            cfg.scheme = "aegis-" + formation;
+            const sim::PageStudy basic = sim::runPageStudy(cfg);
+            cfg.scheme = "aegis-rw-" + formation;
+            const sim::PageStudy rw = sim::runPageStudy(cfg);
+            cfg.scheme = rwpName(formation);
+            const sim::PageStudy rwp = sim::runPageStudy(cfg);
+
+            const double gain =
+                100.0 * (rw.recoverableFaults.mean() /
+                             basic.recoverableFaults.mean() -
+                         1.0);
+            t.addRow({formation, std::to_string(basic.overheadBits),
+                      TablePrinter::num(basic.recoverableFaults.mean(),
+                                        0),
+                      std::to_string(rw.overheadBits),
+                      TablePrinter::num(rw.recoverableFaults.mean(), 0),
+                      TablePrinter::num(gain, 0),
+                      TablePrinter::num(paper_rw_gain[i], 0),
+                      std::to_string(rwp.overheadBits),
+                      TablePrinter::num(rwp.recoverableFaults.mean(),
+                                        0)});
+        }
+        bench::emit(t, cli);
+    });
+}

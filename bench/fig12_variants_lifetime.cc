@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Figure 12: 4KB-page lifetime improvement (percent over
+ * an unprotected page) for Aegis, Aegis-rw and Aegis-rw-p across the
+ * paper's formations. Expected shape: Aegis-rw largest, Aegis-rw-p
+ * consistently above basic Aegis (it avoids the extra inversion
+ * writes), both variants' edge smaller than their fault-count edge
+ * in Figure 11.
+ */
+
+#include <vector>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+std::string
+rwpName(const std::string &formation)
+{
+    if (formation == "23x23")
+        return "aegis-rw-p4-23x23";
+    if (formation == "17x31")
+        return "aegis-rw-p5-17x31";
+    if (formation == "9x61")
+        return "aegis-rw-p9-9x61";
+    return "aegis-rw-p9-8x71";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig12_variants_lifetime",
+                  "Reproduce Figure 12 (lifetime improvement: Aegis "
+                  "vs rw vs rw-p)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        const std::vector<std::string> formations{"23x23", "17x31",
+                                                  "9x61", "8x71"};
+
+        sim::ExperimentConfig base = bench::configFrom(cli, 512);
+        base.scheme = "none";
+        const sim::PageStudy baseline = sim::runPageStudy(base);
+
+        TablePrinter t("Figure 12 — page lifetime improvement % over "
+                       "no protection, 512-bit blocks");
+        t.setHeader({"formation", "aegis (bits)", "improvement %",
+                     "aegis-rw (bits)", "improvement %",
+                     "aegis-rw-p (bits)", "improvement %"});
+        for (const std::string &formation : formations) {
+            sim::ExperimentConfig cfg = base;
+
+            const auto improvement = [&](const std::string &scheme,
+                                         std::size_t &bits) {
+                cfg.scheme = scheme;
+                const sim::PageStudy study = sim::runPageStudy(cfg);
+                bits = study.overheadBits;
+                return 100.0 *
+                       (sim::lifetimeImprovement(study, baseline) -
+                        1.0);
+            };
+            std::size_t b1 = 0, b2 = 0, b3 = 0;
+            const double basic =
+                improvement("aegis-" + formation, b1);
+            const double rw =
+                improvement("aegis-rw-" + formation, b2);
+            const double rwp = improvement(rwpName(formation), b3);
+            t.addRow({formation, std::to_string(b1),
+                      TablePrinter::num(basic, 0),
+                      std::to_string(b2), TablePrinter::num(rw, 0),
+                      std::to_string(b3), TablePrinter::num(rwp, 0)});
+        }
+        bench::emit(t, cli);
+    });
+}

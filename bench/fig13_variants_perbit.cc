@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 13: each overhead bit's contribution to the
+ * lifetime improvement of Figure 12 for Aegis, Aegis-rw and
+ * Aegis-rw-p. Expected shape: the variants use their (smaller or
+ * equal) overhead more efficiently, with Aegis-rw-p's per-bit
+ * contribution able to exceed Aegis-rw's — while remembering the
+ * variants also rely on a fail cache whose SRAM is not in these
+ * numbers (§3.3).
+ */
+
+#include <vector>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+std::string
+rwpName(const std::string &formation)
+{
+    if (formation == "23x23")
+        return "aegis-rw-p4-23x23";
+    if (formation == "17x31")
+        return "aegis-rw-p5-17x31";
+    if (formation == "9x61")
+        return "aegis-rw-p9-9x61";
+    return "aegis-rw-p9-8x71";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig13_variants_perbit",
+                  "Reproduce Figure 13 (per-bit contribution: Aegis "
+                  "vs rw vs rw-p)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        const std::vector<std::string> formations{"23x23", "17x31",
+                                                  "9x61", "8x71"};
+
+        sim::ExperimentConfig base = bench::configFrom(cli, 512);
+        base.scheme = "none";
+        const sim::PageStudy baseline = sim::runPageStudy(base);
+
+        TablePrinter t("Figure 13 — lifetime improvement % per "
+                       "overhead bit, 512-bit blocks");
+        t.setHeader({"formation", "aegis", "aegis-rw", "aegis-rw-p"});
+        for (const std::string &formation : formations) {
+            sim::ExperimentConfig cfg = base;
+            const auto perbit = [&](const std::string &scheme) {
+                cfg.scheme = scheme;
+                const sim::PageStudy study = sim::runPageStudy(cfg);
+                const double pct =
+                    100.0 *
+                    (sim::lifetimeImprovement(study, baseline) - 1.0);
+                return TablePrinter::num(
+                    pct / static_cast<double>(study.overheadBits), 1);
+            };
+            t.addRow({formation, perbit("aegis-" + formation),
+                      perbit("aegis-rw-" + formation),
+                      perbit(rwpName(formation))});
+        }
+        bench::emit(t, cli);
+    });
+}

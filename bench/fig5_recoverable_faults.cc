@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 5: average number of recoverable faults in a 4KB
+ * page (before its first data block becomes unrecoverable) for
+ * 256-bit and 512-bit data blocks, with each scheme's overhead bits.
+ */
+
+#include <map>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+/** Fault counts quoted in §3.2 for the 2048-page runs. */
+double
+paperFaults(const std::string &scheme, std::uint32_t block_bits)
+{
+    static const std::map<std::pair<std::string, std::uint32_t>, double>
+        quoted{{{"aegis-9x61", 512}, 711},   {{"aegis-17x31", 512}, 364},
+               {{"safer64", 512}, 293},      {{"safer128", 512}, 465},
+               {{"rdis3", 512}, 342},        {{"aegis-12x23", 256}, 474},
+               {{"ecp6", 256}, 264}};
+    const auto it = quoted.find({scheme, block_bits});
+    return it == quoted.end() ? 0.0 : it->second;
+}
+
+void
+runBlockSize(std::uint32_t block_bits, const CliParser &cli)
+{
+    TablePrinter t("Figure 5 — recoverable faults per 4KB page (" +
+                   std::to_string(block_bits) + "-bit blocks, " +
+                   std::to_string(cli.getUint("pages")) + " pages)");
+    t.setHeader({"scheme", "overhead bits", "overhead %",
+                 "faults/page", "ci95", "paper"});
+    for (const std::string &name :
+         core::paperSchemeNames(block_bits)) {
+        sim::ExperimentConfig cfg =
+            bench::configFrom(cli, block_bits);
+        cfg.scheme = name;
+        const sim::PageStudy study = sim::runPageStudy(cfg);
+        t.addRow({study.scheme, std::to_string(study.overheadBits),
+                  TablePrinter::num(100 * study.overheadFraction(), 1),
+                  TablePrinter::num(study.recoverableFaults.mean(), 0),
+                  TablePrinter::num(study.recoverableFaults.ci95(), 0),
+                  bench::paperRef(paperFaults(name, block_bits))});
+    }
+    bench::emit(t, cli);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig5_recoverable_faults",
+                  "Reproduce Figure 5 (recoverable faults per page)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        runBlockSize(512, cli);
+        runBlockSize(256, cli);
+    });
+}

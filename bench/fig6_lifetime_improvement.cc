@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Figure 6: improvement of a 4KB page's lifetime (number
+ * of page writes before the first unrecoverable fault) over an
+ * unprotected page, for 256-bit and 512-bit data blocks.
+ */
+
+#include <map>
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+/** Improvement factors quoted in §3.2 (512-bit blocks). */
+double
+paperImprovement(const std::string &scheme, std::uint32_t block_bits)
+{
+    static const std::map<std::pair<std::string, std::uint32_t>, double>
+        quoted{{{"aegis-9x61", 512}, 10.7},
+               {{"aegis-17x31", 512}, 9.0},
+               {{"aegis-23x23", 512}, 8.3},
+               {{"ecp4", 512}, 6.3}};
+    const auto it = quoted.find({scheme, block_bits});
+    return it == quoted.end() ? 0.0 : it->second;
+}
+
+void
+runBlockSize(std::uint32_t block_bits, const CliParser &cli)
+{
+    sim::ExperimentConfig base = bench::configFrom(cli, block_bits);
+    base.scheme = "none";
+    const sim::PageStudy baseline = sim::runPageStudy(base);
+
+    TablePrinter t("Figure 6 — page lifetime improvement over no "
+                   "protection (" +
+                   std::to_string(block_bits) + "-bit blocks)");
+    t.setHeader({"scheme", "overhead bits", "lifetime (page writes)",
+                 "improvement", "paper"});
+    t.addRow({"none", "0",
+              TablePrinter::intNum(static_cast<long long>(
+                  baseline.pageLifetime.mean())),
+              "1.00x", "1x"});
+    for (const std::string &name :
+         core::paperSchemeNames(block_bits)) {
+        sim::ExperimentConfig cfg = base;
+        cfg.scheme = name;
+        const sim::PageStudy study = sim::runPageStudy(cfg);
+        const double gain = sim::lifetimeImprovement(study, baseline);
+        const double paper = paperImprovement(name, block_bits);
+        t.addRow({study.scheme, std::to_string(study.overheadBits),
+                  TablePrinter::intNum(static_cast<long long>(
+                      study.pageLifetime.mean())),
+                  TablePrinter::num(gain, 2) + "x",
+                  paper > 0 ? TablePrinter::num(paper, 1) + "x" : "-"});
+    }
+    bench::emit(t, cli);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig6_lifetime_improvement",
+                  "Reproduce Figure 6 (page lifetime improvement)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        runBlockSize(512, cli);
+        runBlockSize(256, cli);
+    });
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 7: each overhead bit's contribution to the page
+ * lifetime improvement of Figure 6 (improvement factor divided by
+ * the per-block overhead bits). The paper's qualitative findings:
+ * ECP decays slowest with rising FTC, but the Aegis formations beat
+ * every other scheme's per-bit contribution in both block sizes.
+ */
+
+#include "aegis/factory.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aegis;
+
+void
+runBlockSize(std::uint32_t block_bits, const CliParser &cli)
+{
+    sim::ExperimentConfig base = bench::configFrom(cli, block_bits);
+    base.scheme = "none";
+    const sim::PageStudy baseline = sim::runPageStudy(base);
+
+    TablePrinter t("Figure 7 — per-overhead-bit contribution to "
+                   "lifetime improvement (" +
+                   std::to_string(block_bits) + "-bit blocks)");
+    t.setHeader({"scheme", "overhead bits", "improvement",
+                 "improvement / bit"});
+    for (const std::string &name :
+         core::paperSchemeNames(block_bits)) {
+        sim::ExperimentConfig cfg = base;
+        cfg.scheme = name;
+        const sim::PageStudy study = sim::runPageStudy(cfg);
+        const double gain = sim::lifetimeImprovement(study, baseline);
+        t.addRow({study.scheme, std::to_string(study.overheadBits),
+                  TablePrinter::num(gain, 2) + "x",
+                  TablePrinter::num(
+                      gain / static_cast<double>(study.overheadBits),
+                      4)});
+    }
+    bench::emit(t, cli);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("fig7_perbit_contribution",
+                  "Reproduce Figure 7 (per-bit lifetime contribution)");
+    bench::addCommonFlags(cli);
+    return bench::runBench(argc, argv, cli, [&] {
+        runBlockSize(512, cli);
+        runBlockSize(256, cli);
+    });
+}

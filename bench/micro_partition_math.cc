@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the Aegis partition math: the
+ * per-access group computation (the "pre-wired logic" of Fig. 3),
+ * collision-slope resolution, collision-ROM construction, the
+ * re-partition search, and the RDIS invertible-set solver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aegis/collision_rom.h"
+#include "aegis/partition.h"
+#include "aegis/trackers.h"
+#include "scheme/rdis.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aegis;
+using core::CollisionRom;
+using core::Partition;
+
+void
+BM_GroupOf(benchmark::State &state)
+{
+    const Partition part = Partition::forHeight(61, 512);
+    std::uint32_t pos = 0, k = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(part.groupOf(pos, k));
+        pos = (pos + 97) % 512;
+        k = (k + 1) % 61;
+    }
+}
+BENCHMARK(BM_GroupOf);
+
+void
+BM_CollisionSlope(benchmark::State &state)
+{
+    const Partition part = Partition::forHeight(61, 512);
+    std::uint32_t i = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(part.collisionSlope(0, i));
+        i = 1 + (i + 96) % 511;
+    }
+}
+BENCHMARK(BM_CollisionSlope);
+
+void
+BM_CollisionRomBuild(benchmark::State &state)
+{
+    const Partition part = Partition::forHeight(
+        static_cast<std::uint32_t>(state.range(0)), 512);
+    for (auto _ : state) {
+        CollisionRom rom(part);
+        benchmark::DoNotOptimize(rom.sizeBits());
+    }
+}
+BENCHMARK(BM_CollisionRomBuild)->Arg(23)->Arg(61);
+
+void
+BM_CollisionRomLookup(benchmark::State &state)
+{
+    const Partition part = Partition::forHeight(61, 512);
+    const CollisionRom rom(part);
+    std::uint32_t i = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rom.lookup(0, i));
+        i = 1 + (i + 96) % 511;
+    }
+}
+BENCHMARK(BM_CollisionRomLookup);
+
+void
+BM_RepartitionSearch(benchmark::State &state)
+{
+    // Cost of finding a separating slope with `faults` faults present
+    // (the dominant tracker operation in the Monte Carlo).
+    const Partition part = Partition::forHeight(61, 512);
+    const auto faults = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto tracker = core::makeAegisTracker(part, {});
+        pcm::FaultSet set;
+        std::vector<bool> used(512, false);
+        state.ResumeTiming();
+        bool alive = true;
+        for (std::size_t f = 0; f < faults && alive; ++f) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+            } while (used[pos]);
+            used[pos] = true;
+            alive = tracker->onFault({pos, false}) ==
+                    scheme::FaultVerdict::Alive;
+        }
+        benchmark::DoNotOptimize(alive);
+    }
+}
+BENCHMARK(BM_RepartitionSearch)->Arg(4)->Arg(12)->Arg(20);
+
+void
+BM_RdisSolve(benchmark::State &state)
+{
+    const scheme::RdisSolver solver(16, 32, 3);
+    const auto faults = static_cast<std::size_t>(state.range(0));
+    Rng rng(11);
+    std::vector<std::uint32_t> wrong, right;
+    for (std::size_t f = 0; f < faults; ++f)
+        (rng.nextBool() ? wrong : right)
+            .push_back(static_cast<std::uint32_t>(
+                rng.nextBounded(512)));
+    scheme::RdisMarks marks;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.solve(wrong, right, marks));
+}
+BENCHMARK(BM_RdisSolve)->Arg(3)->Arg(10)->Arg(24);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: write-path latency of each
+ * recovery scheme on the functional layer, with and without faults.
+ * These are software-model costs (useful for comparing the schemes'
+ * algorithmic complexity), not PCM latencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aegis/factory.h"
+#include "pcm/fail_cache.h"
+#include "sim/device.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aegis;
+
+void
+writeLoop(benchmark::State &state, const std::string &name,
+          std::size_t block_bits, std::size_t faults)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    auto scheme = core::makeScheme(name, block_bits);
+    scheme->attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(block_bits);
+    Rng rng(42);
+
+    for (std::size_t f = 0; f < faults; ++f) {
+        std::uint32_t pos;
+        do {
+            pos = static_cast<std::uint32_t>(
+                rng.nextBounded(block_bits));
+        } while (cells.isStuck(pos));
+        const bool stuck = rng.nextBool();
+        cells.injectFault(pos, stuck);
+        dir->record(0, {pos, stuck});
+    }
+
+    std::vector<BitVector> patterns;
+    for (int i = 0; i < 64; ++i)
+        patterns.push_back(BitVector::random(block_bits, rng));
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto outcome =
+            scheme->write(cells, patterns[i++ % patterns.size()]);
+        benchmark::DoNotOptimize(outcome.ok);
+        if (!outcome.ok)
+            state.SkipWithError("block died during benchmark");
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_Write(benchmark::State &state, const std::string &name,
+         std::size_t faults)
+{
+    writeLoop(state, name, 512, faults);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Write, aegis_23x23_clean, "aegis-23x23", 0u);
+BENCHMARK_CAPTURE(BM_Write, aegis_23x23_4faults, "aegis-23x23", 4u);
+BENCHMARK_CAPTURE(BM_Write, aegis_9x61_clean, "aegis-9x61", 0u);
+BENCHMARK_CAPTURE(BM_Write, aegis_9x61_8faults, "aegis-9x61", 8u);
+BENCHMARK_CAPTURE(BM_Write, aegis_rw_23x23_4faults, "aegis-rw-23x23",
+                  4u);
+BENCHMARK_CAPTURE(BM_Write, aegis_rw_p4_23x23_4faults,
+                  "aegis-rw-p4-23x23", 4u);
+BENCHMARK_CAPTURE(BM_Write, safer32_clean, "safer32", 0u);
+BENCHMARK_CAPTURE(BM_Write, safer32_4faults, "safer32", 4u);
+BENCHMARK_CAPTURE(BM_Write, ecp6_4faults, "ecp6", 4u);
+BENCHMARK_CAPTURE(BM_Write, rdis3_2faults, "rdis3", 2u);
+BENCHMARK_CAPTURE(BM_Write, hamming_2faults, "hamming", 2u);
+
+BENCHMARK_MAIN();

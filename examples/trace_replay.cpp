@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace replay: run realistic write workloads through a functional
+ * PCM device and measure what the recovery scheme actually costs —
+ * cell programs per bit (wear amplification over the ideal 0.5 of
+ * differential writes), verification rework, re-partitions — while
+ * faults accumulate.
+ *
+ *   ./build/examples/trace_replay --scheme=aegis-17x31 \
+ *       --trace=hotcold:0.1:0.9 --writes=2000 --faults-per-kwrite=40
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "aegis/factory.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+using namespace aegis;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("trace_replay",
+                  "Replay synthetic write traces against a "
+                  "functional PCM device");
+    cli.addString("scheme", "aegis-17x31", "recovery scheme");
+    cli.addUint("pages", 8, "device size in 4KB pages");
+    cli.addUint("writes", 1500, "page writes to replay per trace");
+    cli.addDouble("faults-per-kwrite", 200.0,
+                  "stuck-at faults injected per 1000 page writes");
+    cli.addUint("seed", 1, "random seed");
+    try {
+        if (!cli.parse(argc, argv))
+            return 0;
+
+        const auto pages =
+            static_cast<std::uint32_t>(cli.getUint("pages"));
+        const pcm::Geometry geom{512, 4096, pages};
+        const std::string scheme_name = cli.getString("scheme");
+
+        TablePrinter t("Trace replay — " + scheme_name + ", " +
+                       std::to_string(pages) + " pages, " +
+                       std::to_string(cli.getUint("writes")) +
+                       " page writes/trace");
+        t.setHeader({"trace", "programs/bit", "failed writes",
+                     "dead blocks", "repartitions", "faults"});
+
+        for (const char *spec :
+             {"uniform", "sequential", "hotcold:0.1:0.9"}) {
+            auto proto = core::makeScheme(scheme_name, 512);
+            auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+            sim::PcmDevice device(geom, *proto,
+                                  proto->requiresDirectory()
+                                      ? dir
+                                      : nullptr);
+            auto trace = sim::makeTrace(spec, pages);
+            Rng rng(cli.getUint("seed"));
+            const sim::TraceReplayStats stats = sim::replayTrace(
+                device, *trace, cli.getUint("writes"),
+                cli.getDouble("faults-per-kwrite"), rng);
+            t.addRow({trace->name(),
+                      TablePrinter::num(stats.programsPerBit(), 3),
+                      std::to_string(stats.failedWrites),
+                      std::to_string(stats.deadBlocks),
+                      TablePrinter::intNum(static_cast<long long>(
+                          stats.repartitions)),
+                      std::to_string(stats.faultsInjected)});
+        }
+        t.print(std::cout);
+        std::cout << "\n(programs/bit: 0.5 is the differential-write "
+                     "ideal for random data;\n the excess is the "
+                     "scheme's inversion/rework wear.)\n";
+        return 0;
+    } catch (const std::exception &ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,206 @@
+#include "aegis/aegis_rw.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bit_io.h"
+
+#include "aegis/cost.h"
+#include "aegis/trackers.h"
+#include "util/error.h"
+
+namespace aegis::core {
+
+AegisRwScheme::AegisRwScheme(std::uint32_t a, std::uint32_t b,
+                             std::uint32_t block_bits)
+    : part(a, b, block_bits),
+      rom(std::make_shared<const CollisionRom>(part)), invVector(b)
+{}
+
+AegisRwScheme
+AegisRwScheme::forHeight(std::uint32_t b, std::uint32_t block_bits)
+{
+    const Partition p = Partition::forHeight(b, block_bits);
+    return AegisRwScheme(p.a(), p.b(), block_bits);
+}
+
+std::string
+AegisRwScheme::name() const
+{
+    return "aegis-rw-" + part.formation();
+}
+
+std::size_t
+AegisRwScheme::overheadBits() const
+{
+    const std::uint32_t b = part.b();
+    return static_cast<std::size_t>(std::bit_width(b - 1)) + b;
+}
+
+std::size_t
+AegisRwScheme::hardFtc() const
+{
+    return hardFtcRw(part.b());
+}
+
+std::uint32_t
+AegisRwScheme::chooseSlope(const std::vector<std::uint32_t> &wrong,
+                           const std::vector<std::uint32_t> &right,
+                           std::uint32_t &repartitions) const
+{
+    const std::uint32_t B = part.b();
+    // Union the slopes blocked by each (Wrong, Right) pair — the
+    // ROM-read procedure of §2.4.
+    static thread_local std::vector<bool> blocked;
+    blocked.assign(B, false);
+    for (std::uint32_t w : wrong) {
+        for (std::uint32_t r : right) {
+            const std::uint32_t k = rom->lookup(w, r);
+            if (k < B)
+                blocked[k] = true;
+        }
+    }
+    for (std::uint32_t trial = 0; trial < B; ++trial) {
+        const std::uint32_t k = (slope + trial) % B;
+        if (!blocked[k]) {
+            repartitions += trial;
+            return k;
+        }
+    }
+    return B;
+}
+
+scheme::WriteOutcome
+AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
+{
+    AEGIS_REQUIRE(directory,
+                  "Aegis-rw needs an attached fault directory");
+    AEGIS_REQUIRE(data.size() == cells.size(),
+                  "data width must match the cell array");
+    scheme::WriteOutcome outcome;
+
+    // Faults observed during this write operation. A finite fail
+    // cache can evict entries between verify passes; holding the
+    // session's own observations keeps the loop convergent.
+    pcm::FaultSet session;
+
+    const std::size_t max_iters = cells.size() + 2;
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        pcm::FaultSet known = directory->lookup(blockId);
+        for (const pcm::Fault &f : session) {
+            const bool present = std::any_of(
+                known.begin(), known.end(),
+                [&f](const pcm::Fault &k) { return k.pos == f.pos; });
+            if (!present)
+                known.push_back(f);
+        }
+        std::vector<std::uint32_t> wrong, right;
+        for (const pcm::Fault &f : known) {
+            if (f.stuck != data.get(f.pos))
+                wrong.push_back(f.pos);
+            else
+                right.push_back(f.pos);
+        }
+
+        const std::uint32_t k =
+            chooseSlope(wrong, right, outcome.repartitions);
+        if (k >= part.b()) {
+            outcome.ok = false;
+            return outcome;
+        }
+        slope = k;
+
+        invVector.fill(false);
+        for (std::uint32_t w : wrong)
+            invVector.set(part.groupOf(w, slope), true);
+
+        BitVector target = data;
+        if (invVector.any()) {
+            for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
+                if (invVector.get(part.groupOf(pos, slope)))
+                    target.flip(pos);
+            }
+        }
+
+        cells.writeDifferential(target);
+        ++outcome.programPasses;
+
+        const BitVector readback = cells.read();
+        const BitVector diff = readback ^ target;
+        if (diff.none()) {
+            outcome.ok = true;
+            return outcome;
+        }
+        // Mismatches are faults the directory did not know about yet
+        // (the fail cache is filled by verification reads).
+        for (std::size_t pos : diff.setBits()) {
+            const pcm::Fault fault{static_cast<std::uint32_t>(pos),
+                                   readback.get(pos)};
+            directory->record(blockId, fault);
+            session.push_back(fault);
+            ++outcome.newFaults;
+        }
+    }
+    throw InternalError("Aegis-rw write did not converge");
+}
+
+BitVector
+AegisRwScheme::read(const pcm::CellArray &cells) const
+{
+    BitVector out = cells.read();
+    if (invVector.any()) {
+        for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
+            if (invVector.get(part.groupOf(pos, slope)))
+                out.flip(pos);
+        }
+    }
+    return out;
+}
+
+void
+AegisRwScheme::reset()
+{
+    slope = 0;
+    invVector.fill(false);
+}
+
+std::unique_ptr<scheme::Scheme>
+AegisRwScheme::clone() const
+{
+    return std::make_unique<AegisRwScheme>(*this);
+}
+
+BitVector
+AegisRwScheme::exportMetadata() const
+{
+    const std::uint32_t b = part.b();
+    const auto counter_width =
+        static_cast<std::size_t>(std::bit_width(b - 1));
+    BitWriter w(overheadBits());
+    w.writeBits(slope, counter_width);
+    w.writeVector(invVector);
+    return w.finish();
+}
+
+void
+AegisRwScheme::importMetadata(const BitVector &image)
+{
+    AEGIS_REQUIRE(image.size() == overheadBits(),
+                  "Aegis-rw metadata image has the wrong width");
+    const std::uint32_t b = part.b();
+    const auto counter_width =
+        static_cast<std::size_t>(std::bit_width(b - 1));
+    BitReader r(image);
+    const auto k = static_cast<std::uint32_t>(r.readBits(counter_width));
+    AEGIS_REQUIRE(k < b, "corrupt slope counter");
+    slope = k;
+    invVector = r.readVector(b);
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+AegisRwScheme::makeTracker(const scheme::TrackerOptions &opts) const
+{
+    return makeAegisRwTracker(part, opts);
+}
+
+} // namespace aegis::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Aegis-rw: the fault-aware Aegis variant (paper §2.4).
+ *
+ * With a fail cache supplying every fault's position and stuck value
+ * before a write, faults can be classified against the data being
+ * written as stuck-at-Wrong or stuck-at-Right. A group may then hold
+ * arbitrarily many faults of one type — inverting the group fixes all
+ * W faults at once, leaving it un-inverted preserves all R faults —
+ * so only W/R mixtures are collisions. The collision ROM yields the
+ * unique slope blocked by each (W, R) pair; any un-blocked slope is a
+ * valid configuration and at most floor(f/2)*ceil(f/2) slopes can be
+ * blocked.
+ */
+
+#ifndef AEGIS_AEGIS_AEGIS_RW_H
+#define AEGIS_AEGIS_AEGIS_RW_H
+
+#include <memory>
+
+#include "aegis/collision_rom.h"
+#include "aegis/partition.h"
+#include "scheme/scheme.h"
+
+namespace aegis::core {
+
+class AegisRwScheme : public scheme::Scheme
+{
+  public:
+    AegisRwScheme(std::uint32_t a, std::uint32_t b,
+                  std::uint32_t block_bits);
+
+    static AegisRwScheme forHeight(std::uint32_t b,
+                                   std::uint32_t block_bits);
+
+    std::string name() const override;
+    std::size_t blockBits() const override { return part.blockBits(); }
+    std::size_t overheadBits() const override;
+    std::size_t hardFtc() const override;
+
+    scheme::WriteOutcome write(pcm::CellArray &cells,
+                               const BitVector &data) override;
+    BitVector read(const pcm::CellArray &cells) const override;
+    void reset() override;
+    std::unique_ptr<scheme::Scheme> clone() const override;
+
+    /** Packed: slope counter + B inversion flags (same image layout
+     *  as basic Aegis; the rw distinction is behavioural). */
+    BitVector exportMetadata() const override;
+    void importMetadata(const BitVector &image) override;
+
+    std::unique_ptr<scheme::LifetimeTracker>
+    makeTracker(const scheme::TrackerOptions &opts) const override;
+
+    bool requiresDirectory() const override { return true; }
+
+    const Partition &partition() const { return part; }
+    std::uint32_t currentSlope() const { return slope; }
+
+  private:
+    /**
+     * Choose a slope (starting from the current one) under which no
+     * group mixes the given W and R fault positions; returns B when
+     * every slope is blocked. @p repartitions counts advances.
+     */
+    std::uint32_t chooseSlope(const std::vector<std::uint32_t> &wrong,
+                              const std::vector<std::uint32_t> &right,
+                              std::uint32_t &repartitions) const;
+
+    Partition part;
+    std::shared_ptr<const CollisionRom> rom;    ///< shared across clones
+    std::uint32_t slope = 0;
+    BitVector invVector;
+};
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_AEGIS_RW_H

@@ -1,0 +1,270 @@
+#include "aegis/aegis_rw_p.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bit_io.h"
+
+#include "aegis/cost.h"
+#include "aegis/trackers.h"
+#include "util/error.h"
+
+namespace aegis::core {
+
+namespace {
+
+/** Distinct groups of @p positions under slope @p k. */
+std::vector<std::uint32_t>
+distinctGroups(const Partition &part,
+               const std::vector<std::uint32_t> &positions,
+               std::uint32_t k)
+{
+    std::vector<std::uint32_t> groups;
+    groups.reserve(positions.size());
+    for (std::uint32_t pos : positions)
+        groups.push_back(part.groupOf(pos, k));
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    return groups;
+}
+
+} // namespace
+
+AegisRwPScheme::AegisRwPScheme(std::uint32_t a, std::uint32_t b,
+                               std::uint32_t block_bits,
+                               std::uint32_t pointers)
+    : part(a, b, block_bits),
+      rom(std::make_shared<const CollisionRom>(part)),
+      maxPointers(pointers)
+{
+    AEGIS_REQUIRE(pointers >= 1, "Aegis-rw-p needs at least one pointer");
+}
+
+AegisRwPScheme
+AegisRwPScheme::forHeight(std::uint32_t b, std::uint32_t block_bits,
+                          std::uint32_t pointers)
+{
+    const Partition p = Partition::forHeight(b, block_bits);
+    return AegisRwPScheme(p.a(), p.b(), block_bits, pointers);
+}
+
+std::string
+AegisRwPScheme::name() const
+{
+    return "aegis-rw-p" + std::to_string(maxPointers) + "-" +
+           part.formation();
+}
+
+std::size_t
+AegisRwPScheme::overheadBits() const
+{
+    const std::uint32_t f = 2 * maxPointers + 1;
+    return costBitsRwP(part.b(), f, maxPointers);
+}
+
+std::size_t
+AegisRwPScheme::hardFtc() const
+{
+    return hardFtcRwP(part.b(), maxPointers);
+}
+
+bool
+AegisRwPScheme::groupInverted(std::uint32_t group) const
+{
+    const bool pointed =
+        std::find(groupPointers.begin(), groupPointers.end(), group) !=
+        groupPointers.end();
+    return invertComplement ? !pointed : pointed;
+}
+
+scheme::WriteOutcome
+AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
+{
+    AEGIS_REQUIRE(directory,
+                  "Aegis-rw-p needs an attached fault directory");
+    AEGIS_REQUIRE(data.size() == cells.size(),
+                  "data width must match the cell array");
+    scheme::WriteOutcome outcome;
+
+    const std::uint32_t B = part.b();
+    // Session-local fault observations; see AegisRwScheme::write.
+    pcm::FaultSet session;
+    const std::size_t max_iters = cells.size() + 2;
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        pcm::FaultSet known = directory->lookup(blockId);
+        for (const pcm::Fault &f : session) {
+            const bool present = std::any_of(
+                known.begin(), known.end(),
+                [&f](const pcm::Fault &k) { return k.pos == f.pos; });
+            if (!present)
+                known.push_back(f);
+        }
+        std::vector<std::uint32_t> wrong, right;
+        for (const pcm::Fault &f : known) {
+            if (f.stuck != data.get(f.pos))
+                wrong.push_back(f.pos);
+            else
+                right.push_back(f.pos);
+        }
+
+        // Slopes blocked by W/R mixtures (ROM lookups).
+        std::vector<bool> blocked(B, false);
+        for (std::uint32_t w : wrong) {
+            for (std::uint32_t r : right) {
+                const std::uint32_t k = rom->lookup(w, r);
+                if (k < B)
+                    blocked[k] = true;
+            }
+        }
+
+        // A slope is usable when it is collision-free AND one of the
+        // two pointer cases fits the budget.
+        bool found = false;
+        std::uint32_t chosen = 0;
+        bool chosen_complement = false;
+        std::vector<std::uint32_t> chosen_groups;
+        for (std::uint32_t trial = 0; trial < B && !found; ++trial) {
+            const std::uint32_t k = (slope + trial) % B;
+            if (blocked[k])
+                continue;
+            auto w_groups = distinctGroups(part, wrong, k);
+            if (w_groups.size() <= maxPointers) {
+                found = true;
+                chosen = k;
+                chosen_complement = false;
+                chosen_groups = std::move(w_groups);
+                outcome.repartitions += trial;
+                break;
+            }
+            auto r_groups = distinctGroups(part, right, k);
+            if (r_groups.size() <= maxPointers) {
+                found = true;
+                chosen = k;
+                chosen_complement = true;
+                chosen_groups = std::move(r_groups);
+                outcome.repartitions += trial;
+                break;
+            }
+        }
+        if (!found) {
+            outcome.ok = false;
+            return outcome;
+        }
+
+        slope = chosen;
+        invertComplement = chosen_complement;
+        groupPointers = std::move(chosen_groups);
+
+        BitVector target = data;
+        for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
+            if (groupInverted(part.groupOf(pos, slope)))
+                target.flip(pos);
+        }
+
+        cells.writeDifferential(target);
+        ++outcome.programPasses;
+
+        const BitVector readback = cells.read();
+        const BitVector diff = readback ^ target;
+        if (diff.none()) {
+            outcome.ok = true;
+            return outcome;
+        }
+        for (std::size_t pos : diff.setBits()) {
+            const pcm::Fault fault{static_cast<std::uint32_t>(pos),
+                                   readback.get(pos)};
+            directory->record(blockId, fault);
+            session.push_back(fault);
+            ++outcome.newFaults;
+        }
+    }
+    throw InternalError("Aegis-rw-p write did not converge");
+}
+
+BitVector
+AegisRwPScheme::read(const pcm::CellArray &cells) const
+{
+    BitVector out = cells.read();
+    for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
+        if (groupInverted(part.groupOf(pos, slope)))
+            out.flip(pos);
+    }
+    return out;
+}
+
+void
+AegisRwPScheme::reset()
+{
+    slope = 0;
+    invertComplement = false;
+    groupPointers.clear();
+}
+
+std::unique_ptr<scheme::Scheme>
+AegisRwPScheme::clone() const
+{
+    return std::make_unique<AegisRwPScheme>(*this);
+}
+
+std::size_t
+AegisRwPScheme::metadataBits() const
+{
+    const auto w =
+        static_cast<std::size_t>(std::bit_width(part.b() - 1));
+    return w + 1 + maxPointers * w + 1;
+}
+
+BitVector
+AegisRwPScheme::exportMetadata() const
+{
+    const auto width =
+        static_cast<std::size_t>(std::bit_width(part.b() - 1));
+    // B is never a power of two (it is an odd prime), so the all-ones
+    // value of a width-bit field is >= B and free to mark empty slots.
+    const std::uint64_t sentinel = (1ull << width) - 1;
+    AEGIS_ASSERT(sentinel >= part.b(), "no sentinel encoding available");
+
+    BitWriter w(metadataBits());
+    w.writeBits(slope, width);
+    w.writeBit(invertComplement);
+    for (std::size_t i = 0; i < maxPointers; ++i) {
+        w.writeBits(i < groupPointers.size() ? groupPointers[i]
+                                             : sentinel,
+                    width);
+    }
+    w.writeBit(false);    // reserved (the cost model's second flag)
+    return w.finish();
+}
+
+void
+AegisRwPScheme::importMetadata(const BitVector &image)
+{
+    AEGIS_REQUIRE(image.size() == metadataBits(),
+                  "Aegis-rw-p metadata image has the wrong width");
+    const auto width =
+        static_cast<std::size_t>(std::bit_width(part.b() - 1));
+    const std::uint64_t sentinel = (1ull << width) - 1;
+
+    BitReader r(image);
+    const auto k = static_cast<std::uint32_t>(r.readBits(width));
+    AEGIS_REQUIRE(k < part.b(), "corrupt slope counter");
+    slope = k;
+    invertComplement = r.readBit();
+    groupPointers.clear();
+    for (std::size_t i = 0; i < maxPointers; ++i) {
+        const std::uint64_t g = r.readBits(width);
+        if (g == sentinel)
+            continue;
+        AEGIS_REQUIRE(g < part.b(), "corrupt group pointer");
+        groupPointers.push_back(static_cast<std::uint32_t>(g));
+    }
+    (void)r.readBit();
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+AegisRwPScheme::makeTracker(const scheme::TrackerOptions &opts) const
+{
+    return makeAegisRwPTracker(part, maxPointers, opts);
+}
+
+} // namespace aegis::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Aegis-rw-p: Aegis-rw with group pointers instead of the inversion
+ * vector (paper §2.4).
+ *
+ * When faults are few relative to B, recording the IDs of inverted
+ * groups is cheaper than a B-bit vector. With full W/R knowledge and
+ * the pigeonhole principle, p = floor(f/2) pointers suffice for f
+ * faults: either the groups holding W faults number at most p (record
+ * them and invert exactly those), or the groups holding R faults do
+ * (record them, invert the entire block, and un-invert the recorded
+ * groups). One metadata bit selects the case, one more flags pointer
+ * exhaustion.
+ */
+
+#ifndef AEGIS_AEGIS_AEGIS_RW_P_H
+#define AEGIS_AEGIS_AEGIS_RW_P_H
+
+#include <memory>
+#include <vector>
+
+#include "aegis/collision_rom.h"
+#include "aegis/partition.h"
+#include "scheme/scheme.h"
+
+namespace aegis::core {
+
+class AegisRwPScheme : public scheme::Scheme
+{
+  public:
+    /**
+     * @param a,b,block_bits the A x B formation.
+     * @param pointers the pointer budget p.
+     */
+    AegisRwPScheme(std::uint32_t a, std::uint32_t b,
+                   std::uint32_t block_bits, std::uint32_t pointers);
+
+    static AegisRwPScheme forHeight(std::uint32_t b,
+                                    std::uint32_t block_bits,
+                                    std::uint32_t pointers);
+
+    std::string name() const override;
+    std::size_t blockBits() const override { return part.blockBits(); }
+    std::size_t overheadBits() const override;
+    std::size_t hardFtc() const override;
+
+    scheme::WriteOutcome write(pcm::CellArray &cells,
+                               const BitVector &data) override;
+    BitVector read(const pcm::CellArray &cells) const override;
+    void reset() override;
+    std::unique_ptr<scheme::Scheme> clone() const override;
+
+    /** Packed: full-width slope counter + case bit + p pointers
+     *  (unused slots hold the all-ones sentinel >= B) + 1 reserved
+     *  bit. The full-width counter can exceed Table 1's reduced
+     *  counter by a few bits; metadataBits() reports the real
+     *  image width. */
+    std::size_t metadataBits() const override;
+    BitVector exportMetadata() const override;
+    void importMetadata(const BitVector &image) override;
+
+    std::unique_ptr<scheme::LifetimeTracker>
+    makeTracker(const scheme::TrackerOptions &opts) const override;
+
+    bool requiresDirectory() const override { return true; }
+
+    const Partition &partition() const { return part; }
+    std::uint32_t pointerBudget() const { return maxPointers; }
+
+  private:
+    /** Inversion mask implied by the current metadata. */
+    bool groupInverted(std::uint32_t group) const;
+
+    Partition part;
+    std::shared_ptr<const CollisionRom> rom;
+    std::uint32_t maxPointers;
+
+    // --- per-block metadata ---
+    std::uint32_t slope = 0;
+    /** false: pointers name inverted (W) groups; true: pointers name
+     *  the R groups excluded from a whole-block inversion. */
+    bool invertComplement = false;
+    std::vector<std::uint32_t> groupPointers;
+};
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_AEGIS_RW_P_H

@@ -1,0 +1,176 @@
+#include "aegis/aegis_scheme.h"
+
+#include <bit>
+
+#include "util/bit_io.h"
+
+#include "aegis/cost.h"
+#include "aegis/trackers.h"
+#include "util/error.h"
+
+namespace aegis::core {
+
+bool
+AegisPartitionPolicy::separatesUnder(const pcm::FaultSet &faults,
+                                     std::uint32_t k) const
+{
+    // B is at most a few hundred; a stamp array beats sorting.
+    static thread_local std::vector<std::uint32_t> stamp;
+    static thread_local std::uint32_t epoch = 0;
+    if (stamp.size() < part.groups())
+        stamp.assign(part.groups(), 0);
+    ++epoch;
+    for (const pcm::Fault &f : faults) {
+        const std::uint32_t g = part.groupOf(f.pos, k);
+        if (stamp[g] == epoch)
+            return false;
+        stamp[g] = epoch;
+    }
+    return true;
+}
+
+bool
+AegisPartitionPolicy::separate(const pcm::FaultSet &faults,
+                               std::uint32_t &repartitions)
+{
+    // The hardware increments the slope counter and re-examines; we
+    // scan the B configurations starting from the current slope.
+    for (std::uint32_t trial = 0; trial < part.slopes(); ++trial) {
+        const std::uint32_t k = (slope + trial) % part.slopes();
+        if (separatesUnder(faults, k)) {
+            repartitions += trial;
+            slope = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+AegisPartitionPolicy::setSlope(std::uint32_t k)
+{
+    AEGIS_REQUIRE(k < part.slopes(), "slope out of range");
+    slope = k;
+}
+
+AegisScheme::AegisScheme(std::uint32_t a, std::uint32_t b,
+                         std::uint32_t block_bits, bool use_cache)
+    : policy(Partition(a, b, block_bits)), invVector(b),
+      cacheMode(use_cache)
+{}
+
+AegisScheme
+AegisScheme::forHeight(std::uint32_t b, std::uint32_t block_bits,
+                       bool use_cache)
+{
+    const Partition part = Partition::forHeight(b, block_bits);
+    return AegisScheme(part.a(), part.b(), block_bits, use_cache);
+}
+
+std::string
+AegisScheme::name() const
+{
+    // Matches the factory spelling so names round-trip.
+    return std::string("aegis-") + (cacheMode ? "cache-" : "") +
+           policy.partition().formation();
+}
+
+std::size_t
+AegisScheme::blockBits() const
+{
+    return policy.partition().blockBits();
+}
+
+std::size_t
+AegisScheme::overheadBits() const
+{
+    const std::uint32_t b = policy.partition().b();
+    return static_cast<std::size_t>(std::bit_width(b - 1)) + b;
+}
+
+std::size_t
+AegisScheme::hardFtc() const
+{
+    return hardFtcBasic(policy.partition().b());
+}
+
+scheme::WriteOutcome
+AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
+{
+    AEGIS_REQUIRE(!cacheMode || directory,
+                  "aegis-cache needs an attached fault directory");
+    pcm::FaultSet known;
+    if (cacheMode)
+        known = directory->lookup(blockId);
+    const std::size_t known_before = known.size();
+
+    const scheme::WriteOutcome outcome = scheme::writeWithInversion(
+        cells, data, policy, invVector, known);
+
+    if (directory) {
+        for (std::size_t i = known_before; i < known.size(); ++i)
+            directory->record(blockId, known[i]);
+    }
+    return outcome;
+}
+
+BitVector
+AegisScheme::read(const pcm::CellArray &cells) const
+{
+    BitVector out = cells.read();
+    if (invVector.any()) {
+        for (std::size_t pos = 0; pos < out.size(); ++pos) {
+            if (invVector.get(policy.groupOf(pos)))
+                out.flip(pos);
+        }
+    }
+    return out;
+}
+
+void
+AegisScheme::reset()
+{
+    policy.resetConfig();
+    invVector.fill(false);
+}
+
+std::unique_ptr<scheme::Scheme>
+AegisScheme::clone() const
+{
+    return std::make_unique<AegisScheme>(*this);
+}
+
+BitVector
+AegisScheme::exportMetadata() const
+{
+    const std::uint32_t b = policy.partition().b();
+    const auto counter_width =
+        static_cast<std::size_t>(std::bit_width(b - 1));
+    BitWriter w(overheadBits());
+    w.writeBits(policy.currentSlope(), counter_width);
+    w.writeVector(invVector);
+    return w.finish();
+}
+
+void
+AegisScheme::importMetadata(const BitVector &image)
+{
+    AEGIS_REQUIRE(image.size() == overheadBits(),
+                  "Aegis metadata image has the wrong width");
+    const std::uint32_t b = policy.partition().b();
+    const auto counter_width =
+        static_cast<std::size_t>(std::bit_width(b - 1));
+    BitReader r(image);
+    const auto k = static_cast<std::uint32_t>(r.readBits(counter_width));
+    AEGIS_REQUIRE(k < b, "corrupt slope counter");
+    policy.setSlope(k);
+    invVector = r.readVector(b);
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+AegisScheme::makeTracker(const scheme::TrackerOptions &opts) const
+{
+    return makeAegisTracker(policy.partition(), opts, cacheMode);
+}
+
+} // namespace aegis::core

@@ -1,0 +1,41 @@
+#include "aegis/collision_rom.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace aegis::core {
+
+CollisionRom::CollisionRom(const Partition &partition)
+    : n(partition.blockBits()), numSlopes(partition.b())
+{
+    AEGIS_REQUIRE(partition.b() <= 0xffff,
+                  "collision ROM stores 16-bit slopes");
+    table.assign(static_cast<std::size_t>(n) * n,
+                 static_cast<std::uint16_t>(numSlopes));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+            const auto k = static_cast<std::uint16_t>(
+                partition.collisionSlope(i, j));
+            table[static_cast<std::size_t>(i) * n + j] = k;
+            table[static_cast<std::size_t>(j) * n + i] = k;
+        }
+    }
+}
+
+std::uint32_t
+CollisionRom::lookup(std::uint32_t pos1, std::uint32_t pos2) const
+{
+    AEGIS_ASSERT(pos1 < n && pos2 < n, "ROM lookup out of range");
+    return table[static_cast<std::size_t>(pos1) * n + pos2];
+}
+
+std::uint64_t
+CollisionRom::sizeBits() const
+{
+    const auto slope_bits = static_cast<std::uint64_t>(
+        std::bit_width(static_cast<std::uint32_t>(numSlopes - 1)));
+    return static_cast<std::uint64_t>(n) * n * slope_bits;
+}
+
+} // namespace aegis::core

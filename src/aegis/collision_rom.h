@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Aegis-rw collision ROM (paper §2.4).
+ *
+ * An n x n x ceil(log2 B) ROM recording, for every pair of bit
+ * offsets, the unique slope on which the pair collides (Theorem 2
+ * guarantees uniqueness). With fault knowledge from the fail cache,
+ * Aegis-rw reads the ROM for every (Wrong, Right) fault pair, unions
+ * the blocked slopes, and picks any remaining slope — no write trials
+ * needed. We precompute the table exactly as the hardware would.
+ */
+
+#ifndef AEGIS_AEGIS_COLLISION_ROM_H
+#define AEGIS_AEGIS_COLLISION_ROM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "aegis/partition.h"
+
+namespace aegis::core {
+
+class CollisionRom
+{
+  public:
+    explicit CollisionRom(const Partition &partition);
+
+    /**
+     * Slope on which @p pos1 and @p pos2 collide, or B (invalid)
+     * when they are in the same column and never collide.
+     */
+    std::uint32_t lookup(std::uint32_t pos1, std::uint32_t pos2) const;
+
+    /** ROM capacity in bits: n * n * ceil(log2 B). */
+    std::uint64_t sizeBits() const;
+
+    std::uint32_t blockBits() const { return n; }
+    std::uint32_t slopes() const { return numSlopes; }
+
+  private:
+    std::uint32_t n;
+    std::uint32_t numSlopes;
+    /** Row-major upper-triangular-in-spirit full table. */
+    std::vector<std::uint16_t> table;
+};
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_COLLISION_ROM_H

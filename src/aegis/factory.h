@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Construct any scheme in the repository from its textual name.
+ *
+ * Names (block size supplied separately):
+ *   "none"                    unprotected baseline
+ *   "ecpN"                    ECP with N pointers, e.g. "ecp6"
+ *   "saferN"                  SAFER with N groups, e.g. "safer32"
+ *   "saferN-cache"            SAFER with an ideal fail cache
+ *   "rdis3" / "rdisD"         RDIS of depth D (16-row grid)
+ *   "hamming"                 (72,64) SEC-DED
+ *   "aegis-AxB"               basic Aegis, e.g. "aegis-9x61"
+ *   "aegis-cache-AxB"         basic Aegis with an ideal fail cache
+ *   "aegis-rw-AxB"            Aegis-rw, e.g. "aegis-rw-17x31"
+ *   "aegis-rw-pP-AxB"         Aegis-rw-p with P pointers,
+ *                             e.g. "aegis-rw-p5-17x31"
+ */
+
+#ifndef AEGIS_AEGIS_FACTORY_H
+#define AEGIS_AEGIS_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheme/scheme.h"
+
+namespace aegis::core {
+
+/** Build a scheme by name; throws ConfigError on unknown names. */
+std::unique_ptr<scheme::Scheme> makeScheme(const std::string &name,
+                                           std::size_t block_bits);
+
+/** Names of the schemes evaluated in the paper for @p block_bits. */
+std::vector<std::string> paperSchemeNames(std::size_t block_bits);
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_FACTORY_H

@@ -1,0 +1,81 @@
+#include "aegis/partition.h"
+
+#include "util/error.h"
+#include "util/primes.h"
+
+namespace aegis::core {
+
+Partition::Partition(std::uint32_t a, std::uint32_t b,
+                     std::uint32_t block_bits)
+    : widthA(a), heightB(b), bits(block_bits)
+{
+    AEGIS_REQUIRE(isPrime(b), "Aegis requires a prime B (Theorem 2)");
+    AEGIS_REQUIRE(a >= 1 && a <= b, "Aegis requires 0 < A <= B");
+    AEGIS_REQUIRE(block_bits > 0, "block size must be positive");
+    AEGIS_REQUIRE(static_cast<std::uint64_t>(a) * b >= block_bits,
+                  "A x B rectangle too small for the block");
+    AEGIS_REQUIRE(static_cast<std::uint64_t>(a - 1) * b < block_bits,
+                  "A x B rectangle larger than necessary: shrink A");
+}
+
+Partition
+Partition::forHeight(std::uint32_t b, std::uint32_t block_bits)
+{
+    AEGIS_REQUIRE(b > 0, "height must be positive");
+    const std::uint32_t a = (block_bits + b - 1) / b;
+    return Partition(a, b, block_bits);
+}
+
+std::uint32_t
+Partition::groupOf(std::uint32_t pos, std::uint32_t k) const
+{
+    AEGIS_ASSERT(pos < bits, "bit offset out of range");
+    AEGIS_ASSERT(k < heightB, "slope out of range");
+    const std::uint64_t a = pos / heightB;
+    const std::uint64_t b = pos % heightB;
+    const std::uint64_t shift = a * k % heightB;
+    return static_cast<std::uint32_t>((b + heightB - shift) % heightB);
+}
+
+std::vector<std::uint32_t>
+Partition::groupMembers(std::uint32_t y, std::uint32_t k) const
+{
+    AEGIS_ASSERT(y < heightB && k < heightB, "group or slope out of range");
+    std::vector<std::uint32_t> members;
+    members.reserve(widthA);
+    for (std::uint32_t a = 0; a < widthA; ++a) {
+        const std::uint64_t b =
+            (static_cast<std::uint64_t>(a) * k + y) % heightB;
+        const std::uint32_t pos =
+            a * heightB + static_cast<std::uint32_t>(b);
+        if (pos < bits)
+            members.push_back(pos);
+    }
+    return members;
+}
+
+std::uint32_t
+Partition::collisionSlope(std::uint32_t pos1, std::uint32_t pos2) const
+{
+    AEGIS_ASSERT(pos1 < bits && pos2 < bits && pos1 != pos2,
+                 "collisionSlope needs two distinct in-range offsets");
+    const std::uint64_t B = heightB;
+    const std::uint64_t a1 = pos1 / B, b1 = pos1 % B;
+    const std::uint64_t a2 = pos2 / B, b2 = pos2 % B;
+    if (a1 == a2)
+        return heightB;    // same column: never collide
+    // Same group under slope k means equal anchors:
+    //   b1 - a1 k == b2 - a2 k (mod B)  =>  k == (b1-b2)/(a1-a2) (mod B)
+    const std::uint64_t db = (b1 + B - b2) % B;
+    const std::uint64_t da = (a1 + B - a2) % B;
+    const std::uint64_t k = db * modInverse(da, B) % B;
+    return static_cast<std::uint32_t>(k);
+}
+
+std::string
+Partition::formation() const
+{
+    return std::to_string(widthA) + "x" + std::to_string(heightB);
+}
+
+} // namespace aegis::core

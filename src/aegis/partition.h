@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The Aegis partition scheme: Cartesian-plane lines of prime slope.
+ *
+ * An A x B rectangle (B prime, 0 < A <= B) hosts the n bits of a data
+ * block: bit offset x sits at point (a, b) = (x / B, x % B), i.e.
+ * column-major with columns of height B; A = ceil(n / B) columns are
+ * needed, so the geometry constraint is (A-1)*B < n <= A*B. The last
+ * column may be partially unmapped (the paper's dotted points).
+ *
+ * A partition configuration is a slope k in [0, B). The group of
+ * (a, b) under slope k is its anchor y = (b - a*k) mod B, so every
+ * configuration has exactly B groups with at most one point per
+ * column each.
+ *
+ * Theorem 1: each point is in exactly one group per slope.
+ * Theorem 2 (B prime, A <= B): two points sharing a group under one
+ * slope are in different groups under every other slope; hence two
+ * points in different columns collide on exactly one slope and
+ * same-column points never collide.
+ */
+
+#ifndef AEGIS_AEGIS_PARTITION_H
+#define AEGIS_AEGIS_PARTITION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aegis::core {
+
+/** Geometry + group arithmetic of one A x B Aegis partition scheme. */
+class Partition
+{
+  public:
+    /**
+     * @param a rectangle width A (number of columns).
+     * @param b rectangle height B; must be prime and >= A.
+     * @param block_bits n, with (A-1)*B < n <= A*B.
+     */
+    Partition(std::uint32_t a, std::uint32_t b, std::uint32_t block_bits);
+
+    std::uint32_t a() const { return widthA; }
+    std::uint32_t b() const { return heightB; }
+    std::uint32_t blockBits() const { return bits; }
+
+    /** Number of partition configurations (= B). */
+    std::uint32_t slopes() const { return heightB; }
+
+    /** Number of groups per configuration (= B). */
+    std::uint32_t groups() const { return heightB; }
+
+    /** Column (x coordinate) of bit offset @p pos. */
+    std::uint32_t columnOf(std::uint32_t pos) const { return pos / heightB; }
+
+    /** Row (y coordinate) of bit offset @p pos. */
+    std::uint32_t rowOf(std::uint32_t pos) const { return pos % heightB; }
+
+    /** Group (anchor y) of bit offset @p pos under slope @p k. */
+    std::uint32_t groupOf(std::uint32_t pos, std::uint32_t k) const;
+
+    /**
+     * Bit offsets of group @p y under slope @p k, ascending; at most
+     * A members (fewer when the line passes unmapped points).
+     */
+    std::vector<std::uint32_t> groupMembers(std::uint32_t y,
+                                            std::uint32_t k) const;
+
+    /**
+     * The unique slope on which bits @p pos1 and @p pos2 share a
+     * group, or B (an invalid slope) when they never collide (same
+     * column). This is the content of the Aegis-rw collision ROM.
+     */
+    std::uint32_t collisionSlope(std::uint32_t pos1,
+                                 std::uint32_t pos2) const;
+
+    /** "AxB", e.g. "9x61". */
+    std::string formation() const;
+
+    /**
+     * Pick the canonical A x B formation for @p block_bits with
+     * height @p b: A = ceil(n / B).
+     */
+    static Partition forHeight(std::uint32_t b, std::uint32_t block_bits);
+
+  private:
+    std::uint32_t widthA;
+    std::uint32_t heightB;
+    std::uint32_t bits;
+};
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_PARTITION_H

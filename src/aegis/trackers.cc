@@ -1,0 +1,321 @@
+#include "aegis/trackers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "aegis/cost.h"
+#include "util/error.h"
+
+namespace aegis::core {
+
+namespace {
+
+/** Exact tracker for basic Aegis: dies when no slope separates. */
+class AegisBasicTracker : public scheme::LifetimeTracker
+{
+  public:
+    AegisBasicTracker(const Partition &partition, bool with_cache)
+        : part(partition), cacheMode(with_cache)
+    {}
+
+    scheme::FaultVerdict
+    onFault(const pcm::Fault &fault) override
+    {
+        if (dead)
+            return scheme::FaultVerdict::Dead;
+        faults.push_back(fault);
+        // Mirror the hardware: advance the slope counter until a
+        // configuration separates all faults.
+        const std::uint32_t B = part.slopes();
+        for (std::uint32_t trial = 0; trial < B; ++trial) {
+            const std::uint32_t k = (slope + trial) % B;
+            if (separatesUnder(k)) {
+                numRepartitions += trial;
+                slope = k;
+                return scheme::FaultVerdict::Alive;
+            }
+        }
+        dead = true;
+        return scheme::FaultVerdict::Dead;
+    }
+
+    double writeFailureProbability(Rng &) override
+    { return dead ? 1.0 : 0.0; }
+
+    std::vector<std::uint32_t>
+    amplifiedCells() const override
+    {
+        // Without a fail cache, every group holding a fault receives
+        // an extra (inversion) program pass whenever its fault reads
+        // Wrong — doubling those cells' expected wear. The cache
+        // variant computes the target up front and writes once.
+        if (cacheMode || faults.empty() || dead)
+            return {};
+        std::vector<std::uint32_t> groups;
+        for (const pcm::Fault &f : faults)
+            groups.push_back(part.groupOf(f.pos, slope));
+        std::sort(groups.begin(), groups.end());
+        groups.erase(std::unique(groups.begin(), groups.end()),
+                     groups.end());
+        std::vector<std::uint32_t> cells;
+        for (std::uint32_t g : groups) {
+            for (std::uint32_t pos : part.groupMembers(g, slope))
+                cells.push_back(pos);
+        }
+        return cells;
+    }
+
+    std::size_t faultCount() const override { return faults.size(); }
+    std::uint64_t repartitions() const override { return numRepartitions; }
+    bool dataIndependent() const override { return true; }
+
+  private:
+    bool
+    separatesUnder(std::uint32_t k) const
+    {
+        static thread_local std::vector<std::uint32_t> stamp;
+        static thread_local std::uint32_t epoch = 0;
+        if (stamp.size() < part.groups())
+            stamp.assign(part.groups(), 0);
+        ++epoch;
+        for (const pcm::Fault &f : faults) {
+            const std::uint32_t g = part.groupOf(f.pos, k);
+            if (stamp[g] == epoch)
+                return false;
+            stamp[g] = epoch;
+        }
+        return true;
+    }
+
+    Partition part;
+    bool cacheMode;
+    pcm::FaultSet faults;
+    std::uint32_t slope = 0;
+    bool dead = false;
+    std::uint64_t numRepartitions = 0;
+};
+
+/**
+ * Shared machinery for the rw/rw-p trackers: maintains, per slope,
+ * the list of fault pairs that collide on it (Theorem 2: exactly one
+ * slope per cross-column pair).
+ */
+class RwTrackerBase : public scheme::LifetimeTracker
+{
+  public:
+    RwTrackerBase(const Partition &partition,
+                  const scheme::TrackerOptions &opts)
+        : part(partition), samples(opts.labelingSamples),
+          pairsBySlope(partition.slopes())
+    {}
+
+    scheme::FaultVerdict
+    onFault(const pcm::Fault &fault) override
+    {
+        const auto idx = static_cast<std::uint16_t>(faults.size());
+        for (std::uint16_t i = 0; i < faults.size(); ++i) {
+            const std::uint32_t k =
+                part.collisionSlope(faults[i].pos, fault.pos);
+            if (k < part.slopes())
+                pairsBySlope[k].emplace_back(i, idx);
+        }
+        faults.push_back(fault);
+        probValid = false;
+        // With fault knowledge an all-Wrong (or all-Right) labeling is
+        // always storable, so death is never deterministic; the
+        // per-write failure probability drives the Monte Carlo.
+        return scheme::FaultVerdict::Alive;
+    }
+
+    double
+    writeFailureProbability(Rng &rng) override
+    {
+        if (probValid)
+            return cachedProb;
+        cachedProb = estimate(rng);
+        probValid = true;
+        return cachedProb;
+    }
+
+    std::vector<std::uint32_t> amplifiedCells() const override
+    { return {}; }    // ideal fail cache: one program pass per write
+
+    std::size_t faultCount() const override { return faults.size(); }
+
+  protected:
+    /** True when labeling-independent success is guaranteed. */
+    virtual bool structurallySafe() const = 0;
+
+    /** Whether one sampled labeling is storable. */
+    virtual bool labelingOk(const std::vector<std::uint8_t> &labels) = 0;
+
+    double
+    estimate(Rng &rng)
+    {
+        if (structurallySafe())
+            return 0.0;
+
+        // Check slopes cheapest-first when sampling.
+        slopeOrder.resize(part.slopes());
+        std::iota(slopeOrder.begin(), slopeOrder.end(), 0u);
+        std::stable_sort(slopeOrder.begin(), slopeOrder.end(),
+                         [this](std::uint32_t x, std::uint32_t y) {
+                             return pairsBySlope[x].size() <
+                                    pairsBySlope[y].size();
+                         });
+
+        // Adaptive sampling: once enough failures accumulate the
+        // estimate is already precise enough to kill the block within
+        // any realistic write window.
+        constexpr std::uint32_t kFailureCap = 16;
+        std::uint32_t failures = 0, done = 0;
+        std::vector<std::uint8_t> labels(faults.size());
+        while (done < samples && failures < kFailureCap) {
+            for (auto &l : labels)
+                l = static_cast<std::uint8_t>(rng.nextBool());
+            if (!labelingOk(labels))
+                ++failures;
+            ++done;
+        }
+        return static_cast<double>(failures) / static_cast<double>(done);
+    }
+
+    /** Slope @p k has no label-mixed pair under @p labels. */
+    bool
+    slopeUnblocked(std::uint32_t k,
+                   const std::vector<std::uint8_t> &labels) const
+    {
+        for (const auto &[i, j] : pairsBySlope[k]) {
+            if (labels[i] != labels[j])
+                return false;
+        }
+        return true;
+    }
+
+    Partition part;
+    std::uint32_t samples;
+    pcm::FaultSet faults;
+    std::vector<std::vector<std::pair<std::uint16_t, std::uint16_t>>>
+        pairsBySlope;
+    std::vector<std::uint32_t> slopeOrder;
+    double cachedProb = 0.0;
+    bool probValid = true;
+};
+
+/** Aegis-rw: a labeling is storable iff some slope has no mixed pair. */
+class AegisRwTracker : public RwTrackerBase
+{
+  public:
+    using RwTrackerBase::RwTrackerBase;
+
+  protected:
+    bool
+    structurallySafe() const override
+    {
+        if (faults.size() <= hardFtcRw(part.b()))
+            return true;
+        // Any slope with no colliding pair at all is always free.
+        for (const auto &pairs : pairsBySlope) {
+            if (pairs.empty())
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    labelingOk(const std::vector<std::uint8_t> &labels) override
+    {
+        for (std::uint32_t k : slopeOrder) {
+            if (slopeUnblocked(k, labels))
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Aegis-rw-p: additionally, the chosen slope must admit one of the
+ * two pointer encodings — at most p groups holding Wrong faults
+ * (invert and point at them) or at most p groups holding Right
+ * faults (whole-block inversion, point at the exempt groups).
+ */
+class AegisRwPTracker : public RwTrackerBase
+{
+  public:
+    AegisRwPTracker(const Partition &partition, std::uint32_t pointers,
+                    const scheme::TrackerOptions &opts)
+        : RwTrackerBase(partition, opts), maxPointers(pointers),
+          stamp(partition.groups(), 0)
+    {}
+
+  protected:
+    bool
+    structurallySafe() const override
+    {
+        // Hard guarantee: f <= min(2p+1, rw hard FTC).
+        return faults.size() <= hardFtcRwP(part.b(), maxPointers);
+    }
+
+    bool
+    labelingOk(const std::vector<std::uint8_t> &labels) override
+    {
+        for (std::uint32_t k : slopeOrder) {
+            if (!slopeUnblocked(k, labels))
+                continue;
+            if (groupCountOf(k, labels, 1) <= maxPointers ||
+                groupCountOf(k, labels, 0) <= maxPointers) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    /** Distinct groups of faults labeled @p which under slope @p k. */
+    std::uint32_t
+    groupCountOf(std::uint32_t k, const std::vector<std::uint8_t> &labels,
+                 std::uint8_t which)
+    {
+        ++epoch;
+        std::uint32_t count = 0;
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (labels[i] != which)
+                continue;
+            const std::uint32_t g = part.groupOf(faults[i].pos, k);
+            if (stamp[g] != epoch) {
+                stamp[g] = epoch;
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    std::uint32_t maxPointers;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+};
+
+} // namespace
+
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisTracker(const Partition &partition,
+                 const scheme::TrackerOptions &, bool with_cache)
+{
+    return std::make_unique<AegisBasicTracker>(partition, with_cache);
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisRwTracker(const Partition &partition,
+                   const scheme::TrackerOptions &opts)
+{
+    return std::make_unique<AegisRwTracker>(partition, opts);
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisRwPTracker(const Partition &partition, std::uint32_t pointers,
+                    const scheme::TrackerOptions &opts)
+{
+    return std::make_unique<AegisRwPTracker>(partition, pointers, opts);
+}
+
+} // namespace aegis::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Monte-Carlo lifetime trackers for the Aegis family.
+ *
+ * See scheme/tracker.h for the tracker contract. The basic-Aegis
+ * tracker is exact (recoverability is data-independent: one fault per
+ * group is always maskable, so the block dies precisely when no slope
+ * separates the fault set). The rw/rw-p trackers estimate the
+ * per-write failure probability by sampling stuck-at-Wrong/Right
+ * labelings, exploiting Theorem 2: each fault pair blocks exactly one
+ * slope, so a labeling fails iff every slope owns at least one
+ * label-mixed pair (rw), or no label-compatible slope fits the
+ * pointer budget (rw-p).
+ */
+
+#ifndef AEGIS_AEGIS_TRACKERS_H
+#define AEGIS_AEGIS_TRACKERS_H
+
+#include <memory>
+
+#include "aegis/partition.h"
+#include "scheme/tracker.h"
+
+namespace aegis::core {
+
+/**
+ * Tracker for basic Aegis. With @p with_cache, fault knowledge makes
+ * writes single-pass, removing the inversion-rewrite wear
+ * amplification (capacity is unchanged: recoverability of basic Aegis
+ * is data-independent either way).
+ */
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisTracker(const Partition &partition,
+                 const scheme::TrackerOptions &opts,
+                 bool with_cache = false);
+
+/** Tracker for Aegis-rw (ideal fail cache assumed). */
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisRwTracker(const Partition &partition,
+                   const scheme::TrackerOptions &opts);
+
+/** Tracker for Aegis-rw-p with @p pointers group pointers. */
+std::unique_ptr<scheme::LifetimeTracker>
+makeAegisRwPTracker(const Partition &partition, std::uint32_t pointers,
+                    const scheme::TrackerOptions &opts);
+
+} // namespace aegis::core
+
+#endif // AEGIS_AEGIS_TRACKERS_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Address geometry helpers: memory -> pages -> data blocks -> bits.
+ *
+ * The paper distinguishes data blocks (the protection unit, 128-512
+ * bits, a physical row) from memory blocks (the allocation unit, a 4KB
+ * OS page or a 256B cache line). This header centralizes the airthmetic
+ * between the levels.
+ */
+
+#ifndef AEGIS_PCM_ADDRESS_H
+#define AEGIS_PCM_ADDRESS_H
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace aegis::pcm {
+
+/** Geometry of one simulated PCM memory. */
+struct Geometry
+{
+    /** Bits per protected data block (e.g. 256 or 512). */
+    std::uint32_t blockBits = 512;
+    /** Bytes per memory (allocation) block, e.g. 4096 for an OS page. */
+    std::uint32_t pageBytes = 4096;
+    /** Number of pages in the memory (8MB default / 4KB = 2048). */
+    std::uint32_t pages = 2048;
+
+    std::uint32_t pageBits() const { return pageBytes * 8; }
+
+    std::uint32_t
+    blocksPerPage() const
+    {
+        AEGIS_REQUIRE(pageBits() % blockBits == 0,
+                      "page size must be a multiple of the block size");
+        return pageBits() / blockBits;
+    }
+
+    std::uint64_t totalBlocks() const
+    { return static_cast<std::uint64_t>(pages) * blocksPerPage(); }
+
+    std::uint64_t totalBits() const
+    { return static_cast<std::uint64_t>(pages) * pageBits(); }
+
+    /** Global block id of block @p b of page @p p. */
+    std::uint64_t
+    blockId(std::uint32_t p, std::uint32_t b) const
+    {
+        AEGIS_ASSERT(p < pages && b < blocksPerPage(),
+                     "block address out of range");
+        return static_cast<std::uint64_t>(p) * blocksPerPage() + b;
+    }
+
+    std::uint32_t pageOfBlock(std::uint64_t block_id) const
+    { return static_cast<std::uint32_t>(block_id / blocksPerPage()); }
+
+    std::uint32_t blockInPage(std::uint64_t block_id) const
+    { return static_cast<std::uint32_t>(block_id % blocksPerPage()); }
+};
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_ADDRESS_H

@@ -1,0 +1,121 @@
+#include "pcm/cell_array.h"
+
+#include "util/error.h"
+
+namespace aegis::pcm {
+
+CellArray::CellArray(std::size_t n)
+    : stored(n), stuckMask(n), stuckValue(n), writesPerCell(n, 0)
+{
+    AEGIS_REQUIRE(n > 0, "CellArray needs at least one cell");
+}
+
+void
+CellArray::programBit(std::size_t i, bool value)
+{
+    AEGIS_ASSERT(i < size(), "CellArray::programBit out of range");
+    ++writesPerCell[i];
+    ++cellWrites;
+    if (!stuckMask.get(i))
+        stored.set(i, value);
+    // A stuck cell absorbs the program pulse but keeps its value.
+}
+
+bool
+CellArray::readBit(std::size_t i) const
+{
+    AEGIS_ASSERT(i < size(), "CellArray::readBit out of range");
+    return stuckMask.get(i) ? stuckValue.get(i) : stored.get(i);
+}
+
+BitVector
+CellArray::read() const
+{
+    // effective = (stored & ~stuck) | (stuckValue & stuck)
+    BitVector out = stored;
+    out &= ~stuckMask;
+    BitVector stuck_bits = stuckValue;
+    stuck_bits &= stuckMask;
+    out |= stuck_bits;
+    return out;
+}
+
+std::size_t
+CellArray::writeDifferential(const BitVector &target)
+{
+    AEGIS_REQUIRE(target.size() == size(),
+                  "write size must match the cell array");
+    const BitVector diff = read() ^ target;
+    std::size_t programmed = 0;
+    for (std::size_t i : diff.setBits()) {
+        programBit(i, target.get(i));
+        ++programmed;
+    }
+    return programmed;
+}
+
+std::size_t
+CellArray::writeBlind(const BitVector &target)
+{
+    AEGIS_REQUIRE(target.size() == size(),
+                  "write size must match the cell array");
+    for (std::size_t i = 0; i < size(); ++i)
+        programBit(i, target.get(i));
+    return size();
+}
+
+void
+CellArray::injectFault(std::size_t i, bool stuck_value)
+{
+    AEGIS_REQUIRE(i < size(), "fault position out of range");
+    if (!stuckMask.get(i))
+        ++numFaults;
+    stuckMask.set(i, true);
+    stuckValue.set(i, stuck_value);
+}
+
+void
+CellArray::injectFaultAtCurrentValue(std::size_t i)
+{
+    injectFault(i, readBit(i));
+}
+
+void
+CellArray::clearFault(std::size_t i)
+{
+    AEGIS_REQUIRE(i < size(), "fault position out of range");
+    if (stuckMask.get(i)) {
+        --numFaults;
+        // The cell keeps reading the value it was stuck at.
+        stored.set(i, stuckValue.get(i));
+        stuckMask.set(i, false);
+    }
+}
+
+bool
+CellArray::isStuck(std::size_t i) const
+{
+    AEGIS_ASSERT(i < size(), "CellArray::isStuck out of range");
+    return stuckMask.get(i);
+}
+
+FaultSet
+CellArray::faults() const
+{
+    FaultSet out;
+    out.reserve(numFaults);
+    for (std::size_t i : stuckMask.setBits()) {
+        out.push_back(Fault{static_cast<std::uint32_t>(i),
+                            stuckValue.get(i)});
+    }
+    return out;
+}
+
+std::uint64_t
+CellArray::cellWritesAt(std::size_t i) const
+{
+    AEGIS_ASSERT(i < size(), "CellArray::cellWritesAt out of range");
+    return writesPerCell[i];
+}
+
+} // namespace aegis::pcm

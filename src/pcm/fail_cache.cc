@@ -1,0 +1,116 @@
+#include "pcm/fail_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis::pcm {
+
+void
+OracleFaultDirectory::record(std::uint64_t block, const Fault &fault)
+{
+    FaultSet &set = entries[block];
+    for (const Fault &f : set) {
+        if (f.pos == fault.pos)
+            return;
+    }
+    set.push_back(fault);
+    std::sort(set.begin(), set.end(),
+              [](const Fault &a, const Fault &b) { return a.pos < b.pos; });
+}
+
+FaultSet
+OracleFaultDirectory::lookup(std::uint64_t block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? FaultSet{} : it->second;
+}
+
+std::size_t
+OracleFaultDirectory::totalFaults() const
+{
+    std::size_t n = 0;
+    for (const auto &[block, set] : entries)
+        n += set.size();
+    return n;
+}
+
+DirectMappedFailCache::DirectMappedFailCache(std::size_t num_sets)
+    : sets(num_sets)
+{
+    AEGIS_REQUIRE(num_sets > 0, "fail cache needs at least one set");
+}
+
+std::size_t
+DirectMappedFailCache::indexOf(std::uint64_t block, std::uint32_t pos) const
+{
+    // Cheap mix of block and offset; quality matters little for a
+    // direct-mapped model but should avoid striding artifacts.
+    std::uint64_t h = block * 0x9e3779b97f4a7c15ull + pos;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h % sets.size());
+}
+
+void
+DirectMappedFailCache::record(std::uint64_t block, const Fault &fault)
+{
+    FaultSet &truth = recorded[block];
+    bool known = false;
+    for (const Fault &f : truth) {
+        if (f.pos == fault.pos)
+            known = true;
+    }
+    if (!known)
+        truth.push_back(fault);
+
+    Entry &e = sets[indexOf(block, fault.pos)];
+    if (e.valid && (e.block != block || e.pos != fault.pos))
+        ++numEvictions;
+    if (!(e.valid && e.block == block && e.pos == fault.pos))
+        ++numInsertions;
+    e = Entry{true, block, fault.pos, fault.stuck};
+}
+
+FaultSet
+DirectMappedFailCache::lookup(std::uint64_t block) const
+{
+    // A real direct-mapped cache would probe per offset during the
+    // pre-write check; the model reconstructs the same result from the
+    // recorded ground truth filtered by residency.
+    FaultSet out;
+    const auto it = recorded.find(block);
+    if (it == recorded.end())
+        return out;
+    for (const Fault &f : it->second) {
+        const Entry &e = sets[indexOf(block, f.pos)];
+        if (e.valid && e.block == block && e.pos == f.pos)
+            out.push_back(Fault{f.pos, e.stuck});
+    }
+    return out;
+}
+
+bool
+DirectMappedFailCache::complete(std::uint64_t block) const
+{
+    const auto it = recorded.find(block);
+    if (it == recorded.end())
+        return true;
+    return lookup(block).size() == it->second.size();
+}
+
+double
+DirectMappedFailCache::residency() const
+{
+    std::size_t total = 0, resident = 0;
+    for (const auto &[block, truth] : recorded) {
+        total += truth.size();
+        resident += lookup(block).size();
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(resident) /
+                        static_cast<double>(total);
+}
+
+} // namespace aegis::pcm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fail cache: an SRAM-side record of known stuck-at faults.
+ *
+ * The paper (following SAFER) assumes an optional direct-mapped cache
+ * that stores the location and stuck value of recently detected
+ * faults. With the cache, a scheme knows before a write which bits of
+ * the target block are faulty and what they are stuck at, enabling the
+ * Aegis-rw/-rw-p variants and SAFER-cache. The paper's evaluation
+ * always supplies a "sufficiently large" cache; we model both that
+ * oracle and a finite direct-mapped cache with conflict evictions so
+ * the cost of the assumption can be quantified.
+ */
+
+#ifndef AEGIS_PCM_FAIL_CACHE_H
+#define AEGIS_PCM_FAIL_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pcm/fault.h"
+
+namespace aegis::pcm {
+
+/** Interface for fault-knowledge providers. */
+class FaultDirectory
+{
+  public:
+    virtual ~FaultDirectory() = default;
+
+    /** Record a fault detected in @p block at @p fault.pos. */
+    virtual void record(std::uint64_t block, const Fault &fault) = 0;
+
+    /**
+     * Faults known for @p block. An oracle returns all recorded
+     * faults; a finite cache may have evicted some.
+     */
+    virtual FaultSet lookup(std::uint64_t block) const = 0;
+
+    /** True when every recorded fault of @p block is still present. */
+    virtual bool complete(std::uint64_t block) const = 0;
+};
+
+/** Ideal, unbounded directory — the paper's "sufficiently large" cache. */
+class OracleFaultDirectory : public FaultDirectory
+{
+  public:
+    void record(std::uint64_t block, const Fault &fault) override;
+    FaultSet lookup(std::uint64_t block) const override;
+    bool complete(std::uint64_t) const override { return true; }
+
+    std::size_t totalFaults() const;
+
+  private:
+    std::unordered_map<std::uint64_t, FaultSet> entries;
+};
+
+/**
+ * Direct-mapped fail cache. Each entry holds one fault: the tag is
+ * (block address, in-block offset) and the payload is the stuck value.
+ * Index = hash(block, offset) % sets. Insertions evict on conflict.
+ */
+class DirectMappedFailCache : public FaultDirectory
+{
+  public:
+    explicit DirectMappedFailCache(std::size_t num_sets);
+
+    void record(std::uint64_t block, const Fault &fault) override;
+    FaultSet lookup(std::uint64_t block) const override;
+    bool complete(std::uint64_t block) const override;
+
+    std::size_t capacity() const { return sets.size(); }
+    std::uint64_t insertions() const { return numInsertions; }
+    std::uint64_t evictions() const { return numEvictions; }
+
+    /** Fraction of recorded faults currently resident (global). */
+    double residency() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t block = 0;
+        std::uint32_t pos = 0;
+        bool stuck = false;
+    };
+
+    std::size_t indexOf(std::uint64_t block, std::uint32_t pos) const;
+
+    std::vector<Entry> sets;
+    /** Ground truth of what was recorded, for completeness checks. */
+    std::unordered_map<std::uint64_t, FaultSet> recorded;
+    std::uint64_t numInsertions = 0;
+    std::uint64_t numEvictions = 0;
+};
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_FAIL_CACHE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Common fault vocabulary shared by cell models, recovery schemes and
+ * the Monte-Carlo trackers.
+ */
+
+#ifndef AEGIS_PCM_FAULT_H
+#define AEGIS_PCM_FAULT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aegis::pcm {
+
+/**
+ * A permanent stuck-at fault: the cell at bit offset @ref pos inside a
+ * data block always reads @ref stuck and ignores writes.
+ */
+struct Fault
+{
+    std::uint32_t pos;
+    bool stuck;
+
+    friend bool operator==(const Fault &a, const Fault &b)
+    { return a.pos == b.pos && a.stuck == b.stuck; }
+};
+
+/** The set of known faults of one data block. */
+using FaultSet = std::vector<Fault>;
+
+/**
+ * Per-write classification of a fault against the data being written
+ * (paper §2.4): stuck-at-Wrong means the stuck value differs from the
+ * data bit; stuck-at-Right means they agree.
+ */
+enum class FaultKind { Wrong, Right };
+
+/** Classify @p f against the data bit @p data_bit being written. */
+inline FaultKind
+classify(const Fault &f, bool data_bit)
+{
+    return f.stuck != data_bit ? FaultKind::Wrong : FaultKind::Right;
+}
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_FAULT_H

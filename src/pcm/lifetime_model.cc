@@ -1,0 +1,122 @@
+#include "pcm/lifetime_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis::pcm {
+
+NormalLifetimeModel::NormalLifetimeModel(double mean, double cv)
+    : mu(mean), sigma(mean * cv)
+{
+    AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
+    AEGIS_REQUIRE(cv >= 0, "coefficient of variation must be >= 0");
+}
+
+double
+NormalLifetimeModel::sample(Rng &rng) const
+{
+    const double v = rng.nextGaussian(mu, sigma);
+    return v < 1.0 ? 1.0 : v;
+}
+
+std::string
+NormalLifetimeModel::name() const
+{
+    return "normal(mean=" + std::to_string(mu) +
+           ",cv=" + std::to_string(sigma / mu) + ")";
+}
+
+LogNormalLifetimeModel::LogNormalLifetimeModel(double mean, double cv)
+    : targetMean(mean)
+{
+    AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
+    AEGIS_REQUIRE(cv > 0, "coefficient of variation must be positive");
+    // For LogNormal(mu, sigma): mean = exp(mu + sigma^2/2),
+    // cv^2 = exp(sigma^2) - 1.
+    const double s2 = std::log1p(cv * cv);
+    sigma = std::sqrt(s2);
+    mu = std::log(mean) - s2 / 2.0;
+}
+
+double
+LogNormalLifetimeModel::sample(Rng &rng) const
+{
+    const double v = std::exp(rng.nextGaussian(mu, sigma));
+    return v < 1.0 ? 1.0 : v;
+}
+
+std::string
+LogNormalLifetimeModel::name() const
+{
+    return "lognormal(mean=" + std::to_string(targetMean) + ")";
+}
+
+WeibullLifetimeModel::WeibullLifetimeModel(double mean, double shape)
+    : targetMean(mean), shape(shape)
+{
+    AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
+    AEGIS_REQUIRE(shape > 0, "Weibull shape must be positive");
+    scale = mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+double
+WeibullLifetimeModel::sample(Rng &rng) const
+{
+    double u;
+    do {
+        u = rng.nextDouble();
+    } while (u <= 0.0);
+    const double v = scale * std::pow(-std::log(u), 1.0 / shape);
+    return v < 1.0 ? 1.0 : v;
+}
+
+std::string
+WeibullLifetimeModel::name() const
+{
+    return "weibull(mean=" + std::to_string(targetMean) +
+           ",k=" + std::to_string(shape) + ")";
+}
+
+UniformLifetimeModel::UniformLifetimeModel(double mean, double spread)
+    : mu(mean), spread(spread)
+{
+    AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
+    AEGIS_REQUIRE(spread >= 0 && spread <= 1,
+                  "uniform spread must be in [0, 1]");
+}
+
+double
+UniformLifetimeModel::sample(Rng &rng) const
+{
+    const double v = mu * (1.0 - spread + 2.0 * spread * rng.nextDouble());
+    return v < 1.0 ? 1.0 : v;
+}
+
+std::string
+UniformLifetimeModel::name() const
+{
+    return "uniform(mean=" + std::to_string(mu) + ")";
+}
+
+std::unique_ptr<LifetimeModel>
+makeLifetimeModel(const std::string &kind, double mean, double param)
+{
+    if (kind == "normal")
+        return std::make_unique<NormalLifetimeModel>(mean, param);
+    if (kind == "lognormal")
+        return std::make_unique<LogNormalLifetimeModel>(mean, param);
+    if (kind == "weibull")
+        return std::make_unique<WeibullLifetimeModel>(mean, param);
+    if (kind == "uniform")
+        return std::make_unique<UniformLifetimeModel>(mean, param);
+    throw ConfigError("unknown lifetime model `" + kind + "'");
+}
+
+std::unique_ptr<LifetimeModel>
+makePaperLifetimeModel()
+{
+    return std::make_unique<NormalLifetimeModel>(1e8, 0.25);
+}
+
+} // namespace aegis::pcm

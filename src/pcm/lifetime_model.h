@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cell endurance (lifetime) models.
+ *
+ * The paper's Monte Carlo assigns each cell a lifetime — the number of
+ * physical writes it absorbs before becoming stuck — drawn from a
+ * normal distribution with mean 1e8 and 25% coefficient of variation,
+ * with no spatial correlation (§3.1). We implement that model plus a
+ * few alternatives (lognormal, Weibull, uniform) for sensitivity
+ * studies; all are truncated to at least one write.
+ */
+
+#ifndef AEGIS_PCM_LIFETIME_MODEL_H
+#define AEGIS_PCM_LIFETIME_MODEL_H
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace aegis::pcm {
+
+/** Interface: draw one cell lifetime (in cell writes). */
+class LifetimeModel
+{
+  public:
+    virtual ~LifetimeModel() = default;
+
+    /** Sample one lifetime; always >= 1. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** Distribution mean (for normalization/reporting). */
+    virtual double mean() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Normal(mean, cv*mean) truncated below at 1. The paper's model. */
+class NormalLifetimeModel : public LifetimeModel
+{
+  public:
+    NormalLifetimeModel(double mean, double cv);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mu; }
+    std::string name() const override;
+
+  private:
+    double mu;
+    double sigma;
+};
+
+/** Lognormal parameterized by the target mean and cv of the lifetime. */
+class LogNormalLifetimeModel : public LifetimeModel
+{
+  public:
+    LogNormalLifetimeModel(double mean, double cv);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return targetMean; }
+    std::string name() const override;
+
+  private:
+    double targetMean;
+    double mu;
+    double sigma;
+};
+
+/** Weibull with shape k, scaled to the target mean. */
+class WeibullLifetimeModel : public LifetimeModel
+{
+  public:
+    WeibullLifetimeModel(double mean, double shape);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return targetMean; }
+    std::string name() const override;
+
+  private:
+    double targetMean;
+    double shape;
+    double scale;
+};
+
+/** Uniform on [mean*(1-spread), mean*(1+spread)]. */
+class UniformLifetimeModel : public LifetimeModel
+{
+  public:
+    UniformLifetimeModel(double mean, double spread);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mu; }
+    std::string name() const override;
+
+  private:
+    double mu;
+    double spread;
+};
+
+/**
+ * Build a model by name: "normal" (the paper default), "lognormal",
+ * "weibull", "uniform". @p mean is the mean lifetime; @p param is the
+ * cv (normal/lognormal), shape (weibull) or spread (uniform).
+ */
+std::unique_ptr<LifetimeModel> makeLifetimeModel(const std::string &kind,
+                                                 double mean,
+                                                 double param);
+
+/** The paper's default: Normal(1e8, cv 0.25). */
+std::unique_ptr<LifetimeModel> makePaperLifetimeModel();
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_LIFETIME_MODEL_H

@@ -1,0 +1,135 @@
+#include "pcm/start_gap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+
+namespace aegis::pcm {
+
+StartGapMapper::StartGapMapper(std::uint64_t lines,
+                               std::uint64_t gap_interval)
+    : lines(lines), interval(gap_interval), gap(lines),
+      wear(lines + 1, 0)
+{
+    AEGIS_REQUIRE(lines >= 2, "Start-Gap needs at least two lines");
+    AEGIS_REQUIRE(gap_interval >= 1, "gap interval must be positive");
+}
+
+std::uint64_t
+StartGapMapper::physicalOf(std::uint64_t logical) const
+{
+    AEGIS_ASSERT(logical < lines, "logical line out of range");
+    const std::uint64_t rotated = (logical + start) % lines;
+    return rotated >= gap ? rotated + 1 : rotated;
+}
+
+void
+StartGapMapper::moveGap()
+{
+    // The line above the gap slides into it; the copy is one write
+    // to the gap's current slot.
+    ++wear[gap];
+    if (gap == 0) {
+        gap = lines;
+        start = (start + 1) % lines;
+    } else {
+        --gap;
+    }
+    ++moves;
+}
+
+std::uint64_t
+StartGapMapper::onWrite(std::uint64_t logical)
+{
+    const std::uint64_t p = physicalOf(logical);
+    ++wear[p];
+    if (++sinceMove >= interval) {
+        sinceMove = 0;
+        moveGap();
+    }
+    return p;
+}
+
+double
+StartGapMapper::wearImbalance() const
+{
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint64_t w : wear) {
+        total += w;
+        peak = std::max(peak, w);
+    }
+    if (total == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(wear.size());
+    return static_cast<double>(peak) / mean;
+}
+
+AddressScrambler::AddressScrambler(std::uint64_t lines,
+                                   std::uint64_t key)
+    : lines(lines), key(key)
+{
+    AEGIS_REQUIRE(lines >= 2, "scrambler needs at least two lines");
+    // Feistel over an even number of bits covering [0, lines).
+    std::uint32_t bits = std::bit_width(lines - 1);
+    if (bits % 2)
+        ++bits;
+    if (bits == 0)
+        bits = 2;
+    halfBits = bits / 2;
+}
+
+std::uint64_t
+AddressScrambler::permuteOnce(std::uint64_t value, bool forward) const
+{
+    const std::uint64_t half_mask = (1ull << halfBits) - 1;
+    std::uint64_t left = value >> halfBits;
+    std::uint64_t right = value & half_mask;
+    const auto round = [&](std::uint64_t r, std::uint32_t i) {
+        std::uint64_t x = r + key + i * 0x9e3779b97f4a7c15ull;
+        x ^= x >> 13;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 29;
+        return x & half_mask;
+    };
+    if (forward) {
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            const std::uint64_t next = left ^ round(right, i);
+            left = right;
+            right = next;
+        }
+    } else {
+        for (std::uint32_t i = 4; i-- > 0;) {
+            const std::uint64_t prev = right ^ round(left, i);
+            right = left;
+            left = prev;
+        }
+    }
+    return (left << halfBits) | right;
+}
+
+std::uint64_t
+AddressScrambler::scramble(std::uint64_t logical) const
+{
+    AEGIS_ASSERT(logical < lines, "line index out of range");
+    // Cycle-walk: re-permute until the value lands back in range.
+    std::uint64_t v = logical;
+    do {
+        v = permuteOnce(v, true);
+    } while (v >= lines);
+    return v;
+}
+
+std::uint64_t
+AddressScrambler::unscramble(std::uint64_t physical) const
+{
+    AEGIS_ASSERT(physical < lines, "line index out of range");
+    std::uint64_t v = physical;
+    do {
+        v = permuteOnce(v, false);
+    } while (v >= lines);
+    return v;
+}
+
+} // namespace aegis::pcm

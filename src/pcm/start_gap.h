@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., ISCA 2009).
+ *
+ * The paper's §3.1 assumes perfect wear leveling "as techniques such
+ * as Randomized Region-based Start-Gap ... have demonstrated an
+ * effect close to this". This module implements the actual mechanism
+ * so the assumption can be checked: N logical lines live in N+1
+ * physical lines; a roving gap line moves one slot every psi writes,
+ * slowly rotating the logical-to-physical mapping so hot logical
+ * lines visit every physical line over time.
+ *
+ * Mapping (Start S, Gap G over N+1 physical slots):
+ *   p' = (logical + S) mod N;  p = p' + 1 if p' >= G else p'
+ * Physical slot G is the unused gap. Every psi serviced writes the
+ * gap moves down one slot (one line copy); when it wraps, Start
+ * advances: after N*(N+1) gap movements every logical line has
+ * occupied every physical slot.
+ *
+ * The optional randomization stage (a fixed invertible address
+ * scramble in front of the rotation) defends against adversarial
+ * write patterns; we provide a Feistel-style scramble.
+ */
+
+#ifndef AEGIS_PCM_START_GAP_H
+#define AEGIS_PCM_START_GAP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aegis::pcm {
+
+/** The Start-Gap logical-to-physical line mapper. */
+class StartGapMapper
+{
+  public:
+    /**
+     * @param lines N logical lines (physical capacity is N+1).
+     * @param gap_interval psi: serviced writes between gap moves.
+     */
+    StartGapMapper(std::uint64_t lines, std::uint64_t gap_interval);
+
+    /** Physical slot of @p logical under the current rotation. */
+    std::uint64_t physicalOf(std::uint64_t logical) const;
+
+    /** Current gap slot (holds no data). */
+    std::uint64_t gapSlot() const { return gap; }
+
+    std::uint64_t startValue() const { return start; }
+
+    /**
+     * Service one write to @p logical: counts wear on the target
+     * physical slot and advances the gap every psi writes (the gap
+     * move itself costs one extra write to the gap's new location,
+     * which is also counted).
+     * @return the physical slot the write landed on.
+     */
+    std::uint64_t onWrite(std::uint64_t logical);
+
+    /** Total gap movements so far. */
+    std::uint64_t gapMoves() const { return moves; }
+
+    /** Writes absorbed by each physical slot (wear map). */
+    const std::vector<std::uint64_t> &physicalWrites() const
+    { return wear; }
+
+    /** Max-over-mean of the physical wear map (1.0 = perfectly
+     *  level). Slots with zero writes are included in the mean. */
+    double wearImbalance() const;
+
+  private:
+    void moveGap();
+
+    std::uint64_t lines;          ///< N
+    std::uint64_t interval;       ///< psi
+    std::uint64_t start = 0;
+    std::uint64_t gap;            ///< in [0, N]
+    std::uint64_t sinceMove = 0;
+    std::uint64_t moves = 0;
+    std::vector<std::uint64_t> wear;
+};
+
+/**
+ * Static address randomization: a 4-round Feistel network over the
+ * line index domain, padded to an even bit width and cycle-walked
+ * back into range. Bijective for any @p lines >= 2.
+ */
+class AddressScrambler
+{
+  public:
+    AddressScrambler(std::uint64_t lines, std::uint64_t key);
+
+    std::uint64_t scramble(std::uint64_t logical) const;
+
+    /** Inverse permutation (for verification). */
+    std::uint64_t unscramble(std::uint64_t physical) const;
+
+  private:
+    std::uint64_t permuteOnce(std::uint64_t value, bool forward) const;
+
+    std::uint64_t lines;
+    std::uint64_t key;
+    std::uint32_t halfBits;
+};
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_START_GAP_H

@@ -1,0 +1,225 @@
+#include "scheme/hamming.h"
+
+#include <array>
+#include <bit>
+
+#include "util/bit_io.h"
+
+#include "util/error.h"
+
+namespace aegis::scheme {
+
+namespace {
+
+/** Codeword position (1..71) of each data bit; parity bits sit at the
+ *  powers of two. */
+struct PositionTables
+{
+    std::array<std::uint8_t, 64> dataToPos{};
+    std::array<std::int8_t, 72> posToData{};
+
+    PositionTables()
+    {
+        posToData.fill(-1);
+        std::size_t d = 0;
+        for (std::uint8_t pos = 1; pos <= 71; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue;    // parity position
+            dataToPos[d] = pos;
+            posToData[pos] = static_cast<std::int8_t>(d);
+            ++d;
+        }
+        AEGIS_ASSERT(d == 64, "Hamming table construction is broken");
+    }
+};
+
+const PositionTables &
+tables()
+{
+    static const PositionTables t;
+    return t;
+}
+
+bool
+parity64(std::uint64_t v)
+{
+    return (std::popcount(v) & 1) != 0;
+}
+
+/**
+ * ECC tracker. Let word w hold m_w faults; a uniformly random write
+ * classifies each fault as Wrong independently with probability 1/2,
+ * and the word survives iff at most one fault is Wrong:
+ * P(word ok) = (1 + m_w) / 2^m_w. The per-write failure probability
+ * is exact: 1 - prod_w (1 + m_w) / 2^m_w.
+ */
+class HammingTracker : public LifetimeTracker
+{
+  public:
+    explicit HammingTracker(std::size_t words)
+        : faultsPerWord(words, 0)
+    {}
+
+    FaultVerdict
+    onFault(const pcm::Fault &fault) override
+    {
+        ++faultsPerWord[fault.pos / 64];
+        ++faults;
+        return FaultVerdict::Alive;    // all-Right labelings always work
+    }
+
+    double
+    writeFailureProbability(Rng &) override
+    {
+        double ok = 1.0;
+        for (std::size_t m : faultsPerWord) {
+            if (m > 0) {
+                ok *= static_cast<double>(1 + m) /
+                      static_cast<double>(1ull << m);
+            }
+        }
+        return 1.0 - ok;
+    }
+
+    std::vector<std::uint32_t> amplifiedCells() const override
+    { return {}; }
+
+    std::size_t faultCount() const override { return faults; }
+
+  private:
+    std::vector<std::size_t> faultsPerWord;
+    std::size_t faults = 0;
+};
+
+} // namespace
+
+std::uint8_t
+HammingCodec::encode(std::uint64_t data)
+{
+    const PositionTables &t = tables();
+    std::uint8_t syndrome = 0;
+    for (std::uint64_t rest = data; rest;) {
+        const int d = std::countr_zero(rest);
+        rest &= rest - 1;
+        syndrome ^= t.dataToPos[static_cast<std::size_t>(d)];
+    }
+    // Parity bit at position 2^i contributes 2^i to the syndrome, so
+    // setting the check bits equal to the data syndrome zeroes it.
+    std::uint8_t check = syndrome & 0x7f;
+    const bool overall =
+        parity64(data) ^ parity64(static_cast<std::uint64_t>(check));
+    if (overall)
+        check |= 0x80;
+    return check;
+}
+
+HammingCodec::Status
+HammingCodec::decode(std::uint64_t &data, std::uint8_t check)
+{
+    const PositionTables &t = tables();
+    std::uint8_t syndrome = check & 0x7f;
+    for (std::uint64_t rest = data; rest;) {
+        const int d = std::countr_zero(rest);
+        rest &= rest - 1;
+        syndrome ^= t.dataToPos[static_cast<std::size_t>(d)];
+    }
+    const bool total_parity =
+        parity64(data) ^
+        parity64(static_cast<std::uint64_t>(check) & 0x7f) ^
+        ((check >> 7) & 1);
+
+    if (syndrome == 0)
+        return total_parity ? Status::Corrected    // overall-parity bit
+                            : Status::Clean;
+    if (!total_parity)
+        return Status::Uncorrectable;    // even error count >= 2
+
+    if (syndrome <= 71 && t.posToData[syndrome] >= 0)
+        data ^= 1ull << t.posToData[syndrome];
+    // else: the flipped bit was a parity bit; data is intact.
+    return Status::Corrected;
+}
+
+HammingScheme::HammingScheme(std::size_t block_bits)
+    : bits(block_bits), checkBits(block_bits / 64, 0)
+{
+    AEGIS_REQUIRE(block_bits >= 64 && block_bits % 64 == 0,
+                  "Hamming scheme needs a multiple of 64 bits");
+}
+
+std::uint64_t
+HammingScheme::wordOf(const BitVector &v, std::size_t w) const
+{
+    return v.words()[w];
+}
+
+WriteOutcome
+HammingScheme::write(pcm::CellArray &cells, const BitVector &data)
+{
+    AEGIS_REQUIRE(data.size() == cells.size(),
+                  "data width must match the cell array");
+    WriteOutcome outcome;
+
+    for (std::size_t w = 0; w < bits / 64; ++w)
+        checkBits[w] = HammingCodec::encode(wordOf(data, w));
+
+    cells.writeDifferential(data);
+    outcome.programPasses = 1;
+
+    // The write succeeds when every word decodes back to its data.
+    outcome.ok = read(cells) == data;
+    return outcome;
+}
+
+BitVector
+HammingScheme::read(const pcm::CellArray &cells) const
+{
+    const BitVector raw = cells.read();
+    BitVector out(bits);
+    for (std::size_t w = 0; w < bits / 64; ++w) {
+        std::uint64_t word = wordOf(raw, w);
+        (void)HammingCodec::decode(word, checkBits[w]);
+        for (std::size_t b = 0; b < 64; ++b)
+            out.set(w * 64 + b, (word >> b) & 1);
+    }
+    return out;
+}
+
+void
+HammingScheme::reset()
+{
+    checkBits.assign(bits / 64, 0);
+}
+
+std::unique_ptr<Scheme>
+HammingScheme::clone() const
+{
+    return std::make_unique<HammingScheme>(*this);
+}
+
+BitVector
+HammingScheme::exportMetadata() const
+{
+    BitWriter w(overheadBits());
+    for (std::uint8_t check : checkBits)
+        w.writeBits(check, 8);
+    return w.finish();
+}
+
+void
+HammingScheme::importMetadata(const BitVector &image)
+{
+    AEGIS_REQUIRE(image.size() == overheadBits(),
+                  "ECC metadata image has the wrong width");
+    BitReader r(image);
+    for (auto &check : checkBits)
+        check = static_cast<std::uint8_t>(r.readBits(8));
+}
+
+std::unique_ptr<LifetimeTracker>
+HammingScheme::makeTracker(const TrackerOptions &) const
+{
+    return std::make_unique<HammingTracker>(bits / 64);
+}
+
+} // namespace aegis::scheme

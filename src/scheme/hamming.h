@@ -1,0 +1,82 @@
+/**
+ * @file
+ * (72,64) Hamming SEC-DED — the conventional ECC yardstick.
+ *
+ * The paper uses the 12.5% overhead of (72,64) Hamming coding as the
+ * space budget any candidate scheme should stay under (§3.2). We
+ * implement the real codec so the ECC baseline can participate in the
+ * lifetime experiments: each 64-bit word of a block carries 8 check
+ * bits; a single stuck-at-Wrong fault per word is corrected through
+ * the syndrome, two are only detected (data loss either way for
+ * permanent faults).
+ *
+ * Check bits are modeled as ideal side storage, mirroring how the
+ * paper treats every scheme's metadata.
+ */
+
+#ifndef AEGIS_SCHEME_HAMMING_H
+#define AEGIS_SCHEME_HAMMING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "scheme/scheme.h"
+
+namespace aegis::scheme {
+
+/** Extended Hamming (72,64) encoder/decoder. */
+class HammingCodec
+{
+  public:
+    /** Decode status. */
+    enum class Status
+    {
+        Clean,          ///< no error
+        Corrected,      ///< single-bit error corrected
+        Uncorrectable,  ///< double-bit error detected (or worse)
+    };
+
+    /** Compute the 8 check bits for @p data. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /**
+     * Decode @p data with stored check bits @p check; corrects
+     * @p data in place when a single-bit data error is found.
+     */
+    static Status decode(std::uint64_t &data, std::uint8_t check);
+};
+
+/** ECC over an n-bit block: one (72,64) codeword per 64-bit word. */
+class HammingScheme : public Scheme
+{
+  public:
+    explicit HammingScheme(std::size_t block_bits);
+
+    std::string name() const override { return "hamming72_64"; }
+    std::size_t blockBits() const override { return bits; }
+    std::size_t overheadBits() const override { return (bits / 64) * 8; }
+    std::size_t hardFtc() const override { return 1; }
+
+    WriteOutcome write(pcm::CellArray &cells,
+                       const BitVector &data) override;
+    BitVector read(const pcm::CellArray &cells) const override;
+    void reset() override;
+    std::unique_ptr<Scheme> clone() const override;
+
+    /** Packed: 8 check bits per 64-bit word. */
+    BitVector exportMetadata() const override;
+    void importMetadata(const BitVector &image) override;
+
+    std::unique_ptr<LifetimeTracker>
+    makeTracker(const TrackerOptions &opts) const override;
+
+  private:
+    std::uint64_t wordOf(const BitVector &v, std::size_t w) const;
+
+    std::size_t bits;
+    std::vector<std::uint8_t> checkBits;
+};
+
+} // namespace aegis::scheme
+
+#endif // AEGIS_SCHEME_HAMMING_H

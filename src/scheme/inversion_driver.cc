@@ -1,0 +1,75 @@
+#include "scheme/inversion_driver.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis::scheme {
+
+BitVector
+applyGroupInversion(const BitVector &data, const GroupPartition &partition,
+                    const BitVector &inv)
+{
+    AEGIS_ASSERT(inv.size() == partition.groupCount(),
+                 "inversion vector width mismatch");
+    BitVector target = data;
+    if (inv.none())
+        return target;
+    for (std::size_t pos = 0; pos < data.size(); ++pos) {
+        if (inv.get(partition.groupOf(pos)))
+            target.flip(pos);
+    }
+    return target;
+}
+
+WriteOutcome
+writeWithInversion(pcm::CellArray &cells, const BitVector &data,
+                   GroupPartition &partition, BitVector &inv,
+                   pcm::FaultSet &known_faults)
+{
+    AEGIS_REQUIRE(data.size() == cells.size(),
+                  "data width must match the cell array");
+    WriteOutcome outcome;
+    inv = BitVector(partition.groupCount());
+
+    // Each retry discovers at least one new fault, so the loop is
+    // bounded by the block size; the extra slack is pure paranoia.
+    const std::size_t max_iters = cells.size() + 2;
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        if (!partition.separate(known_faults, outcome.repartitions)) {
+            outcome.ok = false;
+            return outcome;
+        }
+
+        inv.fill(false);
+        for (const pcm::Fault &f : known_faults) {
+            if (f.stuck != data.get(f.pos))
+                inv.set(partition.groupOf(f.pos), true);
+        }
+
+        const BitVector target = applyGroupInversion(data, partition, inv);
+        cells.writeDifferential(target);
+        ++outcome.programPasses;
+
+        const BitVector readback = cells.read();
+        const BitVector diff = readback ^ target;
+        if (diff.none()) {
+            outcome.ok = true;
+            return outcome;
+        }
+
+        for (std::size_t pos : diff.setBits()) {
+            const auto pos32 = static_cast<std::uint32_t>(pos);
+            const bool already = std::any_of(
+                known_faults.begin(), known_faults.end(),
+                [pos32](const pcm::Fault &f) { return f.pos == pos32; });
+            AEGIS_ASSERT(!already,
+                         "verification mismatch at an already-known fault");
+            known_faults.push_back(pcm::Fault{pos32, readback.get(pos)});
+            ++outcome.newFaults;
+        }
+    }
+    throw InternalError("partition-and-inversion write did not converge");
+}
+
+} // namespace aegis::scheme

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The shared partition-and-inversion write loop.
+ *
+ * SAFER and Aegis differ only in *how* a block is partitioned into
+ * groups and *how* a re-partition is chosen; the write protocol around
+ * the partition — program, verification read, collision resolution,
+ * group inversion, re-verify — is identical (the paper adopts SAFER's
+ * framework for Aegis, §2.2). This driver implements that protocol
+ * once against an abstract GroupPartition policy.
+ */
+
+#ifndef AEGIS_SCHEME_INVERSION_DRIVER_H
+#define AEGIS_SCHEME_INVERSION_DRIVER_H
+
+#include <cstdint>
+
+#include "pcm/cell_array.h"
+#include "pcm/fault.h"
+#include "scheme/scheme.h"
+#include "util/bit_vector.h"
+
+namespace aegis::scheme {
+
+/**
+ * Partition policy: maps block bit offsets to groups under a current,
+ * mutable configuration and knows how to re-partition so that a given
+ * fault set is separated (at most one fault per group).
+ */
+class GroupPartition
+{
+  public:
+    virtual ~GroupPartition() = default;
+
+    /** Number of groups in every configuration. */
+    virtual std::size_t groupCount() const = 0;
+
+    /** Group id of bit offset @p pos under the current configuration. */
+    virtual std::size_t groupOf(std::size_t pos) const = 0;
+
+    /**
+     * Re-partition (if needed) so that every fault in @p faults is in
+     * a distinct group. Must leave the configuration untouched when it
+     * already separates the faults.
+     *
+     * @param faults faults to separate.
+     * @param repartitions incremented once per configuration change.
+     * @return false when no configuration separates the faults (the
+     *         block is unrecoverable).
+     */
+    virtual bool separate(const pcm::FaultSet &faults,
+                          std::uint32_t &repartitions) = 0;
+
+    /** Reset to the initial configuration. */
+    virtual void resetConfig() = 0;
+};
+
+/**
+ * Service one write request through the partition-and-inversion
+ * protocol:
+ *
+ *  1. Choose a configuration separating all faults known so far.
+ *  2. Set the inversion flag of each group whose (single) fault is
+ *     stuck at the complement of the group's data.
+ *  3. Program the (selectively inverted) pattern differentially and
+ *     issue a verification read.
+ *  4. Any mismatch is a newly discovered fault: remember its position
+ *     and stuck value and go back to 1.
+ *
+ * Terminates because every retry adds at least one new fault to
+ * @p known_faults (a separated configuration with correct inversion
+ * flags stores all *known* faults correctly).
+ *
+ * @param cells        the physical block.
+ * @param data         logical data to store.
+ * @param partition    partition policy (configuration is updated).
+ * @param inv          inversion vector, resized/overwritten; on
+ *                     success reflects what is stored.
+ * @param known_faults in/out: faults known before the write (pass the
+ *                     fail-cache contents, or empty without a cache);
+ *                     grows as faults are discovered.
+ * @return outcome; ok == false means no configuration separates the
+ *         discovered faults and the block is lost.
+ */
+WriteOutcome writeWithInversion(pcm::CellArray &cells,
+                                const BitVector &data,
+                                GroupPartition &partition,
+                                BitVector &inv,
+                                pcm::FaultSet &known_faults);
+
+/**
+ * Compose the physical target pattern: @p data with every group whose
+ * flag is set in @p inv bitwise inverted.
+ */
+BitVector applyGroupInversion(const BitVector &data,
+                              const GroupPartition &partition,
+                              const BitVector &inv);
+
+} // namespace aegis::scheme
+
+#endif // AEGIS_SCHEME_INVERSION_DRIVER_H

@@ -1,0 +1,321 @@
+#include "scheme/rdis.h"
+
+#include <algorithm>
+
+#include "util/bit_io.h"
+#include "util/error.h"
+
+namespace aegis::scheme {
+
+namespace {
+
+/**
+ * Tracker: RDIS is never *deterministically* dead (an all-Wrong
+ * labeling is always solvable by level 1 alone), so block death is
+ * driven entirely by the per-write failure probability, estimated by
+ * sampling W/R labelings of the current fault set.
+ */
+class RdisTracker : public LifetimeTracker
+{
+  public:
+    RdisTracker(RdisSolver solver, std::uint32_t samples)
+        : solver(std::move(solver)), samples(samples)
+    {}
+
+    FaultVerdict
+    onFault(const pcm::Fault &fault) override
+    {
+        faults.push_back(fault);
+        probValid = false;
+        return FaultVerdict::Alive;
+    }
+
+    double
+    writeFailureProbability(Rng &rng) override
+    {
+        if (probValid)
+            return cachedProb;
+        cachedProb = estimate(rng);
+        probValid = true;
+        return cachedProb;
+    }
+
+    std::vector<std::uint32_t> amplifiedCells() const override
+    { return {}; }    // fault knowledge is cached; single-pass writes
+
+    std::size_t faultCount() const override { return faults.size(); }
+
+  private:
+    bool
+    structurallySafe() const
+    {
+        // Hard FTC: any <= depth faults are separable.
+        if (faults.size() <= solver.depth())
+            return true;
+        // If no two faults share a row or a column, the level-1
+        // product can never trap a Right fault: safe for any labeling.
+        std::vector<bool> row_seen(solver.rows(), false);
+        std::vector<bool> col_seen(solver.cols(), false);
+        for (const pcm::Fault &f : faults) {
+            const std::size_t r = solver.rowOf(f.pos);
+            const std::size_t c = solver.colOf(f.pos);
+            if (row_seen[r] || col_seen[c])
+                return false;
+            row_seen[r] = true;
+            col_seen[c] = true;
+        }
+        return true;
+    }
+
+    double
+    estimate(Rng &rng)
+    {
+        if (structurallySafe())
+            return 0.0;
+        std::vector<std::uint32_t> wrong, right;
+        RdisMarks marks;
+        std::uint32_t failures = 0;
+        for (std::uint32_t s = 0; s < samples; ++s) {
+            wrong.clear();
+            right.clear();
+            for (const pcm::Fault &f : faults) {
+                // Uniform data => each fault is W with probability 1/2.
+                if (rng.nextBool())
+                    wrong.push_back(f.pos);
+                else
+                    right.push_back(f.pos);
+            }
+            if (!solver.solve(wrong, right, marks))
+                ++failures;
+        }
+        return static_cast<double>(failures) /
+               static_cast<double>(samples);
+    }
+
+    RdisSolver solver;
+    std::uint32_t samples;
+    pcm::FaultSet faults;
+    double cachedProb = 0.0;
+    bool probValid = true;
+};
+
+} // namespace
+
+RdisSolver::RdisSolver(std::size_t rows, std::size_t cols,
+                       std::size_t depth)
+    : numRows(rows), numCols(cols), numLevels(depth - 1)
+{
+    AEGIS_REQUIRE(rows > 0 && cols > 0, "grid must be non-empty");
+    AEGIS_REQUIRE(depth >= 2, "RDIS depth must be at least 2");
+}
+
+bool
+RdisSolver::solve(const std::vector<std::uint32_t> &wrong,
+                  const std::vector<std::uint32_t> &right,
+                  RdisMarks &marks) const
+{
+    marks.levels.assign(numLevels,
+                        {BitVector(numRows), BitVector(numCols)});
+
+    // Faults of the class being pulled into the current level's set.
+    // Level 0 includes Wrong faults; violators alternate classes.
+    std::vector<std::uint32_t> to_fix(wrong);
+    // Candidate violators: the opposite class, already members of the
+    // enclosing set (all of them at level 0's enclosing "whole grid").
+    std::vector<std::uint32_t> opposite(right);
+
+    for (std::size_t level = 0; level < numLevels; ++level) {
+        if (to_fix.empty())
+            return true;    // nothing left to separate
+
+        auto &[row_marks, col_marks] = marks.levels[level];
+        for (std::uint32_t pos : to_fix) {
+            row_marks.set(rowOf(pos), true);
+            col_marks.set(colOf(pos), true);
+        }
+
+        // Violators of this level: opposite-class faults captured by
+        // the marked product (they were members of the enclosing set
+        // already, so product membership decides).
+        std::vector<std::uint32_t> violators;
+        for (std::uint32_t pos : opposite) {
+            if (row_marks.get(rowOf(pos)) && col_marks.get(colOf(pos)))
+                violators.push_back(pos);
+        }
+
+        opposite = std::move(to_fix);
+        to_fix = std::move(violators);
+    }
+    return to_fix.empty();
+}
+
+bool
+RdisSolver::inverted(const RdisMarks &marks, std::size_t pos) const
+{
+    const std::size_t r = rowOf(pos);
+    const std::size_t c = colOf(pos);
+    std::size_t memberships = 0;
+    for (const auto &[row_marks, col_marks] : marks.levels) {
+        if (row_marks.get(r) && col_marks.get(c))
+            ++memberships;
+        else
+            break;    // the level sets are nested
+    }
+    return (memberships & 1) != 0;
+}
+
+BitVector
+RdisSolver::inversionMask(const RdisMarks &marks,
+                          std::size_t block_bits) const
+{
+    BitVector mask(block_bits);
+    for (std::size_t pos = 0; pos < block_bits; ++pos)
+        mask.set(pos, inverted(marks, pos));
+    return mask;
+}
+
+RdisScheme::RdisScheme(std::size_t block_bits, std::size_t rows,
+                       std::size_t depth)
+    : bits(block_bits), solver(rows, block_bits / rows, depth)
+{
+    AEGIS_REQUIRE(rows > 0 && block_bits % rows == 0,
+                  "block size must be divisible by the grid height");
+    marks.levels.assign(solver.markLevels(),
+                        {BitVector(solver.rows()),
+                         BitVector(solver.cols())});
+}
+
+std::string
+RdisScheme::name() const
+{
+    return "rdis" + std::to_string(solver.depth());
+}
+
+std::size_t
+RdisScheme::costBits(std::size_t block_bits, std::size_t rows,
+                     std::size_t depth)
+{
+    AEGIS_REQUIRE(rows > 0 && block_bits % rows == 0,
+                  "block size must be divisible by the grid height");
+    const std::size_t cols = block_bits / rows;
+    return (depth - 1) * (rows + cols) + 1;
+}
+
+std::size_t
+RdisScheme::overheadBits() const
+{
+    return costBits(bits, solver.rows(), solver.depth());
+}
+
+WriteOutcome
+RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
+{
+    AEGIS_REQUIRE(directory, "RDIS needs an attached fault directory");
+    AEGIS_REQUIRE(data.size() == cells.size(),
+                  "data width must match the cell array");
+    WriteOutcome outcome;
+
+    // Session-local fault observations: keeps the loop convergent
+    // even when a finite fail cache evicts entries between passes.
+    pcm::FaultSet session;
+
+    const std::size_t max_iters = cells.size() + 2;
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        pcm::FaultSet known = directory->lookup(blockId);
+        for (const pcm::Fault &f : session) {
+            const bool present = std::any_of(
+                known.begin(), known.end(),
+                [&f](const pcm::Fault &k) { return k.pos == f.pos; });
+            if (!present)
+                known.push_back(f);
+        }
+        std::vector<std::uint32_t> wrong, right;
+        for (const pcm::Fault &f : known) {
+            if (f.stuck != data.get(f.pos))
+                wrong.push_back(f.pos);
+            else
+                right.push_back(f.pos);
+        }
+
+        if (!solver.solve(wrong, right, marks)) {
+            outcome.ok = false;
+            return outcome;
+        }
+        ++outcome.repartitions;
+
+        const BitVector target =
+            data ^ solver.inversionMask(marks, bits);
+        cells.writeDifferential(target);
+        ++outcome.programPasses;
+
+        const BitVector readback = cells.read();
+        const BitVector diff = readback ^ target;
+        if (diff.none()) {
+            outcome.ok = true;
+            return outcome;
+        }
+        for (std::size_t pos : diff.setBits()) {
+            const pcm::Fault fault{static_cast<std::uint32_t>(pos),
+                                   readback.get(pos)};
+            directory->record(blockId, fault);
+            session.push_back(fault);
+            ++outcome.newFaults;
+        }
+    }
+    throw InternalError("RDIS write did not converge");
+}
+
+BitVector
+RdisScheme::read(const pcm::CellArray &cells) const
+{
+    return cells.read() ^ solver.inversionMask(marks, bits);
+}
+
+void
+RdisScheme::reset()
+{
+    marks.levels.assign(solver.markLevels(),
+                        {BitVector(solver.rows()),
+                         BitVector(solver.cols())});
+}
+
+std::unique_ptr<Scheme>
+RdisScheme::clone() const
+{
+    return std::make_unique<RdisScheme>(*this);
+}
+
+BitVector
+RdisScheme::exportMetadata() const
+{
+    BitWriter w(overheadBits());
+    for (const auto &[row_marks, col_marks] : marks.levels) {
+        w.writeVector(row_marks);
+        w.writeVector(col_marks);
+    }
+    w.writeBit(false);    // reserved flag bit of the cost model
+    return w.finish();
+}
+
+void
+RdisScheme::importMetadata(const BitVector &image)
+{
+    AEGIS_REQUIRE(image.size() == overheadBits(),
+                  "RDIS metadata image has the wrong width");
+    BitReader r(image);
+    marks.levels.clear();
+    for (std::size_t level = 0; level < solver.markLevels(); ++level) {
+        BitVector rows = r.readVector(solver.rows());
+        BitVector cols = r.readVector(solver.cols());
+        marks.levels.emplace_back(std::move(rows), std::move(cols));
+    }
+    (void)r.readBit();
+}
+
+std::unique_ptr<LifetimeTracker>
+RdisScheme::makeTracker(const TrackerOptions &opts) const
+{
+    return std::make_unique<RdisTracker>(solver, opts.labelingSamples);
+}
+
+} // namespace aegis::scheme

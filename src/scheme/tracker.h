@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lifetime trackers: the fast recoverability layer behind the
+ * Monte-Carlo engine.
+ *
+ * Simulating every one of the ~1e8 writes a cell survives is
+ * infeasible, so the simulator advances from fault arrival to fault
+ * arrival and asks a per-block tracker two questions after each new
+ * fault:
+ *
+ *  1. Is the block now deterministically unrecoverable (no data
+ *     pattern can be stored)? -> onFault() returns Dead.
+ *  2. Otherwise, what is the probability that a single write of
+ *     uniformly random data is unrecoverable? Data-independent
+ *     schemes (ECP, SAFER, basic Aegis) answer 0 while alive; the
+ *     data-dependent ones (Aegis-rw/-rw-p, RDIS, ECC) estimate it by
+ *     sampling stuck-at-Wrong/Right labelings, since write data is
+ *     uniform. The simulator then draws a geometric deviate to decide
+ *     whether the block dies before the next fault arrives.
+ *
+ * Trackers also report which cells currently suffer amplified wear:
+ * cache-less partition-and-inversion schemes rewrite every fault-
+ * containing group after the initial program pass (paper §2.4/§3.3),
+ * doubling the effective write rate of those cells.
+ *
+ * Unit tests cross-validate each tracker against the corresponding
+ * functional Scheme.
+ */
+
+#ifndef AEGIS_SCHEME_TRACKER_H
+#define AEGIS_SCHEME_TRACKER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pcm/fault.h"
+#include "util/rng.h"
+
+namespace aegis::scheme {
+
+/** Tuning knobs for the probabilistic trackers. */
+struct TrackerOptions
+{
+    /**
+     * Number of W/R labelings sampled to estimate the per-write
+     * failure probability of data-dependent schemes.
+     */
+    std::uint32_t labelingSamples = 256;
+};
+
+/** Verdict after registering a new fault. */
+enum class FaultVerdict
+{
+    /** Block still recoverable for every data pattern seen so far. */
+    Alive,
+    /** Block deterministically unrecoverable. */
+    Dead,
+};
+
+/** Per-block online recoverability model for one scheme. */
+class LifetimeTracker
+{
+  public:
+    virtual ~LifetimeTracker() = default;
+
+    /** Register a newly failed cell. */
+    virtual FaultVerdict onFault(const pcm::Fault &fault) = 0;
+
+    /**
+     * Probability that a write of uniformly random data is
+     * unrecoverable given the current fault set. Must be 0 for
+     * data-independent schemes while alive.
+     */
+    virtual double writeFailureProbability(Rng &rng) = 0;
+
+    /**
+     * Cells receiving one extra program per write under the current
+     * configuration (the inversion-rewrite wear of cache-less
+     * schemes). Empty when the scheme does not amplify wear.
+     */
+    virtual std::vector<std::uint32_t> amplifiedCells() const = 0;
+
+    /** Number of faults registered so far. */
+    virtual std::size_t faultCount() const = 0;
+
+    /** Re-partitions performed so far (0 where meaningless). */
+    virtual std::uint64_t repartitions() const { return 0; }
+
+    /**
+     * True when recoverability never depends on the data pattern:
+     * writeFailureProbability is 0 while alive and 1 when dead
+     * (ECP, SAFER, basic Aegis, none). Compositions like PAYG that
+     * replay faults without per-write sampling require this.
+     */
+    virtual bool dataIndependent() const { return false; }
+};
+
+} // namespace aegis::scheme
+
+#endif // AEGIS_SCHEME_TRACKER_H

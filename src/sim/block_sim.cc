@@ -1,0 +1,106 @@
+#include "sim/block_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis::sim {
+
+BlockSimulator::BlockSimulator(const scheme::Scheme &scheme,
+                               const pcm::LifetimeModel &lifetime,
+                               const WearModel &wear,
+                               const scheme::TrackerOptions &tracker_opts)
+    : schemeProto(scheme), lifetime(lifetime), wear(wear),
+      trackerOpts(tracker_opts)
+{
+    AEGIS_REQUIRE(wear.baseRate > 0, "base wear rate must be positive");
+}
+
+BlockLifeResult
+BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
+{
+    const std::size_t n = schemeProto.blockBits();
+    auto tracker = schemeProto.makeTracker(trackerOpts);
+
+    // Draw the cell population first so it is identical for every
+    // scheme simulated from the same cell_rng stream.
+    std::vector<double> remaining(n);
+    std::vector<bool> stuck_value(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        remaining[i] = lifetime.sample(cell_rng);
+        stuck_value[i] = cell_rng.nextBool();
+    }
+
+    std::vector<double> rate(n, wear.baseRate);
+    std::vector<bool> healthy(n, true);
+
+    BlockLifeResult result;
+    double t = 0.0;
+
+    for (;;) {
+        // Next natural fault arrival under the current rates.
+        double dt = std::numeric_limits<double>::infinity();
+        std::size_t victim = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!healthy[i])
+                continue;
+            const double d = remaining[i] / rate[i];
+            if (d < dt) {
+                dt = d;
+                victim = i;
+            }
+        }
+
+        // Data-dependent failure before the next arrival?
+        const double p = tracker->writeFailureProbability(sim_rng);
+        if (p > 0.0) {
+            const double death = static_cast<double>(
+                sim_rng.nextGeometric(p));
+            if (death <= dt || victim == n) {
+                result.deathTime = t + death;
+                result.faultsAtDeath =
+                    static_cast<std::uint32_t>(tracker->faultCount());
+                result.repartitions = tracker->repartitions();
+                return result;
+            }
+        } else if (victim == n) {
+            // Every cell is stuck yet the scheme still stores all
+            // data patterns: the block never dies. (Only reachable
+            // for tiny blocks with generous schemes.)
+            result.deathTime = std::numeric_limits<double>::infinity();
+            result.immortal = true;
+            result.faultsAtDeath =
+                static_cast<std::uint32_t>(tracker->faultCount());
+            result.repartitions = tracker->repartitions();
+            return result;
+        }
+
+        // Advance to the fault arrival.
+        t += dt;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (healthy[i])
+                remaining[i] -= rate[i] * dt;
+        }
+        healthy[victim] = false;
+        result.faultTimes.push_back(t);
+
+        const pcm::Fault fault{static_cast<std::uint32_t>(victim),
+                               stuck_value[victim]};
+        if (tracker->onFault(fault) == scheme::FaultVerdict::Dead) {
+            result.deathTime = t;
+            result.faultsAtDeath =
+                static_cast<std::uint32_t>(tracker->faultCount());
+            result.repartitions = tracker->repartitions();
+            return result;
+        }
+
+        // Refresh wear rates for the new configuration.
+        std::fill(rate.begin(), rate.end(), wear.baseRate);
+        for (std::uint32_t pos : tracker->amplifiedCells()) {
+            if (healthy[pos])
+                rate[pos] += wear.amplifiedExtra;
+        }
+    }
+}
+
+} // namespace aegis::sim

@@ -1,0 +1,135 @@
+#include "sim/device.h"
+
+#include "util/error.h"
+
+namespace aegis::sim {
+
+PcmDevice::PcmDevice(const pcm::Geometry &geometry,
+                     const scheme::Scheme &prototype,
+                     std::shared_ptr<pcm::FaultDirectory> dir)
+    : geom(geometry), directory(std::move(dir))
+{
+    AEGIS_REQUIRE(prototype.blockBits() == geom.blockBits,
+                  "scheme block size must match the device geometry");
+    AEGIS_REQUIRE(!prototype.requiresDirectory() || directory,
+                  "scheme `" + prototype.name() +
+                      "' requires a fault directory");
+    const std::uint64_t total = geom.totalBlocks();
+    blocks.reserve(total);
+    for (std::uint64_t id = 0; id < total; ++id) {
+        auto clone = prototype.clone();
+        clone->reset();
+        if (directory)
+            clone->attachDirectory(directory.get(), id);
+        blocks.emplace_back(geom.blockBits, std::move(clone));
+    }
+}
+
+PcmDevice::Block &
+PcmDevice::blockAt(std::uint64_t block_id)
+{
+    AEGIS_REQUIRE(block_id < blocks.size(), "block id out of range");
+    return blocks[block_id];
+}
+
+const PcmDevice::Block &
+PcmDevice::blockAt(std::uint64_t block_id) const
+{
+    AEGIS_REQUIRE(block_id < blocks.size(), "block id out of range");
+    return blocks[block_id];
+}
+
+scheme::WriteOutcome
+PcmDevice::writeBlock(std::uint64_t block_id, const BitVector &data)
+{
+    Block &blk = blockAt(block_id);
+    const std::uint64_t writes_before = blk.cells.totalCellWrites();
+    const scheme::WriteOutcome outcome =
+        blk.scheme->write(blk.cells, data);
+    ++devStats.blockWrites;
+    devStats.cellPrograms +=
+        blk.cells.totalCellWrites() - writes_before;
+    devStats.repartitions += outcome.repartitions;
+    if (!outcome.ok) {
+        ++devStats.failedWrites;
+        if (!blk.dead) {
+            blk.dead = true;
+            ++devStats.deadBlocks;
+        }
+    }
+    return outcome;
+}
+
+BitVector
+PcmDevice::readBlock(std::uint64_t block_id) const
+{
+    const Block &blk = blockAt(block_id);
+    return blk.scheme->read(blk.cells);
+}
+
+bool
+PcmDevice::writePage(std::uint32_t page, const BitVector &data)
+{
+    AEGIS_REQUIRE(data.size() == geom.pageBits(),
+                  "page data width mismatch");
+    bool ok = true;
+    const std::uint32_t per_page = geom.blocksPerPage();
+    for (std::uint32_t b = 0; b < per_page; ++b) {
+        BitVector chunk(geom.blockBits);
+        for (std::uint32_t i = 0; i < geom.blockBits; ++i)
+            chunk.set(i, data.get(b * geom.blockBits + i));
+        ok &= writeBlock(geom.blockId(page, b), chunk).ok;
+    }
+    return ok;
+}
+
+BitVector
+PcmDevice::readPage(std::uint32_t page) const
+{
+    BitVector out(geom.pageBits());
+    const std::uint32_t per_page = geom.blocksPerPage();
+    for (std::uint32_t b = 0; b < per_page; ++b) {
+        const BitVector chunk = readBlock(geom.blockId(page, b));
+        for (std::uint32_t i = 0; i < geom.blockBits; ++i)
+            out.set(b * geom.blockBits + i, chunk.get(i));
+    }
+    return out;
+}
+
+void
+PcmDevice::injectFault(std::uint64_t block_id, std::uint32_t offset,
+                       bool stuck_value)
+{
+    blockAt(block_id).cells.injectFault(offset, stuck_value);
+}
+
+void
+PcmDevice::injectRandomFaults(std::size_t count, Rng &rng)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t block = rng.nextBounded(blocks.size());
+        const auto offset = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.blockBits));
+        blockAt(block).cells.injectFault(offset, rng.nextBool());
+    }
+}
+
+bool
+PcmDevice::blockDead(std::uint64_t block_id) const
+{
+    return blockAt(block_id).dead;
+}
+
+const pcm::CellArray &
+PcmDevice::cells(std::uint64_t block_id) const
+{
+    return blockAt(block_id).cells;
+}
+
+const scheme::Scheme &
+PcmDevice::schemeOf(std::uint64_t block_id) const
+{
+    return *blockAt(block_id).scheme;
+}
+
+} // namespace aegis::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A functional PCM device: pages of protected data blocks.
+ *
+ * This is the byte-accurate counterpart of the Monte-Carlo engine:
+ * every block owns a CellArray and a Scheme clone, writes go through
+ * the real write/verify protocol, and an optional fault directory
+ * (fail cache) is shared by all blocks. Used by the examples and the
+ * integration tests; the lifetime studies use the event-driven layer
+ * instead.
+ */
+
+#ifndef AEGIS_SIM_DEVICE_H
+#define AEGIS_SIM_DEVICE_H
+
+#include <memory>
+#include <vector>
+
+#include "pcm/address.h"
+#include "pcm/cell_array.h"
+#include "pcm/fail_cache.h"
+#include "scheme/scheme.h"
+#include "util/rng.h"
+
+namespace aegis::sim {
+
+/** Aggregate device statistics. */
+struct DeviceStats
+{
+    std::uint64_t blockWrites = 0;
+    std::uint64_t failedWrites = 0;
+    std::uint64_t cellPrograms = 0;
+    std::uint64_t repartitions = 0;
+    std::uint64_t deadBlocks = 0;
+};
+
+class PcmDevice
+{
+  public:
+    /**
+     * @param geometry page/block layout.
+     * @param prototype scheme cloned into every block.
+     * @param directory optional fail cache shared by all blocks
+     *        (required when the scheme demands one).
+     */
+    PcmDevice(const pcm::Geometry &geometry,
+              const scheme::Scheme &prototype,
+              std::shared_ptr<pcm::FaultDirectory> directory = nullptr);
+
+    const pcm::Geometry &geometry() const { return geom; }
+
+    /** Write @p data (blockBits wide) into one block. */
+    scheme::WriteOutcome writeBlock(std::uint64_t block_id,
+                                    const BitVector &data);
+
+    /** Decode one block. */
+    BitVector readBlock(std::uint64_t block_id) const;
+
+    /** Write a full page (pageBits wide), block by block.
+     *  @return true when every block write succeeded. */
+    bool writePage(std::uint32_t page, const BitVector &data);
+
+    /** Read a full page. */
+    BitVector readPage(std::uint32_t page) const;
+
+    /** Make one cell stuck at @p stuck_value. */
+    void injectFault(std::uint64_t block_id, std::uint32_t offset,
+                     bool stuck_value);
+
+    /** Inject @p count faults at uniformly random live positions. */
+    void injectRandomFaults(std::size_t count, Rng &rng);
+
+    /** True when the block has suffered an unrecoverable write. */
+    bool blockDead(std::uint64_t block_id) const;
+
+    const DeviceStats &stats() const { return devStats; }
+
+    const pcm::CellArray &cells(std::uint64_t block_id) const;
+    const scheme::Scheme &schemeOf(std::uint64_t block_id) const;
+
+  private:
+    struct Block
+    {
+        pcm::CellArray cells;
+        std::unique_ptr<scheme::Scheme> scheme;
+        bool dead = false;
+
+        Block(std::size_t bits, std::unique_ptr<scheme::Scheme> s)
+            : cells(bits), scheme(std::move(s))
+        {}
+    };
+
+    Block &blockAt(std::uint64_t block_id);
+    const Block &blockAt(std::uint64_t block_id) const;
+
+    pcm::Geometry geom;
+    std::shared_ptr<pcm::FaultDirectory> directory;
+    std::vector<Block> blocks;
+    DeviceStats devStats;
+};
+
+} // namespace aegis::sim
+
+#endif // AEGIS_SIM_DEVICE_H

@@ -1,0 +1,127 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+#include "aegis/factory.h"
+#include "pcm/address.h"
+#include "sim/page_sim.h"
+#include "sim/workload.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+
+double
+PageStudy::overheadFraction() const
+{
+    return blockBits == 0
+               ? 0.0
+               : static_cast<double>(overheadBits) /
+                     static_cast<double>(blockBits);
+}
+
+namespace {
+
+/** Assemble the simulator stack shared by both study kinds. */
+struct Stack
+{
+    std::unique_ptr<scheme::Scheme> scheme;
+    std::unique_ptr<pcm::LifetimeModel> lifetime;
+
+    explicit Stack(const ExperimentConfig &config)
+        : scheme(core::makeScheme(config.scheme, config.blockBits)),
+          lifetime(pcm::makeLifetimeModel(config.lifetimeKind,
+                                          config.lifetimeMean,
+                                          config.lifetimeParam))
+    {}
+};
+
+} // namespace
+
+PageStudy
+runPageStudy(const ExperimentConfig &config)
+{
+    const Stack stack(config);
+    const pcm::Geometry geom{config.blockBits, config.pageBytes,
+                             config.pages};
+
+    const BlockSimulator block_sim(*stack.scheme, *stack.lifetime,
+                                   config.wear, config.tracker);
+    const PageSimulator page_sim(block_sim, geom.blocksPerPage());
+
+    PageStudy study;
+    study.scheme = stack.scheme->name();
+    study.overheadBits = stack.scheme->overheadBits();
+    study.blockBits = config.blockBits;
+
+    const Rng master(config.seed);
+    for (std::uint32_t p = 0; p < config.pages; ++p) {
+        const Rng page_rng = master.split(p);
+        const PageLifeResult life = page_sim.run(page_rng);
+        study.recoverableFaults.add(
+            static_cast<double>(life.faultsRecovered));
+        study.pageLifetime.add(life.deathTime);
+        study.repartitions.add(static_cast<double>(life.repartitions));
+        study.survival.addDeath(life.deathTime);
+    }
+    return study;
+}
+
+BlockStudy
+runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
+{
+    const Stack stack(config);
+    const BlockSimulator block_sim(*stack.scheme, *stack.lifetime,
+                                   config.wear, config.tracker);
+
+    BlockStudy study;
+    study.scheme = stack.scheme->name();
+    study.overheadBits = stack.scheme->overheadBits();
+
+    const Rng master(config.seed);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        Rng cell_rng = master.split(2ull * b);
+        Rng sim_rng = master.split(2ull * b + 1);
+        const BlockLifeResult life = block_sim.run(cell_rng, sim_rng);
+        AEGIS_ASSERT(!life.immortal,
+                     "paper-scale blocks cannot be immortal");
+        study.blockLifetime.add(life.deathTime);
+        study.faultsAtDeath.add(life.faultsAtDeath);
+    }
+    return study;
+}
+
+double
+lifetimeImprovement(const PageStudy &study, const PageStudy &baseline)
+{
+    AEGIS_REQUIRE(baseline.pageLifetime.mean() > 0,
+                  "baseline lifetime must be positive");
+    return study.pageLifetime.mean() / baseline.pageLifetime.mean();
+}
+
+SurvivalCurve
+runMemorySurvival(const ExperimentConfig &config,
+                  const Workload &workload)
+{
+    const Stack stack(config);
+    const pcm::Geometry geom{config.blockBits, config.pageBytes,
+                             config.pages};
+    const BlockSimulator block_sim(*stack.scheme, *stack.lifetime,
+                                   config.wear, config.tracker);
+    const PageSimulator page_sim(block_sim, geom.blocksPerPage());
+
+    const Rng master(config.seed);
+    Rng workload_rng = master.split(0xffffffffull);
+    const std::vector<double> rates =
+        workload.pageRates(config.pages, workload_rng);
+
+    SurvivalCurve curve;
+    for (std::uint32_t p = 0; p < config.pages; ++p) {
+        const Rng page_rng = master.split(p);
+        const PageLifeResult life = page_sim.run(page_rng);
+        AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
+        curve.addDeath(life.deathTime / rates[p]);
+    }
+    return curve;
+}
+
+} // namespace aegis::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Named experiment configurations and runners for the paper's
+ * evaluation (one call per figure series).
+ */
+
+#ifndef AEGIS_SIM_EXPERIMENT_H
+#define AEGIS_SIM_EXPERIMENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "scheme/tracker.h"
+#include "sim/block_sim.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace aegis::sim {
+
+/** Shared Monte-Carlo configuration (paper §3.1 defaults). */
+struct ExperimentConfig
+{
+    /** Scheme under test (factory name, e.g. "aegis-9x61"). */
+    std::string scheme = "aegis-9x61";
+    /** Protected data block size in bits. */
+    std::uint32_t blockBits = 512;
+    /** Memory (allocation) block size in bytes; 4096 = OS page. */
+    std::uint32_t pageBytes = 4096;
+    /** Pages simulated (2048 = the paper's 8MB memory). */
+    std::uint32_t pages = 256;
+    /** Master seed; identical seeds reuse identical cell populations
+     *  across schemes. */
+    std::uint64_t seed = 1;
+    /** Cell lifetime model. */
+    std::string lifetimeKind = "normal";
+    double lifetimeMean = 1e8;
+    double lifetimeParam = 0.25;    ///< cv / shape / spread
+    WearModel wear;
+    scheme::TrackerOptions tracker;
+};
+
+/** Aggregated page-level results (Figures 5, 6, 7, 9, 11, 12, 13). */
+struct PageStudy
+{
+    std::string scheme;
+    std::size_t overheadBits = 0;
+    std::size_t blockBits = 0;
+    /** Faults recovered per page before its first block failure. */
+    RunningStat recoverableFaults;
+    /** Page lifetime in page writes. */
+    RunningStat pageLifetime;
+    /** Re-partitions per page over its whole life. */
+    RunningStat repartitions;
+    /** Death times for survival curves / half lifetime (Fig 9). */
+    SurvivalCurve survival;
+
+    /** Overhead as a fraction of the data bits. */
+    double overheadFraction() const;
+};
+
+/** Aggregated block-level results (Figures 8 and 10). */
+struct BlockStudy
+{
+    std::string scheme;
+    std::size_t overheadBits = 0;
+    /** Block lifetime in block writes. */
+    RunningStat blockLifetime;
+    /** Fault count at death, for the failure-probability CDF. */
+    Histogram faultsAtDeath;
+
+    /** P(block failed once @p faults faults occurred) — Fig 8. */
+    double failureProbabilityAt(std::int64_t faults) const
+    { return faultsAtDeath.cdf(faults); }
+};
+
+/** Run the page-level Monte Carlo for one scheme. */
+PageStudy runPageStudy(const ExperimentConfig &config);
+
+/** Run @p blocks single-block lives for one scheme. */
+BlockStudy runBlockStudy(const ExperimentConfig &config,
+                         std::uint32_t blocks);
+
+/**
+ * Lifetime improvement of @p study over the unprotected baseline
+ * measured on the same cell populations (same config/seed with
+ * scheme "none").
+ */
+double lifetimeImprovement(const PageStudy &study,
+                           const PageStudy &baseline);
+
+class Workload;
+
+/**
+ * Memory-level survival under a (possibly skewed) write workload: a
+ * page's death time in memory time is its intrinsic lifetime divided
+ * by the workload's per-page rate multiplier. With the paper's
+ * perfect wear leveling this equals the PageStudy survival curve.
+ */
+SurvivalCurve runMemorySurvival(const ExperimentConfig &config,
+                                const Workload &workload);
+
+} // namespace aegis::sim
+
+#endif // AEGIS_SIM_EXPERIMENT_H

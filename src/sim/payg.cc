@@ -1,0 +1,145 @@
+#include "sim/payg.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "aegis/factory.h"
+#include "pcm/address.h"
+#include "pcm/lifetime_model.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+
+namespace {
+
+/** One fault arrival somewhere in the memory. */
+struct GlobalFault
+{
+    double time;
+    std::uint32_t block;
+    std::uint32_t pos;
+    bool stuck;
+
+    friend bool operator<(const GlobalFault &a, const GlobalFault &b)
+    { return a.time < b.time; }
+};
+
+/** Per-block replay state. */
+struct BlockState
+{
+    std::unique_ptr<scheme::LifetimeTracker> tracker;
+    pcm::FaultSet active;    ///< faults the LEC must handle
+};
+
+} // namespace
+
+PaygResult
+runPaygStudy(const ExperimentConfig &config, const PaygConfig &payg)
+{
+    const pcm::Geometry geom{config.blockBits, config.pageBytes,
+                             config.pages};
+    const auto lec = core::makeScheme(payg.lecScheme, config.blockBits);
+    const auto lifetime = pcm::makeLifetimeModel(
+        config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
+
+    // PAYG composition is defined for data-independent LECs: the
+    // replay loop never samples per-write failure probabilities.
+    AEGIS_REQUIRE(lec->makeTracker(config.tracker)->dataIndependent(),
+                  "PAYG requires a data-independent LEC scheme "
+                  "(ECP, SAFER or basic Aegis)");
+
+    // Generate every block's fault arrivals (base wear rate only) and
+    // merge them into global time order: blocks compete for the pool.
+    const auto total_blocks =
+        static_cast<std::uint32_t>(geom.totalBlocks());
+    // No LEC in this library survives anywhere near this many faults
+    // in one block, so capping bounds memory without affecting
+    // results.
+    const std::uint32_t per_block_cap =
+        std::min<std::uint32_t>(config.blockBits, 128);
+
+    std::vector<GlobalFault> events;
+    events.reserve(static_cast<std::size_t>(total_blocks) *
+                   per_block_cap);
+    const Rng master(config.seed);
+    for (std::uint32_t b = 0; b < total_blocks; ++b) {
+        Rng cell_rng = master.split(2ull * b);
+        std::vector<std::pair<double, std::uint32_t>> arrivals;
+        arrivals.reserve(config.blockBits);
+        for (std::uint32_t pos = 0; pos < config.blockBits; ++pos) {
+            const double t =
+                lifetime->sample(cell_rng) / config.wear.baseRate;
+            arrivals.emplace_back(t, pos);
+        }
+        std::sort(arrivals.begin(), arrivals.end());
+        for (std::uint32_t i = 0; i < per_block_cap; ++i) {
+            events.push_back(GlobalFault{arrivals[i].first, b,
+                                         arrivals[i].second,
+                                         cell_rng.nextBool()});
+        }
+    }
+    std::sort(events.begin(), events.end());
+
+    // Replay against the shared pool.
+    std::vector<BlockState> blocks(total_blocks);
+    PaygResult result;
+    std::uint32_t pool_left = payg.gecEntries;
+
+    const auto make_tracker = [&] {
+        return lec->makeTracker(config.tracker);
+    };
+
+    for (const GlobalFault &event : events) {
+        BlockState &blk = blocks[event.block];
+        if (!blk.tracker)
+            blk.tracker = make_tracker();
+
+        const pcm::Fault fault{event.pos, event.stuck};
+        if (blk.tracker->onFault(fault) ==
+            scheme::FaultVerdict::Alive) {
+            blk.active.push_back(fault);
+            ++result.faultsAbsorbed;
+            continue;
+        }
+
+        // The LEC is overwhelmed: shed the newest fault to a GEC
+        // pointer entry (its replacement bit takes over the cell) and
+        // rebuild the LEC state over the remaining faults.
+        if (pool_left == 0) {
+            result.firstFailure = event.time;
+            break;
+        }
+        --pool_left;
+        ++result.gecUsed;
+        ++result.faultsAbsorbed;
+        blk.tracker = make_tracker();
+        for (const pcm::Fault &f : blk.active) {
+            const auto verdict = blk.tracker->onFault(f);
+            AEGIS_ASSERT(verdict == scheme::FaultVerdict::Alive,
+                         "LEC rebuild over a previously-absorbed "
+                         "fault set must succeed");
+        }
+    }
+    if (result.firstFailure == 0.0 && !events.empty()) {
+        // Memory survived every generated event (pool large enough);
+        // report the horizon instead.
+        result.firstFailure = events.back().time;
+    }
+
+    // Overhead: per-block LEC + 1 overflow flag, plus the pool (each
+    // entry holds a global cell pointer and a replacement bit).
+    std::uint32_t entry_bits = payg.gecEntryBits;
+    if (entry_bits == 0) {
+        entry_bits = static_cast<std::uint32_t>(
+                         std::bit_width(geom.totalBits() - 1)) +
+                     1;
+    }
+    result.overheadBits =
+        static_cast<std::uint64_t>(total_blocks) *
+            (lec->overheadBits() + 1) +
+        static_cast<std::uint64_t>(payg.gecEntries) * entry_bits;
+    return result;
+}
+
+} // namespace aegis::sim

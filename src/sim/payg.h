@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PAYG — Pay-As-You-Go error correction (Qureshi, MICRO 2011),
+ * §4 of the Aegis paper.
+ *
+ * Uniformly provisioning every block for the worst-case fault count
+ * wastes space: cell lifetime variation means most blocks need little
+ * correction while a few need a lot. PAYG gives each block a small
+ * Local Error Correction (LEC) and backs it with a Global Error
+ * Correction (GEC) pool of pointer entries allocated on demand.
+ *
+ * The Aegis paper notes PAYG can employ any scheme in its components
+ * and that Aegis "complements PAYG with its strong fault tolerance
+ * capability and its space efficiency". We implement exactly that
+ * composition: any data-independent scheme in this library serves as
+ * the LEC, and GEC entries are ECP-style pointer repairs that
+ * *neutralize* a fault (replacement storage takes over the cell), so
+ * an LEC that would be overwhelmed sheds its hardest faults to the
+ * pool.
+ *
+ * The Monte Carlo is memory-level: fault events of all blocks are
+ * replayed in global time order because blocks compete for the shared
+ * pool. Wear-rate amplification is not modeled here (DESIGN.md §4) —
+ * PAYG comparisons are about fault capacity per bit.
+ */
+
+#ifndef AEGIS_SIM_PAYG_H
+#define AEGIS_SIM_PAYG_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace aegis::sim {
+
+/** PAYG configuration on top of an ExperimentConfig. */
+struct PaygConfig
+{
+    /** LEC scheme per block (factory name); must be data-independent
+     *  (ECP / SAFER / basic Aegis). */
+    std::string lecScheme = "aegis-23x23";
+    /** GEC pool entries shared by the whole memory. */
+    std::uint32_t gecEntries = 256;
+    /** Entry cost in bits: pointer (block id + offset) + replacement
+     *  bit; computed from the geometry when 0. */
+    std::uint32_t gecEntryBits = 0;
+};
+
+/** Outcome of one PAYG memory life. */
+struct PaygResult
+{
+    /** Page writes until the first unrecoverable fault anywhere. */
+    double firstFailure = 0.0;
+    /** GEC entries consumed by then. */
+    std::uint32_t gecUsed = 0;
+    /** Faults absorbed by the whole memory by then. */
+    std::uint64_t faultsAbsorbed = 0;
+    /** Total overhead bits (LEC x blocks + GEC pool + entry tags). */
+    std::uint64_t overheadBits = 0;
+
+    double overheadBitsPerBlock(std::uint64_t blocks) const
+    {
+        return static_cast<double>(overheadBits) /
+               static_cast<double>(blocks);
+    }
+};
+
+/**
+ * Run the PAYG memory Monte Carlo: all blocks of the memory replayed
+ * in global fault-arrival order against the shared pool. The memory
+ * fails at the first fault that neither the block's LEC nor a fresh
+ * GEC entry can absorb.
+ */
+PaygResult runPaygStudy(const ExperimentConfig &config,
+                        const PaygConfig &payg);
+
+} // namespace aegis::sim
+
+#endif // AEGIS_SIM_PAYG_H

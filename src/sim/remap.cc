@@ -1,0 +1,69 @@
+#include "sim/remap.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "aegis/factory.h"
+#include "pcm/address.h"
+#include "pcm/lifetime_model.h"
+#include "sim/block_sim.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+
+RemapResult
+runRemapStudy(const ExperimentConfig &config,
+              std::uint32_t spare_blocks)
+{
+    const pcm::Geometry geom{config.blockBits, config.pageBytes,
+                             config.pages};
+    const auto scheme =
+        core::makeScheme(config.scheme, config.blockBits);
+    const auto lifetime = pcm::makeLifetimeModel(
+        config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
+    const BlockSimulator sim(*scheme, *lifetime, config.wear,
+                             config.tracker);
+
+    const Rng master(config.seed);
+    std::uint64_t stream = 0;
+    const auto fresh_death_duration = [&] {
+        Rng cell_rng = master.split(2 * stream);
+        Rng sim_rng = master.split(2 * stream + 1);
+        ++stream;
+        const BlockLifeResult life = sim.run(cell_rng, sim_rng);
+        AEGIS_ASSERT(!life.immortal, "blocks must eventually die");
+        return life.deathTime;
+    };
+
+    // Min-heap of upcoming block deaths (primaries start at t = 0).
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>>
+        deaths;
+    const std::uint64_t primaries = geom.totalBlocks();
+    for (std::uint64_t b = 0; b < primaries; ++b)
+        deaths.push(fresh_death_duration());
+
+    RemapResult result;
+    std::uint32_t spares_left = spare_blocks;
+    bool first = true;
+    while (!deaths.empty()) {
+        const double t = deaths.top();
+        deaths.pop();
+        if (first) {
+            result.firstRemapTime = t;
+            first = false;
+        }
+        if (spares_left == 0) {
+            result.exhaustionTime = t;
+            return result;
+        }
+        --spares_left;
+        ++result.sparesUsed;
+        // The replacement starts fresh now and dies later.
+        deaths.push(t + fresh_death_duration());
+    }
+    throw InternalError("remap study ran out of events");
+}
+
+} // namespace aegis::sim

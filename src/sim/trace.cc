@@ -1,0 +1,139 @@
+#include "sim/trace.h"
+
+#include "util/error.h"
+
+namespace aegis::sim {
+
+UniformTrace::UniformTrace(std::uint32_t pages)
+    : pages(pages)
+{
+    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+}
+
+std::uint32_t
+UniformTrace::nextPage(Rng &rng)
+{
+    return static_cast<std::uint32_t>(rng.nextBounded(pages));
+}
+
+SequentialTrace::SequentialTrace(std::uint32_t pages)
+    : pages(pages)
+{
+    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+}
+
+std::uint32_t
+SequentialTrace::nextPage(Rng &)
+{
+    const std::uint32_t page = cursor;
+    cursor = (cursor + 1) % pages;
+    return page;
+}
+
+HotColdTrace::HotColdTrace(std::uint32_t pages, double hot_fraction,
+                           double hot_traffic)
+    : pages(pages), hotTraffic(hot_traffic)
+{
+    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+    AEGIS_REQUIRE(hot_fraction > 0 && hot_fraction < 1,
+                  "hot fraction must be in (0, 1)");
+    AEGIS_REQUIRE(hot_traffic > 0 && hot_traffic < 1,
+                  "hot traffic share must be in (0, 1)");
+    hotPages = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(hot_fraction * pages));
+}
+
+std::uint32_t
+HotColdTrace::nextPage(Rng &rng)
+{
+    if (rng.nextBernoulli(hotTraffic))
+        return static_cast<std::uint32_t>(rng.nextBounded(hotPages));
+    const std::uint32_t cold = pages - hotPages;
+    if (cold == 0)
+        return static_cast<std::uint32_t>(rng.nextBounded(pages));
+    return hotPages +
+           static_cast<std::uint32_t>(rng.nextBounded(cold));
+}
+
+std::string
+HotColdTrace::name() const
+{
+    return "hotcold(" + std::to_string(hotPages) + " hot pages)";
+}
+
+std::unique_ptr<TraceGenerator>
+makeTrace(const std::string &spec, std::uint32_t pages)
+{
+    if (spec == "uniform")
+        return std::make_unique<UniformTrace>(pages);
+    if (spec == "sequential")
+        return std::make_unique<SequentialTrace>(pages);
+    if (spec.rfind("hotcold:", 0) == 0) {
+        const std::string rest = spec.substr(8);
+        const auto colon = rest.find(':');
+        if (colon != std::string::npos) {
+            try {
+                const double frac = std::stod(rest.substr(0, colon));
+                const double traffic =
+                    std::stod(rest.substr(colon + 1));
+                return std::make_unique<HotColdTrace>(pages, frac,
+                                                      traffic);
+            } catch (const std::exception &) {
+            }
+        }
+        throw ConfigError("bad hotcold spec `" + spec +
+                          "' (want hotcold:<frac>:<traffic>)");
+    }
+    throw ConfigError("unknown trace `" + spec +
+                      "' (try uniform, sequential, "
+                      "hotcold:<frac>:<traffic>)");
+}
+
+double
+TraceReplayStats::programsPerBit() const
+{
+    if (bitsWritten == 0)
+        return 0.0;
+    return static_cast<double>(cellPrograms) /
+           static_cast<double>(bitsWritten);
+}
+
+TraceReplayStats
+replayTrace(PcmDevice &device, TraceGenerator &trace,
+            std::uint64_t page_writes, double faults_per_kwrite,
+            Rng &rng)
+{
+    const pcm::Geometry &geom = device.geometry();
+    TraceReplayStats stats;
+    const DeviceStats before = device.stats();
+
+    double fault_debt = 0;
+    for (std::uint64_t w = 0; w < page_writes; ++w) {
+        fault_debt += faults_per_kwrite / 1000.0;
+        while (fault_debt >= 1.0) {
+            device.injectRandomFaults(1, rng);
+            ++stats.faultsInjected;
+            fault_debt -= 1.0;
+        }
+
+        const std::uint32_t page = trace.nextPage(rng);
+        const BitVector data = BitVector::random(geom.pageBits(), rng);
+        const bool ok = device.writePage(page, data);
+        ++stats.pageWrites;
+        if (ok) {
+            AEGIS_ASSERT(device.readPage(page) == data,
+                         "decode mismatch after a successful write");
+        }
+    }
+
+    stats.bitsWritten = page_writes * geom.pageBits();
+    const DeviceStats after = device.stats();
+    stats.blockWrites = after.blockWrites - before.blockWrites;
+    stats.failedWrites = after.failedWrites - before.failedWrites;
+    stats.cellPrograms = after.cellPrograms - before.cellPrograms;
+    stats.repartitions = after.repartitions - before.repartitions;
+    stats.deadBlocks = after.deadBlocks;
+    return stats;
+}
+
+} // namespace aegis::sim

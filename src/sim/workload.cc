@@ -1,0 +1,101 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis::sim {
+
+std::vector<double>
+PerfectWearLeveling::pageRates(std::uint32_t pages, Rng &) const
+{
+    return std::vector<double>(pages, 1.0);
+}
+
+ResidualSkewWearLeveling::ResidualSkewWearLeveling(double spread)
+    : spread(spread)
+{
+    AEGIS_REQUIRE(spread >= 0.0 && spread < 1.0,
+                  "residual skew must be in [0, 1)");
+}
+
+std::vector<double>
+ResidualSkewWearLeveling::pageRates(std::uint32_t pages, Rng &rng) const
+{
+    std::vector<double> rates(pages);
+    for (double &r : rates)
+        r = 1.0 - spread + 2.0 * spread * rng.nextDouble();
+    // Renormalize so mean traffic is exactly 1.
+    double sum = 0;
+    for (double r : rates)
+        sum += r;
+    const double scale = static_cast<double>(pages) / sum;
+    for (double &r : rates)
+        r *= scale;
+    return rates;
+}
+
+std::string
+ResidualSkewWearLeveling::name() const
+{
+    return "skew:" + std::to_string(spread);
+}
+
+ZipfWorkload::ZipfWorkload(double exponent)
+    : exponent(exponent)
+{
+    AEGIS_REQUIRE(exponent > 0.0, "Zipf exponent must be positive");
+}
+
+std::vector<double>
+ZipfWorkload::pageRates(std::uint32_t pages, Rng &rng) const
+{
+    std::vector<double> rates(pages);
+    double sum = 0;
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        sum += rates[i];
+    }
+    const double scale = static_cast<double>(pages) / sum;
+    for (double &r : rates)
+        r *= scale;
+    // Popularity ranks land on random pages (Fisher-Yates).
+    for (std::uint32_t i = pages; i > 1; --i) {
+        const std::uint64_t j = rng.nextBounded(i);
+        std::swap(rates[i - 1], rates[j]);
+    }
+    return rates;
+}
+
+std::string
+ZipfWorkload::name() const
+{
+    return "zipf:" + std::to_string(exponent);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &spec)
+{
+    if (spec == "perfect")
+        return std::make_unique<PerfectWearLeveling>();
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        const std::string kind = spec.substr(0, colon);
+        double param = 0;
+        try {
+            param = std::stod(spec.substr(colon + 1));
+        } catch (const std::exception &) {
+            throw ConfigError("bad workload parameter in `" + spec +
+                              "'");
+        }
+        if (kind == "skew")
+            return std::make_unique<ResidualSkewWearLeveling>(param);
+        if (kind == "zipf")
+            return std::make_unique<ZipfWorkload>(param);
+    }
+    throw ConfigError("unknown workload `" + spec +
+                      "' (try perfect, skew:<s>, zipf:<s>)");
+}
+
+} // namespace aegis::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Write-traffic models across pages.
+ *
+ * The paper assumes perfect wear leveling: every live page receives
+ * the same write rate (§3.1, citing Start-Gap and Security Refresh).
+ * This module makes that assumption explicit and testable: a workload
+ * assigns each page a relative write-rate multiplier, and the memory-
+ * level survival analysis divides each page's intrinsic lifetime (in
+ * its own writes) by its rate to get its death time in memory time.
+ *
+ * Models:
+ *  - Perfect: rate 1 for every page (the paper).
+ *  - Residual skew: wear leveling that only approximates uniformity,
+ *    leaving a bounded spread of rates (uniform in [1-s, 1+s]).
+ *  - Zipf: unleveled traffic with Zipfian popularity — what happens
+ *    if the wear-leveling prerequisite is dropped entirely.
+ */
+
+#ifndef AEGIS_SIM_WORKLOAD_H
+#define AEGIS_SIM_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aegis::sim {
+
+/** Per-page relative write rates (mean normalized to 1). */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /**
+     * Rate multipliers for @p pages pages; the returned vector
+     * averages to 1 so total traffic is workload-independent.
+     */
+    virtual std::vector<double> pageRates(std::uint32_t pages,
+                                          Rng &rng) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** The paper's perfect wear leveling: every page at rate 1. */
+class PerfectWearLeveling : public Workload
+{
+  public:
+    std::vector<double> pageRates(std::uint32_t pages,
+                                  Rng &rng) const override;
+    std::string name() const override { return "perfect"; }
+};
+
+/** Imperfect leveling: rates uniform in [1-s, 1+s], shuffled. */
+class ResidualSkewWearLeveling : public Workload
+{
+  public:
+    explicit ResidualSkewWearLeveling(double spread);
+
+    std::vector<double> pageRates(std::uint32_t pages,
+                                  Rng &rng) const override;
+    std::string name() const override;
+
+  private:
+    double spread;
+};
+
+/** No leveling: Zipf(s) popularity assigned to random pages. */
+class ZipfWorkload : public Workload
+{
+  public:
+    explicit ZipfWorkload(double exponent);
+
+    std::vector<double> pageRates(std::uint32_t pages,
+                                  Rng &rng) const override;
+    std::string name() const override;
+
+  private:
+    double exponent;
+};
+
+/** "perfect", "skew:<s>" or "zipf:<s>". */
+std::unique_ptr<Workload> makeWorkload(const std::string &spec);
+
+} // namespace aegis::sim
+
+#endif // AEGIS_SIM_WORKLOAD_H

@@ -1,0 +1,71 @@
+#include "util/bit_io.h"
+
+#include "util/error.h"
+
+namespace aegis {
+
+BitWriter::BitWriter(std::size_t capacity)
+    : image(capacity)
+{}
+
+void
+BitWriter::writeBits(std::uint64_t value, std::size_t width)
+{
+    AEGIS_REQUIRE(width <= 64, "field width exceeds 64 bits");
+    AEGIS_ASSERT(cursor + width <= image.size(),
+                 "metadata image overflow");
+    for (std::size_t i = 0; i < width; ++i)
+        image.set(cursor++, (value >> i) & 1);
+    if (width < 64) {
+        AEGIS_ASSERT(value < (1ull << width),
+                     "value does not fit the declared field width");
+    }
+}
+
+void
+BitWriter::writeVector(const BitVector &v)
+{
+    AEGIS_ASSERT(cursor + v.size() <= image.size(),
+                 "metadata image overflow");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        image.set(cursor++, v.get(i));
+}
+
+BitVector
+BitWriter::finish() const
+{
+    AEGIS_ASSERT(cursor == image.size(),
+                 "metadata image not exactly full");
+    return image;
+}
+
+BitReader::BitReader(const BitVector &source)
+    : image(source)
+{}
+
+std::uint64_t
+BitReader::readBits(std::size_t width)
+{
+    AEGIS_REQUIRE(width <= 64, "field width exceeds 64 bits");
+    AEGIS_REQUIRE(cursor + width <= image.size(),
+                  "metadata image underflow");
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+        if (image.get(cursor++))
+            value |= 1ull << i;
+    }
+    return value;
+}
+
+BitVector
+BitReader::readVector(std::size_t bits)
+{
+    AEGIS_REQUIRE(cursor + bits <= image.size(),
+                  "metadata image underflow");
+    BitVector out(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        out.set(i, image.get(cursor++));
+    return out;
+}
+
+} // namespace aegis

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-granular writer/reader over BitVector.
+ *
+ * Used to pack scheme metadata into exactly the bit budget the cost
+ * model advertises (slope counters, inversion vectors, field
+ * selectors, group pointers). Packing is LSB-first within each field
+ * and fields are laid out in call order.
+ */
+
+#ifndef AEGIS_UTIL_BIT_IO_H
+#define AEGIS_UTIL_BIT_IO_H
+
+#include <cstdint>
+
+#include "util/bit_vector.h"
+
+namespace aegis {
+
+/** Appends fixed-width fields into a growing bit image. */
+class BitWriter
+{
+  public:
+    /** @param capacity exact number of bits the image must hold. */
+    explicit BitWriter(std::size_t capacity);
+
+    /** Append the low @p width bits of @p value. */
+    void writeBits(std::uint64_t value, std::size_t width);
+
+    /** Append a single bit. */
+    void writeBit(bool value) { writeBits(value ? 1 : 0, 1); }
+
+    /** Append a whole BitVector verbatim. */
+    void writeVector(const BitVector &v);
+
+    /** Bits written so far. */
+    std::size_t position() const { return cursor; }
+
+    /**
+     * Finish: the image must be exactly full (writing less or more
+     * than the declared capacity is a bug in the codec).
+     */
+    BitVector finish() const;
+
+  private:
+    BitVector image;
+    std::size_t cursor = 0;
+};
+
+/** Reads fixed-width fields back out of a bit image. */
+class BitReader
+{
+  public:
+    explicit BitReader(const BitVector &image);
+
+    /** Read @p width bits (<= 64). */
+    std::uint64_t readBits(std::size_t width);
+
+    bool readBit() { return readBits(1) != 0; }
+
+    /** Read @p bits bits into a fresh BitVector. */
+    BitVector readVector(std::size_t bits);
+
+    std::size_t position() const { return cursor; }
+    std::size_t remaining() const { return image.size() - cursor; }
+
+  private:
+    const BitVector &image;
+    std::size_t cursor = 0;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_BIT_IO_H

@@ -1,0 +1,204 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+std::size_t
+wordCount(std::size_t bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+BitVector::BitVector(std::size_t n, bool value)
+    : numBits(n), wordStore(wordCount(n), value ? ~0ull : 0ull)
+{
+    maskTail();
+}
+
+BitVector
+BitVector::fromString(const std::string &bits)
+{
+    BitVector v(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        AEGIS_REQUIRE(bits[i] == '0' || bits[i] == '1',
+                      "BitVector::fromString accepts only '0'/'1'");
+        v.set(i, bits[i] == '1');
+    }
+    return v;
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    AEGIS_ASSERT(i < numBits, "BitVector::get out of range");
+    return (wordStore[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    AEGIS_ASSERT(i < numBits, "BitVector::set out of range");
+    const std::uint64_t mask = 1ull << (i % kWordBits);
+    if (value)
+        wordStore[i / kWordBits] |= mask;
+    else
+        wordStore[i / kWordBits] &= ~mask;
+}
+
+void
+BitVector::flip(std::size_t i)
+{
+    AEGIS_ASSERT(i < numBits, "BitVector::flip out of range");
+    wordStore[i / kWordBits] ^= 1ull << (i % kWordBits);
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &w : wordStore)
+        w = value ? ~0ull : 0ull;
+    maskTail();
+}
+
+void
+BitVector::invert()
+{
+    for (auto &w : wordStore)
+        w = ~w;
+    maskTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : wordStore)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::vector<std::size_t>
+BitVector::setBits() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(popcount());
+    for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
+        std::uint64_t w = wordStore[wi];
+        while (w) {
+            const int bit = std::countr_zero(w);
+            out.push_back(wi * kWordBits + static_cast<std::size_t>(bit));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::size_t
+BitVector::firstSetBit() const
+{
+    for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
+        if (wordStore[wi]) {
+            return wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(wordStore[wi]));
+        }
+    }
+    return numBits;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] ^= other.wordStore[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] &= other.wordStore[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] |= other.wordStore[i];
+    return *this;
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector out(*this);
+    out.invert();
+    return out;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return numBits == other.numBits && wordStore == other.wordStore;
+}
+
+std::size_t
+BitVector::hammingDistance(const BitVector &other) const
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < wordStore.size(); ++i) {
+        n += static_cast<std::size_t>(
+            std::popcount(wordStore[i] ^ other.wordStore[i]));
+    }
+    return n;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s(numBits, '0');
+    for (std::size_t i = 0; i < numBits; ++i)
+        s[i] = get(i) ? '1' : '0';
+    return s;
+}
+
+void
+BitVector::randomize(Rng &rng)
+{
+    for (auto &w : wordStore)
+        w = rng.nextU64();
+    maskTail();
+}
+
+BitVector
+BitVector::random(std::size_t n, Rng &rng)
+{
+    BitVector v(n);
+    v.randomize(rng);
+    return v;
+}
+
+void
+BitVector::maskTail()
+{
+    const std::size_t rem = numBits % kWordBits;
+    if (rem != 0 && !wordStore.empty())
+        wordStore.back() &= (1ull << rem) - 1ull;
+}
+
+} // namespace aegis

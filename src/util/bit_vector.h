@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A dynamically sized bit vector tuned for data-block manipulation.
+ *
+ * PCM data blocks in this project are 32..512 bits; schemes constantly
+ * xor/invert/compare them. std::vector<bool> lacks word access and
+ * std::bitset is statically sized, so we provide a small word-backed
+ * vector with the operations the recovery schemes need: bitwise ops,
+ * popcount, iteration over set bits, and randomized fill.
+ */
+
+#ifndef AEGIS_UTIL_BIT_VECTOR_H
+#define AEGIS_UTIL_BIT_VECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aegis {
+
+class Rng;
+
+/**
+ * Fixed-length (after construction) vector of bits backed by 64-bit
+ * words. Out-of-range accesses are checked via AEGIS_ASSERT.
+ */
+class BitVector
+{
+  public:
+    /** Construct an empty (zero-length) vector. */
+    BitVector() = default;
+
+    /** Construct @p n bits, all initialized to @p value. */
+    explicit BitVector(std::size_t n, bool value = false);
+
+    /**
+     * Construct from a string of '0'/'1' characters, most significant
+     * (index 0) first. Any other character raises ConfigError.
+     */
+    static BitVector fromString(const std::string &bits);
+
+    /** Number of bits. */
+    std::size_t size() const { return numBits; }
+
+    /** True when the vector holds zero bits. */
+    bool empty() const { return numBits == 0; }
+
+    /** Read bit @p i. */
+    bool get(std::size_t i) const;
+
+    /** Set bit @p i to @p value. */
+    void set(std::size_t i, bool value);
+
+    /** Flip bit @p i. */
+    void flip(std::size_t i);
+
+    /** Set all bits to @p value. */
+    void fill(bool value);
+
+    /** Flip every bit in place. */
+    void invert();
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** True when no bit is set. */
+    bool none() const { return popcount() == 0; }
+
+    /** True when at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /** Indices of all set bits, ascending. */
+    std::vector<std::size_t> setBits() const;
+
+    /** Index of the first set bit, or size() when none is set. */
+    std::size_t firstSetBit() const;
+
+    /** In-place xor with @p other (sizes must match). */
+    BitVector &operator^=(const BitVector &other);
+
+    /** In-place and with @p other (sizes must match). */
+    BitVector &operator&=(const BitVector &other);
+
+    /** In-place or with @p other (sizes must match). */
+    BitVector &operator|=(const BitVector &other);
+
+    friend BitVector operator^(BitVector lhs, const BitVector &rhs)
+    { lhs ^= rhs; return lhs; }
+
+    friend BitVector operator&(BitVector lhs, const BitVector &rhs)
+    { lhs &= rhs; return lhs; }
+
+    friend BitVector operator|(BitVector lhs, const BitVector &rhs)
+    { lhs |= rhs; return lhs; }
+
+    /** Bitwise complement. */
+    BitVector operator~() const;
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const
+    { return !(*this == other); }
+
+    /** Hamming distance to @p other (sizes must match). */
+    std::size_t hammingDistance(const BitVector &other) const;
+
+    /** Render as a '0'/'1' string, index 0 first. */
+    std::string toString() const;
+
+    /** Fill with independent fair coin flips from @p rng. */
+    void randomize(Rng &rng);
+
+    /** A fresh random vector of @p n bits. */
+    static BitVector random(std::size_t n, Rng &rng);
+
+    /** Direct read access to the backing words (for fast scans). */
+    const std::vector<std::uint64_t> &words() const { return wordStore; }
+
+  private:
+    /** Clear any bits in the final partial word beyond numBits. */
+    void maskTail();
+
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> wordStore;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_BIT_VECTOR_H

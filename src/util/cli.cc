@@ -1,0 +1,145 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace aegis {
+
+CliParser::CliParser(std::string prog, std::string description)
+    : prog(std::move(prog)), description(std::move(description))
+{}
+
+void
+CliParser::addUint(const std::string &name, std::uint64_t def,
+                   const std::string &help)
+{
+    const std::string v = std::to_string(def);
+    flags[name] = Flag{Kind::Uint, v, v, help};
+    order.push_back(name);
+}
+
+void
+CliParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    const std::string v = std::to_string(def);
+    flags[name] = Flag{Kind::Double, v, v, help};
+    order.push_back(name);
+}
+
+void
+CliParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    flags[name] = Flag{Kind::String, def, def, help};
+    order.push_back(name);
+}
+
+void
+CliParser::addBool(const std::string &name, bool def,
+                   const std::string &help)
+{
+    const std::string v = def ? "true" : "false";
+    flags[name] = Flag{Kind::Bool, v, v, help};
+    order.push_back(name);
+}
+
+void
+CliParser::setValue(const std::string &name, const std::string &value)
+{
+    auto it = flags.find(name);
+    AEGIS_REQUIRE(it != flags.end(), "unknown flag --" + name);
+    it->second.value = value;
+}
+
+bool
+CliParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return false;
+        }
+        AEGIS_REQUIRE(arg.rfind("--", 0) == 0,
+                      "expected --flag, got `" + arg + "'");
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            setValue(arg.substr(0, eq), arg.substr(eq + 1));
+        } else if (flags.count(arg) && flags[arg].kind == Kind::Bool) {
+            setValue(arg, "true");
+        } else {
+            AEGIS_REQUIRE(i + 1 < argc, "flag --" + arg + " needs a value");
+            setValue(arg, argv[++i]);
+        }
+    }
+    return true;
+}
+
+const CliParser::Flag &
+CliParser::find(const std::string &name, Kind kind) const
+{
+    const auto it = flags.find(name);
+    AEGIS_ASSERT(it != flags.end(), "flag " + name + " not registered");
+    AEGIS_ASSERT(it->second.kind == kind, "flag " + name + " kind mismatch");
+    return it->second;
+}
+
+std::uint64_t
+CliParser::getUint(const std::string &name) const
+{
+    const Flag &f = find(name, Kind::Uint);
+    try {
+        return std::stoull(f.value);
+    } catch (const std::exception &) {
+        throw ConfigError("flag --" + name + " expects an unsigned integer, "
+                          "got `" + f.value + "'");
+    }
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    const Flag &f = find(name, Kind::Double);
+    try {
+        return std::stod(f.value);
+    } catch (const std::exception &) {
+        throw ConfigError("flag --" + name + " expects a number, got `" +
+                          f.value + "'");
+    }
+}
+
+const std::string &
+CliParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+bool
+CliParser::getBool(const std::string &name) const
+{
+    const Flag &f = find(name, Kind::Bool);
+    if (f.value == "true" || f.value == "1" || f.value == "yes")
+        return true;
+    if (f.value == "false" || f.value == "0" || f.value == "no")
+        return false;
+    throw ConfigError("flag --" + name + " expects a boolean, got `" +
+                      f.value + "'");
+}
+
+void
+CliParser::printHelp() const
+{
+    std::printf("%s — %s\n\nFlags:\n", prog.c_str(), description.c_str());
+    for (const auto &name : order) {
+        const Flag &f = flags.at(name);
+        std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                    f.help.c_str(), f.defaultValue.c_str());
+    }
+    std::printf("  --%-18s %s\n", "help", "show this message");
+}
+
+} // namespace aegis

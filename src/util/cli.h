@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by the bench and example
+ * binaries. Supports --key=value and --key value forms plus --help.
+ */
+
+#ifndef AEGIS_UTIL_CLI_H
+#define AEGIS_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aegis {
+
+/**
+ * Flag registry + parser. Typical use:
+ * @code
+ *   CliParser cli("fig5", "Reproduce Figure 5");
+ *   cli.addUint("pages", 256, "pages per Monte-Carlo run");
+ *   cli.parse(argc, argv);           // exits(0) on --help
+ *   auto pages = cli.getUint("pages");
+ * @endcode
+ */
+class CliParser
+{
+  public:
+    CliParser(std::string prog, std::string description);
+
+    void addUint(const std::string &name, std::uint64_t def,
+                 const std::string &help);
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addBool(const std::string &name, bool def,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Unknown flags raise ConfigError; --help prints usage
+     * and returns false (caller should exit 0).
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Print usage to stdout. */
+    void printHelp() const;
+
+  private:
+    enum class Kind { Uint, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    void setValue(const std::string &name, const std::string &value);
+
+    std::string prog;
+    std::string description;
+    std::map<std::string, Flag> flags;
+    std::vector<std::string> order;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_CLI_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error-handling primitives for the aegis-pcm library.
+ *
+ * Following the gem5 convention we distinguish two failure classes:
+ *  - panic-class failures (AEGIS_ASSERT): internal invariant violations,
+ *    i.e. bugs in this library. These abort via std::logic_error.
+ *  - fatal-class failures (AEGIS_REQUIRE): invalid configuration or
+ *    arguments supplied by the caller. These throw std::invalid_argument
+ *    so applications can catch and report them.
+ */
+
+#ifndef AEGIS_UTIL_ERROR_H
+#define AEGIS_UTIL_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aegis {
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Exception thrown for invalid user-supplied configuration. */
+class ConfigError : public std::invalid_argument
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::invalid_argument(what)
+    {}
+};
+
+namespace detail {
+
+/** Compose a "file:line: message" diagnostic string. */
+inline std::string
+formatDiagnostic(const char *file, int line, const char *expr,
+                 const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": ";
+    if (expr)
+        os << "check `" << expr << "' failed";
+    if (!msg.empty()) {
+        if (expr)
+            os << ": ";
+        os << msg;
+    }
+    return os.str();
+}
+
+} // namespace detail
+} // namespace aegis
+
+/**
+ * Assert an internal invariant. Failure indicates a bug in aegis-pcm
+ * itself, never a user error.
+ */
+#define AEGIS_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::aegis::InternalError(::aegis::detail::formatDiagnostic( \
+                __FILE__, __LINE__, #cond, (msg)));                         \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Validate a user-supplied precondition (configuration, arguments).
+ * Failure is the caller's fault and throws ConfigError.
+ */
+#define AEGIS_REQUIRE(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::aegis::ConfigError(::aegis::detail::formatDiagnostic(   \
+                __FILE__, __LINE__, #cond, (msg)));                         \
+        }                                                                   \
+    } while (0)
+
+#endif // AEGIS_UTIL_ERROR_H

@@ -1,0 +1,120 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis {
+
+void
+Histogram::add(std::int64_t key, std::uint64_t weight)
+{
+    bins[key] += weight;
+    totalCount += weight;
+}
+
+std::uint64_t
+Histogram::countOf(std::int64_t key) const
+{
+    const auto it = bins.find(key);
+    return it == bins.end() ? 0 : it->second;
+}
+
+std::int64_t
+Histogram::minKey() const
+{
+    AEGIS_REQUIRE(!bins.empty(), "minKey of an empty histogram");
+    return bins.begin()->first;
+}
+
+std::int64_t
+Histogram::maxKey() const
+{
+    AEGIS_REQUIRE(!bins.empty(), "maxKey of an empty histogram");
+    return bins.rbegin()->first;
+}
+
+double
+Histogram::cdf(std::int64_t key) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (const auto &[k, c] : bins) {
+        if (k > key)
+            break;
+        below += c;
+    }
+    return static_cast<double>(below) / static_cast<double>(totalCount);
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+Histogram::items() const
+{
+    return {bins.begin(), bins.end()};
+}
+
+void
+SurvivalCurve::addDeath(double time)
+{
+    deaths.push_back(time);
+    dirty = true;
+}
+
+void
+SurvivalCurve::ensureSorted() const
+{
+    if (dirty) {
+        std::sort(deaths.begin(), deaths.end());
+        dirty = false;
+    }
+}
+
+double
+SurvivalCurve::aliveFraction(double time) const
+{
+    if (deaths.empty())
+        return 1.0;
+    ensureSorted();
+    const auto it = std::upper_bound(deaths.begin(), deaths.end(), time);
+    const auto dead = static_cast<std::size_t>(it - deaths.begin());
+    return 1.0 -
+           static_cast<double>(dead) / static_cast<double>(deaths.size());
+}
+
+double
+SurvivalCurve::timeToFraction(double fraction) const
+{
+    AEGIS_REQUIRE(!deaths.empty(), "timeToFraction of empty population");
+    AEGIS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                  "fraction must be in [0, 1]");
+    ensureSorted();
+    // After k deaths, alive fraction is 1 - k/n; we need the smallest
+    // death time where 1 - k/n <= fraction, i.e. k >= n (1 - fraction).
+    const double n = static_cast<double>(deaths.size());
+    std::size_t k = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(n * (1.0 - fraction))));
+    if (k > deaths.size())
+        k = deaths.size();
+    return deaths[k - 1];
+}
+
+std::vector<std::pair<double, double>>
+SurvivalCurve::sample(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (deaths.empty() || points == 0)
+        return out;
+    ensureSorted();
+    const double tmax = deaths.back();
+    out.reserve(points + 1);
+    for (std::size_t i = 0; i <= points; ++i) {
+        const double t =
+            tmax * static_cast<double>(i) / static_cast<double>(points);
+        out.emplace_back(t, aliveFraction(t));
+    }
+    return out;
+}
+
+} // namespace aegis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Simple integer-keyed histogram and survival-curve helpers.
+ *
+ * Figure 8 (block failure probability vs. fault count) and Figure 9
+ * (page survival vs. writes) are cumulative distributions; this module
+ * turns raw Monte-Carlo samples into those curves.
+ */
+
+#ifndef AEGIS_UTIL_HISTOGRAM_H
+#define AEGIS_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace aegis {
+
+/** Count occurrences of integer keys (e.g. faults survived per block). */
+class Histogram
+{
+  public:
+    void add(std::int64_t key, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return totalCount; }
+
+    std::uint64_t countOf(std::int64_t key) const;
+
+    std::int64_t minKey() const;
+    std::int64_t maxKey() const;
+
+    /**
+     * Fraction of samples with key <= @p key; the empirical CDF.
+     * For Figure 8 the sample is "number of faults at which the block
+     * died", so cdf(j) is the probability a block has failed once j
+     * faults have occurred.
+     */
+    double cdf(std::int64_t key) const;
+
+    /** 1 - cdf: the empirical survival function. */
+    double survival(std::int64_t key) const { return 1.0 - cdf(key); }
+
+    /** All (key, count) pairs in key order. */
+    std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins;
+    std::uint64_t totalCount = 0;
+};
+
+/**
+ * Survival curve over a continuous axis (e.g. page writes): given the
+ * death times of a population, evaluates the fraction still alive at a
+ * grid of time points, and the time at which a target fraction remains
+ * (the paper's "half lifetime" uses fraction 0.5).
+ */
+class SurvivalCurve
+{
+  public:
+    void addDeath(double time);
+
+    std::size_t population() const { return deaths.size(); }
+
+    /** Fraction alive strictly after @p time. */
+    double aliveFraction(double time) const;
+
+    /**
+     * Smallest death time t such that at most @p fraction of the
+     * population is still alive at t (e.g. fraction=0.5 gives the
+     * paper's half lifetime). Requires a non-empty population.
+     */
+    double timeToFraction(double fraction) const;
+
+    /** Sample (time, aliveFraction) at @p points evenly spaced times. */
+    std::vector<std::pair<double, double>> sample(std::size_t points) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> deaths;
+    mutable bool dirty = false;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_HISTOGRAM_H

@@ -1,0 +1,70 @@
+#include "util/primes.h"
+
+#include "util/error.h"
+
+namespace aegis {
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    if (n < 4)
+        return true;
+    if (n % 2 == 0 || n % 3 == 0)
+        return false;
+    for (std::uint64_t d = 5; d * d <= n; d += 6) {
+        if (n % d == 0 || n % (d + 2) == 0)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+nextPrime(std::uint64_t n)
+{
+    AEGIS_REQUIRE(n >= 2, "nextPrime requires n >= 2");
+    while (!isPrime(n))
+        ++n;
+    return n;
+}
+
+std::uint64_t
+prevPrime(std::uint64_t n)
+{
+    while (n >= 2) {
+        if (isPrime(n))
+            return n;
+        --n;
+    }
+    return 0;
+}
+
+std::vector<std::uint64_t>
+primesInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t n = lo < 2 ? 2 : lo; n <= hi; ++n) {
+        if (isPrime(n))
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::uint64_t
+modInverse(std::uint64_t a, std::uint64_t p)
+{
+    AEGIS_REQUIRE(isPrime(p), "modInverse requires a prime modulus");
+    AEGIS_REQUIRE(a >= 1 && a < p, "modInverse requires 1 <= a < p");
+    // Fermat: a^(p-2) mod p.
+    std::uint64_t result = 1, base = a % p, exp = p - 2;
+    while (exp > 0) {
+        if (exp & 1)
+            result = result * base % p;
+        base = base * base % p;
+        exp >>= 1;
+    }
+    return result;
+}
+
+} // namespace aegis

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Prime-number helpers for the Aegis partition scheme.
+ *
+ * Aegis requires the rectangle height B to be prime (Theorem 2 of the
+ * paper relies on Z_B being a field). Configuration search needs
+ * primality tests and next/previous prime queries; the values involved
+ * are tiny (B <= a few thousand) so trial division is plenty.
+ */
+
+#ifndef AEGIS_UTIL_PRIMES_H
+#define AEGIS_UTIL_PRIMES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aegis {
+
+/** True when @p n is prime. */
+bool isPrime(std::uint64_t n);
+
+/** Smallest prime >= @p n. @p n must be >= 2. */
+std::uint64_t nextPrime(std::uint64_t n);
+
+/** Largest prime <= @p n, or 0 when none exists (n < 2). */
+std::uint64_t prevPrime(std::uint64_t n);
+
+/** All primes in [lo, hi], ascending. */
+std::vector<std::uint64_t> primesInRange(std::uint64_t lo,
+                                         std::uint64_t hi);
+
+/**
+ * Modular multiplicative inverse of @p a modulo prime @p p
+ * (1 <= a < p). Used by partition-math tests.
+ */
+std::uint64_t modInverse(std::uint64_t a, std::uint64_t p);
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_PRIMES_H

@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+
+/** SplitMix64 step; used for seeding and stream derivation. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : seedValue(seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitMix64(s);
+    // xoshiro must not start from the all-zero state.
+    if ((state[0] | state[1] | state[2] | state[3]) == 0)
+        state[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    AEGIS_ASSERT(bound > 0, "Rng::nextBounded requires bound > 0");
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 1;
+    if (p <= 1e-300)
+        return std::numeric_limits<std::uint64_t>::max();
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    const double trials = std::ceil(std::log(u) / std::log1p(-p));
+    if (trials >= 1e19)
+        return std::numeric_limits<std::uint64_t>::max();
+    return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+Rng
+Rng::split(std::uint64_t stream_id) const
+{
+    // Derive a child seed by mixing the parent seed with the stream id
+    // through two SplitMix64 rounds; parent state is untouched so the
+    // derivation is stable no matter how much the parent has generated.
+    std::uint64_t s = seedValue ^ (stream_id * 0xd6e8feb86659fd93ull);
+    (void)splitMix64(s);
+    const std::uint64_t child = splitMix64(s);
+    return Rng(child);
+}
+
+} // namespace aegis

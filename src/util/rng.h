@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic random number generation for the Monte-Carlo engine.
+ *
+ * The simulation must be reproducible (same seed, same results) and
+ * splittable (each page/block gets an independent stream derived from a
+ * master seed) so experiments can be chunked or re-run piecewise without
+ * changing their statistics. We use SplitMix64 for seeding/stream
+ * derivation and xoshiro256** as the bulk generator; both are public
+ * domain algorithms by Blackman & Vigna.
+ */
+
+#ifndef AEGIS_UTIL_RNG_H
+#define AEGIS_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace aegis {
+
+/**
+ * xoshiro256** generator with convenience distributions used by the
+ * simulator: uniform ints/doubles, Bernoulli, Gaussian (Box-Muller),
+ * and geometric.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Fair coin. */
+    bool nextBool() { return nextU64() >> 63; }
+
+    /** Bernoulli with success probability @p p. */
+    bool nextBernoulli(double p) { return nextDouble() < p; }
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /** Normal deviate with the given @p mean and @p stddev. */
+    double nextGaussian(double mean, double stddev)
+    { return mean + stddev * nextGaussian(); }
+
+    /**
+     * Number of Bernoulli(p) trials up to and including the first
+     * success (support 1, 2, ...). Returns a saturating huge value when
+     * p is 0 or denormal-small.
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Derive an independent child stream. Streams derived with distinct
+     * @p stream_id values from the same parent are statistically
+     * independent.
+     */
+    Rng split(std::uint64_t stream_id) const;
+
+  private:
+    std::uint64_t state[4];
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+    std::uint64_t seedValue = 0;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_RNG_H

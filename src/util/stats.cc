@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis {
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        minValue = maxValue = x;
+    } else {
+        minValue = std::min(minValue, x);
+        maxValue = std::max(maxValue, x);
+    }
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m - m;
+    const double total = na + nb;
+    m += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    n += other.n;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::stderrOfMean() const
+{
+    if (n < 2)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n));
+}
+
+double
+QuantileSampler::quantile(double q) const
+{
+    AEGIS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    AEGIS_REQUIRE(!samples.empty(), "quantile of an empty sampler");
+    if (dirty) {
+        std::sort(samples.begin(), samples.end());
+        dirty = false;
+    }
+    if (samples.size() == 1)
+        return samples.front();
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace aegis

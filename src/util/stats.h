@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming statistics used to aggregate Monte-Carlo results.
+ */
+
+#ifndef AEGIS_UTIL_STATS_H
+#define AEGIS_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace aegis {
+
+/**
+ * Single-pass mean/variance accumulator (Welford's algorithm) with
+ * min/max tracking. Numerically stable for the large write counts the
+ * simulator produces.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (Chan et al.). */
+    void merge(const RunningStat &other);
+
+    /** Number of observations. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than 2 observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double stderrOfMean() const;
+
+    /** Half-width of the ~95% confidence interval on the mean. */
+    double ci95() const { return 1.96 * stderrOfMean(); }
+
+    double min() const { return n ? minValue : 0.0; }
+    double max() const { return n ? maxValue : 0.0; }
+    double sum() const { return m * static_cast<double>(n); }
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+/**
+ * Exact quantile estimator: stores samples and sorts on demand.
+ * Monte-Carlo runs here hold at most a few hundred thousand samples,
+ * so exact storage is simpler and more trustworthy than P2-style
+ * approximations.
+ */
+class QuantileSampler
+{
+  public:
+    void add(double x) { samples.push_back(x); dirty = true; }
+
+    std::size_t count() const { return samples.size(); }
+
+    /**
+     * Quantile @p q in [0, 1] via linear interpolation between order
+     * statistics; q=0.5 is the median.
+     */
+    double quantile(double q) const;
+
+    /** Median shorthand. */
+    double median() const { return quantile(0.5); }
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool dirty = false;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_STATS_H

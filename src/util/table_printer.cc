@@ -1,0 +1,130 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace aegis {
+
+TablePrinter::TablePrinter(std::string title)
+    : title(std::move(title))
+{}
+
+void
+TablePrinter::setHeader(std::vector<std::string> new_header)
+{
+    AEGIS_REQUIRE(rows.empty(), "set the header before adding rows");
+    header = std::move(new_header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (!header.empty()) {
+        AEGIS_REQUIRE(row.size() == header.size(),
+                      "row width must match header width");
+    }
+    rows.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::intNum(long long v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int counter = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (counter && counter % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++counter;
+    }
+    if (v < 0)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::size_t cols = header.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> width(cols, 0);
+    const auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!header.empty())
+        measure(header);
+    for (const auto &r : rows)
+        measure(r);
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << (c == 0 ? "| " : " | ")
+               << cell << std::string(width[c] - cell.size(), ' ');
+        }
+        os << " |\n";
+    };
+    const auto rule = [&] {
+        for (std::size_t c = 0; c < cols; ++c)
+            os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+        os << "-|\n";
+    };
+
+    if (!title.empty())
+        os << title << "\n";
+    rule();
+    if (!header.empty()) {
+        emit(header);
+        rule();
+    }
+    for (const auto &r : rows)
+        emit(r);
+    rule();
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    const auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out.push_back(ch);
+        }
+        out.push_back('"');
+        return out;
+    };
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &r : rows)
+        emit(r);
+}
+
+} // namespace aegis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Console table and CSV rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces one paper table/figure; this printer
+ * renders the same rows/series as aligned text (for eyeballing) and
+ * optionally CSV (for re-plotting).
+ */
+
+#ifndef AEGIS_UTIL_TABLE_PRINTER_H
+#define AEGIS_UTIL_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aegis {
+
+/** A rectangular table of strings with a header row and a title. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the header row; resets column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (must match the header width if one is set). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format integers with thousands grouping. */
+    static std::string intNum(long long v);
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_TABLE_PRINTER_H

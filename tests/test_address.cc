@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for pcm/address geometry arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/address.h"
+
+namespace aegis::pcm {
+namespace {
+
+TEST(Geometry, PaperDefaults)
+{
+    const Geometry geom{512, 4096, 2048};    // the paper's 8MB memory
+    EXPECT_EQ(geom.pageBits(), 32768u);
+    EXPECT_EQ(geom.blocksPerPage(), 64u);
+    EXPECT_EQ(geom.totalBlocks(), 131072u);
+    EXPECT_EQ(geom.totalBits(), 8ull * 1024 * 1024 * 8);
+}
+
+TEST(Geometry, CacheLineMemoryBlocks)
+{
+    // The paper's alternative memory-block size: 256-byte lines.
+    const Geometry geom{256, 256, 16};
+    EXPECT_EQ(geom.blocksPerPage(), 8u);
+    EXPECT_EQ(geom.totalBlocks(), 128u);
+}
+
+TEST(Geometry, BlockIdRoundTrip)
+{
+    const Geometry geom{512, 4096, 32};
+    for (std::uint32_t p = 0; p < geom.pages; p += 7) {
+        for (std::uint32_t b = 0; b < geom.blocksPerPage(); b += 5) {
+            const std::uint64_t id = geom.blockId(p, b);
+            EXPECT_EQ(geom.pageOfBlock(id), p);
+            EXPECT_EQ(geom.blockInPage(id), b);
+        }
+    }
+    EXPECT_EQ(geom.blockId(0, 0), 0u);
+    EXPECT_EQ(geom.blockId(1, 0), 64u);
+}
+
+TEST(Geometry, RejectsNonDividingBlockSize)
+{
+    const Geometry geom{384, 4096, 1};
+    EXPECT_THROW(geom.blocksPerPage(), ConfigError);
+}
+
+TEST(Geometry, OutOfRangeBlockAddress)
+{
+    const Geometry geom{512, 4096, 2};
+    EXPECT_THROW(geom.blockId(2, 0), InternalError);
+    EXPECT_THROW(geom.blockId(0, 64), InternalError);
+}
+
+} // namespace
+} // namespace aegis::pcm

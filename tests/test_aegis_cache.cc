@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the aegis-cache variant: same capacity as basic Aegis,
+ * single-pass writes and no wear amplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/aegis_scheme.h"
+#include "aegis/factory.h"
+#include "pcm/fail_cache.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::core {
+namespace {
+
+TEST(AegisCache, FactoryAndMetadata)
+{
+    auto scheme = makeScheme("aegis-cache-17x31", 512);
+    EXPECT_EQ(scheme->name(), "aegis-cache-17x31");
+    EXPECT_TRUE(scheme->requiresDirectory());
+    // Identical block-side metadata cost as the cache-less scheme.
+    auto plain = makeScheme("aegis-17x31", 512);
+    EXPECT_EQ(scheme->overheadBits(), plain->overheadBits());
+    EXPECT_EQ(scheme->hardFtc(), plain->hardFtc());
+}
+
+TEST(AegisCache, KnownFaultsWriteInOnePass)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisScheme aegis = AegisScheme::forHeight(23, 512, true);
+    aegis.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(512);
+    Rng rng(1);
+
+    for (int f = 0; f < 5; ++f) {
+        std::uint32_t pos;
+        do {
+            pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+        } while (cells.isStuck(pos));
+        const bool stuck = rng.nextBool();
+        cells.injectFault(pos, stuck);
+        dir->record(0, {pos, stuck});
+    }
+    for (int w = 0; w < 10; ++w) {
+        const BitVector data = BitVector::random(512, rng);
+        const auto outcome = aegis.write(cells, data);
+        ASSERT_TRUE(outcome.ok);
+        ASSERT_EQ(outcome.programPasses, 1u);
+        ASSERT_EQ(aegis.read(cells), data);
+    }
+}
+
+TEST(AegisCache, UnknownFaultsGetRecorded)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisScheme aegis = AegisScheme::forHeight(23, 256, true);
+    aegis.attachDirectory(dir.get(), 3);
+    pcm::CellArray cells(256);
+
+    cells.injectFault(50, true);
+    EXPECT_TRUE(aegis.write(cells, BitVector(256)).ok);
+    EXPECT_EQ(dir->lookup(3).size(), 1u);
+}
+
+TEST(AegisCache, WriteWithoutDirectoryRejected)
+{
+    AegisScheme aegis = AegisScheme::forHeight(23, 512, true);
+    pcm::CellArray cells(512);
+    EXPECT_THROW(aegis.write(cells, BitVector(512)), ConfigError);
+}
+
+TEST(AegisCache, TrackerHasNoAmplificationButSameCapacity)
+{
+    auto plain = makeScheme("aegis-23x23", 512);
+    auto cached = makeScheme("aegis-cache-23x23", 512);
+    auto t_plain = plain->makeTracker({});
+    auto t_cached = cached->makeTracker({});
+    EXPECT_TRUE(t_plain->dataIndependent());
+    EXPECT_TRUE(t_cached->dataIndependent());
+
+    Rng rng(2);
+    for (std::uint32_t f = 0; f < 512; ++f) {
+        const std::uint32_t pos = f * 97 % 512;
+        const bool stuck = rng.nextBool();
+        const auto v1 = t_plain->onFault({pos, stuck});
+        const auto v2 = t_cached->onFault({pos, stuck});
+        ASSERT_EQ(v1, v2) << "capacity must be identical";
+        if (v1 == scheme::FaultVerdict::Dead)
+            break;
+        EXPECT_FALSE(t_plain->amplifiedCells().empty());
+        EXPECT_TRUE(t_cached->amplifiedCells().empty());
+    }
+}
+
+} // namespace
+} // namespace aegis::core

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit and property tests for the basic Aegis scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/aegis_scheme.h"
+#include "aegis/cost.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::core {
+namespace {
+
+TEST(Aegis, MetadataBasics)
+{
+    const AegisScheme aegis = AegisScheme::forHeight(61, 512);
+    EXPECT_EQ(aegis.name(), "aegis-9x61");
+    EXPECT_EQ(aegis.blockBits(), 512u);
+    EXPECT_EQ(aegis.overheadBits(), 67u);    // 6-bit counter + 61 flags
+    EXPECT_EQ(aegis.hardFtc(), 11u);
+    EXPECT_FALSE(aegis.requiresDirectory());
+}
+
+TEST(Aegis, CleanRoundTrip)
+{
+    AegisScheme aegis = AegisScheme::forHeight(23, 512);
+    pcm::CellArray cells(512);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        const BitVector data = BitVector::random(512, rng);
+        const auto outcome = aegis.write(cells, data);
+        EXPECT_TRUE(outcome.ok);
+        EXPECT_EQ(outcome.programPasses, 1u);
+        EXPECT_EQ(aegis.read(cells), data);
+    }
+    EXPECT_EQ(aegis.currentSlope(), 0u);
+}
+
+TEST(Aegis, MasksOneWrongFaultWithInversion)
+{
+    AegisScheme aegis(5, 7, 32);
+    pcm::CellArray cells(32);
+    cells.injectFault(10, true);
+    const BitVector zeros(32);
+    const auto outcome = aegis.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_GE(outcome.programPasses, 2u);
+    EXPECT_EQ(outcome.newFaults, 1u);
+    EXPECT_EQ(aegis.read(cells), zeros);
+    // The fault's group is flagged inverted.
+    const std::uint32_t g =
+        aegis.partition().groupOf(10, aegis.currentSlope());
+    EXPECT_TRUE(aegis.inversionVector().get(g));
+}
+
+TEST(Aegis, RightFaultStaysInvisible)
+{
+    AegisScheme aegis(5, 7, 32);
+    pcm::CellArray cells(32);
+    cells.injectFault(10, true);
+    BitVector data(32);
+    data.set(10, true);    // stuck value equals the data
+    const auto outcome = aegis.write(cells, data);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.programPasses, 1u);
+    EXPECT_EQ(outcome.newFaults, 0u);
+    EXPECT_EQ(aegis.read(cells), data);
+}
+
+TEST(Aegis, CollisionForcesRepartition)
+{
+    // Two faults in the same slope-0 group (same row) with opposite
+    // needs force a slope change.
+    const AegisScheme proto = AegisScheme::forHeight(23, 512);
+    const Partition &part = proto.partition();
+    AegisScheme aegis = proto;
+    pcm::CellArray cells(512);
+
+    // Same row, different columns => same group under slope 0.
+    const std::uint32_t pos1 = 3;              // (0, 3)
+    const std::uint32_t pos2 = 23 + 3;         // (1, 3)
+    ASSERT_EQ(part.groupOf(pos1, 0), part.groupOf(pos2, 0));
+    cells.injectFault(pos1, true);
+    cells.injectFault(pos2, false);
+
+    BitVector data(512);          // wants 0: pos1 Wrong, pos2 Right
+    const auto outcome = aegis.write(cells, data);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_GE(outcome.repartitions, 1u);
+    EXPECT_NE(aegis.currentSlope(), 0u);
+    EXPECT_EQ(aegis.read(cells), data);
+}
+
+class AegisFormations
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{};
+
+TEST_P(AegisFormations, HardFtcGuaranteeHolds)
+{
+    // Property: any hardFtc()-sized fault set with any stuck values
+    // and any write data is tolerated.
+    const auto &[b, n] = GetParam();
+    const AegisScheme proto = AegisScheme::forHeight(b, n);
+    const auto guarantee = proto.hardFtc();
+    Rng rng(b * 1000 + n);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        AegisScheme aegis = proto;
+        pcm::CellArray cells(n);
+        for (std::size_t f = 0; f < guarantee; ++f) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(n));
+            } while (cells.isStuck(pos));
+            cells.injectFault(pos, rng.nextBool());
+            for (int w = 0; w < 3; ++w) {
+                const BitVector data = BitVector::random(n, rng);
+                ASSERT_TRUE(aegis.write(cells, data).ok)
+                    << "trial " << trial << " fault " << f;
+                ASSERT_EQ(aegis.read(cells), data);
+            }
+        }
+    }
+}
+
+TEST_P(AegisFormations, SoftFtcUsuallyExceedsHardFtc)
+{
+    const auto &[b, n] = GetParam();
+    const AegisScheme proto = AegisScheme::forHeight(b, n);
+    Rng rng(b * 77 + n);
+    std::size_t best = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        AegisScheme aegis = proto;
+        pcm::CellArray cells(n);
+        std::size_t survived = 0;
+        for (std::size_t f = 0; f < n; ++f) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(n));
+            } while (cells.isStuck(pos));
+            cells.injectFault(pos, rng.nextBool());
+            bool ok = true;
+            for (int w = 0; w < 4 && ok; ++w)
+                ok = aegis.write(cells, BitVector::random(n, rng)).ok;
+            if (!ok)
+                break;
+            ++survived;
+        }
+        best = std::max(best, survived);
+    }
+    EXPECT_GT(best, proto.hardFtc());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formations, AegisFormations,
+    ::testing::Values(std::make_pair(23u, 512u),
+                      std::make_pair(31u, 512u),
+                      std::make_pair(61u, 512u),
+                      std::make_pair(23u, 256u),
+                      std::make_pair(31u, 256u),
+                      std::make_pair(7u, 32u)));
+
+TEST(Aegis, MetadataSurvivesAcrossWrites)
+{
+    // After many faulty writes the (slope, inversion vector) pair
+    // must keep decoding whatever was last written.
+    AegisScheme aegis = AegisScheme::forHeight(23, 256);
+    pcm::CellArray cells(256);
+    Rng rng(5);
+    BitVector last(256);
+    for (int step = 0; step < 60; ++step) {
+        if (step % 5 == 0 && cells.faultCount() < 8) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(256));
+            } while (cells.isStuck(pos));
+            cells.injectFault(pos, rng.nextBool());
+        }
+        last = BitVector::random(256, rng);
+        ASSERT_TRUE(aegis.write(cells, last).ok);
+        ASSERT_EQ(aegis.read(cells), last);
+    }
+    EXPECT_EQ(aegis.read(cells), last);
+}
+
+TEST(Aegis, EventualFailureIsDetected)
+{
+    // Keep adding faults: the scheme must eventually report an
+    // unrecoverable write rather than corrupt data silently.
+    AegisScheme aegis(5, 7, 32);
+    pcm::CellArray cells(32);
+    Rng rng(7);
+    bool failed = false;
+    for (std::uint32_t f = 0; f < 32 && !failed; ++f) {
+        std::uint32_t pos;
+        do {
+            pos = static_cast<std::uint32_t>(rng.nextBounded(32));
+        } while (cells.isStuck(pos));
+        cells.injectFault(pos, rng.nextBool());
+        for (int w = 0; w < 6; ++w) {
+            const BitVector data = BitVector::random(32, rng);
+            const auto outcome = aegis.write(cells, data);
+            if (!outcome.ok) {
+                failed = true;
+                break;
+            }
+            ASSERT_EQ(aegis.read(cells), data);
+        }
+    }
+    EXPECT_TRUE(failed);
+}
+
+TEST(Aegis, ResetClearsMetadata)
+{
+    AegisScheme aegis = AegisScheme::forHeight(23, 256);
+    pcm::CellArray cells(256);
+    cells.injectFault(5, true);
+    ASSERT_TRUE(aegis.write(cells, BitVector(256)).ok);
+    EXPECT_TRUE(aegis.inversionVector().any());
+    aegis.reset();
+    EXPECT_TRUE(aegis.inversionVector().none());
+    EXPECT_EQ(aegis.currentSlope(), 0u);
+}
+
+} // namespace
+} // namespace aegis::core

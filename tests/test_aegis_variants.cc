@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit and property tests for Aegis-rw and Aegis-rw-p.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/aegis_rw.h"
+#include "aegis/aegis_rw_p.h"
+#include "aegis/cost.h"
+#include "pcm/fail_cache.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::core {
+namespace {
+
+/** Inject a fresh random fault and mirror it into the directory. */
+std::uint32_t
+injectKnownFault(pcm::CellArray &cells, pcm::OracleFaultDirectory &dir,
+                 std::uint64_t block_id, Rng &rng)
+{
+    std::uint32_t pos;
+    do {
+        pos = static_cast<std::uint32_t>(rng.nextBounded(cells.size()));
+    } while (cells.isStuck(pos));
+    const bool stuck = rng.nextBool();
+    cells.injectFault(pos, stuck);
+    dir.record(block_id, {pos, stuck});
+    return pos;
+}
+
+TEST(AegisRw, MetadataBasics)
+{
+    const AegisRwScheme rw = AegisRwScheme::forHeight(23, 512);
+    EXPECT_EQ(rw.name(), "aegis-rw-23x23");
+    EXPECT_EQ(rw.overheadBits(), 28u);
+    EXPECT_EQ(rw.hardFtc(), 9u);    // floor(9/2)*ceil(9/2)+1 = 21 <= 23
+    EXPECT_TRUE(rw.requiresDirectory());
+}
+
+TEST(AegisRw, KnownFaultsHandledInOnePass)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisRwScheme rw = AegisRwScheme::forHeight(23, 512);
+    rw.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(512);
+    Rng rng(1);
+
+    for (int f = 0; f < 6; ++f)
+        injectKnownFault(cells, *dir, 0, rng);
+    for (int w = 0; w < 20; ++w) {
+        const BitVector data = BitVector::random(512, rng);
+        const auto outcome = rw.write(cells, data);
+        ASSERT_TRUE(outcome.ok);
+        // The fail cache knows everything: exactly one program pass.
+        ASSERT_EQ(outcome.programPasses, 1u);
+        ASSERT_EQ(rw.read(cells), data);
+    }
+}
+
+TEST(AegisRw, UnknownFaultTriggersRetryAndRecording)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisRwScheme rw = AegisRwScheme::forHeight(23, 256);
+    rw.attachDirectory(dir.get(), 9);
+    pcm::CellArray cells(256);
+
+    cells.injectFault(77, true);    // not in the directory yet
+    const BitVector zeros(256);
+    const auto outcome = rw.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.newFaults, 1u);
+    EXPECT_GE(outcome.programPasses, 2u);
+    EXPECT_EQ(dir->lookup(9).size(), 1u);
+    EXPECT_EQ(rw.read(cells), zeros);
+}
+
+TEST(AegisRw, MultipleSameTypeFaultsShareAGroup)
+{
+    // Place two faults in the same slope-0 group, both stuck at 1,
+    // and write zeros: both are Wrong, one inversion fixes both with
+    // no re-partition.
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisRwScheme rw = AegisRwScheme::forHeight(23, 512);
+    rw.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(512);
+
+    const std::uint32_t pos1 = 5;          // (0, 5)
+    const std::uint32_t pos2 = 23 + 5;     // (1, 5): same group @ k=0
+    ASSERT_EQ(rw.partition().groupOf(pos1, 0),
+              rw.partition().groupOf(pos2, 0));
+    for (std::uint32_t pos : {pos1, pos2}) {
+        cells.injectFault(pos, true);
+        dir->record(0, {pos, true});
+    }
+    const BitVector zeros(512);
+    const auto outcome = rw.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.repartitions, 0u);
+    EXPECT_EQ(rw.currentSlope(), 0u);
+    EXPECT_EQ(rw.read(cells), zeros);
+}
+
+TEST(AegisRw, HardFtcGuaranteeHolds)
+{
+    const AegisRwScheme proto = AegisRwScheme::forHeight(23, 512);
+    const std::size_t guarantee = proto.hardFtc();
+    Rng rng(3);
+    for (int trial = 0; trial < 25; ++trial) {
+        auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+        AegisRwScheme rw = proto;
+        rw.attachDirectory(dir.get(), 0);
+        pcm::CellArray cells(512);
+        for (std::size_t f = 0; f < guarantee; ++f) {
+            injectKnownFault(cells, *dir, 0, rng);
+            for (int w = 0; w < 3; ++w) {
+                const BitVector data = BitVector::random(512, rng);
+                ASSERT_TRUE(rw.write(cells, data).ok);
+                ASSERT_EQ(rw.read(cells), data);
+            }
+        }
+    }
+}
+
+TEST(AegisRwP, MetadataBasics)
+{
+    const AegisRwPScheme rwp = AegisRwPScheme::forHeight(31, 512, 5);
+    EXPECT_EQ(rwp.name(), "aegis-rw-p5-17x31");
+    // min(2*5+1, rw-FTC(31)) = min(11, 11): floor(11/2)*ceil(11/2)+1
+    // = 31 <= B = 31.
+    EXPECT_EQ(rwp.hardFtc(), 11u);
+    EXPECT_TRUE(rwp.requiresDirectory());
+    EXPECT_EQ(rwp.pointerBudget(), 5u);
+}
+
+TEST(AegisRwP, RoundTripWithKnownFaults)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisRwPScheme rwp = AegisRwPScheme::forHeight(23, 512, 4);
+    rwp.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(512);
+    Rng rng(5);
+
+    for (int f = 0; f < 8; ++f) {
+        injectKnownFault(cells, *dir, 0, rng);
+        for (int w = 0; w < 6; ++w) {
+            const BitVector data = BitVector::random(512, rng);
+            const auto outcome = rwp.write(cells, data);
+            ASSERT_TRUE(outcome.ok) << "fault " << f;
+            ASSERT_EQ(outcome.programPasses, 1u);
+            ASSERT_EQ(rwp.read(cells), data);
+        }
+    }
+}
+
+TEST(AegisRwP, ComplementCaseStoresWhenWrongGroupsOverflow)
+{
+    // 3 Wrong faults in 3 distinct groups with a 2-pointer budget:
+    // case A (point at W groups) is infeasible, case B (point at R
+    // groups, invert the rest) must kick in — here there are no R
+    // faults at all, so zero pointers suffice for case B.
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    AegisRwPScheme rwp = AegisRwPScheme::forHeight(23, 512, 2);
+    rwp.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(512);
+
+    for (std::uint32_t pos : {0u, 1u, 2u}) {    // same column is
+        cells.injectFault(pos, true);           // impossible: 0,1,2
+        dir->record(0, {pos, true});            // are rows of col 0
+    }
+    const BitVector zeros(512);    // all three Wrong
+    const auto outcome = rwp.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(rwp.read(cells), zeros);
+}
+
+TEST(AegisRwP, HardFtcGuaranteeHolds)
+{
+    const AegisRwPScheme proto = AegisRwPScheme::forHeight(23, 512, 3);
+    const std::size_t guarantee = proto.hardFtc();    // 7
+    ASSERT_EQ(guarantee, 7u);
+    Rng rng(7);
+    for (int trial = 0; trial < 25; ++trial) {
+        auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+        AegisRwPScheme rwp = proto;
+        rwp.attachDirectory(dir.get(), 0);
+        pcm::CellArray cells(512);
+        for (std::size_t f = 0; f < guarantee; ++f) {
+            injectKnownFault(cells, *dir, 0, rng);
+            for (int w = 0; w < 3; ++w) {
+                const BitVector data = BitVector::random(512, rng);
+                ASSERT_TRUE(rwp.write(cells, data).ok);
+                ASSERT_EQ(rwp.read(cells), data);
+            }
+        }
+    }
+}
+
+TEST(AegisRwP, SmallBudgetDiesBeforeLargeBudget)
+{
+    // Same fault stream: p = 1 must fail no later than p = 9.
+    Rng rng(9);
+    int small_first = 0, large_first = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+        auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+        AegisRwPScheme small = AegisRwPScheme::forHeight(23, 512, 1);
+        AegisRwPScheme large = AegisRwPScheme::forHeight(23, 512, 9);
+        small.attachDirectory(dir.get(), 0);
+        large.attachDirectory(dir.get(), 0);
+        pcm::CellArray cells_s(512), cells_l(512);
+
+        bool small_alive = true, large_alive = true;
+        for (int f = 0; f < 40 && (small_alive || large_alive); ++f) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+            } while (cells_s.isStuck(pos));
+            const bool stuck = rng.nextBool();
+            cells_s.injectFault(pos, stuck);
+            cells_l.injectFault(pos, stuck);
+            dir->record(0, {pos, stuck});
+            for (int w = 0; w < 4; ++w) {
+                const BitVector data = BitVector::random(512, rng);
+                if (small_alive)
+                    small_alive = small.write(cells_s, data).ok;
+                if (large_alive)
+                    large_alive = large.write(cells_l, data).ok;
+            }
+            if (!small_alive && large_alive) {
+                ++small_first;
+                break;
+            }
+            ASSERT_FALSE(!large_alive && small_alive)
+                << "larger budget died first (trial " << trial << ")";
+        }
+        (void)large_first;
+    }
+    EXPECT_GT(small_first, 0);
+}
+
+TEST(AegisRwP, WriteWithoutDirectoryRejected)
+{
+    AegisRwPScheme rwp = AegisRwPScheme::forHeight(23, 512, 2);
+    pcm::CellArray cells(512);
+    EXPECT_THROW(rwp.write(cells, BitVector(512)), ConfigError);
+}
+
+} // namespace
+} // namespace aegis::core

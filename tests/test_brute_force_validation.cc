@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Methodology validation: the event-driven Monte Carlo must agree
+ * with a brute-force per-write simulation of the functional layer.
+ *
+ * The brute-force reference actually performs every write against a
+ * CellArray, wears cells out according to sampled lifetimes (cells
+ * stick at their stored value once their program budget is used up),
+ * and lets the real scheme fight for survival. Differential writes
+ * produce the 0.5 base wear rate and inversion rewrites produce the
+ * amplification *naturally* here — so this test validates both the
+ * wear model and the tracker logic of the fast layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/factory.h"
+#include "sim/block_sim.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace aegis {
+namespace {
+
+struct BruteForceResult
+{
+    double lifetime;            // block writes until failure
+    std::uint32_t faults;       // faults present at failure
+};
+
+/** Run one functional block to death, wearing cells per @p life. */
+BruteForceResult
+bruteForceRun(scheme::Scheme &scheme, const std::vector<double> &life,
+              Rng &rng)
+{
+    const std::size_t n = scheme.blockBits();
+    pcm::CellArray cells(n);
+    scheme.reset();
+
+    double writes = 0;
+    while (writes < 1e7) {
+        const BitVector data = BitVector::random(n, rng);
+        const auto outcome = scheme.write(cells, data);
+        writes += 1;
+        if (!outcome.ok) {
+            return {writes,
+                    static_cast<std::uint32_t>(cells.faultCount())};
+        }
+        // Cells whose program budget is exhausted stick at whatever
+        // they currently hold.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!cells.isStuck(i) &&
+                static_cast<double>(cells.cellWritesAt(i)) >=
+                    life[i]) {
+                cells.injectFaultAtCurrentValue(i);
+            }
+        }
+    }
+    throw InternalError("brute force did not terminate");
+}
+
+BruteForceResult
+bruteForce(scheme::Scheme &scheme, const pcm::LifetimeModel &model,
+           std::uint64_t seed)
+{
+    Rng cell_rng(seed);
+    std::vector<double> life(scheme.blockBits());
+    for (double &l : life)
+        l = model.sample(cell_rng);
+    Rng write_rng(seed ^ 0xabcdef);
+    return bruteForceRun(scheme, life, write_rng);
+}
+
+class BruteForceAgreement
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(BruteForceAgreement, MeanLifetimeAndFaultsMatch)
+{
+    const std::string name = GetParam();
+    constexpr std::size_t kBits = 32;
+    constexpr int kTrials = 150;
+    auto model = pcm::makeLifetimeModel("normal", 400.0, 0.25);
+
+    // Brute force (functional layer, real wear).
+    auto scheme = core::makeScheme(name, kBits);
+    RunningStat bf_life, bf_faults;
+    for (int t = 0; t < kTrials; ++t) {
+        const BruteForceResult r =
+            bruteForce(*scheme, *model, 1000 + t);
+        bf_life.add(r.lifetime);
+        bf_faults.add(r.faults);
+    }
+
+    // Event-driven layer.
+    const sim::BlockSimulator fast(*scheme, *model, {}, {});
+    RunningStat ev_life, ev_faults;
+    for (int t = 0; t < kTrials; ++t) {
+        Rng cell_rng(5000 + t), sim_rng(9000 + t);
+        const sim::BlockLifeResult r = fast.run(cell_rng, sim_rng);
+        ev_life.add(r.deathTime);
+        ev_faults.add(r.faultsAtDeath);
+    }
+
+    // Two independent Monte Carlos of different fidelity: means must
+    // agree within a modest tolerance.
+    EXPECT_NEAR(ev_life.mean() / bf_life.mean(), 1.0, 0.15)
+        << name << ": event " << ev_life.mean() << " vs brute "
+        << bf_life.mean();
+    EXPECT_NEAR(ev_faults.mean() / bf_faults.mean(), 1.0, 0.25)
+        << name << ": event " << ev_faults.mean() << " vs brute "
+        << bf_faults.mean();
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BruteForceAgreement,
+                         ::testing::Values("none", "ecp3",
+                                           "aegis-5x7", "safer8"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+} // namespace
+} // namespace aegis

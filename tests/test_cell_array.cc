@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for pcm/cell_array: stuck-at semantics, differential
+ * writes and wear accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/cell_array.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::pcm {
+namespace {
+
+TEST(CellArray, StartsZeroedAndHealthy)
+{
+    CellArray cells(16);
+    EXPECT_EQ(cells.size(), 16u);
+    EXPECT_EQ(cells.faultCount(), 0u);
+    EXPECT_TRUE(cells.read().none());
+    EXPECT_EQ(cells.totalCellWrites(), 0u);
+}
+
+TEST(CellArray, ProgramAndRead)
+{
+    CellArray cells(8);
+    cells.programBit(3, true);
+    EXPECT_TRUE(cells.readBit(3));
+    EXPECT_FALSE(cells.readBit(2));
+    EXPECT_EQ(cells.totalCellWrites(), 1u);
+    EXPECT_EQ(cells.cellWritesAt(3), 1u);
+}
+
+TEST(CellArray, StuckCellIgnoresWritesButCountsWear)
+{
+    CellArray cells(8);
+    cells.injectFault(2, true);
+    EXPECT_TRUE(cells.readBit(2));
+    cells.programBit(2, false);
+    EXPECT_TRUE(cells.readBit(2));    // still stuck at 1
+    EXPECT_EQ(cells.cellWritesAt(2), 1u);
+}
+
+TEST(CellArray, InjectFaultAtCurrentValue)
+{
+    CellArray cells(8);
+    cells.programBit(5, true);
+    cells.injectFaultAtCurrentValue(5);
+    EXPECT_TRUE(cells.isStuck(5));
+    EXPECT_TRUE(cells.readBit(5));
+    cells.programBit(5, false);
+    EXPECT_TRUE(cells.readBit(5));
+}
+
+TEST(CellArray, ClearFaultKeepsStuckValueVisible)
+{
+    CellArray cells(4);
+    cells.injectFault(1, true);
+    cells.clearFault(1);
+    EXPECT_FALSE(cells.isStuck(1));
+    EXPECT_TRUE(cells.readBit(1));
+    cells.programBit(1, false);
+    EXPECT_FALSE(cells.readBit(1));
+    EXPECT_EQ(cells.faultCount(), 0u);
+}
+
+TEST(CellArray, FaultListIsSorted)
+{
+    CellArray cells(32);
+    cells.injectFault(20, false);
+    cells.injectFault(3, true);
+    cells.injectFault(11, true);
+    const FaultSet faults = cells.faults();
+    ASSERT_EQ(faults.size(), 3u);
+    EXPECT_EQ(faults[0].pos, 3u);
+    EXPECT_TRUE(faults[0].stuck);
+    EXPECT_EQ(faults[1].pos, 11u);
+    EXPECT_EQ(faults[2].pos, 20u);
+    EXPECT_FALSE(faults[2].stuck);
+}
+
+TEST(CellArray, DoubleInjectionCountsOnce)
+{
+    CellArray cells(8);
+    cells.injectFault(4, true);
+    cells.injectFault(4, false);    // re-stick; value updated
+    EXPECT_EQ(cells.faultCount(), 1u);
+    EXPECT_FALSE(cells.readBit(4));
+}
+
+TEST(CellArray, DifferentialWriteProgramsOnlyDiffs)
+{
+    CellArray cells(8);
+    BitVector target = BitVector::fromString("10110000");
+    EXPECT_EQ(cells.writeDifferential(target), 3u);
+    EXPECT_EQ(cells.read(), target);
+    // Re-writing the same data programs nothing.
+    EXPECT_EQ(cells.writeDifferential(target), 0u);
+    EXPECT_EQ(cells.totalCellWrites(), 3u);
+}
+
+TEST(CellArray, DifferentialWriteSeesStuckValues)
+{
+    CellArray cells(4);
+    cells.injectFault(0, true);    // stuck at 1, target wants 0
+    BitVector target(4);           // all zeros
+    // Cell 0 reads 1, differs from target 0 => programmed (in vain).
+    EXPECT_EQ(cells.writeDifferential(target), 1u);
+    EXPECT_TRUE(cells.readBit(0));
+    // Programming again: still differs, still programmed.
+    EXPECT_EQ(cells.writeDifferential(target), 1u);
+}
+
+TEST(CellArray, BlindWriteProgramsEverything)
+{
+    CellArray cells(16);
+    Rng rng(3);
+    const BitVector target = BitVector::random(16, rng);
+    EXPECT_EQ(cells.writeBlind(target), 16u);
+    EXPECT_EQ(cells.read(), target);
+    EXPECT_EQ(cells.totalCellWrites(), 16u);
+}
+
+TEST(CellArray, ReadCombinesStoredAndStuck)
+{
+    CellArray cells(4);
+    cells.programBit(0, true);
+    cells.injectFault(1, true);
+    cells.injectFault(2, false);
+    cells.programBit(3, true);
+    EXPECT_EQ(cells.read().toString(), "1101");
+}
+
+TEST(CellArray, SizeMismatchRejected)
+{
+    CellArray cells(8);
+    EXPECT_THROW(cells.writeDifferential(BitVector(9)), ConfigError);
+    EXPECT_THROW(cells.writeBlind(BitVector(7)), ConfigError);
+}
+
+TEST(CellArray, ZeroSizeRejected)
+{
+    EXPECT_THROW(CellArray cells(0), ConfigError);
+}
+
+} // namespace
+} // namespace aegis::pcm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the ECP baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scheme/ecp.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::scheme {
+namespace {
+
+TEST(Ecp, MetadataBasics)
+{
+    EcpScheme ecp(512, 6);
+    EXPECT_EQ(ecp.name(), "ecp6");
+    EXPECT_EQ(ecp.blockBits(), 512u);
+    EXPECT_EQ(ecp.overheadBits(), 61u);
+    EXPECT_EQ(ecp.hardFtc(), 6u);
+    EXPECT_FALSE(ecp.requiresDirectory());
+}
+
+TEST(Ecp, CleanRoundTrip)
+{
+    EcpScheme ecp(128, 2);
+    pcm::CellArray cells(128);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        const BitVector data = BitVector::random(128, rng);
+        EXPECT_TRUE(ecp.write(cells, data).ok);
+        EXPECT_EQ(ecp.read(cells), data);
+    }
+    EXPECT_EQ(ecp.entriesUsed(), 0u);
+}
+
+TEST(Ecp, CorrectsUpToNFaults)
+{
+    constexpr std::size_t kEntries = 4;
+    EcpScheme ecp(256, kEntries);
+    pcm::CellArray cells(256);
+    Rng rng(2);
+
+    for (std::size_t f = 0; f < kEntries; ++f) {
+        cells.injectFault(f * 37 + 5, rng.nextBool());
+        for (int w = 0; w < 8; ++w) {
+            const BitVector data = BitVector::random(256, rng);
+            ASSERT_TRUE(ecp.write(cells, data).ok)
+                << "fault " << f << " write " << w;
+            ASSERT_EQ(ecp.read(cells), data);
+        }
+    }
+    EXPECT_EQ(ecp.entriesUsed(), kEntries);
+}
+
+TEST(Ecp, FailsOnFaultNPlusOne)
+{
+    EcpScheme ecp(256, 2);
+    pcm::CellArray cells(256);
+    Rng rng(3);
+    cells.injectFault(10, true);
+    cells.injectFault(20, true);
+    cells.injectFault(30, true);
+    // Writing all-zeros makes every stuck-at-1 fault visible at once.
+    const BitVector zeros(256);
+    EXPECT_FALSE(ecp.write(cells, zeros).ok);
+}
+
+TEST(Ecp, SoftEqualsHardFtc)
+{
+    // Unlike the inversion schemes, ECP cannot exceed its pointer
+    // budget no matter how favorable the data is.
+    EcpScheme ecp(512, 3);
+    pcm::CellArray cells(512);
+    Rng rng(4);
+    std::size_t tolerated = 0;
+    for (std::size_t f = 0; f < 10; ++f) {
+        cells.injectFault(f * 41 + 1, rng.nextBool());
+        bool all_ok = true;
+        for (int w = 0; w < 16 && all_ok; ++w)
+            all_ok = ecp.write(cells, BitVector::random(512, rng)).ok;
+        if (!all_ok)
+            break;
+        ++tolerated;
+    }
+    EXPECT_EQ(tolerated, 3u);
+}
+
+TEST(Ecp, ReplacementBitsTrackLatestData)
+{
+    EcpScheme ecp(64, 1);
+    pcm::CellArray cells(64);
+    cells.injectFault(7, true);
+
+    BitVector a(64);
+    EXPECT_TRUE(ecp.write(cells, a).ok);    // fault revealed: wants 0
+    EXPECT_EQ(ecp.read(cells), a);
+
+    BitVector b(64);
+    b.set(7, true);
+    EXPECT_TRUE(ecp.write(cells, b).ok);
+    EXPECT_EQ(ecp.read(cells), b);
+    EXPECT_EQ(ecp.entriesUsed(), 1u);
+}
+
+TEST(Ecp, HiddenFaultConsumesNoEntry)
+{
+    EcpScheme ecp(64, 1);
+    pcm::CellArray cells(64);
+    cells.injectFault(3, true);
+    BitVector data(64);
+    data.set(3, true);    // stuck value matches: fault invisible
+    EXPECT_TRUE(ecp.write(cells, data).ok);
+    EXPECT_EQ(ecp.entriesUsed(), 0u);
+}
+
+TEST(Ecp, ResetRestoresCapacity)
+{
+    EcpScheme ecp(64, 1);
+    pcm::CellArray cells(64);
+    cells.injectFault(3, true);
+    EXPECT_TRUE(ecp.write(cells, BitVector(64)).ok);
+    EXPECT_EQ(ecp.entriesUsed(), 1u);
+    ecp.reset();
+    EXPECT_EQ(ecp.entriesUsed(), 0u);
+}
+
+TEST(Ecp, TrackerMatchesPointerBudget)
+{
+    EcpScheme ecp(512, 4);
+    auto tracker = ecp.makeTracker({});
+    Rng rng(5);
+    for (std::uint32_t f = 1; f <= 4; ++f) {
+        EXPECT_EQ(tracker->onFault({f * 10, true}), FaultVerdict::Alive);
+        EXPECT_EQ(tracker->writeFailureProbability(rng), 0.0);
+    }
+    EXPECT_EQ(tracker->onFault({50, false}), FaultVerdict::Dead);
+    EXPECT_EQ(tracker->writeFailureProbability(rng), 1.0);
+    EXPECT_TRUE(tracker->amplifiedCells().empty());
+    EXPECT_EQ(tracker->faultCount(), 5u);
+}
+
+TEST(Ecp, CloneIsIndependent)
+{
+    EcpScheme ecp(64, 2);
+    pcm::CellArray cells(64);
+    cells.injectFault(1, true);
+    EXPECT_TRUE(ecp.write(cells, BitVector(64)).ok);
+    auto copy = ecp.clone();
+    ecp.reset();
+    EXPECT_EQ(ecp.entriesUsed(), 0u);
+    EXPECT_EQ(static_cast<EcpScheme &>(*copy).entriesUsed(), 1u);
+}
+
+} // namespace
+} // namespace aegis::scheme

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the (72,64) Hamming SEC-DED codec and scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scheme/hamming.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::scheme {
+namespace {
+
+using Status = HammingCodec::Status;
+
+TEST(HammingCodec, CleanDecode)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t data = rng.nextU64();
+        const std::uint8_t check = HammingCodec::encode(data);
+        std::uint64_t word = data;
+        EXPECT_EQ(HammingCodec::decode(word, check), Status::Clean);
+        EXPECT_EQ(word, data);
+    }
+}
+
+TEST(HammingCodec, CorrectsEverySingleDataBitError)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::uint64_t data = rng.nextU64();
+        const std::uint8_t check = HammingCodec::encode(data);
+        for (int bit = 0; bit < 64; ++bit) {
+            std::uint64_t word = data ^ (1ull << bit);
+            EXPECT_EQ(HammingCodec::decode(word, check),
+                      Status::Corrected);
+            EXPECT_EQ(word, data) << "bit " << bit;
+        }
+    }
+}
+
+TEST(HammingCodec, CorrectsCheckBitErrors)
+{
+    Rng rng(3);
+    const std::uint64_t data = rng.nextU64();
+    const std::uint8_t check = HammingCodec::encode(data);
+    for (int bit = 0; bit < 8; ++bit) {
+        std::uint64_t word = data;
+        const std::uint8_t bad = check ^ static_cast<std::uint8_t>(
+            1u << bit);
+        EXPECT_EQ(HammingCodec::decode(word, bad), Status::Corrected);
+        EXPECT_EQ(word, data) << "check bit " << bit;
+    }
+}
+
+TEST(HammingCodec, DetectsDoubleDataErrors)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint64_t data = rng.nextU64();
+        const std::uint8_t check = HammingCodec::encode(data);
+        const int b1 = static_cast<int>(rng.nextBounded(64));
+        int b2;
+        do {
+            b2 = static_cast<int>(rng.nextBounded(64));
+        } while (b2 == b1);
+        std::uint64_t word = data ^ (1ull << b1) ^ (1ull << b2);
+        EXPECT_EQ(HammingCodec::decode(word, check),
+                  Status::Uncorrectable);
+    }
+}
+
+TEST(Hamming, MetadataBasics)
+{
+    HammingScheme ecc(512);
+    EXPECT_EQ(ecc.name(), "hamming72_64");
+    EXPECT_EQ(ecc.overheadBits(), 64u);
+    EXPECT_EQ(ecc.hardFtc(), 1u);
+}
+
+TEST(Hamming, CleanRoundTrip)
+{
+    HammingScheme ecc(128);
+    pcm::CellArray cells(128);
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i) {
+        const BitVector data = BitVector::random(128, rng);
+        EXPECT_TRUE(ecc.write(cells, data).ok);
+        EXPECT_EQ(ecc.read(cells), data);
+    }
+}
+
+TEST(Hamming, OneFaultPerWordIsAlwaysCorrected)
+{
+    HammingScheme ecc(256);
+    pcm::CellArray cells(256);
+    Rng rng(6);
+    // One fault in each of the four 64-bit words.
+    for (int w = 0; w < 4; ++w)
+        cells.injectFault(w * 64 + 13, rng.nextBool());
+    for (int i = 0; i < 20; ++i) {
+        const BitVector data = BitVector::random(256, rng);
+        ASSERT_TRUE(ecc.write(cells, data).ok);
+        ASSERT_EQ(ecc.read(cells), data);
+    }
+}
+
+TEST(Hamming, TwoWrongFaultsInAWordFail)
+{
+    HammingScheme ecc(64);
+    pcm::CellArray cells(64);
+    cells.injectFault(3, true);
+    cells.injectFault(40, true);
+    // Both faults Wrong for an all-zero write.
+    EXPECT_FALSE(ecc.write(cells, BitVector(64)).ok);
+    // Both Right for an all-ones write: fine.
+    EXPECT_TRUE(ecc.write(cells, BitVector(64, true)).ok);
+}
+
+TEST(Hamming, TrackerExactFailureProbability)
+{
+    HammingScheme ecc(128);
+    auto tracker = ecc.makeTracker({});
+    Rng rng(7);
+    EXPECT_EQ(tracker->writeFailureProbability(rng), 0.0);
+
+    tracker->onFault({0, true});         // word 0: m = 1 -> ok
+    EXPECT_DOUBLE_EQ(tracker->writeFailureProbability(rng), 0.0);
+
+    tracker->onFault({5, true});         // word 0: m = 2
+    // P(word fails) = 1 - 3/4 = 1/4.
+    EXPECT_DOUBLE_EQ(tracker->writeFailureProbability(rng), 0.25);
+
+    tracker->onFault({64, true});        // word 1: m = 1
+    EXPECT_DOUBLE_EQ(tracker->writeFailureProbability(rng), 0.25);
+
+    tracker->onFault({70, true});        // word 1: m = 2
+    // 1 - (3/4)^2.
+    EXPECT_DOUBLE_EQ(tracker->writeFailureProbability(rng),
+                     1.0 - 9.0 / 16.0);
+    EXPECT_EQ(tracker->faultCount(), 4u);
+}
+
+TEST(Hamming, RejectsBadSizes)
+{
+    EXPECT_THROW(HammingScheme ecc(100), ConfigError);
+    EXPECT_THROW(HammingScheme ecc(32), ConfigError);
+}
+
+} // namespace
+} // namespace aegis::scheme

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Direct tests of the shared partition-and-inversion write driver
+ * using two deliberately simple mock partitions:
+ *  - XorPartition: group = (pos ^ mask) % 7 with the mask cycling on
+ *    re-partition — collisions genuinely move between configurations;
+ *  - RigidPartition: group = pos % 8 with no effective re-partition —
+ *    congruent positions are unseparable, exercising the failure
+ *    path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scheme/inversion_driver.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::scheme {
+namespace {
+
+/** Groups by (pos ^ mask) % 7; re-partition cycles the mask. */
+class XorPartition : public GroupPartition
+{
+  public:
+    explicit XorPartition(std::size_t bits)
+        : bits(bits)
+    {}
+
+    std::size_t groupCount() const override { return 7; }
+
+    std::size_t groupOf(std::size_t pos) const override
+    { return (pos ^ mask) % 7; }
+
+    bool
+    separate(const pcm::FaultSet &faults,
+             std::uint32_t &repartitions) override
+    {
+        for (std::size_t trial = 0; trial < 8; ++trial) {
+            if (separated(faults))
+                return true;
+            mask = (mask + 1) % 8;
+            ++repartitions;
+        }
+        return separated(faults);
+    }
+
+    void resetConfig() override { mask = 0; }
+
+    std::size_t currentMask() const { return mask; }
+
+  private:
+    bool
+    separated(const pcm::FaultSet &faults) const
+    {
+        std::vector<bool> used(7, false);
+        for (const pcm::Fault &f : faults) {
+            const std::size_t g = groupOf(f.pos);
+            if (used[g])
+                return false;
+            used[g] = true;
+        }
+        return true;
+    }
+
+    std::size_t bits;
+    std::size_t mask = 0;
+};
+
+/** Groups rigidly by pos % 8; separate() only reports the truth. */
+class RigidPartition : public GroupPartition
+{
+  public:
+    std::size_t groupCount() const override { return 8; }
+
+    std::size_t groupOf(std::size_t pos) const override
+    { return pos % 8; }
+
+    bool
+    separate(const pcm::FaultSet &faults, std::uint32_t &) override
+    {
+        std::vector<bool> used(8, false);
+        for (const pcm::Fault &f : faults) {
+            if (used[f.pos % 8])
+                return false;
+            used[f.pos % 8] = true;
+        }
+        return true;
+    }
+
+    void resetConfig() override {}
+};
+
+TEST(InversionDriver, CleanWriteIsSinglePass)
+{
+    XorPartition part(32);
+    pcm::CellArray cells(32);
+    BitVector inv;
+    pcm::FaultSet known;
+    Rng rng(1);
+    const BitVector data = BitVector::random(32, rng);
+    const WriteOutcome out =
+        writeWithInversion(cells, data, part, inv, known);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.programPasses, 1u);
+    EXPECT_EQ(out.newFaults, 0u);
+    EXPECT_TRUE(inv.none());
+    EXPECT_EQ(cells.read(), data);
+}
+
+TEST(InversionDriver, DiscoversAndMasksAWrongFault)
+{
+    XorPartition part(32);
+    pcm::CellArray cells(32);
+    cells.injectFault(5, true);
+    BitVector inv;
+    pcm::FaultSet known;
+    const BitVector zeros(32);
+    const WriteOutcome out =
+        writeWithInversion(cells, zeros, part, inv, known);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.newFaults, 1u);
+    ASSERT_EQ(known.size(), 1u);
+    EXPECT_EQ(known[0].pos, 5u);
+    EXPECT_TRUE(known[0].stuck);
+    EXPECT_TRUE(inv.get(part.groupOf(5)));
+    EXPECT_EQ(applyGroupInversion(cells.read(), part, inv), zeros);
+}
+
+TEST(InversionDriver, PreloadedKnowledgeAvoidsRework)
+{
+    XorPartition part(32);
+    pcm::CellArray cells(32);
+    cells.injectFault(5, true);
+    BitVector inv;
+    pcm::FaultSet known{{5, true}};
+    const BitVector zeros(32);
+    const WriteOutcome out =
+        writeWithInversion(cells, zeros, part, inv, known);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.programPasses, 1u);    // fail-cache style: one pass
+    EXPECT_EQ(out.newFaults, 0u);
+}
+
+TEST(InversionDriver, CollisionTriggersRepartitionAndSucceeds)
+{
+    // 2 and 9 share group 2 under mask 0 ((2^0)%7 == (9^0)%7) but
+    // not under mask 1 ((3)%7=3 vs (8)%7=1).
+    XorPartition part(32);
+    ASSERT_EQ(part.groupOf(2), part.groupOf(9));
+
+    pcm::CellArray cells(32);
+    cells.injectFault(2, true);     // Wrong for zeros
+    cells.injectFault(9, false);    // Right for zeros
+    BitVector inv;
+    pcm::FaultSet known;
+    const BitVector zeros(32);
+    const WriteOutcome out =
+        writeWithInversion(cells, zeros, part, inv, known);
+    EXPECT_TRUE(out.ok);
+    EXPECT_GE(out.repartitions, 1u);
+    EXPECT_NE(part.currentMask(), 0u);
+    EXPECT_EQ(known.size(), 2u);
+    EXPECT_EQ(applyGroupInversion(cells.read(), part, inv), zeros);
+}
+
+TEST(InversionDriver, UnseparableFaultsFailLoudly)
+{
+    RigidPartition part;
+    pcm::CellArray cells(32);
+    // 2 and 10 are congruent mod 8: unseparable under this partition.
+    cells.injectFault(2, true);
+    cells.injectFault(10, false);
+    BitVector inv;
+    pcm::FaultSet known;
+    BitVector data(32);    // 2 Wrong, 10 Right: a genuine conflict
+    const WriteOutcome out =
+        writeWithInversion(cells, data, part, inv, known);
+    EXPECT_FALSE(out.ok);
+}
+
+TEST(InversionDriver, HiddenRightFaultsCostNothing)
+{
+    RigidPartition part;
+    pcm::CellArray cells(32);
+    cells.injectFault(2, false);
+    cells.injectFault(10, false);    // same group, both Right for 0s
+    BitVector inv;
+    pcm::FaultSet known;
+    const BitVector zeros(32);
+    const WriteOutcome out =
+        writeWithInversion(cells, zeros, part, inv, known);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.programPasses, 1u);
+    EXPECT_EQ(out.newFaults, 0u);    // never even surfaced
+}
+
+TEST(InversionDriver, ApplyGroupInversionIsAnInvolution)
+{
+    XorPartition part(64);
+    Rng rng(3);
+    const BitVector data = BitVector::random(64, rng);
+    BitVector inv(7);
+    inv.set(1, true);
+    inv.set(6, true);
+    const BitVector once = applyGroupInversion(data, part, inv);
+    EXPECT_NE(once, data);
+    EXPECT_EQ(applyGroupInversion(once, part, inv), data);
+}
+
+TEST(InversionDriver, RandomizedRoundTripsUntilHonestFailure)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        XorPartition part(32);
+        pcm::CellArray cells(32);
+        BitVector inv;
+        bool alive = true;
+        for (int step = 0; step < 40 && alive; ++step) {
+            if (step % 4 == 0) {
+                const auto pos = static_cast<std::uint32_t>(
+                    rng.nextBounded(32));
+                if (!cells.isStuck(pos))
+                    cells.injectFaultAtCurrentValue(pos);
+            }
+            pcm::FaultSet known;
+            const BitVector data = BitVector::random(32, rng);
+            const WriteOutcome out =
+                writeWithInversion(cells, data, part, inv, known);
+            if (!out.ok) {
+                alive = false;
+                break;
+            }
+            ASSERT_EQ(applyGroupInversion(cells.read(), part, inv),
+                      data);
+        }
+    }
+}
+
+} // namespace
+} // namespace aegis::scheme

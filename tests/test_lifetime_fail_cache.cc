@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for pcm/lifetime_model and pcm/fail_cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/fail_cache.h"
+#include "pcm/lifetime_model.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace aegis::pcm {
+namespace {
+
+class LifetimeModels
+    : public ::testing::TestWithParam<std::tuple<std::string, double>>
+{};
+
+TEST_P(LifetimeModels, MeanIsApproximatelyRespected)
+{
+    const auto &[kind, param] = GetParam();
+    const double target = 1e6;
+    auto model = makeLifetimeModel(kind, target, param);
+    Rng rng(1234);
+    RunningStat s;
+    for (int i = 0; i < 40000; ++i)
+        s.add(model->sample(rng));
+    EXPECT_NEAR(s.mean() / target, 1.0, 0.02) << model->name();
+    EXPECT_GE(s.min(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, LifetimeModels,
+    ::testing::Values(std::make_tuple("normal", 0.25),
+                      std::make_tuple("lognormal", 0.25),
+                      std::make_tuple("weibull", 2.0),
+                      std::make_tuple("uniform", 0.5)));
+
+TEST(LifetimeModel, PaperDefault)
+{
+    auto model = makePaperLifetimeModel();
+    EXPECT_DOUBLE_EQ(model->mean(), 1e8);
+    Rng rng(7);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(model->sample(rng));
+    // 25% cv.
+    EXPECT_NEAR(s.stddev() / s.mean(), 0.25, 0.01);
+}
+
+TEST(LifetimeModel, SamplesNeverBelowOne)
+{
+    // A tiny mean forces heavy truncation.
+    NormalLifetimeModel model(2.0, 3.0);
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_GE(model.sample(rng), 1.0);
+}
+
+TEST(LifetimeModel, FactoryRejectsUnknown)
+{
+    EXPECT_THROW(makeLifetimeModel("cauchy", 1e8, 0.25), ConfigError);
+    EXPECT_THROW(NormalLifetimeModel(-1, 0.25), ConfigError);
+    EXPECT_THROW(UniformLifetimeModel(1e8, 1.5), ConfigError);
+}
+
+TEST(OracleDirectory, RecordsAndDeduplicates)
+{
+    OracleFaultDirectory dir;
+    dir.record(7, Fault{10, true});
+    dir.record(7, Fault{3, false});
+    dir.record(7, Fault{10, true});    // duplicate
+    dir.record(8, Fault{1, true});
+
+    const FaultSet block7 = dir.lookup(7);
+    ASSERT_EQ(block7.size(), 2u);
+    EXPECT_EQ(block7[0].pos, 3u);    // sorted
+    EXPECT_EQ(block7[1].pos, 10u);
+    EXPECT_EQ(dir.lookup(8).size(), 1u);
+    EXPECT_TRUE(dir.lookup(99).empty());
+    EXPECT_TRUE(dir.complete(7));
+    EXPECT_EQ(dir.totalFaults(), 3u);
+}
+
+TEST(FailCache, HoldsWithinCapacity)
+{
+    DirectMappedFailCache cache(4096);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        cache.record(i % 4, Fault{i * 13 % 512, (i & 1) != 0});
+    // With 4096 sets and 20 entries collisions are unlikely but
+    // possible; residency must be high.
+    EXPECT_GE(cache.residency(), 0.9);
+}
+
+TEST(FailCache, ConflictEviction)
+{
+    // One set: every new fault evicts the previous one.
+    DirectMappedFailCache cache(1);
+    cache.record(1, Fault{5, true});
+    cache.record(2, Fault{9, false});
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.lookup(1).empty());
+    ASSERT_EQ(cache.lookup(2).size(), 1u);
+    EXPECT_FALSE(cache.complete(1));
+    EXPECT_TRUE(cache.complete(2));
+    EXPECT_DOUBLE_EQ(cache.residency(), 0.5);
+}
+
+TEST(FailCache, RerecordingIsIdempotent)
+{
+    DirectMappedFailCache cache(64);
+    cache.record(3, Fault{7, true});
+    const auto ins = cache.insertions();
+    cache.record(3, Fault{7, true});
+    EXPECT_EQ(cache.insertions(), ins);    // same line, no new insert
+    EXPECT_EQ(cache.lookup(3).size(), 1u);
+}
+
+TEST(FailCache, StuckValuePreserved)
+{
+    DirectMappedFailCache cache(128);
+    cache.record(5, Fault{100, true});
+    const FaultSet faults = cache.lookup(5);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].pos, 100u);
+    EXPECT_TRUE(faults[0].stuck);
+}
+
+TEST(FailCache, ZeroSetsRejected)
+{
+    EXPECT_THROW(DirectMappedFailCache cache(0), ConfigError);
+}
+
+} // namespace
+} // namespace aegis::pcm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the dynamic-pairing study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pairing.h"
+
+namespace aegis::sim {
+namespace {
+
+ExperimentConfig
+smallConfig(const std::string &scheme)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pages = 16;
+    cfg.pageBytes = 1024;
+    cfg.blockBits = 512;
+    cfg.lifetimeMean = 1e6;
+    return cfg;
+}
+
+TEST(Pairing, Deterministic)
+{
+    const PairingStudy a = runPairingStudy(smallConfig("ecp2"), 8);
+    const PairingStudy b = runPairingStudy(smallConfig("ecp2"), 8);
+    EXPECT_EQ(a.withPairing, b.withPairing);
+    EXPECT_EQ(a.withoutPairing, b.withoutPairing);
+}
+
+TEST(Pairing, CapacityStartsFullAndDecays)
+{
+    const PairingStudy s = runPairingStudy(smallConfig("ecp2"), 12);
+    ASSERT_FALSE(s.withPairing.empty());
+    EXPECT_DOUBLE_EQ(s.withPairing.front().second, 16.0);
+    EXPECT_DOUBLE_EQ(s.withoutPairing.front().second, 16.0);
+    // Monotone non-increasing without pairing (pages only die).
+    for (std::size_t i = 1; i < s.withoutPairing.size(); ++i) {
+        EXPECT_LE(s.withoutPairing[i].second,
+                  s.withoutPairing[i - 1].second);
+    }
+    // All pages dead at the horizon.
+    EXPECT_DOUBLE_EQ(s.withoutPairing.back().second, 0.0);
+}
+
+TEST(Pairing, PairingNeverHurts)
+{
+    const PairingStudy s =
+        runPairingStudy(smallConfig("aegis-23x23"), 16);
+    for (std::size_t i = 0; i < s.withPairing.size(); ++i) {
+        EXPECT_GE(s.withPairing[i].second,
+                  s.withoutPairing[i].second);
+    }
+}
+
+TEST(Pairing, PairingRecyclesSomeCapacity)
+{
+    // With a weak scheme, many pages fail with few dead blocks each:
+    // plenty of compatible pairs must exist somewhere along the
+    // trajectory.
+    const PairingStudy s = runPairingStudy(smallConfig("ecp1"), 24);
+    double best_gain = 0;
+    for (std::size_t i = 0; i < s.withPairing.size(); ++i) {
+        best_gain = std::max(best_gain, s.withPairing[i].second -
+                                            s.withoutPairing[i].second);
+    }
+    EXPECT_GE(best_gain, 1.0);
+}
+
+TEST(Pairing, TimeToCapacityIsExtended)
+{
+    const PairingStudy s = runPairingStudy(smallConfig("ecp2"), 24);
+    EXPECT_GE(s.timeToCapacity(0.5, true),
+              s.timeToCapacity(0.5, false));
+}
+
+} // namespace
+} // namespace aegis::sim

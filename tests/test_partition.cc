@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests for the Aegis partition scheme — Theorems 1 and 2 of
+ * the paper, plus the geometry of Figure 2.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "aegis/collision_rom.h"
+#include "aegis/partition.h"
+#include "util/error.h"
+
+namespace aegis::core {
+namespace {
+
+struct Formation
+{
+    std::uint32_t a, b, n;
+};
+
+/** Every A x B formation the paper evaluates, plus the Fig. 2 demo. */
+const Formation kPaperFormations[] = {
+    {5, 7, 32},      // Figure 2
+    {23, 23, 512},   {17, 31, 512}, {9, 61, 512}, {8, 71, 512},
+    {18, 29, 512},   {14, 37, 512}, {11, 47, 512},
+    {12, 23, 256},   {9, 31, 256},
+};
+
+class PartitionTheorems : public ::testing::TestWithParam<Formation>
+{};
+
+TEST_P(PartitionTheorems, GeometryConstraintsHold)
+{
+    const auto &[a, b, n] = GetParam();
+    const Partition part(a, b, n);
+    EXPECT_EQ(part.a(), a);
+    EXPECT_EQ(part.b(), b);
+    // (A-1) * B < n <= A * B.
+    EXPECT_LT((a - 1) * b, n);
+    EXPECT_LE(n, a * b);
+}
+
+TEST_P(PartitionTheorems, Theorem1EveryPointInExactlyOneGroup)
+{
+    const auto &[a, b, n] = GetParam();
+    const Partition part(a, b, n);
+    for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+        std::vector<int> owner(n, -1);
+        for (std::uint32_t y = 0; y < part.groups(); ++y) {
+            for (std::uint32_t pos : part.groupMembers(y, k)) {
+                ASSERT_EQ(owner[pos], -1)
+                    << "bit " << pos << " in two groups under slope "
+                    << k;
+                owner[pos] = static_cast<int>(y);
+            }
+        }
+        for (std::uint32_t pos = 0; pos < n; ++pos) {
+            ASSERT_NE(owner[pos], -1)
+                << "bit " << pos << " unassigned under slope " << k;
+            ASSERT_EQ(static_cast<std::uint32_t>(owner[pos]),
+                      part.groupOf(pos, k));
+        }
+    }
+}
+
+TEST_P(PartitionTheorems, GroupsHaveAtMostOnePointPerColumn)
+{
+    const auto &[a, b, n] = GetParam();
+    const Partition part(a, b, n);
+    for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+        for (std::uint32_t y = 0; y < part.groups(); ++y) {
+            std::set<std::uint32_t> columns;
+            for (std::uint32_t pos : part.groupMembers(y, k)) {
+                EXPECT_TRUE(columns.insert(part.columnOf(pos)).second);
+            }
+            EXPECT_LE(columns.size(), a);
+        }
+    }
+}
+
+TEST_P(PartitionTheorems, Theorem2PairsCollideOnAtMostOneSlope)
+{
+    const auto &[a, b, n] = GetParam();
+    (void)a;
+    const Partition part = Partition::forHeight(b, n);
+    // Exhaustive over pairs for the small formations, strided for the
+    // larger ones to keep the test quick.
+    const std::uint32_t stride = n > 128 ? 7 : 1;
+    for (std::uint32_t i = 0; i < n; i += 1) {
+        for (std::uint32_t j = i + 1; j < n; j += stride) {
+            std::uint32_t collisions = 0, where = b;
+            for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+                if (part.groupOf(i, k) == part.groupOf(j, k)) {
+                    ++collisions;
+                    where = k;
+                }
+            }
+            const bool same_column =
+                part.columnOf(i) == part.columnOf(j);
+            if (same_column) {
+                ASSERT_EQ(collisions, 0u)
+                    << i << "," << j << " same column must not collide";
+                ASSERT_EQ(part.collisionSlope(i, j), b);
+            } else {
+                ASSERT_EQ(collisions, 1u)
+                    << i << "," << j << " must collide exactly once";
+                ASSERT_EQ(part.collisionSlope(i, j), where);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFormations, PartitionTheorems,
+                         ::testing::ValuesIn(kPaperFormations));
+
+TEST(Partition, Figure2Geometry)
+{
+    // The paper's 32-bit example: a 5 x 7 rectangle, 7 groups of at
+    // most 5 bits, 3 unmapped positions at the top of the last column.
+    const Partition part(5, 7, 32);
+    EXPECT_EQ(part.slopes(), 7u);
+    EXPECT_EQ(part.groups(), 7u);
+    std::size_t mapped = 0;
+    for (std::uint32_t y = 0; y < 7; ++y)
+        mapped += part.groupMembers(y, 0).size();
+    EXPECT_EQ(mapped, 32u);
+    // Under slope 0 a group is a horizontal line: bits with equal row.
+    for (std::uint32_t pos = 0; pos < 32; ++pos)
+        EXPECT_EQ(part.groupOf(pos, 0), part.rowOf(pos));
+}
+
+TEST(Partition, ForHeightPicksMinimalWidth)
+{
+    EXPECT_EQ(Partition::forHeight(61, 512).a(), 9u);
+    EXPECT_EQ(Partition::forHeight(31, 512).a(), 17u);
+    EXPECT_EQ(Partition::forHeight(23, 512).a(), 23u);
+    EXPECT_EQ(Partition::forHeight(23, 256).a(), 12u);
+    EXPECT_EQ(Partition::forHeight(31, 256).a(), 9u);
+    EXPECT_EQ(Partition::forHeight(71, 512).a(), 8u);
+}
+
+TEST(Partition, RejectsIllegalFormations)
+{
+    EXPECT_THROW(Partition(8, 64, 512), ConfigError);     // B not prime
+    EXPECT_THROW(Partition(24, 23, 512), ConfigError);    // A > B
+    EXPECT_THROW(Partition(4, 61, 512), ConfigError);     // too small
+    EXPECT_THROW(Partition(10, 61, 512), ConfigError);    // too wide
+}
+
+TEST(Partition, SlopeChangesSeparateAnyCoGroupPair)
+{
+    // Direct statement of Theorem 2 for a mid-size formation.
+    const Partition part = Partition::forHeight(31, 512);
+    for (std::uint32_t y = 0; y < part.groups(); ++y) {
+        const auto members = part.groupMembers(y, 4);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t j = i + 1; j < members.size(); ++j) {
+                for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+                    if (k == 4)
+                        continue;
+                    EXPECT_NE(part.groupOf(members[i], k),
+                              part.groupOf(members[j], k));
+                }
+            }
+        }
+    }
+}
+
+TEST(CollisionRom, MatchesPartitionMath)
+{
+    const Partition part = Partition::forHeight(23, 256);
+    const CollisionRom rom(part);
+    for (std::uint32_t i = 0; i < 256; i += 3) {
+        for (std::uint32_t j = 0; j < 256; j += 5) {
+            if (i == j)
+                continue;
+            EXPECT_EQ(rom.lookup(i, j), part.collisionSlope(i, j));
+            EXPECT_EQ(rom.lookup(i, j), rom.lookup(j, i));
+        }
+    }
+}
+
+TEST(CollisionRom, SizeMatchesPaperFormula)
+{
+    // n x n x ceil(log2 B) bits.
+    const Partition part = Partition::forHeight(61, 512);
+    const CollisionRom rom(part);
+    EXPECT_EQ(rom.sizeBits(), 512ull * 512ull * 6ull);
+}
+
+} // namespace
+} // namespace aegis::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Extended property sweep for the partition scheme: the theorems must
+ * hold for *every* legal A x B formation, not just the paper's —
+ * random primes, extreme aspect ratios, tiny and large blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/cost.h"
+#include "aegis/partition.h"
+#include "util/primes.h"
+#include "util/rng.h"
+
+namespace aegis::core {
+namespace {
+
+/** Random legal (B, n) combinations. */
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+randomFormations(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+    const auto primes = primesInRange(3, 131);
+    while (out.size() < count) {
+        const auto b = static_cast<std::uint32_t>(
+            primes[rng.nextBounded(primes.size())]);
+        // n in ((A-1)B, AB] for a random A <= B.
+        const std::uint32_t a =
+            1 + static_cast<std::uint32_t>(rng.nextBounded(b));
+        const std::uint32_t lo = (a - 1) * b + 1;
+        const std::uint32_t span = a * b - lo + 1;
+        const std::uint32_t n =
+            lo + static_cast<std::uint32_t>(rng.nextBounded(span));
+        out.emplace_back(b, n);
+    }
+    return out;
+}
+
+TEST(PartitionSweep, TheoremsHoldOnRandomFormations)
+{
+    for (const auto &[b, n] : randomFormations(40, 20130711)) {
+        const Partition part = Partition::forHeight(b, n);
+        // Theorem 1 via group membership totals.
+        std::size_t covered = 0;
+        for (std::uint32_t y = 0; y < part.groups(); ++y)
+            covered += part.groupMembers(y, b / 2).size();
+        ASSERT_EQ(covered, n) << part.formation();
+
+        // Theorem 2 on sampled pairs: collide on exactly the slope
+        // collisionSlope names, or never (same column).
+        Rng rng(b * 131071u + n);
+        for (int pair = 0; pair < 60; ++pair) {
+            const auto i = static_cast<std::uint32_t>(
+                rng.nextBounded(n));
+            auto j = static_cast<std::uint32_t>(rng.nextBounded(n));
+            if (i == j)
+                continue;
+            const std::uint32_t expect = part.collisionSlope(i, j);
+            for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+                const bool same =
+                    part.groupOf(i, k) == part.groupOf(j, k);
+                ASSERT_EQ(same, k == expect)
+                    << part.formation() << " bits " << i << "," << j
+                    << " slope " << k;
+            }
+        }
+    }
+}
+
+TEST(PartitionSweep, GroupMembersAgreeWithGroupOf)
+{
+    for (const auto &[b, n] : randomFormations(15, 42)) {
+        const Partition part = Partition::forHeight(b, n);
+        for (std::uint32_t k = 0; k < part.slopes();
+             k += 1 + part.slopes() / 5) {
+            for (std::uint32_t y = 0; y < part.groups(); ++y) {
+                for (std::uint32_t pos : part.groupMembers(y, k))
+                    ASSERT_EQ(part.groupOf(pos, k), y);
+            }
+        }
+    }
+}
+
+TEST(PartitionSweep, HardFtcGuaranteeNeverUndershoots)
+{
+    // For random fault sets of exactly hardFtc faults, a separating
+    // slope must always exist (the C(f,2)+1 <= B argument).
+    Rng rng(7);
+    for (const auto &[b, n] : randomFormations(20, 99)) {
+        const Partition part = Partition::forHeight(b, n);
+        const std::uint32_t f =
+            std::min<std::uint32_t>(hardFtcBasic(b), n);
+        for (int trial = 0; trial < 25; ++trial) {
+            std::vector<std::uint32_t> faults;
+            while (faults.size() < f) {
+                const auto pos = static_cast<std::uint32_t>(
+                    rng.nextBounded(n));
+                bool dup = false;
+                for (std::uint32_t existing : faults)
+                    dup |= existing == pos;
+                if (!dup)
+                    faults.push_back(pos);
+            }
+            bool separable = false;
+            for (std::uint32_t k = 0; k < part.slopes() && !separable;
+                 ++k) {
+                std::vector<bool> seen(part.groups(), false);
+                bool clash = false;
+                for (std::uint32_t pos : faults) {
+                    const std::uint32_t g = part.groupOf(pos, k);
+                    if (seen[g]) {
+                        clash = true;
+                        break;
+                    }
+                    seen[g] = true;
+                }
+                separable = !clash;
+            }
+            ASSERT_TRUE(separable)
+                << part.formation() << " failed at its hard FTC " << f;
+        }
+    }
+}
+
+TEST(PartitionSweep, MinimalCostFormationsAreLegal)
+{
+    for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
+        for (std::uint32_t f = 1; f <= 12; ++f) {
+            const CostPoint basic = minimalCostBasic(n, f);
+            const Partition part(basic.a, basic.b, n);
+            EXPECT_GE(hardFtcBasic(part.b()), f);
+            const CostPoint rw = minimalCostRw(n, f);
+            EXPECT_GE(hardFtcRw(rw.b), f);
+        }
+    }
+}
+
+TEST(PartitionSweep, CollisionSlopeDistributionIsBalanced)
+{
+    // Theorem 2 spreads pair collisions across slopes; no slope may
+    // hoard them (that would concentrate re-partition pressure).
+    const Partition part = Partition::forHeight(61, 512);
+    std::vector<std::size_t> per_slope(61, 0);
+    std::size_t colliding = 0;
+    for (std::uint32_t i = 0; i < 512; ++i) {
+        for (std::uint32_t j = i + 1; j < 512; ++j) {
+            const std::uint32_t k = part.collisionSlope(i, j);
+            if (k < 61) {
+                ++per_slope[k];
+                ++colliding;
+            }
+        }
+    }
+    const double mean =
+        static_cast<double>(colliding) / per_slope.size();
+    for (std::size_t count : per_slope) {
+        EXPECT_GT(static_cast<double>(count), 0.8 * mean);
+        EXPECT_LT(static_cast<double>(count), 1.2 * mean);
+    }
+}
+
+} // namespace
+} // namespace aegis::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the PAYG composition and the FREE-p remapping layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/payg.h"
+#include "sim/remap.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+namespace {
+
+ExperimentConfig
+smallConfig(const std::string &scheme)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pages = 8;
+    cfg.pageBytes = 1024;    // 16 blocks of 512 bits
+    cfg.blockBits = 512;
+    cfg.lifetimeMean = 1e6;
+    return cfg;
+}
+
+TEST(Payg, Deterministic)
+{
+    PaygConfig payg;
+    payg.lecScheme = "ecp1";
+    payg.gecEntries = 32;
+    const PaygResult a = runPaygStudy(smallConfig("unused"), payg);
+    const PaygResult b = runPaygStudy(smallConfig("unused"), payg);
+    EXPECT_EQ(a.firstFailure, b.firstFailure);
+    EXPECT_EQ(a.gecUsed, b.gecUsed);
+    EXPECT_EQ(a.faultsAbsorbed, b.faultsAbsorbed);
+}
+
+TEST(Payg, EmptyPoolEqualsFlatLec)
+{
+    // With zero GEC entries, PAYG dies exactly when the weakest
+    // block's LEC does.
+    PaygConfig flat;
+    flat.lecScheme = "ecp2";
+    flat.gecEntries = 0;
+    const PaygResult r = runPaygStudy(smallConfig("unused"), flat);
+    EXPECT_GT(r.firstFailure, 0.0);
+    EXPECT_EQ(r.gecUsed, 0u);
+}
+
+TEST(Payg, PoolExtendsLifetimeMonotonically)
+{
+    PaygConfig payg;
+    payg.lecScheme = "ecp1";
+    double last = 0.0;
+    for (std::uint32_t entries : {0u, 16u, 64u, 256u}) {
+        payg.gecEntries = entries;
+        const PaygResult r =
+            runPaygStudy(smallConfig("unused"), payg);
+        EXPECT_GE(r.firstFailure, last) << entries << " entries";
+        last = r.firstFailure;
+    }
+}
+
+TEST(Payg, PoolEntriesAreActuallyConsumed)
+{
+    PaygConfig payg;
+    payg.lecScheme = "ecp1";
+    payg.gecEntries = 64;
+    const PaygResult r = runPaygStudy(smallConfig("unused"), payg);
+    EXPECT_GT(r.gecUsed, 0u);
+    EXPECT_LE(r.gecUsed, 64u);
+}
+
+TEST(Payg, AegisLecComposes)
+{
+    // The Aegis paper's suggestion: Aegis as the PAYG component. The
+    // LEC rebuild over shed faults must hold up for the partition
+    // scheme too.
+    PaygConfig payg;
+    payg.lecScheme = "aegis-23x23";
+    payg.gecEntries = 32;
+    const PaygResult r = runPaygStudy(smallConfig("unused"), payg);
+    EXPECT_GT(r.firstFailure, 0.0);
+    EXPECT_GT(r.faultsAbsorbed, 0u);
+    EXPECT_GT(r.overheadBits, 0u);
+}
+
+TEST(Payg, OverheadAccounting)
+{
+    PaygConfig payg;
+    payg.lecScheme = "ecp1";    // 11 bits for 512-bit blocks
+    payg.gecEntries = 10;
+    payg.gecEntryBits = 20;
+    const ExperimentConfig cfg = smallConfig("unused");
+    const PaygResult r = runPaygStudy(cfg, payg);
+    const std::uint64_t blocks = 8ull * (1024 * 8 / 512);
+    EXPECT_EQ(r.overheadBits, blocks * (11 + 1) + 10 * 20);
+}
+
+TEST(Payg, RejectsDataDependentLec)
+{
+    PaygConfig payg;
+    payg.lecScheme = "rdis3";
+    EXPECT_THROW(runPaygStudy(smallConfig("unused"), payg),
+                 ConfigError);
+}
+
+TEST(Remap, Deterministic)
+{
+    const RemapResult a = runRemapStudy(smallConfig("ecp4"), 8);
+    const RemapResult b = runRemapStudy(smallConfig("ecp4"), 8);
+    EXPECT_EQ(a.exhaustionTime, b.exhaustionTime);
+    EXPECT_EQ(a.sparesUsed, b.sparesUsed);
+}
+
+TEST(Remap, ZeroSparesDieAtFirstBlockDeath)
+{
+    const RemapResult r = runRemapStudy(smallConfig("ecp4"), 0);
+    EXPECT_EQ(r.sparesUsed, 0u);
+    EXPECT_DOUBLE_EQ(r.exhaustionTime, r.firstRemapTime);
+}
+
+TEST(Remap, SparesExtendLifetimeMonotonically)
+{
+    double last = 0.0;
+    for (std::uint32_t spares : {0u, 4u, 16u, 64u}) {
+        const RemapResult r =
+            runRemapStudy(smallConfig("aegis-23x23"), spares);
+        EXPECT_GE(r.exhaustionTime, last) << spares << " spares";
+        EXPECT_EQ(r.sparesUsed, spares);
+        last = r.exhaustionTime;
+    }
+}
+
+TEST(Remap, StrongerSchemeDelaysFirstRemap)
+{
+    const RemapResult weak = runRemapStudy(smallConfig("ecp1"), 8);
+    const RemapResult strong =
+        runRemapStudy(smallConfig("aegis-9x61"), 8);
+    EXPECT_GT(strong.firstRemapTime, weak.firstRemapTime);
+    EXPECT_GT(strong.exhaustionTime, weak.exhaustionTime);
+}
+
+} // namespace
+} // namespace aegis::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for util/primes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/primes.h"
+
+namespace aegis {
+namespace {
+
+TEST(Primes, SmallValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(5));
+    EXPECT_FALSE(isPrime(9));
+    EXPECT_FALSE(isPrime(91));    // 7 * 13
+    EXPECT_TRUE(isPrime(97));
+}
+
+TEST(Primes, PaperHeightsArePrime)
+{
+    // Every B used by the paper's Aegis formations.
+    for (std::uint64_t b : {23u, 29u, 31u, 37u, 47u, 61u, 71u})
+        EXPECT_TRUE(isPrime(b)) << b;
+}
+
+TEST(Primes, MatchesSieveUpTo2000)
+{
+    std::vector<bool> sieve(2001, true);
+    sieve[0] = sieve[1] = false;
+    for (std::size_t i = 2; i * i <= 2000; ++i) {
+        if (sieve[i]) {
+            for (std::size_t j = i * i; j <= 2000; j += i)
+                sieve[j] = false;
+        }
+    }
+    for (std::uint64_t n = 0; n <= 2000; ++n)
+        EXPECT_EQ(isPrime(n), sieve[n]) << n;
+}
+
+TEST(Primes, NextPrime)
+{
+    EXPECT_EQ(nextPrime(2), 2u);
+    EXPECT_EQ(nextPrime(24), 29u);
+    EXPECT_EQ(nextPrime(26), 29u);
+    EXPECT_EQ(nextPrime(62), 67u);
+    EXPECT_THROW(nextPrime(1), ConfigError);
+}
+
+TEST(Primes, PrevPrime)
+{
+    EXPECT_EQ(prevPrime(1), 0u);
+    EXPECT_EQ(prevPrime(2), 2u);
+    EXPECT_EQ(prevPrime(28), 23u);
+    EXPECT_EQ(prevPrime(60), 59u);
+}
+
+TEST(Primes, Range)
+{
+    const auto primes = primesInRange(20, 40);
+    const std::vector<std::uint64_t> expected{23, 29, 31, 37};
+    EXPECT_EQ(primes, expected);
+}
+
+TEST(Primes, ModInverseProperty)
+{
+    for (std::uint64_t p : {23u, 31u, 61u, 71u}) {
+        for (std::uint64_t a = 1; a < p; ++a) {
+            const std::uint64_t inv = modInverse(a, p);
+            EXPECT_EQ(a * inv % p, 1u) << a << " mod " << p;
+        }
+    }
+}
+
+TEST(Primes, ModInverseRejectsBadInput)
+{
+    EXPECT_THROW(modInverse(3, 10), ConfigError);    // composite modulus
+    EXPECT_THROW(modInverse(0, 7), ConfigError);
+    EXPECT_THROW(modInverse(7, 7), ConfigError);
+}
+
+} // namespace
+} // namespace aegis

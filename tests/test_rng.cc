@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for util/rng: determinism, splitting, and the
+ * distribution helpers the Monte Carlo relies on.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, SplitIsIndependentOfParentConsumption)
+{
+    Rng a(7);
+    Rng b(7);
+    (void)b.nextU64();    // consume from one parent only
+    Rng child_a = a.split(5);
+    Rng child_b = b.split(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(child_a.nextU64(), child_b.nextU64());
+}
+
+TEST(Rng, SplitStreamsDiffer)
+{
+    Rng parent(99);
+    Rng c0 = parent.split(0);
+    Rng c1 = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c0.nextU64() == c1.nextU64();
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int kBuckets = 8, kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets - 600);
+        EXPECT_LT(c, kDraws / kBuckets + 600);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    constexpr int kDraws = 100000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < kDraws; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum2 / kDraws - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(23);
+    double sum = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += rng.nextGaussian(1e8, 2.5e7);
+    EXPECT_NEAR(sum / kDraws / 1e8, 1.0, 0.01);
+}
+
+TEST(Rng, GeometricMeanIsInverseP)
+{
+    Rng rng(29);
+    const double p = 0.02;
+    double sum = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    EXPECT_NEAR(sum / kDraws * p, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricEdgeCases)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+    EXPECT_EQ(rng.nextGeometric(2.0), 1u);
+    EXPECT_EQ(rng.nextGeometric(0.0),
+              std::numeric_limits<std::uint64_t>::max());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GE(rng.nextGeometric(0.5), 1u);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(37);
+    int hits = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        hits += rng.nextBernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BoolIsFair)
+{
+    Rng rng(41);
+    int heads = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        heads += rng.nextBool();
+    EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace aegis

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit and property tests for the SAFER baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcm/fail_cache.h"
+#include "scheme/safer.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis::scheme {
+namespace {
+
+TEST(SaferPartition, GroupOfExtractsSelectedBits)
+{
+    SaferPartition part(512, 5, false);
+    EXPECT_EQ(part.groupCount(), 32u);
+    EXPECT_EQ(part.addressBits(), 9u);
+    // Empty vector: everything in group 0.
+    EXPECT_EQ(part.groupOf(0), 0u);
+    EXPECT_EQ(part.groupOf(511), 0u);
+
+    std::uint32_t reps = 0;
+    pcm::FaultSet faults{{0b000000001, false}, {0b000000000, false}};
+    ASSERT_TRUE(part.separate(faults, reps));
+    ASSERT_EQ(part.fields().size(), 1u);
+    EXPECT_EQ(part.fields()[0], 0u);    // lowest differing bit
+    EXPECT_EQ(part.groupOf(1), 1u);
+    EXPECT_EQ(part.groupOf(0), 0u);
+    EXPECT_EQ(reps, 1u);
+}
+
+TEST(SaferPartition, RefinementPreservesSeparation)
+{
+    SaferPartition part(512, 5, false);
+    Rng rng(11);
+    pcm::FaultSet faults;
+    std::uint32_t reps = 0;
+    for (int i = 0; i < 6; ++i) {
+        // Insert random distinct fault positions one at a time.
+        std::uint32_t pos;
+        bool dup;
+        do {
+            pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+            dup = false;
+            for (const auto &f : faults)
+                dup |= f.pos == pos;
+        } while (dup);
+        faults.push_back({pos, rng.nextBool()});
+        ASSERT_TRUE(part.separate(faults, reps)) << "fault " << i;
+        // All faults in pairwise-distinct groups.
+        for (std::size_t a = 0; a < faults.size(); ++a) {
+            for (std::size_t b = a + 1; b < faults.size(); ++b) {
+                EXPECT_NE(part.groupOf(faults[a].pos),
+                          part.groupOf(faults[b].pos));
+            }
+        }
+    }
+}
+
+TEST(SaferPartition, GreedyGuaranteesKPlusOneFaults)
+{
+    // Hard FTC property: k fields always separate k+1 faults no
+    // matter the arrival order (refinement never merges groups).
+    Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        SaferPartition part(512, 5, false);
+        pcm::FaultSet faults;
+        std::uint32_t reps = 0;
+        for (int f = 0; f < 6; ++f) {
+            std::uint32_t pos;
+            bool dup;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+                dup = false;
+                for (const auto &existing : faults)
+                    dup |= existing.pos == pos;
+            } while (dup);
+            faults.push_back({pos, false});
+            ASSERT_TRUE(part.separate(faults, reps))
+                << "trial " << trial << " fault " << f;
+        }
+    }
+}
+
+TEST(SaferPartition, ExhaustiveSearchIsComplete)
+{
+    // Whenever *any* field subset separates the faults, the
+    // cache-assisted search must find one (brute-force comparison on
+    // a small block).
+    Rng rng(101);
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::size_t nfaults = 2 + rng.nextBounded(5);
+        pcm::FaultSet faults;
+        for (std::size_t i = 0; i < nfaults; ++i) {
+            std::uint32_t pos;
+            bool dup;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(32));
+                dup = false;
+                for (const auto &f : faults)
+                    dup |= f.pos == pos;
+            } while (dup);
+            faults.push_back({pos, false});
+        }
+
+        // Brute force: any subset of {0..4} with <= 2 bits that keeps
+        // all fault addresses distinct?
+        bool any = false;
+        for (std::uint32_t mask = 0; mask < 32 && !any; ++mask) {
+            if (__builtin_popcount(mask) > 2)
+                continue;
+            bool ok = true;
+            for (std::size_t i = 0; i < faults.size() && ok; ++i) {
+                for (std::size_t j = i + 1; j < faults.size(); ++j) {
+                    if (((faults[i].pos ^ faults[j].pos) & mask) == 0) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            any |= ok;
+        }
+
+        SaferPartition cached(32, 2, true);
+        std::uint32_t reps = 0;
+        EXPECT_EQ(cached.separate(faults, reps), any)
+            << "trial " << trial;
+    }
+}
+
+TEST(Safer, MetadataBasics)
+{
+    SaferScheme safer(512, 32, false);
+    EXPECT_EQ(safer.name(), "safer32");
+    EXPECT_EQ(safer.overheadBits(), 55u);
+    EXPECT_EQ(safer.hardFtc(), 6u);
+    EXPECT_FALSE(safer.requiresDirectory());
+
+    SaferScheme cached(512, 64, true);
+    EXPECT_EQ(cached.name(), "safer64-cache");
+    EXPECT_EQ(cached.overheadBits(), 91u);
+    EXPECT_TRUE(cached.requiresDirectory());
+}
+
+TEST(Safer, CleanRoundTrip)
+{
+    SaferScheme safer(256, 16, false);
+    pcm::CellArray cells(256);
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i) {
+        const BitVector data = BitVector::random(256, rng);
+        EXPECT_TRUE(safer.write(cells, data).ok);
+        EXPECT_EQ(safer.read(cells), data);
+    }
+}
+
+TEST(Safer, ToleratesHardFtcFaultsWithRandomData)
+{
+    Rng rng(19);
+    for (int trial = 0; trial < 30; ++trial) {
+        SaferScheme safer(512, 32, false);
+        pcm::CellArray cells(512);
+        for (int f = 0; f < 6; ++f) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+            } while (cells.isStuck(pos));
+            cells.injectFault(pos, rng.nextBool());
+            for (int w = 0; w < 4; ++w) {
+                const BitVector data = BitVector::random(512, rng);
+                ASSERT_TRUE(safer.write(cells, data).ok);
+                ASSERT_EQ(safer.read(cells), data);
+            }
+        }
+    }
+}
+
+TEST(Safer, InversionMasksStuckAtWrongFault)
+{
+    SaferScheme safer(64, 8, false);
+    pcm::CellArray cells(64);
+    cells.injectFault(5, true);
+    BitVector zeros(64);
+    const WriteOutcome outcome = safer.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_GE(outcome.programPasses, 2u);    // plain + inversion pass
+    EXPECT_EQ(outcome.newFaults, 1u);
+    EXPECT_EQ(safer.read(cells), zeros);
+}
+
+TEST(Safer, CacheVariantWritesKnownFaultsInOnePass)
+{
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    SaferScheme safer(256, 16, true);
+    safer.attachDirectory(dir.get(), 0);
+    pcm::CellArray cells(256);
+
+    cells.injectFault(33, true);
+    dir->record(0, {33, true});
+    BitVector zeros(256);
+    const WriteOutcome outcome = safer.write(cells, zeros);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.programPasses, 1u);
+    EXPECT_EQ(safer.read(cells), zeros);
+}
+
+TEST(Safer, CacheOutlivesGreedyOnFaultFloods)
+{
+    // With identical fault sequences the exhaustive (cache) variant
+    // must never die before the greedy one.
+    Rng rng(23);
+    int cache_wins = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        SaferPartition greedy(512, 5, false);
+        SaferPartition cached(512, 5, true);
+        pcm::FaultSet faults;
+        std::uint32_t r1 = 0, r2 = 0;
+        bool greedy_alive = true;
+        int greedy_died_at = -1;
+        for (int f = 0; f < 40; ++f) {
+            std::uint32_t pos;
+            bool dup;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+                dup = false;
+                for (const auto &existing : faults)
+                    dup |= existing.pos == pos;
+            } while (dup);
+            faults.push_back({pos, false});
+            if (greedy_alive && !greedy.separate(faults, r1)) {
+                greedy_alive = false;
+                greedy_died_at = f;
+            }
+            if (!cached.separate(faults, r2)) {
+                ASSERT_FALSE(greedy_alive)
+                    << "cache variant died before greedy";
+                break;
+            }
+            if (!greedy_alive) {
+                ++cache_wins;
+                break;
+            }
+        }
+        (void)greedy_died_at;
+    }
+    // The exhaustive search should rescue at least some floods.
+    EXPECT_GT(cache_wins, 0);
+}
+
+TEST(Safer, RejectsBadConfigs)
+{
+    EXPECT_THROW(SaferScheme(500, 32, false), ConfigError);
+    EXPECT_THROW(SaferScheme(512, 33, false), ConfigError);
+    EXPECT_THROW(SaferScheme(512, 1024, false), ConfigError);
+}
+
+TEST(Safer, TrackerGreedyDiesExactlyWhenPartitionDoes)
+{
+    Rng rng(29);
+    for (int trial = 0; trial < 20; ++trial) {
+        SaferScheme safer(512, 16, false);
+        auto tracker = safer.makeTracker({});
+        SaferPartition shadow(512, 4, false);
+        pcm::FaultSet faults;
+        std::uint32_t reps = 0;
+        for (int f = 0; f < 30; ++f) {
+            std::uint32_t pos;
+            bool dup;
+            do {
+                pos = static_cast<std::uint32_t>(rng.nextBounded(512));
+                dup = false;
+                for (const auto &existing : faults)
+                    dup |= existing.pos == pos;
+            } while (dup);
+            faults.push_back({pos, false});
+            const bool shadow_alive = shadow.separate(faults, reps);
+            const bool tracker_alive =
+                tracker->onFault(faults.back()) == FaultVerdict::Alive;
+            ASSERT_EQ(shadow_alive, tracker_alive)
+                << "trial " << trial << " fault " << f;
+            if (!shadow_alive)
+                break;
+        }
+    }
+}
+
+TEST(Safer, TrackerAmplifiedCellsCoverFaultGroups)
+{
+    SaferScheme safer(512, 32, false);
+    auto tracker = safer.makeTracker({});
+    EXPECT_TRUE(tracker->amplifiedCells().empty());
+    tracker->onFault({100, true});
+    const auto hot = tracker->amplifiedCells();
+    // One fault, vector still empty -> a single group = whole block.
+    EXPECT_EQ(hot.size(), 512u);
+
+    SaferScheme cached(512, 32, true);
+    auto cache_tracker = cached.makeTracker({});
+    cache_tracker->onFault({100, true});
+    EXPECT_TRUE(cache_tracker->amplifiedCells().empty());
+}
+
+} // namespace
+} // namespace aegis::scheme

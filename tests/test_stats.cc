@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for util/stats and util/histogram.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace aegis {
+namespace {
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stderrOfMean(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Rng rng(5);
+    RunningStat all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextGaussian(10, 3);
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, CiShrinksWithSamples)
+{
+    Rng rng(7);
+    RunningStat small, large;
+    for (int i = 0; i < 100; ++i)
+        small.add(rng.nextGaussian());
+    for (int i = 0; i < 10000; ++i)
+        large.add(rng.nextGaussian());
+    EXPECT_LT(large.ci95(), small.ci95());
+}
+
+TEST(QuantileSampler, MedianAndExtremes)
+{
+    QuantileSampler q;
+    for (int i = 1; i <= 101; ++i)
+        q.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(q.median(), 51.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+    EXPECT_NEAR(q.quantile(0.25), 26.0, 1e-9);
+}
+
+TEST(QuantileSampler, Interpolates)
+{
+    QuantileSampler q;
+    q.add(0.0);
+    q.add(10.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.1), 1.0);
+}
+
+TEST(QuantileSampler, ErrorsOnEmptyOrBadQ)
+{
+    QuantileSampler q;
+    EXPECT_THROW(q.median(), ConfigError);
+    q.add(1.0);
+    EXPECT_THROW(q.quantile(1.5), ConfigError);
+}
+
+TEST(Histogram, CountsAndCdf)
+{
+    Histogram h;
+    h.add(3);
+    h.add(3);
+    h.add(5);
+    h.add(10, 2);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.countOf(3), 2u);
+    EXPECT_EQ(h.countOf(4), 0u);
+    EXPECT_EQ(h.minKey(), 3);
+    EXPECT_EQ(h.maxKey(), 10);
+    EXPECT_DOUBLE_EQ(h.cdf(2), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(3), 0.4);
+    EXPECT_DOUBLE_EQ(h.cdf(5), 0.6);
+    EXPECT_DOUBLE_EQ(h.cdf(10), 1.0);
+    EXPECT_DOUBLE_EQ(h.survival(5), 0.4);
+}
+
+TEST(Histogram, ItemsAreOrdered)
+{
+    Histogram h;
+    h.add(5);
+    h.add(-1);
+    h.add(2);
+    const auto items = h.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, -1);
+    EXPECT_EQ(items[2].first, 5);
+}
+
+TEST(SurvivalCurve, AliveFractionAndHalfLife)
+{
+    SurvivalCurve c;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        c.addDeath(t);
+    EXPECT_DOUBLE_EQ(c.aliveFraction(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(c.aliveFraction(1.0), 0.75);
+    EXPECT_DOUBLE_EQ(c.aliveFraction(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(c.aliveFraction(4.0), 0.0);
+    // Half lifetime: the paper's metric — first time half the pages
+    // are gone.
+    EXPECT_DOUBLE_EQ(c.timeToFraction(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(c.timeToFraction(0.0), 4.0);
+}
+
+TEST(SurvivalCurve, SampleIsMonotone)
+{
+    SurvivalCurve c;
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i)
+        c.addDeath(rng.nextDouble() * 100);
+    const auto pts = c.sample(20);
+    ASSERT_EQ(pts.size(), 21u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_LE(pts[i].second, pts[i - 1].second);
+        EXPECT_GE(pts[i].first, pts[i - 1].first);
+    }
+    EXPECT_DOUBLE_EQ(pts.back().second, 0.0);
+}
+
+} // namespace
+} // namespace aegis

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for util/table_printer and util/cli.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/table_printer.h"
+
+namespace aegis {
+namespace {
+
+TEST(TablePrinter, RendersAlignedTable)
+{
+    TablePrinter t("Demo");
+    t.setHeader({"scheme", "bits"});
+    t.addRow({"aegis-9x61", "67"});
+    t.addRow({"safer64", "91"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("aegis-9x61"), std::string::npos);
+    EXPECT_NE(out.find("| scheme"), std::string::npos);
+    // Every data row starts with the aligned pipe.
+    EXPECT_NE(out.find("| safer64"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthEnforced)
+{
+    TablePrinter t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), ConfigError);
+}
+
+TEST(TablePrinter, HeaderAfterRowsRejected)
+{
+    TablePrinter t;
+    t.addRow({"x"});
+    EXPECT_THROW(t.setHeader({"a"}), ConfigError);
+}
+
+TEST(TablePrinter, CsvQuoting)
+{
+    TablePrinter t;
+    t.setHeader({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+    EXPECT_EQ(TablePrinter::intNum(1234567), "1,234,567");
+    EXPECT_EQ(TablePrinter::intNum(-42), "-42");
+    EXPECT_EQ(TablePrinter::intNum(7), "7");
+}
+
+TEST(Cli, ParsesAllForms)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("pages", 10, "page count");
+    cli.addDouble("mean", 1.5, "mean");
+    cli.addString("scheme", "none", "scheme");
+    cli.addBool("verbose", false, "verbosity");
+
+    const char *argv[] = {"prog", "--pages=32", "--mean", "2.5",
+                          "--scheme=aegis-9x61", "--verbose"};
+    ASSERT_TRUE(cli.parse(6, argv));
+    EXPECT_EQ(cli.getUint("pages"), 32u);
+    EXPECT_DOUBLE_EQ(cli.getDouble("mean"), 2.5);
+    EXPECT_EQ(cli.getString("scheme"), "aegis-9x61");
+    EXPECT_TRUE(cli.getBool("verbose"));
+}
+
+TEST(Cli, DefaultsHold)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("n", 7, "n");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.getUint("n"), 7u);
+}
+
+TEST(Cli, HelpShortCircuits)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("n", 7, "n");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, UnknownFlagRejected)
+{
+    CliParser cli("prog", "test");
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_THROW(cli.parse(2, argv), ConfigError);
+}
+
+TEST(Cli, BadValuesRejected)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("n", 1, "n");
+    cli.addBool("flag", false, "f");
+    const char *argv[] = {"prog", "--n=abc"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_THROW(cli.getUint("n"), ConfigError);
+    const char *argv2[] = {"prog", "--flag=maybe"};
+    ASSERT_TRUE(cli.parse(2, argv2));
+    EXPECT_THROW(cli.getBool("flag"), ConfigError);
+}
+
+TEST(Cli, MissingValueRejected)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("n", 1, "n");
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_THROW(cli.parse(2, argv), ConfigError);
+}
+
+} // namespace
+} // namespace aegis

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the trace generators and the functional replay loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aegis/factory.h"
+#include "sim/trace.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+namespace {
+
+TEST(Trace, UniformCoversAllPages)
+{
+    UniformTrace trace(8);
+    Rng rng(1);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++hits[trace.nextPage(rng)];
+    for (int h : hits) {
+        EXPECT_GT(h, 350);
+        EXPECT_LT(h, 650);
+    }
+}
+
+TEST(Trace, SequentialWrapsInOrder)
+{
+    SequentialTrace trace(4);
+    Rng rng(2);
+    for (std::uint32_t i = 0; i < 12; ++i)
+        EXPECT_EQ(trace.nextPage(rng), i % 4);
+}
+
+TEST(Trace, HotColdSkewsTraffic)
+{
+    HotColdTrace trace(20, 0.1, 0.9);    // 2 hot pages, 90% traffic
+    Rng rng(3);
+    int hot = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        hot += trace.nextPage(rng) < 2;
+    EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.9, 0.02);
+}
+
+TEST(Trace, FactoryParsesSpecs)
+{
+    EXPECT_EQ(makeTrace("uniform", 4)->name(), "uniform");
+    EXPECT_EQ(makeTrace("sequential", 4)->name(), "sequential");
+    EXPECT_EQ(makeTrace("hotcold:0.25:0.8", 8)->name(),
+              "hotcold(2 hot pages)");
+    EXPECT_THROW(makeTrace("bogus", 4), ConfigError);
+    EXPECT_THROW(makeTrace("hotcold:2.0:0.5", 4), ConfigError);
+    EXPECT_THROW(makeTrace("hotcold:nope", 4), ConfigError);
+}
+
+TEST(TraceReplay, CleanDeviceHasIdealWear)
+{
+    const pcm::Geometry geom{512, 1024, 4};
+    auto proto = core::makeScheme("aegis-23x23", 512);
+    PcmDevice device(geom, *proto);
+    UniformTrace trace(4);
+    Rng rng(4);
+    const TraceReplayStats stats =
+        replayTrace(device, trace, 200, 0.0, rng);
+    EXPECT_EQ(stats.pageWrites, 200u);
+    EXPECT_EQ(stats.failedWrites, 0u);
+    EXPECT_EQ(stats.faultsInjected, 0u);
+    // Random data over random data: half the cells flip per write
+    // (after the first cold pass inflates it slightly).
+    EXPECT_NEAR(stats.programsPerBit(), 0.5, 0.05);
+}
+
+TEST(TraceReplay, FaultsRaiseWearAndRepartitions)
+{
+    const pcm::Geometry geom{512, 1024, 4};
+    auto proto = core::makeScheme("aegis-12x23", 256);
+    // Wrong block size on purpose must throw at device construction.
+    EXPECT_THROW(PcmDevice(geom, *proto), ConfigError);
+
+    auto proto512 = core::makeScheme("aegis-23x23", 512);
+    PcmDevice device(geom, *proto512);
+    UniformTrace trace(4);
+    Rng rng(5);
+    // Heavy fault pressure: several faults per block by the end, so
+    // inversion rework and re-partitions are unavoidable.
+    const TraceReplayStats stats =
+        replayTrace(device, trace, 400, 500.0, rng);
+    EXPECT_GT(stats.faultsInjected, 150u);
+    // Inversion rework costs extra programs beyond the 0.5 ideal.
+    EXPECT_GT(stats.programsPerBit(), 0.51);
+    EXPECT_GT(stats.repartitions, 0u);
+}
+
+TEST(TraceReplay, DirectorySchemesReplayToo)
+{
+    const pcm::Geometry geom{512, 1024, 2};
+    auto proto = core::makeScheme("aegis-rw-23x23", 512);
+    auto dir = std::make_shared<pcm::OracleFaultDirectory>();
+    PcmDevice device(geom, *proto, dir);
+    SequentialTrace trace(2);
+    Rng rng(6);
+    const TraceReplayStats stats =
+        replayTrace(device, trace, 150, 30.0, rng);
+    EXPECT_EQ(stats.pageWrites, 150u);
+    EXPECT_GT(dir->totalFaults(), 0u);
+}
+
+} // namespace
+} // namespace aegis::sim

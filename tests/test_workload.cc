@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for sim/workload and the memory-survival runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/workload.h"
+#include "util/error.h"
+
+namespace aegis::sim {
+namespace {
+
+TEST(Workload, PerfectIsUniform)
+{
+    PerfectWearLeveling wl;
+    Rng rng(1);
+    const auto rates = wl.pageRates(64, rng);
+    ASSERT_EQ(rates.size(), 64u);
+    for (double r : rates)
+        EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Workload, SkewAveragesToOne)
+{
+    ResidualSkewWearLeveling wl(0.3);
+    Rng rng(2);
+    const auto rates = wl.pageRates(256, rng);
+    double sum = 0, lo = 1e9, hi = 0;
+    for (double r : rates) {
+        sum += r;
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+    }
+    EXPECT_NEAR(sum / 256, 1.0, 1e-9);
+    EXPECT_LT(lo, 0.85);
+    EXPECT_GT(hi, 1.15);
+    EXPECT_GT(lo, 0.0);
+}
+
+TEST(Workload, ZipfIsSkewedAndNormalized)
+{
+    ZipfWorkload wl(1.0);
+    Rng rng(3);
+    const auto rates = wl.pageRates(128, rng);
+    double sum = 0, hi = 0;
+    for (double r : rates) {
+        sum += r;
+        hi = std::max(hi, r);
+    }
+    EXPECT_NEAR(sum / 128, 1.0, 1e-9);
+    // The hottest page is far above average under Zipf(1).
+    EXPECT_GT(hi, 5.0);
+}
+
+TEST(Workload, FactoryParsesSpecs)
+{
+    EXPECT_EQ(makeWorkload("perfect")->name(), "perfect");
+    EXPECT_EQ(makeWorkload("skew:0.25")->name().substr(0, 5), "skew:");
+    EXPECT_EQ(makeWorkload("zipf:1.5")->name().substr(0, 5), "zipf:");
+    EXPECT_THROW(makeWorkload("bogus"), ConfigError);
+    EXPECT_THROW(makeWorkload("zipf:x"), ConfigError);
+    EXPECT_THROW(makeWorkload("skew:2.0"), ConfigError);
+}
+
+TEST(MemorySurvival, PerfectMatchesPageStudyCurve)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = "ecp4";
+    cfg.pages = 12;
+    cfg.pageBytes = 1024;
+    cfg.lifetimeMean = 1e6;
+
+    const PageStudy study = runPageStudy(cfg);
+    PerfectWearLeveling perfect;
+    const SurvivalCurve curve = runMemorySurvival(cfg, perfect);
+    EXPECT_DOUBLE_EQ(curve.timeToFraction(0.5),
+                     study.survival.timeToFraction(0.5));
+}
+
+TEST(MemorySurvival, SkewAcceleratesFirstDeaths)
+{
+    // Under Zipf traffic the hot pages die far earlier than any page
+    // does under perfect leveling, even though cold pages outlive the
+    // uniform case: the onset of page loss is what wear leveling
+    // protects.
+    ExperimentConfig cfg;
+    cfg.scheme = "aegis-12x23";
+    cfg.blockBits = 256;
+    cfg.pages = 24;
+    cfg.pageBytes = 1024;
+    cfg.lifetimeMean = 1e6;
+
+    PerfectWearLeveling perfect;
+    ZipfWorkload zipf(1.0);
+    const double first_perfect =
+        runMemorySurvival(cfg, perfect).timeToFraction(0.9);
+    const double first_zipf =
+        runMemorySurvival(cfg, zipf).timeToFraction(0.9);
+    EXPECT_LT(first_zipf, first_perfect);
+}
+
+} // namespace
+} // namespace aegis::sim
