@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fail_cache"
+  "../bench/ablation_fail_cache.pdb"
+  "CMakeFiles/ablation_fail_cache.dir/ablation_fail_cache.cc.o"
+  "CMakeFiles/ablation_fail_cache.dir/ablation_fail_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fail_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lifetime_models"
+  "../bench/ablation_lifetime_models.pdb"
+  "CMakeFiles/ablation_lifetime_models.dir/ablation_lifetime_models.cc.o"
+  "CMakeFiles/ablation_lifetime_models.dir/ablation_lifetime_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lifetime_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wear_amplification"
+  "../bench/ablation_wear_amplification.pdb"
+  "CMakeFiles/ablation_wear_amplification.dir/ablation_wear_amplification.cc.o"
+  "CMakeFiles/ablation_wear_amplification.dir/ablation_wear_amplification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wear_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dynamic_pairing"
+  "../bench/ext_dynamic_pairing.pdb"
+  "CMakeFiles/ext_dynamic_pairing.dir/ext_dynamic_pairing.cc.o"
+  "CMakeFiles/ext_dynamic_pairing.dir/ext_dynamic_pairing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

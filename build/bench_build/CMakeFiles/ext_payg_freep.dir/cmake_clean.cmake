@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_payg_freep"
+  "../bench/ext_payg_freep.pdb"
+  "CMakeFiles/ext_payg_freep.dir/ext_payg_freep.cc.o"
+  "CMakeFiles/ext_payg_freep.dir/ext_payg_freep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_payg_freep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_payg_freep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_rwp_pointer_sweep"
+  "../bench/fig10_rwp_pointer_sweep.pdb"
+  "CMakeFiles/fig10_rwp_pointer_sweep.dir/fig10_rwp_pointer_sweep.cc.o"
+  "CMakeFiles/fig10_rwp_pointer_sweep.dir/fig10_rwp_pointer_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rwp_pointer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_variants_faults"
+  "../bench/fig11_variants_faults.pdb"
+  "CMakeFiles/fig11_variants_faults.dir/fig11_variants_faults.cc.o"
+  "CMakeFiles/fig11_variants_faults.dir/fig11_variants_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_variants_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_variants_lifetime"
+  "../bench/fig12_variants_lifetime.pdb"
+  "CMakeFiles/fig12_variants_lifetime.dir/fig12_variants_lifetime.cc.o"
+  "CMakeFiles/fig12_variants_lifetime.dir/fig12_variants_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_variants_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_variants_perbit"
+  "../bench/fig13_variants_perbit.pdb"
+  "CMakeFiles/fig13_variants_perbit.dir/fig13_variants_perbit.cc.o"
+  "CMakeFiles/fig13_variants_perbit.dir/fig13_variants_perbit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_variants_perbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_lifetime_improvement"
+  "../bench/fig6_lifetime_improvement.pdb"
+  "CMakeFiles/fig6_lifetime_improvement.dir/fig6_lifetime_improvement.cc.o"
+  "CMakeFiles/fig6_lifetime_improvement.dir/fig6_lifetime_improvement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lifetime_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_perbit_contribution"
+  "../bench/fig7_perbit_contribution.pdb"
+  "CMakeFiles/fig7_perbit_contribution.dir/fig7_perbit_contribution.cc.o"
+  "CMakeFiles/fig7_perbit_contribution.dir/fig7_perbit_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perbit_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

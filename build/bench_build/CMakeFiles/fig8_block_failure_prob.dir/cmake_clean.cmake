@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_block_failure_prob"
+  "../bench/fig8_block_failure_prob.pdb"
+  "CMakeFiles/fig8_block_failure_prob.dir/fig8_block_failure_prob.cc.o"
+  "CMakeFiles/fig8_block_failure_prob.dir/fig8_block_failure_prob.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_block_failure_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

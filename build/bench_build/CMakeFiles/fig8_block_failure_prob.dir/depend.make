@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_block_failure_prob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_page_survival"
+  "../bench/fig9_page_survival.pdb"
+  "CMakeFiles/fig9_page_survival.dir/fig9_page_survival.cc.o"
+  "CMakeFiles/fig9_page_survival.dir/fig9_page_survival.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_page_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_partition_math"
+  "../bench/micro_partition_math.pdb"
+  "CMakeFiles/micro_partition_math.dir/micro_partition_math.cc.o"
+  "CMakeFiles/micro_partition_math.dir/micro_partition_math.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partition_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_scheme_throughput"
+  "../bench/micro_scheme_throughput.pdb"
+  "CMakeFiles/micro_scheme_throughput.dir/micro_scheme_throughput.cc.o"
+  "CMakeFiles/micro_scheme_throughput.dir/micro_scheme_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheme_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_cost.cc" "bench_build/CMakeFiles/table1_cost.dir/table1_cost.cc.o" "gcc" "bench_build/CMakeFiles/table1_cost.dir/table1_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aegis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aegis/CMakeFiles/aegis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/aegis_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/aegis_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aegis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cost"
+  "../bench/table1_cost.pdb"
+  "CMakeFiles/table1_cost.dir/table1_cost.cc.o"
+  "CMakeFiles/table1_cost.dir/table1_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

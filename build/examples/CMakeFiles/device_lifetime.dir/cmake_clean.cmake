@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_lifetime.dir/device_lifetime.cpp.o"
+  "CMakeFiles/device_lifetime.dir/device_lifetime.cpp.o.d"
+  "device_lifetime"
+  "device_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aegis/aegis_rw.cc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_rw.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_rw.cc.o.d"
+  "/root/repo/src/aegis/aegis_rw_p.cc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_rw_p.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_rw_p.cc.o.d"
+  "/root/repo/src/aegis/aegis_scheme.cc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_scheme.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/aegis_scheme.cc.o.d"
+  "/root/repo/src/aegis/collision_rom.cc" "src/aegis/CMakeFiles/aegis_core.dir/collision_rom.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/collision_rom.cc.o.d"
+  "/root/repo/src/aegis/cost.cc" "src/aegis/CMakeFiles/aegis_core.dir/cost.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/cost.cc.o.d"
+  "/root/repo/src/aegis/factory.cc" "src/aegis/CMakeFiles/aegis_core.dir/factory.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/factory.cc.o.d"
+  "/root/repo/src/aegis/partition.cc" "src/aegis/CMakeFiles/aegis_core.dir/partition.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/partition.cc.o.d"
+  "/root/repo/src/aegis/trackers.cc" "src/aegis/CMakeFiles/aegis_core.dir/trackers.cc.o" "gcc" "src/aegis/CMakeFiles/aegis_core.dir/trackers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheme/CMakeFiles/aegis_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/aegis_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aegis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_core.dir/aegis_rw.cc.o"
+  "CMakeFiles/aegis_core.dir/aegis_rw.cc.o.d"
+  "CMakeFiles/aegis_core.dir/aegis_rw_p.cc.o"
+  "CMakeFiles/aegis_core.dir/aegis_rw_p.cc.o.d"
+  "CMakeFiles/aegis_core.dir/aegis_scheme.cc.o"
+  "CMakeFiles/aegis_core.dir/aegis_scheme.cc.o.d"
+  "CMakeFiles/aegis_core.dir/collision_rom.cc.o"
+  "CMakeFiles/aegis_core.dir/collision_rom.cc.o.d"
+  "CMakeFiles/aegis_core.dir/cost.cc.o"
+  "CMakeFiles/aegis_core.dir/cost.cc.o.d"
+  "CMakeFiles/aegis_core.dir/factory.cc.o"
+  "CMakeFiles/aegis_core.dir/factory.cc.o.d"
+  "CMakeFiles/aegis_core.dir/partition.cc.o"
+  "CMakeFiles/aegis_core.dir/partition.cc.o.d"
+  "CMakeFiles/aegis_core.dir/trackers.cc.o"
+  "CMakeFiles/aegis_core.dir/trackers.cc.o.d"
+  "libaegis_core.a"
+  "libaegis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/cell_array.cc" "src/pcm/CMakeFiles/aegis_pcm.dir/cell_array.cc.o" "gcc" "src/pcm/CMakeFiles/aegis_pcm.dir/cell_array.cc.o.d"
+  "/root/repo/src/pcm/fail_cache.cc" "src/pcm/CMakeFiles/aegis_pcm.dir/fail_cache.cc.o" "gcc" "src/pcm/CMakeFiles/aegis_pcm.dir/fail_cache.cc.o.d"
+  "/root/repo/src/pcm/lifetime_model.cc" "src/pcm/CMakeFiles/aegis_pcm.dir/lifetime_model.cc.o" "gcc" "src/pcm/CMakeFiles/aegis_pcm.dir/lifetime_model.cc.o.d"
+  "/root/repo/src/pcm/start_gap.cc" "src/pcm/CMakeFiles/aegis_pcm.dir/start_gap.cc.o" "gcc" "src/pcm/CMakeFiles/aegis_pcm.dir/start_gap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aegis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

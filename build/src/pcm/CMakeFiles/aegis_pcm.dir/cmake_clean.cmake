@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_pcm.dir/cell_array.cc.o"
+  "CMakeFiles/aegis_pcm.dir/cell_array.cc.o.d"
+  "CMakeFiles/aegis_pcm.dir/fail_cache.cc.o"
+  "CMakeFiles/aegis_pcm.dir/fail_cache.cc.o.d"
+  "CMakeFiles/aegis_pcm.dir/lifetime_model.cc.o"
+  "CMakeFiles/aegis_pcm.dir/lifetime_model.cc.o.d"
+  "CMakeFiles/aegis_pcm.dir/start_gap.cc.o"
+  "CMakeFiles/aegis_pcm.dir/start_gap.cc.o.d"
+  "libaegis_pcm.a"
+  "libaegis_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheme/ecp.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/ecp.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/ecp.cc.o.d"
+  "/root/repo/src/scheme/hamming.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/hamming.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/hamming.cc.o.d"
+  "/root/repo/src/scheme/inversion_driver.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/inversion_driver.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/inversion_driver.cc.o.d"
+  "/root/repo/src/scheme/none.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/none.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/none.cc.o.d"
+  "/root/repo/src/scheme/rdis.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/rdis.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/rdis.cc.o.d"
+  "/root/repo/src/scheme/safer.cc" "src/scheme/CMakeFiles/aegis_scheme.dir/safer.cc.o" "gcc" "src/scheme/CMakeFiles/aegis_scheme.dir/safer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcm/CMakeFiles/aegis_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aegis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_scheme.dir/ecp.cc.o"
+  "CMakeFiles/aegis_scheme.dir/ecp.cc.o.d"
+  "CMakeFiles/aegis_scheme.dir/hamming.cc.o"
+  "CMakeFiles/aegis_scheme.dir/hamming.cc.o.d"
+  "CMakeFiles/aegis_scheme.dir/inversion_driver.cc.o"
+  "CMakeFiles/aegis_scheme.dir/inversion_driver.cc.o.d"
+  "CMakeFiles/aegis_scheme.dir/none.cc.o"
+  "CMakeFiles/aegis_scheme.dir/none.cc.o.d"
+  "CMakeFiles/aegis_scheme.dir/rdis.cc.o"
+  "CMakeFiles/aegis_scheme.dir/rdis.cc.o.d"
+  "CMakeFiles/aegis_scheme.dir/safer.cc.o"
+  "CMakeFiles/aegis_scheme.dir/safer.cc.o.d"
+  "libaegis_scheme.a"
+  "libaegis_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_sim.cc" "src/sim/CMakeFiles/aegis_sim.dir/block_sim.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/block_sim.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/aegis_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/aegis_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/page_sim.cc" "src/sim/CMakeFiles/aegis_sim.dir/page_sim.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/page_sim.cc.o.d"
+  "/root/repo/src/sim/pairing.cc" "src/sim/CMakeFiles/aegis_sim.dir/pairing.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/pairing.cc.o.d"
+  "/root/repo/src/sim/payg.cc" "src/sim/CMakeFiles/aegis_sim.dir/payg.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/payg.cc.o.d"
+  "/root/repo/src/sim/remap.cc" "src/sim/CMakeFiles/aegis_sim.dir/remap.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/remap.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/aegis_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/aegis_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/aegis_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aegis/CMakeFiles/aegis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheme/CMakeFiles/aegis_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/aegis_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aegis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

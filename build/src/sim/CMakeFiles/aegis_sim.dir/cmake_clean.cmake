@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_sim.dir/block_sim.cc.o"
+  "CMakeFiles/aegis_sim.dir/block_sim.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/device.cc.o"
+  "CMakeFiles/aegis_sim.dir/device.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/experiment.cc.o"
+  "CMakeFiles/aegis_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/page_sim.cc.o"
+  "CMakeFiles/aegis_sim.dir/page_sim.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/pairing.cc.o"
+  "CMakeFiles/aegis_sim.dir/pairing.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/payg.cc.o"
+  "CMakeFiles/aegis_sim.dir/payg.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/remap.cc.o"
+  "CMakeFiles/aegis_sim.dir/remap.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/trace.cc.o"
+  "CMakeFiles/aegis_sim.dir/trace.cc.o.d"
+  "CMakeFiles/aegis_sim.dir/workload.cc.o"
+  "CMakeFiles/aegis_sim.dir/workload.cc.o.d"
+  "libaegis_sim.a"
+  "libaegis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

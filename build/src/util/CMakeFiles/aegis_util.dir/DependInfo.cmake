@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bit_io.cc" "src/util/CMakeFiles/aegis_util.dir/bit_io.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/bit_io.cc.o.d"
+  "/root/repo/src/util/bit_vector.cc" "src/util/CMakeFiles/aegis_util.dir/bit_vector.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/bit_vector.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/util/CMakeFiles/aegis_util.dir/cli.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/cli.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/aegis_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/primes.cc" "src/util/CMakeFiles/aegis_util.dir/primes.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/primes.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/aegis_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/aegis_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/aegis_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/aegis_util.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegis_util.dir/bit_io.cc.o"
+  "CMakeFiles/aegis_util.dir/bit_io.cc.o.d"
+  "CMakeFiles/aegis_util.dir/bit_vector.cc.o"
+  "CMakeFiles/aegis_util.dir/bit_vector.cc.o.d"
+  "CMakeFiles/aegis_util.dir/cli.cc.o"
+  "CMakeFiles/aegis_util.dir/cli.cc.o.d"
+  "CMakeFiles/aegis_util.dir/histogram.cc.o"
+  "CMakeFiles/aegis_util.dir/histogram.cc.o.d"
+  "CMakeFiles/aegis_util.dir/primes.cc.o"
+  "CMakeFiles/aegis_util.dir/primes.cc.o.d"
+  "CMakeFiles/aegis_util.dir/rng.cc.o"
+  "CMakeFiles/aegis_util.dir/rng.cc.o.d"
+  "CMakeFiles/aegis_util.dir/stats.cc.o"
+  "CMakeFiles/aegis_util.dir/stats.cc.o.d"
+  "CMakeFiles/aegis_util.dir/table_printer.cc.o"
+  "CMakeFiles/aegis_util.dir/table_printer.cc.o.d"
+  "libaegis_util.a"
+  "libaegis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aegis_cache.dir/test_aegis_cache.cc.o"
+  "CMakeFiles/test_aegis_cache.dir/test_aegis_cache.cc.o.d"
+  "test_aegis_cache"
+  "test_aegis_cache.pdb"
+  "test_aegis_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aegis_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

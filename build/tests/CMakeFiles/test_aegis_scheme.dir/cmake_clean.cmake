@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aegis_scheme.dir/test_aegis_scheme.cc.o"
+  "CMakeFiles/test_aegis_scheme.dir/test_aegis_scheme.cc.o.d"
+  "test_aegis_scheme"
+  "test_aegis_scheme.pdb"
+  "test_aegis_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aegis_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

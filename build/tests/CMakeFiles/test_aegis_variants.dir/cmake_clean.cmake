@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aegis_variants.dir/test_aegis_variants.cc.o"
+  "CMakeFiles/test_aegis_variants.dir/test_aegis_variants.cc.o.d"
+  "test_aegis_variants"
+  "test_aegis_variants.pdb"
+  "test_aegis_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aegis_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

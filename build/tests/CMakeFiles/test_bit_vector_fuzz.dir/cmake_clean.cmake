@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_vector_fuzz.dir/test_bit_vector_fuzz.cc.o"
+  "CMakeFiles/test_bit_vector_fuzz.dir/test_bit_vector_fuzz.cc.o.d"
+  "test_bit_vector_fuzz"
+  "test_bit_vector_fuzz.pdb"
+  "test_bit_vector_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_vector_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brute_force_validation.dir/test_brute_force_validation.cc.o"
+  "CMakeFiles/test_brute_force_validation.dir/test_brute_force_validation.cc.o.d"
+  "test_brute_force_validation"
+  "test_brute_force_validation.pdb"
+  "test_brute_force_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brute_force_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

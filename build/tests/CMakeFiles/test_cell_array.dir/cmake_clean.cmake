@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_array.dir/test_cell_array.cc.o"
+  "CMakeFiles/test_cell_array.dir/test_cell_array.cc.o.d"
+  "test_cell_array"
+  "test_cell_array.pdb"
+  "test_cell_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecp.dir/test_ecp.cc.o"
+  "CMakeFiles/test_ecp.dir/test_ecp.cc.o.d"
+  "test_ecp"
+  "test_ecp.pdb"
+  "test_ecp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

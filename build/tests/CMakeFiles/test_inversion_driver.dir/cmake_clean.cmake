@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inversion_driver.dir/test_inversion_driver.cc.o"
+  "CMakeFiles/test_inversion_driver.dir/test_inversion_driver.cc.o.d"
+  "test_inversion_driver"
+  "test_inversion_driver.pdb"
+  "test_inversion_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inversion_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

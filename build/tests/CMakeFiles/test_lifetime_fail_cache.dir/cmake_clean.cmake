@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifetime_fail_cache.dir/test_lifetime_fail_cache.cc.o"
+  "CMakeFiles/test_lifetime_fail_cache.dir/test_lifetime_fail_cache.cc.o.d"
+  "test_lifetime_fail_cache"
+  "test_lifetime_fail_cache.pdb"
+  "test_lifetime_fail_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifetime_fail_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

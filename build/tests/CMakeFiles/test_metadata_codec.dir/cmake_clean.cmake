@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_codec.dir/test_metadata_codec.cc.o"
+  "CMakeFiles/test_metadata_codec.dir/test_metadata_codec.cc.o.d"
+  "test_metadata_codec"
+  "test_metadata_codec.pdb"
+  "test_metadata_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

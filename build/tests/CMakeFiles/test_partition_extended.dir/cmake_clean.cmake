@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_extended.dir/test_partition_extended.cc.o"
+  "CMakeFiles/test_partition_extended.dir/test_partition_extended.cc.o.d"
+  "test_partition_extended"
+  "test_partition_extended.pdb"
+  "test_partition_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payg_remap.dir/test_payg_remap.cc.o"
+  "CMakeFiles/test_payg_remap.dir/test_payg_remap.cc.o.d"
+  "test_payg_remap"
+  "test_payg_remap.pdb"
+  "test_payg_remap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payg_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdis.dir/test_rdis.cc.o"
+  "CMakeFiles/test_rdis.dir/test_rdis.cc.o.d"
+  "test_rdis"
+  "test_rdis.pdb"
+  "test_rdis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

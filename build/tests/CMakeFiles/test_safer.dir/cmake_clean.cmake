@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safer.dir/test_safer.cc.o"
+  "CMakeFiles/test_safer.dir/test_safer.cc.o.d"
+  "test_safer"
+  "test_safer.pdb"
+  "test_safer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

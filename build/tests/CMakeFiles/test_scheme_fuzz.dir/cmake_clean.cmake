@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_fuzz.dir/test_scheme_fuzz.cc.o"
+  "CMakeFiles/test_scheme_fuzz.dir/test_scheme_fuzz.cc.o.d"
+  "test_scheme_fuzz"
+  "test_scheme_fuzz.pdb"
+  "test_scheme_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_start_gap.dir/test_start_gap.cc.o"
+  "CMakeFiles/test_start_gap.dir/test_start_gap.cc.o.d"
+  "test_start_gap"
+  "test_start_gap.pdb"
+  "test_start_gap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_start_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

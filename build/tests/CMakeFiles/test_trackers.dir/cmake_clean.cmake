@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trackers.dir/test_trackers.cc.o"
+  "CMakeFiles/test_trackers.dir/test_trackers.cc.o.d"
+  "test_trackers"
+  "test_trackers.pdb"
+  "test_trackers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
