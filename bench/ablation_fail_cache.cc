@@ -95,12 +95,15 @@ main(int argc, char **argv)
     cli.addUint("seed", 1, "random seed");
     cli.addString("scheme", "aegis-rw-23x23", "cache-using scheme");
     cli.addBool("csv", false, "emit CSV");
+    cli.addBool("audit", false,
+                "wrap the scheme in the runtime invariant auditor");
     return bench::runBench(argc, argv, cli, [&] {
         const std::vector<std::size_t> capacities{0, 4096, 256, 64,
                                                   16, 4};
         const auto blocks =
             static_cast<std::uint32_t>(cli.getUint("blocks"));
-        const std::string scheme = cli.getString("scheme");
+        const std::string scheme =
+            bench::auditedName(cli, cli.getString("scheme"));
 
         TablePrinter t("Ablation — " + scheme +
                        " with a finite direct-mapped fail cache "

@@ -39,6 +39,9 @@ addCommonFlags(CliParser &cli)
     cli.addUint("labelings", 256,
                 "W/R labeling samples for data-dependent schemes");
     cli.addBool("csv", false, "emit CSV instead of aligned tables");
+    cli.addBool("audit", false,
+                "wrap every scheme in the runtime invariant auditor "
+                "(slow; aborts on the first violation)");
 }
 
 /** Build the experiment config implied by the parsed flags. */
@@ -54,7 +57,20 @@ configFrom(const CliParser &cli, std::uint32_t block_bits)
     cfg.lifetimeParam = cli.getDouble("lifetime-cv");
     cfg.tracker.labelingSamples =
         static_cast<std::uint32_t>(cli.getUint("labelings"));
+    cfg.audit = cli.getBool("audit");
     return cfg;
+}
+
+/**
+ * Factory spelling for a scheme honouring --audit, for benches that
+ * build schemes directly instead of through an ExperimentConfig.
+ */
+inline std::string
+auditedName(const CliParser &cli, std::string name)
+{
+    if (cli.getBool("audit"))
+        name += "+audit";
+    return name;
 }
 
 /** Print @p table as text or CSV per the --csv flag. */

@@ -66,6 +66,10 @@ BENCHMARK_CAPTURE(BM_Write, aegis_23x23_clean, "aegis-23x23", 0u);
 BENCHMARK_CAPTURE(BM_Write, aegis_23x23_4faults, "aegis-23x23", 4u);
 BENCHMARK_CAPTURE(BM_Write, aegis_9x61_clean, "aegis-9x61", 0u);
 BENCHMARK_CAPTURE(BM_Write, aegis_9x61_8faults, "aegis-9x61", 8u);
+// Auditor overhead: the same write path with every runtime invariant
+// check enabled (read-back, metadata round-trip, budget accounting).
+BENCHMARK_CAPTURE(BM_Write, aegis_9x61_audit_8faults,
+                  "aegis-9x61+audit", 8u);
 BENCHMARK_CAPTURE(BM_Write, aegis_rw_23x23_4faults, "aegis-rw-23x23",
                   4u);
 BENCHMARK_CAPTURE(BM_Write, aegis_rw_p4_23x23_4faults,

@@ -5,6 +5,7 @@
 #include "aegis/aegis_rw.h"
 #include "aegis/aegis_rw_p.h"
 #include "aegis/aegis_scheme.h"
+#include "audit/scheme_auditor.h"
 #include "scheme/ecp.h"
 #include "scheme/hamming.h"
 #include "scheme/none.h"
@@ -47,11 +48,29 @@ parseFormation(const std::string &s, std::uint32_t &a, std::uint32_t &b)
     return a > 0 && b > 0;
 }
 
+/** Strip a trailing "+audit", returning true when it was present. */
+bool
+stripAuditSuffix(std::string &name)
+{
+    const std::string suffix = "+audit";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) != 0) {
+        return false;
+    }
+    name.resize(name.size() - suffix.size());
+    return true;
+}
+
 } // namespace
 
 std::unique_ptr<scheme::Scheme>
-makeScheme(const std::string &name, std::size_t block_bits)
+makeScheme(const std::string &full_name, std::size_t block_bits)
 {
+    std::string name = full_name;
+    if (stripAuditSuffix(name))
+        return audit::wrapWithAuditor(makeScheme(name, block_bits));
+
     const auto bits = static_cast<std::uint32_t>(block_bits);
 
     if (name == "none")
@@ -117,6 +136,14 @@ makeScheme(const std::string &name, std::size_t block_bits)
     }
 
     throw ConfigError("unknown scheme name `" + name + "'");
+}
+
+std::unique_ptr<scheme::Scheme>
+makeAuditedScheme(const std::string &name, std::size_t block_bits)
+{
+    std::string base = name;
+    stripAuditSuffix(base);
+    return audit::wrapWithAuditor(makeScheme(base, block_bits));
 }
 
 std::vector<std::string>

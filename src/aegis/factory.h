@@ -14,6 +14,10 @@
  *   "aegis-rw-AxB"            Aegis-rw, e.g. "aegis-rw-17x31"
  *   "aegis-rw-pP-AxB"         Aegis-rw-p with P pointers,
  *                             e.g. "aegis-rw-p5-17x31"
+ *
+ * Any name may carry a "+audit" suffix (e.g. "aegis-9x61+audit") to
+ * wrap the scheme in the runtime invariant auditor
+ * (audit::SchemeAuditor); scheme->name() round-trips the spelling.
  */
 
 #ifndef AEGIS_AEGIS_FACTORY_H
@@ -30,6 +34,14 @@ namespace aegis::core {
 /** Build a scheme by name; throws ConfigError on unknown names. */
 std::unique_ptr<scheme::Scheme> makeScheme(const std::string &name,
                                            std::size_t block_bits);
+
+/**
+ * Build a scheme by name and wrap it in the runtime invariant
+ * auditor. Accepts names with or without the "+audit" suffix; the
+ * result is always audited exactly once.
+ */
+std::unique_ptr<scheme::Scheme>
+makeAuditedScheme(const std::string &name, std::size_t block_bits);
 
 /** Names of the schemes evaluated in the paper for @p block_bits. */
 std::vector<std::string> paperSchemeNames(std::size_t block_bits);

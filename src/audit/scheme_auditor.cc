@@ -1,0 +1,501 @@
+#include "audit/scheme_auditor.h"
+
+#include <bit>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "aegis/aegis_rw.h"
+#include "aegis/aegis_rw_p.h"
+#include "aegis/aegis_scheme.h"
+#include "aegis/collision_rom.h"
+#include "aegis/cost.h"
+#include "pcm/fail_cache.h"
+#include "util/error.h"
+#include "util/primes.h"
+
+namespace aegis::audit {
+
+namespace {
+
+/** The partition of an Aegis-family scheme, or nullptr otherwise. */
+const core::Partition *
+partitionOf(const scheme::Scheme &s)
+{
+    if (const auto *basic = dynamic_cast<const core::AegisScheme *>(&s))
+        return &basic->partition();
+    if (const auto *rw = dynamic_cast<const core::AegisRwScheme *>(&s))
+        return &rw->partition();
+    if (const auto *rwp = dynamic_cast<const core::AegisRwPScheme *>(&s))
+        return &rwp->partition();
+    return nullptr;
+}
+
+/** ceil(log2 x) for x >= 1, matching cost.cc's counter sizing. */
+std::size_t
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(x - 1));
+}
+
+/** True when slope @p k puts every fault of @p faults in its own group. */
+bool
+slopeSeparates(const core::Partition &part, const pcm::FaultSet &faults,
+               std::uint32_t k)
+{
+    std::vector<bool> hit(part.groups(), false);
+    for (const pcm::Fault &f : faults) {
+        const std::uint32_t g = part.groupOf(f.pos, k);
+        if (hit[g])
+            return false;
+        hit[g] = true;
+    }
+    return true;
+}
+
+/**
+ * True when slope @p k has a group mixing stuck-at-Wrong and
+ * stuck-at-Right faults (classified against @p data) — the Aegis-rw
+ * notion of a blocked configuration.
+ */
+bool
+slopeBlocked(const core::Partition &part, const pcm::FaultSet &faults,
+             const BitVector &data, std::uint32_t k)
+{
+    std::vector<std::uint8_t> seen(part.groups(), 0);
+    for (const pcm::Fault &f : faults) {
+        const std::uint32_t g = part.groupOf(f.pos, k);
+        const std::uint8_t kind =
+            pcm::classify(f, data.get(f.pos)) == pcm::FaultKind::Wrong
+                ? 1u
+                : 2u;
+        if (seen[g] != 0 && seen[g] != kind)
+            return true;
+        seen[g] = kind;
+    }
+    return false;
+}
+
+/**
+ * Exhaustively verify Theorem 1 and Theorem 2 for @p part and
+ * cross-check Partition::collisionSlope against a freshly built
+ * CollisionRom. O(n^2 * B) — run once per formation (memoized by the
+ * caller).
+ */
+void
+verifyPartitionTheorems(const core::Partition &part)
+{
+    const std::uint32_t n = part.blockBits();
+    const std::uint32_t width = part.a();
+    const std::uint32_t height = part.b();
+
+    AEGIS_AUDIT(isPrime(height),
+                "Aegis height B=" << height << " is not prime");
+    AEGIS_AUDIT(width >= 1 && width <= height,
+                "formation " << part.formation()
+                             << " violates 0 < A <= B");
+    AEGIS_AUDIT(static_cast<std::uint64_t>(width - 1) * height < n &&
+                    n <= static_cast<std::uint64_t>(width) * height,
+                "formation " << part.formation() << " cannot host n="
+                             << n << " ((A-1)*B < n <= A*B)");
+
+    // Theorem 1: under every slope the groups partition the block and
+    // hold at most one point per column.
+    for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+        std::vector<bool> visited(n, false);
+        std::uint32_t covered = 0;
+        for (std::uint32_t y = 0; y < part.groups(); ++y) {
+            std::vector<bool> column_used(width, false);
+            for (const std::uint32_t pos : part.groupMembers(y, k)) {
+                AEGIS_AUDIT(pos < n, "group member " << pos
+                                                     << " out of range");
+                AEGIS_AUDIT(part.groupOf(pos, k) == y,
+                            "groupMembers/groupOf disagree at pos "
+                                << pos << " slope " << k);
+                AEGIS_AUDIT(!visited[pos],
+                            "pos " << pos << " in two groups, slope "
+                                   << k << " (Theorem 1)");
+                const std::uint32_t col = part.columnOf(pos);
+                AEGIS_AUDIT(!column_used[col],
+                            "two points of column " << col
+                                << " share group " << y << " slope "
+                                << k);
+                column_used[col] = true;
+                visited[pos] = true;
+                ++covered;
+            }
+        }
+        AEGIS_AUDIT(covered == n, "slope " << k << " covers " << covered
+                                           << " of " << n
+                                           << " points (Theorem 1)");
+    }
+
+    // Theorem 2: cross-column pairs collide under exactly one slope,
+    // same-column pairs under none; collisionSlope and the ROM agree.
+    const core::CollisionRom rom(part);
+    for (std::uint32_t p1 = 0; p1 < n; ++p1) {
+        for (std::uint32_t p2 = p1 + 1; p2 < n; ++p2) {
+            std::uint32_t collisions = 0;
+            std::uint32_t where = height;
+            for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+                if (part.groupOf(p1, k) == part.groupOf(p2, k)) {
+                    ++collisions;
+                    where = k;
+                }
+            }
+            const bool same_column =
+                part.columnOf(p1) == part.columnOf(p2);
+            AEGIS_AUDIT(collisions == (same_column ? 0u : 1u),
+                        "pair (" << p1 << "," << p2 << ") collides on "
+                                 << collisions
+                                 << " slopes (Theorem 2)");
+            const std::uint32_t claimed = part.collisionSlope(p1, p2);
+            AEGIS_AUDIT(claimed == where,
+                        "collisionSlope(" << p1 << "," << p2 << ")="
+                                          << claimed
+                                          << " but brute force says "
+                                          << where);
+            AEGIS_AUDIT(rom.lookup(p1, p2) == where,
+                        "collision ROM disagrees at (" << p1 << ","
+                                                       << p2 << ")");
+        }
+    }
+}
+
+/** Run verifyPartitionTheorems once per formation per process. */
+void
+verifyStructureOnce(const core::Partition &part)
+{
+    static std::mutex mu;
+    static std::set<std::string> done;
+    const std::string key =
+        part.formation() + ":" + std::to_string(part.blockBits());
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!done.insert(key).second)
+            return;
+    }
+    verifyPartitionTheorems(part);
+}
+
+/**
+ * Metadata-bit budget accounting: the packed image must stay within
+ * what cost.cc claims for the configuration, allowing only the
+ * documented full-width slope-counter slack (the implementation
+ * always packs a ceil(log2 B)-bit counter; Table 1 may claim a
+ * narrower one when fewer configurations are ever needed).
+ */
+void
+verifyBudget(const scheme::Scheme &s)
+{
+    const std::size_t used = s.metadataBits();
+    const std::size_t advertised = s.overheadBits();
+    AEGIS_AUDIT(used >= advertised,
+                s.name() << ": image " << used
+                         << "b narrower than advertised overhead "
+                         << advertised << "b");
+
+    if (const auto *rwp = dynamic_cast<const core::AegisRwPScheme *>(&s)) {
+        const std::uint32_t height = rwp->partition().b();
+        const std::uint32_t p = rwp->pointerBudget();
+        const std::uint32_t f = 2 * p + 1;
+        const std::size_t table1 = core::costBitsRwP(height, f, p);
+        const std::size_t slack =
+            ceilLog2(height) -
+            ceilLog2(std::min<std::uint64_t>(core::slopesNeededRw(f),
+                                             height));
+        AEGIS_AUDIT(advertised == table1,
+                    s.name() << " advertises " << advertised
+                             << "b but Table 1 claims " << table1);
+        AEGIS_AUDIT(used == table1 + slack,
+                    s.name() << " packs " << used << "b; Table 1 + "
+                             << "counter slack allows "
+                             << table1 + slack);
+        return;
+    }
+
+    const core::Partition *part = partitionOf(s);
+    if (part != nullptr) {
+        const std::uint32_t height = part->b();
+        const auto f = static_cast<std::uint32_t>(s.hardFtc());
+        const bool rw =
+            dynamic_cast<const core::AegisRwScheme *>(&s) != nullptr;
+        const std::size_t table1 = rw ? core::costBitsRw(height, f)
+                                      : core::costBitsBasic(height, f);
+        const std::size_t slack =
+            ceilLog2(height) - core::slopeCounterBits(height, f);
+        AEGIS_AUDIT(used == table1 + slack,
+                    s.name() << " packs " << used
+                             << "b; Table 1 claims " << table1
+                             << "b plus " << slack
+                             << "b counter slack");
+        return;
+    }
+
+    // Non-Aegis schemes: metadataBits() documents at most a few bits
+    // beyond the advertised Table-1 overhead (ECP's entry counter).
+    AEGIS_AUDIT(used <= advertised + 16,
+                s.name() << ": image " << used << "b exceeds overhead "
+                         << advertised << "b by more than the "
+                         << "documented few-bit slack");
+}
+
+} // namespace
+
+SchemeAuditor::SchemeAuditor(std::unique_ptr<scheme::Scheme> inner_scheme)
+    : wrapped(std::move(inner_scheme))
+{
+    AEGIS_REQUIRE(wrapped != nullptr,
+                  "SchemeAuditor needs a scheme to wrap");
+    AEGIS_REQUIRE(dynamic_cast<SchemeAuditor *>(wrapped.get()) == nullptr,
+                  "refusing to audit an auditor");
+    if (const core::Partition *part = partitionOf(*wrapped))
+        verifyStructureOnce(*part);
+    verifyBudget(*wrapped);
+}
+
+std::string
+SchemeAuditor::name() const
+{
+    return wrapped->name() + "+audit";
+}
+
+std::size_t
+SchemeAuditor::blockBits() const
+{
+    return wrapped->blockBits();
+}
+
+std::size_t
+SchemeAuditor::overheadBits() const
+{
+    return wrapped->overheadBits();
+}
+
+std::size_t
+SchemeAuditor::hardFtc() const
+{
+    return wrapped->hardFtc();
+}
+
+std::string
+SchemeAuditor::dumpState(const pcm::CellArray &cells) const
+{
+    std::ostringstream os;
+    os << "scheme=" << wrapped->name() << " blockBits="
+       << wrapped->blockBits() << " metadata="
+       << wrapped->exportMetadata().toString() << " faults=[";
+    bool first = true;
+    for (const pcm::Fault &f : cells.faults()) {
+        if (!first)
+            os << " ";
+        os << f.pos << (f.stuck ? ":1" : ":0");
+        first = false;
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+SchemeAuditor::auditMetadata(const pcm::CellArray &cells) const
+{
+    const BitVector image = wrapped->exportMetadata();
+    ++numChecks;
+    AEGIS_AUDIT(image.size() == wrapped->metadataBits(),
+                wrapped->name() << " exported " << image.size()
+                                << "b, metadataBits() promises "
+                                << wrapped->metadataBits());
+    verifyBudget(*wrapped);
+    ++numChecks;
+
+    // Round-trip: a clone restored from the image must reproduce it
+    // bit-for-bit and decode the same logical data.
+    const std::unique_ptr<scheme::Scheme> restored = wrapped->clone();
+    restored->importMetadata(image);
+    ++numChecks;
+    AEGIS_AUDIT(restored->exportMetadata() == image,
+                wrapped->name()
+                    << " metadata image does not round-trip: "
+                    << dumpState(cells));
+    if (haveShadow) {
+        ++numChecks;
+        AEGIS_AUDIT(restored->read(cells) == shadow,
+                    wrapped->name()
+                        << " restored clone decodes different data: "
+                        << dumpState(cells));
+    }
+}
+
+void
+SchemeAuditor::auditDirectory(const pcm::CellArray &cells) const
+{
+    if (directory == nullptr)
+        return;
+    for (const pcm::Fault &f : directory->lookup(blockId)) {
+        ++numChecks;
+        AEGIS_AUDIT(f.pos < cells.size(),
+                    "fail cache lists out-of-range pos " << f.pos
+                        << " for block " << blockId);
+        AEGIS_AUDIT(cells.isStuck(f.pos),
+                    "fail cache lists healthy cell " << f.pos
+                        << " as stuck: " << dumpState(cells));
+        AEGIS_AUDIT(cells.readBit(f.pos) == f.stuck,
+                    "fail cache stuck value wrong at pos " << f.pos
+                        << ": " << dumpState(cells));
+    }
+}
+
+void
+SchemeAuditor::auditFailure(const pcm::CellArray &cells,
+                            const BitVector &data) const
+{
+    const pcm::FaultSet faults = cells.faults();
+    ++numChecks;
+    AEGIS_AUDIT(faults.size() > wrapped->hardFtc(),
+                wrapped->name() << " retired a block holding "
+                                << faults.size()
+                                << " faults, within its hard FTC of "
+                                << wrapped->hardFtc() << ": "
+                                << dumpState(cells));
+
+    // Brute-force recoverability oracle for the Aegis family. The
+    // scheme failed over its *discovered* fault subset; if any slope
+    // handles the full physical fault set it also handles the subset,
+    // so finding one proves the failure wrong.
+    const core::Partition *part = partitionOf(*wrapped);
+    if (part == nullptr)
+        return;
+    const bool rw_family =
+        dynamic_cast<const core::AegisRwScheme *>(wrapped.get()) !=
+        nullptr;
+    if (dynamic_cast<const core::AegisRwPScheme *>(wrapped.get())) {
+        // rw-p may legitimately fail on pointer exhaustion even when a
+        // free slope exists; only the hard-FTC bound above applies.
+        return;
+    }
+    for (std::uint32_t k = 0; k < part->slopes(); ++k) {
+        ++numChecks;
+        if (rw_family) {
+            AEGIS_AUDIT(slopeBlocked(*part, faults, data, k),
+                        wrapped->name() << " declared failure but slope "
+                            << k << " mixes no W/R group: "
+                            << dumpState(cells));
+        } else {
+            AEGIS_AUDIT(!slopeSeparates(*part, faults, k),
+                        wrapped->name() << " declared failure but slope "
+                            << k << " separates all faults: "
+                            << dumpState(cells));
+        }
+    }
+}
+
+scheme::WriteOutcome
+SchemeAuditor::write(pcm::CellArray &cells, const BitVector &data)
+{
+    ++numWrites;
+    const scheme::WriteOutcome outcome = wrapped->write(cells, data);
+
+    if (outcome.ok) {
+        ++numChecks;
+        AEGIS_AUDIT(outcome.programPasses >= 1,
+                    wrapped->name()
+                        << " claims success without a program pass");
+        const BitVector decoded = wrapped->read(cells);
+        ++numChecks;
+        AEGIS_AUDIT(decoded == data,
+                    wrapped->name() << " read-after-write mismatch ("
+                        << decoded.hammingDistance(data)
+                        << " bits differ): " << dumpState(cells));
+        shadow = data;
+        haveShadow = true;
+    } else {
+        haveShadow = false;
+        auditFailure(cells, data);
+    }
+
+    auditMetadata(cells);
+    auditDirectory(cells);
+    return outcome;
+}
+
+BitVector
+SchemeAuditor::read(const pcm::CellArray &cells) const
+{
+    BitVector decoded = wrapped->read(cells);
+    if (haveShadow) {
+        ++numChecks;
+        AEGIS_AUDIT(decoded == shadow,
+                    wrapped->name()
+                        << " decode no longer matches the last "
+                        << "successful write: " << dumpState(cells));
+    }
+    return decoded;
+}
+
+void
+SchemeAuditor::reset()
+{
+    wrapped->reset();
+    haveShadow = false;
+}
+
+std::unique_ptr<scheme::Scheme>
+SchemeAuditor::clone() const
+{
+    auto copy = std::make_unique<SchemeAuditor>(wrapped->clone());
+    copy->attachDirectory(directory, blockId);
+    copy->shadow = shadow;
+    copy->haveShadow = haveShadow;
+    copy->numWrites = numWrites;
+    copy->numChecks = numChecks;
+    return copy;
+}
+
+std::size_t
+SchemeAuditor::metadataBits() const
+{
+    return wrapped->metadataBits();
+}
+
+BitVector
+SchemeAuditor::exportMetadata() const
+{
+    return wrapped->exportMetadata();
+}
+
+void
+SchemeAuditor::importMetadata(const BitVector &image)
+{
+    wrapped->importMetadata(image);
+    // A legitimate import may change the decode; drop the shadow.
+    haveShadow = false;
+}
+
+std::unique_ptr<scheme::LifetimeTracker>
+SchemeAuditor::makeTracker(const scheme::TrackerOptions &opts) const
+{
+    return wrapped->makeTracker(opts);
+}
+
+void
+SchemeAuditor::attachDirectory(pcm::FaultDirectory *dir,
+                               std::uint64_t block_id)
+{
+    scheme::Scheme::attachDirectory(dir, block_id);
+    wrapped->attachDirectory(dir, block_id);
+}
+
+bool
+SchemeAuditor::requiresDirectory() const
+{
+    return wrapped->requiresDirectory();
+}
+
+std::unique_ptr<scheme::Scheme>
+wrapWithAuditor(std::unique_ptr<scheme::Scheme> inner_scheme)
+{
+    return std::make_unique<SchemeAuditor>(std::move(inner_scheme));
+}
+
+} // namespace aegis::audit

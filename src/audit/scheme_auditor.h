@@ -1,0 +1,122 @@
+/**
+ * @file
+ * SchemeAuditor: a runtime invariant auditor for recovery schemes.
+ *
+ * The auditor is a transparent scheme::Scheme decorator. It forwards
+ * every call to the wrapped scheme and, around each write/read,
+ * machine-checks the invariants the simulator's correctness rests on:
+ *
+ *  - read-after-write round-trip fidelity against the stuck-at masks
+ *    (a successful write must decode to exactly the data written);
+ *  - metadata-bit budget accounting: the packed image is exactly
+ *    metadataBits() wide, and for the Aegis family the real image
+ *    width is cross-checked against the Table-1 budgets in cost.cc
+ *    (allowing only the documented full-width-counter slack);
+ *  - metadata round-trip: export -> import into a clone -> re-export
+ *    reproduces the image, and the clone decodes the same data;
+ *  - fail-cache consistency: every fault the attached FaultDirectory
+ *    reports for this block must exist in the cell array with the
+ *    same stuck value;
+ *  - no premature retirement: a scheme must never report an
+ *    unrecoverable block while the fault count is within its hard FTC;
+ *  - Aegis structure (once per formation, memoized process-wide):
+ *    Theorem 1 (every point in exactly one group per slope, groups
+ *    partition the block) and Theorem 2 (any two points collide under
+ *    at most one slope; cross-column pairs under exactly one),
+ *    cross-checked against a freshly built CollisionRom;
+ *  - Aegis failure claims: when basic Aegis / Aegis-rw declares a
+ *    block unrecoverable, a brute-force sweep over all B slopes
+ *    confirms that no configuration could have stored the data.
+ *
+ * Violations throw InternalError via AEGIS_AUDIT with a state dump
+ * (scheme name, slope, metadata image, fault list). The auditor is
+ * opt-in: wrap via audit::wrapWithAuditor(), ask the factory for
+ * "<scheme>+audit", or pass --audit to the benches.
+ */
+
+#ifndef AEGIS_AUDIT_SCHEME_AUDITOR_H
+#define AEGIS_AUDIT_SCHEME_AUDITOR_H
+
+#include <cstdint>
+#include <memory>
+
+#include "scheme/scheme.h"
+
+namespace aegis::audit {
+
+class SchemeAuditor : public scheme::Scheme
+{
+  public:
+    /** Wrap @p inner_scheme; runs the one-time structural audit. */
+    explicit SchemeAuditor(std::unique_ptr<scheme::Scheme> inner_scheme);
+
+    std::string name() const override;
+    std::size_t blockBits() const override;
+    std::size_t overheadBits() const override;
+    std::size_t hardFtc() const override;
+
+    scheme::WriteOutcome write(pcm::CellArray &cells,
+                               const BitVector &data) override;
+    BitVector read(const pcm::CellArray &cells) const override;
+    void reset() override;
+    std::unique_ptr<scheme::Scheme> clone() const override;
+
+    std::size_t metadataBits() const override;
+    BitVector exportMetadata() const override;
+    void importMetadata(const BitVector &image) override;
+
+    std::unique_ptr<scheme::LifetimeTracker>
+    makeTracker(const scheme::TrackerOptions &opts) const override;
+
+    void attachDirectory(pcm::FaultDirectory *dir,
+                         std::uint64_t block_id) override;
+    bool requiresDirectory() const override;
+
+    /** The wrapped scheme (test access; tampering bypasses checks). */
+    scheme::Scheme &inner() { return *wrapped; }
+    const scheme::Scheme &inner() const { return *wrapped; }
+
+    /** Writes audited since construction (cloned counters continue). */
+    std::uint64_t auditedWrites() const { return numWrites; }
+
+    /** Individual invariant checks that have run. */
+    std::uint64_t checksRun() const { return numChecks; }
+
+    /**
+     * Forget the shadow copy of the last written data. Call after
+     * mutating the cell array behind the scheme's back (fault
+     * injection at the *current* value is fine and needs no call).
+     */
+    void invalidateShadow() { haveShadow = false; }
+
+  private:
+    /** One-time Theorem 1/2 + cost.cc audit for Aegis formations. */
+    void auditStructure() const;
+
+    /** Checks common to every audit point (budget + round-trip). */
+    void auditMetadata(const pcm::CellArray &cells) const;
+
+    /** Directory entries must describe real stuck cells. */
+    void auditDirectory(const pcm::CellArray &cells) const;
+
+    /** A failed write must be a genuinely unrecoverable block. */
+    void auditFailure(const pcm::CellArray &cells,
+                      const BitVector &data) const;
+
+    /** Render scheme identity + fault state for violation dumps. */
+    std::string dumpState(const pcm::CellArray &cells) const;
+
+    std::unique_ptr<scheme::Scheme> wrapped;
+    BitVector shadow;
+    bool haveShadow = false;
+    mutable std::uint64_t numWrites = 0;
+    mutable std::uint64_t numChecks = 0;
+};
+
+/** Convenience wrapper used by the factory's "+audit" suffix. */
+std::unique_ptr<scheme::Scheme>
+wrapWithAuditor(std::unique_ptr<scheme::Scheme> inner_scheme);
+
+} // namespace aegis::audit
+
+#endif // AEGIS_AUDIT_SCHEME_AUDITOR_H

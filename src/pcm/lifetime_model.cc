@@ -52,12 +52,12 @@ LogNormalLifetimeModel::name() const
     return "lognormal(mean=" + std::to_string(targetMean) + ")";
 }
 
-WeibullLifetimeModel::WeibullLifetimeModel(double mean, double shape)
-    : targetMean(mean), shape(shape)
+WeibullLifetimeModel::WeibullLifetimeModel(double mean, double shape_k)
+    : targetMean(mean), shape(shape_k)
 {
     AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
-    AEGIS_REQUIRE(shape > 0, "Weibull shape must be positive");
-    scale = mean / std::tgamma(1.0 + 1.0 / shape);
+    AEGIS_REQUIRE(shape_k > 0, "Weibull shape must be positive");
+    scale = mean / std::tgamma(1.0 + 1.0 / shape_k);
 }
 
 double
@@ -78,11 +78,12 @@ WeibullLifetimeModel::name() const
            ",k=" + std::to_string(shape) + ")";
 }
 
-UniformLifetimeModel::UniformLifetimeModel(double mean, double spread)
-    : mu(mean), spread(spread)
+UniformLifetimeModel::UniformLifetimeModel(double mean,
+                                           double spread_frac)
+    : mu(mean), spread(spread_frac)
 {
     AEGIS_REQUIRE(mean > 0, "mean lifetime must be positive");
-    AEGIS_REQUIRE(spread >= 0 && spread <= 1,
+    AEGIS_REQUIRE(spread_frac >= 0 && spread_frac <= 1,
                   "uniform spread must be in [0, 1]");
 }
 

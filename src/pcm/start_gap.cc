@@ -7,12 +7,13 @@
 
 namespace aegis::pcm {
 
-StartGapMapper::StartGapMapper(std::uint64_t lines,
+StartGapMapper::StartGapMapper(std::uint64_t num_lines,
                                std::uint64_t gap_interval)
-    : lines(lines), interval(gap_interval), gap(lines),
-      wear(lines + 1, 0)
+    : lines(num_lines), interval(gap_interval), gap(num_lines),
+      wear(num_lines + 1, 0)
 {
-    AEGIS_REQUIRE(lines >= 2, "Start-Gap needs at least two lines");
+    AEGIS_REQUIRE(num_lines >= 2,
+                  "Start-Gap needs at least two lines");
     AEGIS_REQUIRE(gap_interval >= 1, "gap interval must be positive");
 }
 
@@ -66,13 +67,15 @@ StartGapMapper::wearImbalance() const
     return static_cast<double>(peak) / mean;
 }
 
-AddressScrambler::AddressScrambler(std::uint64_t lines,
-                                   std::uint64_t key)
-    : lines(lines), key(key)
+AddressScrambler::AddressScrambler(std::uint64_t num_lines,
+                                   std::uint64_t scramble_key)
+    : lines(num_lines), key(scramble_key)
 {
-    AEGIS_REQUIRE(lines >= 2, "scrambler needs at least two lines");
+    AEGIS_REQUIRE(num_lines >= 2,
+                  "scrambler needs at least two lines");
     // Feistel over an even number of bits covering [0, lines).
-    std::uint32_t bits = std::bit_width(lines - 1);
+    auto bits =
+        static_cast<std::uint32_t>(std::bit_width(num_lines - 1));
     if (bits % 2)
         ++bits;
     if (bits == 0)

@@ -18,8 +18,8 @@ namespace {
 class RdisTracker : public LifetimeTracker
 {
   public:
-    RdisTracker(RdisSolver solver, std::uint32_t samples)
-        : solver(std::move(solver)), samples(samples)
+    RdisTracker(RdisSolver rdis_solver, std::uint32_t labelings)
+        : solver(std::move(rdis_solver)), samples(labelings)
     {}
 
     FaultVerdict

@@ -101,8 +101,10 @@ class SaferTracker : public LifetimeTracker
 } // namespace
 
 SaferPartition::SaferPartition(std::size_t block_bits,
-                               std::size_t max_fields, bool exhaustive)
-    : bits(block_bits), maxFields(max_fields), exhaustive(exhaustive)
+                               std::size_t max_fields,
+                               bool exhaustive_search)
+    : bits(block_bits), maxFields(max_fields),
+      exhaustive(exhaustive_search)
 {
     AEGIS_REQUIRE(isPowerOfTwo(block_bits),
                   "SAFER requires a power-of-two block size");

@@ -7,13 +7,14 @@
 namespace aegis::sim {
 
 BlockSimulator::BlockSimulator(const scheme::Scheme &scheme,
-                               const pcm::LifetimeModel &lifetime,
-                               const WearModel &wear,
+                               const pcm::LifetimeModel &lifetime_model,
+                               const WearModel &wear_model,
                                const scheme::TrackerOptions &tracker_opts)
-    : schemeProto(scheme), lifetime(lifetime), wear(wear),
+    : schemeProto(scheme), lifetime(lifetime_model), wear(wear_model),
       trackerOpts(tracker_opts)
 {
-    AEGIS_REQUIRE(wear.baseRate > 0, "base wear rate must be positive");
+    AEGIS_REQUIRE(wear_model.baseRate > 0,
+                  "base wear rate must be positive");
 }
 
 BlockLifeResult

@@ -28,7 +28,7 @@ struct Stack
     std::unique_ptr<pcm::LifetimeModel> lifetime;
 
     explicit Stack(const ExperimentConfig &config)
-        : scheme(core::makeScheme(config.scheme, config.blockBits)),
+        : scheme(core::makeScheme(config.schemeSpec(), config.blockBits)),
           lifetime(pcm::makeLifetimeModel(config.lifetimeKind,
                                           config.lifetimeMean,
                                           config.lifetimeParam))

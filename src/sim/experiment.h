@@ -37,6 +37,25 @@ struct ExperimentConfig
     double lifetimeParam = 0.25;    ///< cv / shape / spread
     WearModel wear;
     scheme::TrackerOptions tracker;
+    /** Wrap every functional scheme in the runtime invariant auditor
+     *  (audit::SchemeAuditor) so Monte-Carlo runs double as
+     *  correctness sweeps. Costly; off by default. */
+    bool audit = false;
+
+    /** Factory spelling of @ref scheme honouring @ref audit. */
+    std::string schemeSpec() const { return schemeSpec(scheme); }
+
+    /** Factory spelling of @p name honouring @ref audit (for
+     *  secondary schemes like PAYG's LEC). */
+    std::string schemeSpec(const std::string &name) const
+    {
+        const std::string suffix = "+audit";
+        const bool already =
+            name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+        return (audit && !already) ? name + suffix : name;
+    }
 };
 
 /** Aggregated page-level results (Figures 5, 6, 7, 9, 11, 12, 13). */

@@ -69,7 +69,7 @@ runPairingStudy(const ExperimentConfig &config, std::size_t points)
     AEGIS_REQUIRE(geom.blocksPerPage() <= 64,
                   "pairing study supports up to 64 blocks per page");
     const auto scheme =
-        core::makeScheme(config.scheme, config.blockBits);
+        core::makeScheme(config.schemeSpec(), config.blockBits);
     const auto lifetime = pcm::makeLifetimeModel(
         config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
     const BlockSimulator block_sim(*scheme, *lifetime, config.wear,

@@ -39,7 +39,8 @@ runPaygStudy(const ExperimentConfig &config, const PaygConfig &payg)
 {
     const pcm::Geometry geom{config.blockBits, config.pageBytes,
                              config.pages};
-    const auto lec = core::makeScheme(payg.lecScheme, config.blockBits);
+    const auto lec = core::makeScheme(config.schemeSpec(payg.lecScheme),
+                                  config.blockBits);
     const auto lifetime = pcm::makeLifetimeModel(
         config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
 

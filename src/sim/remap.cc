@@ -19,7 +19,7 @@ runRemapStudy(const ExperimentConfig &config,
     const pcm::Geometry geom{config.blockBits, config.pageBytes,
                              config.pages};
     const auto scheme =
-        core::makeScheme(config.scheme, config.blockBits);
+        core::makeScheme(config.schemeSpec(), config.blockBits);
     const auto lifetime = pcm::makeLifetimeModel(
         config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
     const BlockSimulator sim(*scheme, *lifetime, config.wear,

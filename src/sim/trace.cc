@@ -4,10 +4,10 @@
 
 namespace aegis::sim {
 
-UniformTrace::UniformTrace(std::uint32_t pages)
-    : pages(pages)
+UniformTrace::UniformTrace(std::uint32_t num_pages)
+    : pages(num_pages)
 {
-    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
 }
 
 std::uint32_t
@@ -16,10 +16,10 @@ UniformTrace::nextPage(Rng &rng)
     return static_cast<std::uint32_t>(rng.nextBounded(pages));
 }
 
-SequentialTrace::SequentialTrace(std::uint32_t pages)
-    : pages(pages)
+SequentialTrace::SequentialTrace(std::uint32_t num_pages)
+    : pages(num_pages)
 {
-    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
 }
 
 std::uint32_t
@@ -30,11 +30,11 @@ SequentialTrace::nextPage(Rng &)
     return page;
 }
 
-HotColdTrace::HotColdTrace(std::uint32_t pages, double hot_fraction,
-                           double hot_traffic)
-    : pages(pages), hotTraffic(hot_traffic)
+HotColdTrace::HotColdTrace(std::uint32_t num_pages,
+                           double hot_fraction, double hot_traffic)
+    : pages(num_pages), hotTraffic(hot_traffic)
 {
-    AEGIS_REQUIRE(pages > 0, "trace needs at least one page");
+    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
     AEGIS_REQUIRE(hot_fraction > 0 && hot_fraction < 1,
                   "hot fraction must be in (0, 1)");
     AEGIS_REQUIRE(hot_traffic > 0 && hot_traffic < 1,

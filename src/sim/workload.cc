@@ -13,10 +13,10 @@ PerfectWearLeveling::pageRates(std::uint32_t pages, Rng &) const
     return std::vector<double>(pages, 1.0);
 }
 
-ResidualSkewWearLeveling::ResidualSkewWearLeveling(double spread)
-    : spread(spread)
+ResidualSkewWearLeveling::ResidualSkewWearLeveling(double skew)
+    : spread(skew)
 {
-    AEGIS_REQUIRE(spread >= 0.0 && spread < 1.0,
+    AEGIS_REQUIRE(skew >= 0.0 && skew < 1.0,
                   "residual skew must be in [0, 1)");
 }
 
@@ -42,10 +42,11 @@ ResidualSkewWearLeveling::name() const
     return "skew:" + std::to_string(spread);
 }
 
-ZipfWorkload::ZipfWorkload(double exponent)
-    : exponent(exponent)
+ZipfWorkload::ZipfWorkload(double zipf_exponent)
+    : exponent(zipf_exponent)
 {
-    AEGIS_REQUIRE(exponent > 0.0, "Zipf exponent must be positive");
+    AEGIS_REQUIRE(zipf_exponent > 0.0,
+                  "Zipf exponent must be positive");
 }
 
 std::vector<double>

@@ -7,8 +7,8 @@
 
 namespace aegis {
 
-CliParser::CliParser(std::string prog, std::string description)
-    : prog(std::move(prog)), description(std::move(description))
+CliParser::CliParser(std::string prog_name, std::string about)
+    : prog(std::move(prog_name)), description(std::move(about))
 {}
 
 void

@@ -8,6 +8,11 @@
  *  - fatal-class failures (AEGIS_REQUIRE): invalid configuration or
  *    arguments supplied by the caller. These throw std::invalid_argument
  *    so applications can catch and report them.
+ *
+ * A third macro, AEGIS_AUDIT, serves the runtime invariant auditor
+ * (src/audit/): like AEGIS_ASSERT it reports a library bug via
+ * InternalError, but its message argument is a stream expression so
+ * violations can carry a full state dump of the audited scheme.
  */
 
 #ifndef AEGIS_UTIL_ERROR_H
@@ -80,6 +85,27 @@ formatDiagnostic(const char *file, int line, const char *expr,
         if (!(cond)) {                                                      \
             throw ::aegis::ConfigError(::aegis::detail::formatDiagnostic(   \
                 __FILE__, __LINE__, #cond, (msg)));                         \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Audit-layer invariant check. @p dump is a stream expression (chained
+ * with <<), evaluated only on failure, so auditors can attach an
+ * arbitrarily detailed state dump at zero cost on the happy path:
+ *
+ *   AEGIS_AUDIT(decoded == data,
+ *               "read-back mismatch on " << name << ": slope=" << k);
+ *
+ * Failure throws InternalError with "[audit]" in the diagnostic.
+ */
+#define AEGIS_AUDIT(cond, dump)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream aegis_audit_os_;                             \
+            aegis_audit_os_ << dump; /* NOLINT */                           \
+            throw ::aegis::InternalError(::aegis::detail::formatDiagnostic( \
+                __FILE__, __LINE__, #cond,                                  \
+                "[audit] " + aegis_audit_os_.str()));                       \
         }                                                                   \
     } while (0)
 

@@ -8,8 +8,8 @@
 
 namespace aegis {
 
-TablePrinter::TablePrinter(std::string title)
-    : title(std::move(title))
+TablePrinter::TablePrinter(std::string table_title)
+    : title(std::move(table_title))
 {}
 
 void

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The error-handling primitives: exception taxonomy, file:line
+ * diagnostics, expression capture, and the audit macro's lazily
+ * evaluated state dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/error.h"
+
+namespace aegis {
+namespace {
+
+TEST(ErrorMacros, AssertPassesWhenConditionHolds)
+{
+    EXPECT_NO_THROW(AEGIS_ASSERT(2 + 2 == 4, "arithmetic works"));
+}
+
+TEST(ErrorMacros, AssertThrowsInternalErrorWithDiagnostics)
+{
+    int line = 0;
+    try {
+        line = __LINE__ + 1;
+        AEGIS_ASSERT(1 == 2, "impossible arithmetic");
+        FAIL() << "AEGIS_ASSERT did not throw";
+    } catch (const InternalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("test_error.cc:" + std::to_string(line)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("impossible arithmetic"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ErrorMacros, InternalErrorIsALogicError)
+{
+    // Panic-class failures are library bugs: catchable as logic_error
+    // so harnesses can distinguish them from user mistakes.
+    EXPECT_THROW(AEGIS_ASSERT(false, "bug"), std::logic_error);
+    EXPECT_THROW(AEGIS_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(ErrorMacros, RequirePassesWhenConditionHolds)
+{
+    EXPECT_NO_THROW(AEGIS_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorMacros, RequireThrowsConfigErrorWithDiagnostics)
+{
+    int line = 0;
+    try {
+        line = __LINE__ + 1;
+        AEGIS_REQUIRE(false, "bad user configuration");
+        FAIL() << "AEGIS_REQUIRE did not throw";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("test_error.cc:" + std::to_string(line)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("bad user configuration"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ErrorMacros, ConfigErrorIsAnInvalidArgument)
+{
+    EXPECT_THROW(AEGIS_REQUIRE(false, "nope"), std::invalid_argument);
+    EXPECT_THROW(AEGIS_REQUIRE(false, "nope"), ConfigError);
+}
+
+TEST(ErrorMacros, RequireAndAssertAreDistinctTypes)
+{
+    // A ConfigError must not be caught as an InternalError and vice
+    // versa — callers rely on the taxonomy to assign blame.
+    EXPECT_FALSE((std::is_base_of_v<InternalError, ConfigError>));
+    EXPECT_FALSE((std::is_base_of_v<ConfigError, InternalError>));
+}
+
+TEST(ErrorMacros, AuditThrowsInternalErrorWithStreamedDump)
+{
+    const int slope = 17;
+    const std::string name = "aegis-9x61";
+    int line = 0;
+    try {
+        line = __LINE__ + 1;
+        AEGIS_AUDIT(slope < 10, "scheme=" << name << " slope=" << slope);
+        FAIL() << "AEGIS_AUDIT did not throw";
+    } catch (const InternalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("test_error.cc:" + std::to_string(line)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("slope < 10"), std::string::npos) << what;
+        EXPECT_NE(what.find("[audit]"), std::string::npos) << what;
+        EXPECT_NE(what.find("scheme=aegis-9x61 slope=17"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ErrorMacros, AuditDumpIsLazilyEvaluated)
+{
+    // The dump expression must cost nothing on the happy path.
+    int evaluations = 0;
+    const auto expensive = [&evaluations] {
+        ++evaluations;
+        return std::string("dump");
+    };
+    AEGIS_AUDIT(true, expensive());
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_THROW(AEGIS_AUDIT(false, expensive()), InternalError);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ErrorMacros, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    const auto once = [&calls] {
+        ++calls;
+        return true;
+    };
+    AEGIS_ASSERT(once(), "side effects must not repeat");
+    EXPECT_EQ(calls, 1);
+    calls = 0;
+    AEGIS_AUDIT(once(), "side effects must not repeat");
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace aegis

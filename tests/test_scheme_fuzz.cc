@@ -6,9 +6,21 @@
  * data written, and a scheme that reports a failed write never
  * silently corrupts earlier state (the failure is the signal to
  * retire the block).
+ *
+ * Every fuzzed scheme runs wrapped in the runtime invariant auditor
+ * (audit::SchemeAuditor), so each random step also exercises the
+ * theorem, budget and directory cross-checks. The differential
+ * harness at the bottom drives all schemes through one identical
+ * scripted fault/write sequence and validates their recoverability
+ * claims against brute-force oracles reimplemented here,
+ * independently of both the schemes and the auditor.
  */
 
 #include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
 
 #include "aegis/factory.h"
 #include "pcm/fail_cache.h"
@@ -35,7 +47,8 @@ TEST_P(SchemeFuzz, LongRandomInterleaving)
 
     for (int trial = 0; trial < 4; ++trial) {
         auto dir = std::make_shared<pcm::OracleFaultDirectory>();
-        auto scheme = core::makeScheme(param.name, param.blockBits);
+        auto scheme =
+            core::makeAuditedScheme(param.name, param.blockBits);
         scheme->attachDirectory(dir.get(), trial);
         pcm::CellArray cells(param.blockBits);
 
@@ -77,7 +90,7 @@ TEST_P(SchemeFuzz, LongRandomInterleaving)
                 // Metadata round-trip through a fresh instance.
                 const BitVector image = scheme->exportMetadata();
                 auto fresh =
-                    core::makeScheme(param.name, param.blockBits);
+                    core::makeAuditedScheme(param.name, param.blockBits);
                 fresh->attachDirectory(dir.get(), trial);
                 fresh->importMetadata(image);
                 if (have_data) {
@@ -132,6 +145,223 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return n + "_" + std::to_string(info.param.blockBits);
     });
+
+// ---------------------------------------------------------------------
+// Differential harness: one scripted fault/write sequence, all schemes.
+// ---------------------------------------------------------------------
+
+/** One scripted step: optionally inject a fault, then write @ref data. */
+struct ScriptStep
+{
+    bool inject = false;
+    std::uint32_t pos = 0;
+    bool stuck = false;
+    BitVector data;
+};
+
+/** Pre-generate a script so every scheme sees the exact same events. */
+std::vector<ScriptStep>
+makeScript(std::size_t block_bits, int rounds, Rng &rng)
+{
+    std::vector<ScriptStep> script;
+    std::vector<bool> used(block_bits, false);
+    for (int round = 0; round < rounds; ++round) {
+        ScriptStep step;
+        if (round > 2 && round % 3 == 0) {
+            std::uint32_t pos;
+            do {
+                pos = static_cast<std::uint32_t>(
+                    rng.nextBounded(block_bits));
+            } while (used[pos]);
+            used[pos] = true;
+            step.inject = true;
+            step.pos = pos;
+            step.stuck = rng.nextBool();
+        }
+        step.data = BitVector::random(block_bits, rng);
+        script.push_back(std::move(step));
+    }
+    return script;
+}
+
+/** Parse "AxB" out of an Aegis factory name; false for non-Aegis. */
+bool
+parseFormation(const std::string &name, std::uint32_t &a_out,
+               std::uint32_t &b_out)
+{
+    const auto x = name.rfind('x');
+    if (name.rfind("aegis-", 0) != 0 || x == std::string::npos)
+        return false;
+    auto digits_start = x;
+    while (digits_start > 0 &&
+           std::isdigit(static_cast<unsigned char>(
+               name[digits_start - 1])) != 0)
+        --digits_start;
+    a_out = static_cast<std::uint32_t>(
+        std::stoul(name.substr(digits_start, x - digits_start)));
+    b_out = static_cast<std::uint32_t>(std::stoul(name.substr(x + 1)));
+    return true;
+}
+
+/** Group of bit @p pos in formation AxB under slope @p k (paper §2.2). */
+std::uint32_t
+groupOf(std::uint32_t pos, std::uint32_t b, std::uint32_t k)
+{
+    const std::uint32_t column = pos / b;
+    const std::uint32_t y = pos % b;
+    return (y + b - (column * k) % b) % b;
+}
+
+/** True when slope @p k puts every fault in its own group. */
+bool
+slopeSeparates(const pcm::FaultSet &faults, std::uint32_t b,
+               std::uint32_t k)
+{
+    std::vector<int> count(b, 0);
+    for (const auto &f : faults) {
+        if (++count[groupOf(f.pos, b, k)] > 1)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * True when slope @p k leaves some group with a stuck-at-Wrong /
+ * stuck-at-Right mixture for @p data — the only unwritable pattern
+ * for Aegis-rw (paper §2.4).
+ */
+bool
+slopeMixed(const pcm::FaultSet &faults, const BitVector &data,
+           std::uint32_t b, std::uint32_t k)
+{
+    std::vector<signed char> seen(b, 0);    // 0 none, +1 W, -1 R
+    for (const auto &f : faults) {
+        const signed char kind =
+            pcm::classify(f, data.get(f.pos)) == pcm::FaultKind::Wrong
+                ? static_cast<signed char>(1)
+                : static_cast<signed char>(-1);
+        auto &slot = seen[groupOf(f.pos, b, k)];
+        if (slot == -kind)
+            return true;
+        slot = kind;
+    }
+    return false;
+}
+
+TEST(DifferentialFuzz, IdenticalSequencesAcrossAllSchemes)
+{
+    constexpr std::size_t kBits = 256;
+    const std::vector<std::string> schemes = {
+        "none",          "hamming",
+        "ecp4",          "safer32",
+        "safer16-cache", "rdis3",
+        "aegis-12x23",   "aegis-9x31",
+        "aegis-cache-12x23", "aegis-rw-12x23",
+        "aegis-rw-p4-12x23",
+    };
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        Rng rng(seed * 0x9e3779b9ull);
+        const auto script = makeScript(kBits, 90, rng);
+
+        for (const auto &name : schemes) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " " + name);
+            auto scheme = core::makeAuditedScheme(name, kBits);
+            pcm::OracleFaultDirectory dir;
+            scheme->attachDirectory(&dir, seed);
+            pcm::CellArray cells(kBits);
+
+            std::uint32_t a = 0;
+            std::uint32_t b = 0;
+            const bool is_aegis = parseFormation(name, a, b);
+            const bool is_rw_p = name.rfind("aegis-rw-p", 0) == 0;
+            const bool is_rw = !is_rw_p &&
+                               name.rfind("aegis-rw-", 0) == 0;
+
+            for (const auto &step : script) {
+                if (step.inject && !cells.isStuck(step.pos)) {
+                    cells.injectFault(step.pos, step.stuck);
+                    dir.record(seed, {step.pos, step.stuck});
+                }
+                const auto outcome = scheme->write(cells, step.data);
+                if (outcome.ok) {
+                    ASSERT_EQ(scheme->read(cells), step.data);
+                    continue;
+                }
+
+                // The hard FTC is a guarantee over all placements and
+                // data patterns: failing within it is a scheme bug.
+                EXPECT_GT(cells.faultCount(), scheme->hardFtc())
+                    << "retired with only " << cells.faultCount()
+                    << " faults";
+
+                // Brute-force recoverability oracles for the Aegis
+                // family (rw-p may also die of pointer exhaustion, so
+                // no slope-level claim applies to it).
+                if (is_aegis && !is_rw && !is_rw_p) {
+                    const auto faults = cells.faults();
+                    for (std::uint32_t k = 0; k < b; ++k) {
+                        EXPECT_FALSE(slopeSeparates(faults, b, k))
+                            << "slope " << k
+                            << " separates all faults, yet the "
+                               "scheme reported failure";
+                    }
+                }
+                if (is_rw) {
+                    const auto faults = cells.faults();
+                    for (std::uint32_t k = 0; k < b; ++k) {
+                        EXPECT_TRUE(
+                            slopeMixed(faults, step.data, b, k))
+                            << "slope " << k
+                            << " has no W/R mixture for this data, "
+                               "yet the scheme reported failure";
+                    }
+                }
+                break;    // block retired
+            }
+        }
+    }
+}
+
+/**
+ * The positive side of the oracle: as long as some slope separates
+ * every injected fault, a basic Aegis write can never fail (Theorem 2
+ * guarantees such a slope exists while faults are in distinct
+ * columns, and the implementation searches all slopes).
+ */
+TEST(DifferentialFuzz, BasicAegisNeverFailsWhileASlopeSeparates)
+{
+    constexpr std::size_t kBits = 256;
+    constexpr std::uint32_t kB = 23;
+    Rng rng(99);
+    auto scheme = core::makeAuditedScheme("aegis-12x23", kBits);
+    pcm::CellArray cells(kBits);
+
+    for (int round = 0; round < 200; ++round) {
+        if (round % 4 == 1) {
+            const auto pos = static_cast<std::uint32_t>(
+                rng.nextBounded(kBits));
+            if (!cells.isStuck(pos))
+                cells.injectFault(pos, rng.nextBool());
+        }
+        bool separable = false;
+        const auto faults = cells.faults();
+        for (std::uint32_t k = 0; k < kB && !separable; ++k)
+            separable = slopeSeparates(faults, kB, k);
+
+        const auto outcome =
+            scheme->write(cells, BitVector::random(kBits, rng));
+        if (separable) {
+            ASSERT_TRUE(outcome.ok)
+                << "a separating slope exists but the write failed "
+                   "with "
+                << faults.size() << " faults";
+            ASSERT_EQ(scheme->read(cells).size(), kBits);
+        }
+        if (!outcome.ok)
+            break;
+    }
+}
 
 } // namespace
 } // namespace aegis
