@@ -103,7 +103,7 @@ main(int argc, char **argv)
         const auto blocks =
             static_cast<std::uint32_t>(cli.getUint("blocks"));
         const std::string scheme =
-            bench::auditedName(cli, cli.getString("scheme"));
+            bench::schemeSpec(cli, cli.getString("scheme")).str();
 
         TablePrinter t("Ablation — " + scheme +
                        " with a finite direct-mapped fail cache "

@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "aegis/factory.h"
 #include "sim/experiment.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/table_printer.h"
 
 namespace aegis::bench {
@@ -42,6 +44,9 @@ addCommonFlags(CliParser &cli)
     cli.addBool("audit", false,
                 "wrap every scheme in the runtime invariant auditor "
                 "(slow; aborts on the first violation)");
+    cli.addUint("jobs", 0,
+                "Monte-Carlo worker threads (0 = one per hardware "
+                "thread); output is identical for every value");
 }
 
 /** Build the experiment config implied by the parsed flags. */
@@ -58,19 +63,30 @@ configFrom(const CliParser &cli, std::uint32_t block_bits)
     cfg.tracker.labelingSamples =
         static_cast<std::uint32_t>(cli.getUint("labelings"));
     cfg.audit = cli.getBool("audit");
+    cfg.jobs = static_cast<std::uint32_t>(cli.getUint("jobs"));
     return cfg;
 }
 
 /**
- * Factory spelling for a scheme honouring --audit, for benches that
- * build schemes directly instead of through an ExperimentConfig.
+ * Structured factory spec for a scheme honouring --audit, for benches
+ * that build schemes directly instead of through an ExperimentConfig.
  */
-inline std::string
-auditedName(const CliParser &cli, std::string name)
+inline core::SchemeSpec
+schemeSpec(const CliParser &cli, const std::string &name)
 {
-    if (cli.getBool("audit"))
-        name += "+audit";
-    return name;
+    core::SchemeSpec spec = core::SchemeSpec::parse(name);
+    spec.audit = spec.audit || cli.getBool("audit");
+    return spec;
+}
+
+/**
+ * The leading table cells every per-scheme row shares: the scheme
+ * label and its overhead-bit budget.
+ */
+inline std::vector<std::string>
+studyCells(const sim::StudyResult &study)
+{
+    return {study.scheme, std::to_string(study.overheadBits)};
 }
 
 /** Print @p table as text or CSV per the --csv flag. */

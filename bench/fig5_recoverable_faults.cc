@@ -41,11 +41,16 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
             bench::configFrom(cli, block_bits);
         cfg.scheme = name;
         const sim::PageStudy study = sim::runPageStudy(cfg);
-        t.addRow({study.scheme, std::to_string(study.overheadBits),
-                  TablePrinter::num(100 * study.overheadFraction(), 1),
-                  TablePrinter::num(study.recoverableFaults.mean(), 0),
-                  TablePrinter::num(study.recoverableFaults.ci95(), 0),
-                  bench::paperRef(paperFaults(name, block_bits))});
+        std::vector<std::string> row = bench::studyCells(study);
+        row.insert(row.end(),
+                   {TablePrinter::num(100 * study.overheadFraction(),
+                                      1),
+                    TablePrinter::num(study.recoverableFaults.mean(),
+                                      0),
+                    TablePrinter::num(study.recoverableFaults.ci95(),
+                                      0),
+                    bench::paperRef(paperFaults(name, block_bits))});
+        t.addRow(row);
     }
     bench::emit(t, cli);
 }

@@ -50,11 +50,14 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
         const sim::PageStudy study = sim::runPageStudy(cfg);
         const double gain = sim::lifetimeImprovement(study, baseline);
         const double paper = paperImprovement(name, block_bits);
-        t.addRow({study.scheme, std::to_string(study.overheadBits),
-                  TablePrinter::intNum(static_cast<long long>(
-                      study.pageLifetime.mean())),
-                  TablePrinter::num(gain, 2) + "x",
-                  paper > 0 ? TablePrinter::num(paper, 1) + "x" : "-"});
+        std::vector<std::string> row = bench::studyCells(study);
+        row.insert(row.end(),
+                   {TablePrinter::intNum(static_cast<long long>(
+                        study.pageLifetime.mean())),
+                    TablePrinter::num(gain, 2) + "x",
+                    paper > 0 ? TablePrinter::num(paper, 1) + "x"
+                              : "-"});
+        t.addRow(row);
     }
     bench::emit(t, cli);
 }

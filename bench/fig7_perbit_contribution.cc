@@ -32,11 +32,14 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
         cfg.scheme = name;
         const sim::PageStudy study = sim::runPageStudy(cfg);
         const double gain = sim::lifetimeImprovement(study, baseline);
-        t.addRow({study.scheme, std::to_string(study.overheadBits),
-                  TablePrinter::num(gain, 2) + "x",
-                  TablePrinter::num(
-                      gain / static_cast<double>(study.overheadBits),
-                      4)});
+        std::vector<std::string> row = bench::studyCells(study);
+        row.insert(row.end(),
+                   {TablePrinter::num(gain, 2) + "x",
+                    TablePrinter::num(
+                        gain /
+                            static_cast<double>(study.overheadBits),
+                        4)});
+        t.addRow(row);
     }
     bench::emit(t, cli);
 }

@@ -57,9 +57,9 @@ main(int argc, char **argv)
             const sim::BlockStudy study =
                 sim::runBlockStudy(cfg, blocks);
             auto scheme = core::makeScheme(name, 512);
-            std::vector<std::string> row{
-                name, std::to_string(scheme->hardFtc()),
-                std::to_string(study.overheadBits)};
+            std::vector<std::string> row = bench::studyCells(study);
+            row.insert(row.begin() + 1,
+                       std::to_string(scheme->hardFtc()));
             for (std::int64_t j = 2; j <= max_faults; j += step) {
                 row.push_back(TablePrinter::num(
                     study.failureProbabilityAt(j), 2));

@@ -62,15 +62,10 @@ stripAuditSuffix(std::string &name)
     return true;
 }
 
-} // namespace
-
+/** Build the bare (never audited) scheme for a base name. */
 std::unique_ptr<scheme::Scheme>
-makeScheme(const std::string &full_name, std::size_t block_bits)
+makeBareScheme(const std::string &name, std::size_t block_bits)
 {
-    std::string name = full_name;
-    if (stripAuditSuffix(name))
-        return audit::wrapWithAuditor(makeScheme(name, block_bits));
-
     const auto bits = static_cast<std::uint32_t>(block_bits);
 
     if (name == "none")
@@ -138,12 +133,35 @@ makeScheme(const std::string &full_name, std::size_t block_bits)
     throw ConfigError("unknown scheme name `" + name + "'");
 }
 
+} // namespace
+
+SchemeSpec
+SchemeSpec::parse(const std::string &spelled)
+{
+    SchemeSpec spec{spelled, false};
+    while (stripAuditSuffix(spec.name))
+        spec.audit = true;
+    return spec;
+}
+
+std::unique_ptr<scheme::Scheme>
+makeScheme(const SchemeSpec &spec, std::size_t block_bits)
+{
+    auto scheme = makeBareScheme(spec.name, block_bits);
+    return spec.audit ? audit::wrapWithAuditor(std::move(scheme))
+                      : std::move(scheme);
+}
+
+std::unique_ptr<scheme::Scheme>
+makeScheme(const std::string &name, std::size_t block_bits)
+{
+    return makeScheme(SchemeSpec::parse(name), block_bits);
+}
+
 std::unique_ptr<scheme::Scheme>
 makeAuditedScheme(const std::string &name, std::size_t block_bits)
 {
-    std::string base = name;
-    stripAuditSuffix(base);
-    return audit::wrapWithAuditor(makeScheme(base, block_bits));
+    return makeScheme(SchemeSpec::parse(name).audited(), block_bits);
 }
 
 std::vector<std::string>

@@ -31,7 +31,40 @@
 
 namespace aegis::core {
 
-/** Build a scheme by name; throws ConfigError on unknown names. */
+/**
+ * Structured form of a factory spelling: the base scheme name plus
+ * whether the runtime invariant auditor wraps it. The textual factory
+ * spelling ("<name>" or "<name>+audit") remains the serialized form,
+ * so scheme->name() round-trips through parse()/str() unchanged.
+ */
+struct SchemeSpec
+{
+    /** Base factory name, never carrying an "+audit" suffix. */
+    std::string name;
+    /** Wrap the scheme in audit::SchemeAuditor. */
+    bool audit = false;
+
+    /** Parse a factory spelling; any number of trailing "+audit"
+     *  suffixes collapse into the single audit flag. */
+    static SchemeSpec parse(const std::string &spelled);
+
+    /** Serialized factory spelling (round-trips through parse()). */
+    std::string str() const { return audit ? name + "+audit" : name; }
+
+    /** Copy with auditing forced on (never double-audits). */
+    SchemeSpec audited() const { return {name, true}; }
+
+    friend bool operator==(const SchemeSpec &,
+                           const SchemeSpec &) = default;
+};
+
+/** Build a scheme from a structured spec; throws ConfigError on
+ *  unknown names. */
+std::unique_ptr<scheme::Scheme> makeScheme(const SchemeSpec &spec,
+                                           std::size_t block_bits);
+
+/** Build a scheme by textual spelling; throws ConfigError on unknown
+ *  names. */
 std::unique_ptr<scheme::Scheme> makeScheme(const std::string &name,
                                            std::size_t block_bits);
 

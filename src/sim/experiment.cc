@@ -7,16 +7,46 @@
 #include "sim/page_sim.h"
 #include "sim/workload.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace aegis::sim {
 
 double
-PageStudy::overheadFraction() const
+StudyResult::overheadFraction() const
 {
     return blockBits == 0
                ? 0.0
                : static_cast<double>(overheadBits) /
                      static_cast<double>(blockBits);
+}
+
+void
+StudyResult::adoptLabels(const StudyResult &other)
+{
+    if (scheme.empty())
+        scheme = other.scheme;
+    if (overheadBits == 0)
+        overheadBits = other.overheadBits;
+    if (blockBits == 0)
+        blockBits = other.blockBits;
+}
+
+void
+PageStudy::merge(const PageStudy &other)
+{
+    adoptLabels(other);
+    recoverableFaults.merge(other.recoverableFaults);
+    pageLifetime.merge(other.pageLifetime);
+    repartitions.merge(other.repartitions);
+    survival.merge(other.survival);
+}
+
+void
+BlockStudy::merge(const BlockStudy &other)
+{
+    adoptLabels(other);
+    blockLifetime.merge(other.blockLifetime);
+    faultsAtDeath.merge(other.faultsAtDeath);
 }
 
 namespace {
@@ -48,21 +78,24 @@ runPageStudy(const ExperimentConfig &config)
                                    config.wear, config.tracker);
     const PageSimulator page_sim(block_sim, geom.blocksPerPage());
 
-    PageStudy study;
+    // Pages are independent Monte-Carlo lives on seed-derived RNG
+    // streams; the chunk grid and merge order never depend on jobs,
+    // so every jobs value yields bit-identical studies.
+    const Rng master(config.seed);
+    PageStudy study = parallelReduce<PageStudy>(
+        config.pages, config.jobs, [&](PageStudy &acc, std::size_t p) {
+            const Rng page_rng = master.split(p);
+            const PageLifeResult life = page_sim.run(page_rng);
+            acc.recoverableFaults.add(
+                static_cast<double>(life.faultsRecovered));
+            acc.pageLifetime.add(life.deathTime);
+            acc.repartitions.add(
+                static_cast<double>(life.repartitions));
+            acc.survival.addDeath(life.deathTime);
+        });
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
     study.blockBits = config.blockBits;
-
-    const Rng master(config.seed);
-    for (std::uint32_t p = 0; p < config.pages; ++p) {
-        const Rng page_rng = master.split(p);
-        const PageLifeResult life = page_sim.run(page_rng);
-        study.recoverableFaults.add(
-            static_cast<double>(life.faultsRecovered));
-        study.pageLifetime.add(life.deathTime);
-        study.repartitions.add(static_cast<double>(life.repartitions));
-        study.survival.addDeath(life.deathTime);
-    }
     return study;
 }
 
@@ -73,20 +106,21 @@ runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
     const BlockSimulator block_sim(*stack.scheme, *stack.lifetime,
                                    config.wear, config.tracker);
 
-    BlockStudy study;
+    const Rng master(config.seed);
+    BlockStudy study = parallelReduce<BlockStudy>(
+        blocks, config.jobs, [&](BlockStudy &acc, std::size_t b) {
+            Rng cell_rng = master.split(2ull * b);
+            Rng sim_rng = master.split(2ull * b + 1);
+            const BlockLifeResult life =
+                block_sim.run(cell_rng, sim_rng);
+            AEGIS_ASSERT(!life.immortal,
+                         "paper-scale blocks cannot be immortal");
+            acc.blockLifetime.add(life.deathTime);
+            acc.faultsAtDeath.add(life.faultsAtDeath);
+        });
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
-
-    const Rng master(config.seed);
-    for (std::uint32_t b = 0; b < blocks; ++b) {
-        Rng cell_rng = master.split(2ull * b);
-        Rng sim_rng = master.split(2ull * b + 1);
-        const BlockLifeResult life = block_sim.run(cell_rng, sim_rng);
-        AEGIS_ASSERT(!life.immortal,
-                     "paper-scale blocks cannot be immortal");
-        study.blockLifetime.add(life.deathTime);
-        study.faultsAtDeath.add(life.faultsAtDeath);
-    }
+    study.blockBits = config.blockBits;
     return study;
 }
 
@@ -114,14 +148,14 @@ runMemorySurvival(const ExperimentConfig &config,
     const std::vector<double> rates =
         workload.pageRates(config.pages, workload_rng);
 
-    SurvivalCurve curve;
-    for (std::uint32_t p = 0; p < config.pages; ++p) {
-        const Rng page_rng = master.split(p);
-        const PageLifeResult life = page_sim.run(page_rng);
-        AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
-        curve.addDeath(life.deathTime / rates[p]);
-    }
-    return curve;
+    return parallelReduce<SurvivalCurve>(
+        config.pages, config.jobs,
+        [&](SurvivalCurve &acc, std::size_t p) {
+            const Rng page_rng = master.split(p);
+            const PageLifeResult life = page_sim.run(page_rng);
+            AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
+            acc.addDeath(life.deathTime / rates[p]);
+        });
 }
 
 } // namespace aegis::sim

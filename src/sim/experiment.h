@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "aegis/factory.h"
 #include "scheme/tracker.h"
 #include "sim/block_sim.h"
 #include "util/histogram.h"
@@ -41,29 +42,47 @@ struct ExperimentConfig
      *  (audit::SchemeAuditor) so Monte-Carlo runs double as
      *  correctness sweeps. Costly; off by default. */
     bool audit = false;
+    /** Worker threads for the Monte-Carlo sweeps (0 = one per
+     *  hardware thread). Results are bit-identical for every value:
+     *  each page/block draws from its own seed-derived RNG stream and
+     *  chunk accumulators merge in a jobs-independent order. */
+    std::uint32_t jobs = 0;
 
-    /** Factory spelling of @ref scheme honouring @ref audit. */
-    std::string schemeSpec() const { return schemeSpec(scheme); }
+    /** Structured factory spec of @ref scheme honouring @ref audit. */
+    core::SchemeSpec schemeSpec() const { return schemeSpec(scheme); }
 
-    /** Factory spelling of @p name honouring @ref audit (for
+    /** Structured factory spec of @p name honouring @ref audit (for
      *  secondary schemes like PAYG's LEC). */
-    std::string schemeSpec(const std::string &name) const
+    core::SchemeSpec schemeSpec(const std::string &name) const
     {
-        const std::string suffix = "+audit";
-        const bool already =
-            name.size() > suffix.size() &&
-            name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) == 0;
-        return (audit && !already) ? name + suffix : name;
+        core::SchemeSpec spec = core::SchemeSpec::parse(name);
+        spec.audit = spec.audit || audit;
+        return spec;
     }
 };
 
-/** Aggregated page-level results (Figures 5, 6, 7, 9, 11, 12, 13). */
-struct PageStudy
+/**
+ * Fields shared by every aggregated study: the scheme label and bit
+ * budgets every results table leads with.
+ */
+struct StudyResult
 {
     std::string scheme;
     std::size_t overheadBits = 0;
     std::size_t blockBits = 0;
+
+    /** Overhead as a fraction of the data bits. */
+    double overheadFraction() const;
+
+  protected:
+    /** Fill empty label fields from @p other; merging partial results
+     *  from the parallel reducer (empty labels) is a no-op. */
+    void adoptLabels(const StudyResult &other);
+};
+
+/** Aggregated page-level results (Figures 5, 6, 7, 9, 11, 12, 13). */
+struct PageStudy : StudyResult
+{
     /** Faults recovered per page before its first block failure. */
     RunningStat recoverableFaults;
     /** Page lifetime in page writes. */
@@ -73,15 +92,15 @@ struct PageStudy
     /** Death times for survival curves / half lifetime (Fig 9). */
     SurvivalCurve survival;
 
-    /** Overhead as a fraction of the data bits. */
-    double overheadFraction() const;
+    /** Fold another (partial) study into this one — the combining
+     *  step of the parallel reducer, also usable to join studies of
+     *  disjoint page populations. */
+    void merge(const PageStudy &other);
 };
 
 /** Aggregated block-level results (Figures 8 and 10). */
-struct BlockStudy
+struct BlockStudy : StudyResult
 {
-    std::string scheme;
-    std::size_t overheadBits = 0;
     /** Block lifetime in block writes. */
     RunningStat blockLifetime;
     /** Fault count at death, for the failure-probability CDF. */
@@ -90,6 +109,9 @@ struct BlockStudy
     /** P(block failed once @p faults faults occurred) — Fig 8. */
     double failureProbabilityAt(std::int64_t faults) const
     { return faultsAtDeath.cdf(faults); }
+
+    /** Fold another (partial) study into this one. */
+    void merge(const BlockStudy &other);
 };
 
 /** Run the page-level Monte Carlo for one scheme. */

@@ -14,6 +14,14 @@ Histogram::add(std::int64_t key, std::uint64_t weight)
     totalCount += weight;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[key, count] : other.bins)
+        bins[key] += count;
+    totalCount += other.totalCount;
+}
+
 std::uint64_t
 Histogram::countOf(std::int64_t key) const
 {
@@ -59,6 +67,16 @@ void
 SurvivalCurve::addDeath(double time)
 {
     deaths.push_back(time);
+    dirty = true;
+}
+
+void
+SurvivalCurve::merge(const SurvivalCurve &other)
+{
+    if (other.deaths.empty())
+        return;
+    deaths.insert(deaths.end(), other.deaths.begin(),
+                  other.deaths.end());
     dirty = true;
 }
 

@@ -22,6 +22,9 @@ class Histogram
   public:
     void add(std::int64_t key, std::uint64_t weight = 1);
 
+    /** Absorb another histogram's counts (parallel reduction). */
+    void merge(const Histogram &other);
+
     std::uint64_t total() const { return totalCount; }
 
     std::uint64_t countOf(std::int64_t key) const;
@@ -58,6 +61,9 @@ class SurvivalCurve
 {
   public:
     void addDeath(double time);
+
+    /** Absorb another curve's population (parallel reduction). */
+    void merge(const SurvivalCurve &other);
 
     std::size_t population() const { return deaths.size(); }
 

@@ -1,0 +1,74 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace aegis {
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    return jobs == 0 ? hardwareJobs() : jobs;
+}
+
+void
+parallelFor(std::size_t chunks, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    jobs = resolveJobs(jobs);
+    if (chunks == 0)
+        return;
+    if (jobs == 1 || chunks == 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            body(c);
+        return;
+    }
+
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, chunks));
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    const auto drain = [&] {
+        for (;;) {
+            const std::size_t c =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            try {
+                body(c);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                // Poison the counter so idle workers wind down
+                // instead of starting chunks whose results are
+                // already doomed to be discarded.
+                next.store(chunks, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(drain);
+    drain();    // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace aegis

@@ -17,6 +17,7 @@ RunningStat::add(double x)
         maxValue = std::max(maxValue, x);
     }
     ++n;
+    total += x;
     const double delta = x - m;
     m += delta / static_cast<double>(n);
     m2 += delta * (x - m);
@@ -34,10 +35,11 @@ RunningStat::merge(const RunningStat &other)
     const double na = static_cast<double>(n);
     const double nb = static_cast<double>(other.n);
     const double delta = other.m - m;
-    const double total = na + nb;
-    m += delta * nb / total;
-    m2 += other.m2 + delta * delta * na * nb / total;
+    const double combined = na + nb;
+    m += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
     n += other.n;
+    total += other.total;
     minValue = std::min(minValue, other.minValue);
     maxValue = std::max(maxValue, other.maxValue);
 }
@@ -62,6 +64,16 @@ RunningStat::stderrOfMean() const
     if (n < 2)
         return 0.0;
     return stddev() / std::sqrt(static_cast<double>(n));
+}
+
+void
+QuantileSampler::merge(const QuantileSampler &other)
+{
+    if (other.samples.empty())
+        return;
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    dirty = true;
 }
 
 double

@@ -45,12 +45,16 @@ class RunningStat
 
     double min() const { return n ? minValue : 0.0; }
     double max() const { return n ? maxValue : 0.0; }
-    double sum() const { return m * static_cast<double>(n); }
+
+    /** Exact running sum of the observations (not reconstructed from
+     *  the mean, which loses precision at large counts). */
+    double sum() const { return total; }
 
   private:
     std::size_t n = 0;
     double m = 0.0;
     double m2 = 0.0;
+    double total = 0.0;
     double minValue = 0.0;
     double maxValue = 0.0;
 };
@@ -65,6 +69,9 @@ class QuantileSampler
 {
   public:
     void add(double x) { samples.push_back(x); dirty = true; }
+
+    /** Absorb another sampler's observations (parallel reduction). */
+    void merge(const QuantileSampler &other);
 
     std::size_t count() const { return samples.size(); }
 

