@@ -87,17 +87,18 @@ runWithCache(const std::string &scheme_name, std::size_t cache_sets,
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ablation_fail_cache",
-                  "Finite fail cache vs the paper's oracle "
-                  "assumption (functional layer, fast-wearing "
-                  "cells)");
+    bench::BenchRunner runner("ablation_fail_cache",
+                              "Finite fail cache vs the paper's oracle "
+                              "assumption (functional layer, "
+                              "fast-wearing cells)",
+                              bench::BenchRunner::Flags::Minimal);
+    CliParser &cli = runner.cli();
     cli.addUint("blocks", 24, "blocks per configuration");
     cli.addUint("seed", 1, "random seed");
     cli.addString("scheme", "aegis-rw-23x23", "cache-using scheme");
-    cli.addBool("csv", false, "emit CSV");
     cli.addBool("audit", false,
                 "wrap the scheme in the runtime invariant auditor");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         const std::vector<std::size_t> capacities{0, 4096, 256, 64,
                                                   16, 4};
         const auto blocks =

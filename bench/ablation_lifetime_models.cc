@@ -21,11 +21,11 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ablation_lifetime_models",
+    bench::BenchRunner runner("ablation_lifetime_models",
                   "Lifetime-distribution sensitivity of the Figure 6 "
                   "ordering");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         struct Model
         {
             const char *kind;
@@ -55,7 +55,7 @@ main(int argc, char **argv)
             cfg.scheme = "none";
             cfg.lifetimeKind = m.kind;
             cfg.lifetimeParam = m.param;
-            baselines.push_back(sim::runPageStudy(cfg));
+            baselines.push_back(bench::pageStudy(cfg));
         }
 
         for (const std::string &name : schemes) {
@@ -66,7 +66,7 @@ main(int argc, char **argv)
                 cfg.scheme = name;
                 cfg.lifetimeKind = models[i].kind;
                 cfg.lifetimeParam = models[i].param;
-                const sim::PageStudy study = sim::runPageStudy(cfg);
+                const sim::PageStudy study = bench::pageStudy(cfg);
                 row.push_back(
                     TablePrinter::num(
                         sim::lifetimeImprovement(study, baselines[i]),

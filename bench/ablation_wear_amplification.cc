@@ -23,10 +23,10 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ablation_wear_amplification",
+    bench::BenchRunner runner("ablation_wear_amplification",
                   "Inversion-write wear cost for cache-less schemes");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         const std::vector<double> extras{0.0, 0.25, 0.5, 1.0};
         const std::vector<std::string> schemes{
             "safer32", "safer64", "aegis-23x23", "aegis-17x31",
@@ -50,7 +50,7 @@ main(int argc, char **argv)
                     bench::configFrom(cli, 512);
                 cfg.scheme = name;
                 cfg.wear.amplifiedExtra = e;
-                const sim::PageStudy study = sim::runPageStudy(cfg);
+                const sim::PageStudy study = bench::pageStudy(cfg);
                 const double life = study.pageLifetime.mean();
                 if (e == 0.0)
                     ideal = life;

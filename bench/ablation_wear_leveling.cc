@@ -25,10 +25,10 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ablation_wear_leveling",
+    bench::BenchRunner runner("ablation_wear_leveling",
                   "Memory lifetime vs wear-leveling quality");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> workloads{
             "perfect", "skew:0.3", "zipf:0.5", "zipf:1.0"};
         const std::vector<std::string> schemes{"ecp6", "aegis-17x31",
@@ -54,7 +54,7 @@ main(int argc, char **argv)
                 cfg.scheme = scheme;
                 const auto workload = sim::makeWorkload(spec);
                 const SurvivalCurve curve =
-                    sim::runMemorySurvival(cfg, *workload);
+                    bench::memorySurvival(cfg, *workload);
                 const double onset = curve.timeToFraction(0.9);
                 const double half = curve.timeToFraction(0.5);
                 if (spec == "perfect")

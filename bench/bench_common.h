@@ -7,18 +7,32 @@
  * to the measured value. Absolute agreement is not expected — the
  * paper ran 2048 pages, we default to fewer for speed — but ordering,
  * ratios and crossovers should match (EXPERIMENTS.md records both).
+ *
+ * BenchRunner adds the observability surface every bench shares:
+ * --json writes a schema-versioned run manifest, --quiet silences the
+ * progress/ETA reports, --trace records scoped wall-clock timers.
+ * The study wrappers (pageStudy/blockStudy/memorySurvival) and emit()
+ * feed the active runner, so a bench body needs no manifest plumbing
+ * of its own.
  */
 
 #ifndef AEGIS_BENCH_BENCH_COMMON_H
 #define AEGIS_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "aegis/factory.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
+#include "sim/workload.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/parallel.h"
 #include "util/table_printer.h"
 
@@ -89,15 +103,232 @@ studyCells(const sim::StudyResult &study)
     return {study.scheme, std::to_string(study.overheadBits)};
 }
 
-/** Print @p table as text or CSV per the --csv flag. */
+/** An ExperimentConfig as a manifest "configs" entry. */
+inline obs::JsonObject
+configJson(const sim::ExperimentConfig &cfg)
+{
+    using obs::JsonValue;
+    obs::JsonObject o;
+    o.emplace_back("scheme", JsonValue::str(cfg.scheme));
+    o.emplace_back("blockBits", JsonValue::uint(cfg.blockBits));
+    o.emplace_back("pageBytes", JsonValue::uint(cfg.pageBytes));
+    o.emplace_back("pages", JsonValue::uint(cfg.pages));
+    o.emplace_back("seed", JsonValue::uint(cfg.seed));
+    o.emplace_back("lifetimeKind", JsonValue::str(cfg.lifetimeKind));
+    o.emplace_back("lifetimeMean", JsonValue::real(cfg.lifetimeMean));
+    o.emplace_back("lifetimeParam", JsonValue::real(cfg.lifetimeParam));
+    o.emplace_back("wearBaseRate", JsonValue::real(cfg.wear.baseRate));
+    o.emplace_back("wearAmplifiedExtra",
+                   JsonValue::real(cfg.wear.amplifiedExtra));
+    o.emplace_back("labelingSamples",
+                   JsonValue::uint(cfg.tracker.labelingSamples));
+    o.emplace_back("audit", JsonValue::boolean(cfg.audit));
+    o.emplace_back("jobs", JsonValue::uint(cfg.jobs));
+    return o;
+}
+
+/** A parsed flag as its natural JSON type. */
+inline obs::JsonValue
+flagJson(const CliParser::FlagValue &f)
+{
+    switch (f.kind) {
+    case CliParser::FlagKind::Uint:
+        return obs::JsonValue::uint(std::stoull(f.value));
+    case CliParser::FlagKind::Double:
+        return obs::JsonValue::real(std::stod(f.value));
+    case CliParser::FlagKind::Bool:
+        return obs::JsonValue::boolean(f.value == "true" ||
+                                       f.value == "1" ||
+                                       f.value == "yes");
+    case CliParser::FlagKind::String:
+        break;
+    }
+    return obs::JsonValue::str(f.value);
+}
+
+/**
+ * One bench invocation: flag registration, progress/trace switches,
+ * phase timing and the JSON run manifest.
+ *
+ * Exactly one instance exists per bench process; it registers itself
+ * so the free helpers below (emit(), pageStudy(), ...) can feed the
+ * manifest without every call site carrying a runner reference.
+ */
+class BenchRunner
+{
+  public:
+    enum class Flags {
+        MonteCarlo, ///< full Monte-Carlo flag set (addCommonFlags)
+        Minimal     ///< analytic benches: --csv only
+    };
+
+    BenchRunner(const std::string &program, const std::string &about,
+                Flags flag_set = Flags::MonteCarlo)
+        : cliParser(program, about), record(program, about),
+          monteCarlo(flag_set == Flags::MonteCarlo)
+    {
+        if (monteCarlo) {
+            addCommonFlags(cliParser);
+        } else {
+            cliParser.addBool("csv", false,
+                              "emit CSV instead of aligned tables");
+        }
+        cliParser.addString("json", "",
+                            "write a JSON run manifest to this path");
+        cliParser.addBool("quiet", false,
+                          "suppress progress/ETA reports on stderr");
+        cliParser.addBool("trace", false,
+                          "record scoped wall-clock timers (scheme "
+                          "read/write/recover, block/page lives) in "
+                          "the manifest");
+        AEGIS_REQUIRE(current_ == nullptr,
+                      "one BenchRunner per process");
+        current_ = this;
+    }
+
+    ~BenchRunner() { current_ = nullptr; }
+
+    BenchRunner(const BenchRunner &) = delete;
+    BenchRunner &operator=(const BenchRunner &) = delete;
+
+    CliParser &cli() { return cliParser; }
+    const CliParser &cli() const { return cliParser; }
+
+    /** The manifest under construction, for bench-specific extras. */
+    obs::Manifest &manifest() { return record; }
+
+    /**
+     * Close the open phase (recording its wall-clock) and open a new
+     * one. A bench that never calls this gets a single "run" phase
+     * spanning the whole body.
+     */
+    void
+    phase(const std::string &name)
+    {
+        closePhase();
+        phaseName = name;
+        phaseStart = std::chrono::steady_clock::now();
+        phaseOpen = true;
+    }
+
+    /** Record one experiment configuration (duplicates skipped). */
+    void
+    noteConfig(const sim::ExperimentConfig &cfg)
+    {
+        record.addConfig(configJson(cfg));
+    }
+
+    /** Record a printed table's cells verbatim. */
+    void noteTable(const TablePrinter &table) { record.addTable(table); }
+
+    /** Parse flags, run @p body, then finalize/write the manifest. */
+    template <typename Fn>
+    int
+    run(int argc, const char *const *argv, Fn body)
+    {
+        try {
+            if (!cliParser.parse(argc, argv))
+                return 0;
+            obs::setProgressEnabled(!cliParser.getBool("quiet"));
+            obs::setTracingEnabled(cliParser.getBool("trace"));
+            runStart = std::chrono::steady_clock::now();
+            body();
+            finish();
+            return 0;
+        } catch (const std::exception &ex) {
+            std::cerr << "error: " << ex.what() << "\n";
+            return 1;
+        }
+    }
+
+    /** The active runner, or nullptr outside BenchRunner::run. */
+    static BenchRunner *current() { return current_; }
+
+  private:
+    void
+    closePhase()
+    {
+        if (!phaseOpen)
+            return;
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - phaseStart;
+        record.addPhase(phaseName, dt.count());
+        ++phasesRecorded;
+        phaseOpen = false;
+    }
+
+    void
+    finish()
+    {
+        closePhase();
+        if (phasesRecorded == 0) {
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - runStart;
+            record.addPhase("run", dt.count());
+        }
+        for (const CliParser::FlagValue &f : cliParser.values()) {
+            if (f.name == "seed" && f.kind == CliParser::FlagKind::Uint)
+                record.setSeed(std::stoull(f.value));
+            record.addFlag(f.name, flagJson(f));
+        }
+        record.setMetrics(obs::processTotals());
+        const std::string &path = cliParser.getString("json");
+        if (!path.empty())
+            record.writeFile(path);
+    }
+
+    static inline BenchRunner *current_ = nullptr;
+
+    CliParser cliParser;
+    obs::Manifest record;
+    bool monteCarlo;
+    std::chrono::steady_clock::time_point runStart{};
+    std::chrono::steady_clock::time_point phaseStart{};
+    std::string phaseName;
+    bool phaseOpen = false;
+    std::size_t phasesRecorded = 0;
+};
+
+/** Print @p table as text or CSV per the --csv flag, and record its
+ *  cells in the active runner's manifest. */
 inline void
 emit(const TablePrinter &table, const CliParser &cli)
 {
+    if (BenchRunner::current() != nullptr)
+        BenchRunner::current()->noteTable(table);
     if (cli.getBool("csv"))
         table.printCsv(std::cout);
     else
         table.print(std::cout);
     std::cout << "\n";
+}
+
+/** runPageStudy, recording @p cfg in the active runner's manifest. */
+inline sim::PageStudy
+pageStudy(const sim::ExperimentConfig &cfg)
+{
+    if (BenchRunner::current() != nullptr)
+        BenchRunner::current()->noteConfig(cfg);
+    return sim::runPageStudy(cfg);
+}
+
+/** runBlockStudy, recording @p cfg in the active runner's manifest. */
+inline sim::BlockStudy
+blockStudy(const sim::ExperimentConfig &cfg, std::uint32_t blocks)
+{
+    if (BenchRunner::current() != nullptr)
+        BenchRunner::current()->noteConfig(cfg);
+    return sim::runBlockStudy(cfg, blocks);
+}
+
+/** runMemorySurvival, recording @p cfg in the manifest. */
+inline SurvivalCurve
+memorySurvival(const sim::ExperimentConfig &cfg,
+               const sim::Workload &workload)
+{
+    if (BenchRunner::current() != nullptr)
+        BenchRunner::current()->noteConfig(cfg);
+    return sim::runMemorySurvival(cfg, workload);
 }
 
 /** Wrap main-body logic with uniform error reporting. */

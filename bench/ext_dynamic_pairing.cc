@@ -23,11 +23,11 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ext_dynamic_pairing",
+    bench::BenchRunner runner("ext_dynamic_pairing",
                   "Dynamic pairing of faulty pages (§4 extension)");
-    bench::addCommonFlags(cli);
+    CliParser &cli = runner.cli();
     cli.addUint("points", 12, "sample points along the capacity curve");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{"ecp4", "safer32",
                                                "aegis-17x31",
                                                "aegis-9x61"};

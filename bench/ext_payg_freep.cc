@@ -28,11 +28,11 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("ext_payg_freep",
+    bench::BenchRunner runner("ext_payg_freep",
                   "PAYG and FREE-p extension experiments (§4)");
-    bench::addCommonFlags(cli);
+    CliParser &cli = runner.cli();
     cli.addUint("spares", 32, "spare blocks for the remap study");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
 
         // ---- PAYG ----

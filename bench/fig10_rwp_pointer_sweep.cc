@@ -22,12 +22,12 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig10_rwp_pointer_sweep",
+    bench::BenchRunner runner("fig10_rwp_pointer_sweep",
                   "Reproduce Figure 10 (Aegis-rw-p block lifetime vs "
                   "pointer count)");
-    bench::addCommonFlags(cli);
+    CliParser &cli = runner.cli();
     cli.addUint("max-pointers", 15, "largest pointer budget");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> formations{"23x23", "17x31",
                                                   "9x61", "8x71"};
         const auto blocks =
@@ -51,7 +51,7 @@ main(int argc, char **argv)
                 cfg.scheme = "aegis-rw-p" + std::to_string(p) + "-" +
                              formation;
                 const sim::BlockStudy study =
-                    sim::runBlockStudy(cfg, blocks);
+                    bench::blockStudy(cfg, blocks);
                 row.push_back(TablePrinter::num(
                     study.blockLifetime.mean() / 1e6, 2));
             }
@@ -59,7 +59,7 @@ main(int argc, char **argv)
             sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
             cfg.scheme = "aegis-rw-" + formation;
             const sim::BlockStudy plateau =
-                sim::runBlockStudy(cfg, blocks);
+                bench::blockStudy(cfg, blocks);
             row.push_back(TablePrinter::num(
                 plateau.blockLifetime.mean() / 1e6, 2));
             t.addRow(row);

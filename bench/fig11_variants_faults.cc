@@ -35,11 +35,11 @@ rwpName(const std::string &formation)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig11_variants_faults",
+    bench::BenchRunner runner("fig11_variants_faults",
                   "Reproduce Figure 11 (recoverable faults: Aegis vs "
                   "rw vs rw-p)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> formations{"23x23", "17x31",
                                                   "9x61", "8x71"};
         const double paper_rw_gain[4] = {52, 41, 33, 28};
@@ -56,11 +56,11 @@ main(int argc, char **argv)
             sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
 
             cfg.scheme = "aegis-" + formation;
-            const sim::PageStudy basic = sim::runPageStudy(cfg);
+            const sim::PageStudy basic = bench::pageStudy(cfg);
             cfg.scheme = "aegis-rw-" + formation;
-            const sim::PageStudy rw = sim::runPageStudy(cfg);
+            const sim::PageStudy rw = bench::pageStudy(cfg);
             cfg.scheme = rwpName(formation);
-            const sim::PageStudy rwp = sim::runPageStudy(cfg);
+            const sim::PageStudy rwp = bench::pageStudy(cfg);
 
             const double gain =
                 100.0 * (rw.recoverableFaults.mean() /

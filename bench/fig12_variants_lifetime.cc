@@ -34,17 +34,17 @@ rwpName(const std::string &formation)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig12_variants_lifetime",
+    bench::BenchRunner runner("fig12_variants_lifetime",
                   "Reproduce Figure 12 (lifetime improvement: Aegis "
                   "vs rw vs rw-p)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> formations{"23x23", "17x31",
                                                   "9x61", "8x71"};
 
         sim::ExperimentConfig base = bench::configFrom(cli, 512);
         base.scheme = "none";
-        const sim::PageStudy baseline = sim::runPageStudy(base);
+        const sim::PageStudy baseline = bench::pageStudy(base);
 
         TablePrinter t("Figure 12 — page lifetime improvement % over "
                        "no protection, 512-bit blocks");
@@ -57,7 +57,7 @@ main(int argc, char **argv)
             const auto improvement = [&](const std::string &scheme,
                                          std::size_t &bits) {
                 cfg.scheme = scheme;
-                const sim::PageStudy study = sim::runPageStudy(cfg);
+                const sim::PageStudy study = bench::pageStudy(cfg);
                 bits = study.overheadBits;
                 return 100.0 *
                        (sim::lifetimeImprovement(study, baseline) -

@@ -35,17 +35,17 @@ rwpName(const std::string &formation)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig13_variants_perbit",
+    bench::BenchRunner runner("fig13_variants_perbit",
                   "Reproduce Figure 13 (per-bit contribution: Aegis "
                   "vs rw vs rw-p)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> formations{"23x23", "17x31",
                                                   "9x61", "8x71"};
 
         sim::ExperimentConfig base = bench::configFrom(cli, 512);
         base.scheme = "none";
-        const sim::PageStudy baseline = sim::runPageStudy(base);
+        const sim::PageStudy baseline = bench::pageStudy(base);
 
         TablePrinter t("Figure 13 — lifetime improvement % per "
                        "overhead bit, 512-bit blocks");
@@ -54,7 +54,7 @@ main(int argc, char **argv)
             sim::ExperimentConfig cfg = base;
             const auto perbit = [&](const std::string &scheme) {
                 cfg.scheme = scheme;
-                const sim::PageStudy study = sim::runPageStudy(cfg);
+                const sim::PageStudy study = bench::pageStudy(cfg);
                 const double pct =
                     100.0 *
                     (sim::lifetimeImprovement(study, baseline) - 1.0);

@@ -40,7 +40,7 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
         sim::ExperimentConfig cfg =
             bench::configFrom(cli, block_bits);
         cfg.scheme = name;
-        const sim::PageStudy study = sim::runPageStudy(cfg);
+        const sim::PageStudy study = bench::pageStudy(cfg);
         std::vector<std::string> row = bench::studyCells(study);
         row.insert(row.end(),
                    {TablePrinter::num(100 * study.overheadFraction(),
@@ -60,11 +60,13 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig5_recoverable_faults",
+    bench::BenchRunner runner("fig5_recoverable_faults",
                   "Reproduce Figure 5 (recoverable faults per page)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
+        runner.phase("512-bit blocks");
         runBlockSize(512, cli);
+        runner.phase("256-bit blocks");
         runBlockSize(256, cli);
     });
 }

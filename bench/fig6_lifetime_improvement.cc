@@ -32,7 +32,7 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
 {
     sim::ExperimentConfig base = bench::configFrom(cli, block_bits);
     base.scheme = "none";
-    const sim::PageStudy baseline = sim::runPageStudy(base);
+    const sim::PageStudy baseline = bench::pageStudy(base);
 
     TablePrinter t("Figure 6 — page lifetime improvement over no "
                    "protection (" +
@@ -47,7 +47,7 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
          core::paperSchemeNames(block_bits)) {
         sim::ExperimentConfig cfg = base;
         cfg.scheme = name;
-        const sim::PageStudy study = sim::runPageStudy(cfg);
+        const sim::PageStudy study = bench::pageStudy(cfg);
         const double gain = sim::lifetimeImprovement(study, baseline);
         const double paper = paperImprovement(name, block_bits);
         std::vector<std::string> row = bench::studyCells(study);
@@ -67,11 +67,13 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig6_lifetime_improvement",
+    bench::BenchRunner runner("fig6_lifetime_improvement",
                   "Reproduce Figure 6 (page lifetime improvement)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
+        runner.phase("512-bit blocks");
         runBlockSize(512, cli);
+        runner.phase("256-bit blocks");
         runBlockSize(256, cli);
     });
 }

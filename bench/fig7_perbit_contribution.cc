@@ -19,7 +19,7 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
 {
     sim::ExperimentConfig base = bench::configFrom(cli, block_bits);
     base.scheme = "none";
-    const sim::PageStudy baseline = sim::runPageStudy(base);
+    const sim::PageStudy baseline = bench::pageStudy(base);
 
     TablePrinter t("Figure 7 — per-overhead-bit contribution to "
                    "lifetime improvement (" +
@@ -30,7 +30,7 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
          core::paperSchemeNames(block_bits)) {
         sim::ExperimentConfig cfg = base;
         cfg.scheme = name;
-        const sim::PageStudy study = sim::runPageStudy(cfg);
+        const sim::PageStudy study = bench::pageStudy(cfg);
         const double gain = sim::lifetimeImprovement(study, baseline);
         std::vector<std::string> row = bench::studyCells(study);
         row.insert(row.end(),
@@ -49,11 +49,13 @@ runBlockSize(std::uint32_t block_bits, const CliParser &cli)
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig7_perbit_contribution",
+    bench::BenchRunner runner("fig7_perbit_contribution",
                   "Reproduce Figure 7 (per-bit lifetime contribution)");
-    bench::addCommonFlags(cli);
-    return bench::runBench(argc, argv, cli, [&] {
+    CliParser &cli = runner.cli();
+    return runner.run(argc, argv, [&] {
+        runner.phase("512-bit blocks");
         runBlockSize(512, cli);
+        runner.phase("256-bit blocks");
         runBlockSize(256, cli);
     });
 }

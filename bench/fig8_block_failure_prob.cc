@@ -23,13 +23,13 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig8_block_failure_prob",
+    bench::BenchRunner runner("fig8_block_failure_prob",
                   "Reproduce Figure 8 (block failure probability vs "
                   "fault count, 512-bit blocks)");
-    bench::addCommonFlags(cli);
+    CliParser &cli = runner.cli();
     cli.addUint("max-faults", 32, "largest fault count column");
     cli.addUint("fault-step", 2, "fault-count column stride");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{
             "ecp6",           "ecp8",
             "safer64",        "safer64-cache",
@@ -55,7 +55,7 @@ main(int argc, char **argv)
             sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
             cfg.scheme = name;
             const sim::BlockStudy study =
-                sim::runBlockStudy(cfg, blocks);
+                bench::blockStudy(cfg, blocks);
             auto scheme = core::makeScheme(name, 512);
             std::vector<std::string> row = bench::studyCells(study);
             row.insert(row.begin() + 1,

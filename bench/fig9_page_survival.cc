@@ -24,12 +24,12 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
-    CliParser cli("fig9_page_survival",
+    bench::BenchRunner runner("fig9_page_survival",
                   "Reproduce Figure 9 (page survival vs page writes, "
                   "512-bit blocks)");
-    bench::addCommonFlags(cli);
+    CliParser &cli = runner.cli();
     cli.addUint("curve-points", 8, "sampled points per survival curve");
-    return bench::runBench(argc, argv, cli, [&] {
+    return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{
             "ecp6",        "safer32",      "safer32-cache",
             "safer64",     "safer128",     "safer128-cache",
@@ -41,7 +41,7 @@ main(int argc, char **argv)
         for (const std::string &name : schemes) {
             sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
             cfg.scheme = name;
-            studies.push_back(sim::runPageStudy(cfg));
+            studies.push_back(bench::pageStudy(cfg));
             tmax = std::max(tmax,
                             studies.back().survival.timeToFraction(0.0));
         }

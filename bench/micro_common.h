@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark microbenchmarks.
+ *
+ * The micros speak google-benchmark's own CLI, so the observability
+ * flags every bench supports (--json/--quiet/--trace) are stripped
+ * here before benchmark::Initialize sees them. After the benchmarks
+ * finish, --json writes the same schema-versioned run manifest the
+ * figure benches emit (build provenance, wall-clock, process metric
+ * totals); the per-benchmark timings remain google-benchmark's job.
+ */
+
+#ifndef AEGIS_BENCH_MICRO_COMMON_H
+#define AEGIS_BENCH_MICRO_COMMON_H
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aegis::bench {
+
+inline int
+microMain(int argc, char **argv, const std::string &program,
+          const std::string &about)
+{
+    try {
+        std::string json_path;
+        bool trace = false;
+        std::vector<char *> rest;
+        rest.push_back(argv[0]);
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--trace") {
+                trace = true;
+            } else if (arg == "--quiet") {
+                // Accepted for CLI uniformity; the micros print no
+                // progress reports to begin with.
+            } else if (arg == "--json" && i + 1 < argc) {
+                json_path = argv[++i];
+            } else if (arg.rfind("--json=", 0) == 0) {
+                json_path = std::string(arg.substr(7));
+            } else {
+                rest.push_back(argv[i]);
+            }
+        }
+        obs::setTracingEnabled(trace);
+
+        int rest_argc = static_cast<int>(rest.size());
+        benchmark::Initialize(&rest_argc, rest.data());
+        if (benchmark::ReportUnrecognizedArguments(rest_argc,
+                                                   rest.data()))
+            return 1;
+
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+
+        if (!json_path.empty()) {
+            obs::Manifest manifest(program, about);
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - start;
+            manifest.addPhase("benchmarks", dt.count());
+            manifest.addFlag("trace", obs::JsonValue::boolean(trace));
+            manifest.setMetrics(obs::processTotals());
+            manifest.writeFile(json_path);
+        }
+        return 0;
+    } catch (const std::exception &ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace aegis::bench
+
+#endif // AEGIS_BENCH_MICRO_COMMON_H

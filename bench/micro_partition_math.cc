@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "aegis/collision_rom.h"
 #include "aegis/partition.h"
 #include "aegis/trackers.h"
@@ -118,4 +120,10 @@ BENCHMARK(BM_RdisSolve)->Arg(3)->Arg(10)->Arg(24);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return aegis::bench::microMain(
+        argc, argv, "micro_partition_math",
+        "Partition arithmetic and solver microbenchmarks");
+}

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "aegis/factory.h"
 #include "pcm/fail_cache.h"
 #include "sim/device.h"
@@ -80,4 +82,10 @@ BENCHMARK_CAPTURE(BM_Write, ecp6_4faults, "ecp6", 4u);
 BENCHMARK_CAPTURE(BM_Write, rdis3_2faults, "rdis3", 2u);
 BENCHMARK_CAPTURE(BM_Write, hamming_2faults, "hamming", 2u);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return aegis::bench::microMain(
+        argc, argv, "micro_scheme_throughput",
+        "Write-path latency of each recovery scheme (functional layer)");
+}

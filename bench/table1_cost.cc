@@ -18,7 +18,7 @@ namespace {
 using namespace aegis;
 
 void
-printTable(std::uint32_t block_bits, bool csv)
+printTable(std::uint32_t block_bits, const CliParser &cli)
 {
     // The paper's published Table 1 values (512-bit blocks), used to
     // annotate deviations.
@@ -54,12 +54,9 @@ printTable(std::uint32_t block_bits, bool csv)
                       std::to_string(basic.b),
                   rw_cell, std::to_string(rwp.bits)});
     }
-    if (csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    bench::emit(t, cli);
 
-    std::cout << "\nReference overheads: RDIS-3 = "
+    std::cout << "Reference overheads: RDIS-3 = "
               << scheme::RdisScheme::costBits(block_bits, 16, 3)
               << " bits ("
               << TablePrinter::num(
@@ -81,16 +78,20 @@ printTable(std::uint32_t block_bits, bool csv)
 int
 main(int argc, char **argv)
 {
-    aegis::CliParser cli("table1_cost",
-                         "Reproduce Table 1 (hardware cost vs hard "
-                         "FTC)");
-    cli.addBool("csv", false, "emit CSV");
+    aegis::bench::BenchRunner runner(
+        "table1_cost",
+        "Reproduce Table 1 (hardware cost vs hard FTC)",
+        aegis::bench::BenchRunner::Flags::Minimal);
+    aegis::CliParser &cli = runner.cli();
     cli.addBool("also-256", true,
                 "print the 256-bit variant after the paper's 512-bit "
                 "table");
-    return aegis::bench::runBench(argc, argv, cli, [&] {
-        printTable(512, cli.getBool("csv"));
-        if (cli.getBool("also-256"))
-            printTable(256, cli.getBool("csv"));
+    return runner.run(argc, argv, [&] {
+        runner.phase("512-bit table");
+        printTable(512, cli);
+        if (cli.getBool("also-256")) {
+            runner.phase("256-bit table");
+            printTable(256, cli);
+        }
     });
 }

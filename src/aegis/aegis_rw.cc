@@ -7,6 +7,8 @@
 
 #include "aegis/cost.h"
 #include "aegis/trackers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::core {
@@ -64,6 +66,7 @@ AegisRwScheme::chooseSlope(const std::vector<std::uint32_t> &wrong,
         const std::uint32_t k = (slope + trial) % B;
         if (!blocked[k]) {
             repartitions += trial;
+            obs::bump(obs::Counter::AegisRepartitions, trial);
             return k;
         }
     }
@@ -77,6 +80,7 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
                   "Aegis-rw needs an attached fault directory");
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     scheme::WriteOutcome outcome;
 
     // Faults observed during this write operation. A finite fail
@@ -124,6 +128,7 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
 
         cells.writeDifferential(target);
         ++outcome.programPasses;
+        obs::bump(obs::Counter::ProgramPasses);
 
         const BitVector readback = cells.read();
         const BitVector diff = readback ^ target;
@@ -131,6 +136,7 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
             outcome.ok = true;
             return outcome;
         }
+        obs::bump(obs::Counter::VerifyMismatches);
         // Mismatches are faults the directory did not know about yet
         // (the fail cache is filled by verification reads).
         for (std::size_t pos : diff.setBits()) {
@@ -147,6 +153,7 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisRwScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     BitVector out = cells.read();
     if (invVector.any()) {
         for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {

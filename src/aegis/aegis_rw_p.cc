@@ -7,6 +7,8 @@
 
 #include "aegis/cost.h"
 #include "aegis/trackers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::core {
@@ -84,6 +86,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
                   "Aegis-rw-p needs an attached fault directory");
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     scheme::WriteOutcome outcome;
 
     const std::uint32_t B = part.b();
@@ -134,6 +137,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
                 chosen_complement = false;
                 chosen_groups = std::move(w_groups);
                 outcome.repartitions += trial;
+                obs::bump(obs::Counter::AegisRepartitions, trial);
                 break;
             }
             auto r_groups = distinctGroups(part, right, k);
@@ -143,6 +147,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
                 chosen_complement = true;
                 chosen_groups = std::move(r_groups);
                 outcome.repartitions += trial;
+                obs::bump(obs::Counter::AegisRepartitions, trial);
                 break;
             }
         }
@@ -163,6 +168,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 
         cells.writeDifferential(target);
         ++outcome.programPasses;
+        obs::bump(obs::Counter::ProgramPasses);
 
         const BitVector readback = cells.read();
         const BitVector diff = readback ^ target;
@@ -170,6 +176,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
             outcome.ok = true;
             return outcome;
         }
+        obs::bump(obs::Counter::VerifyMismatches);
         for (std::size_t pos : diff.setBits()) {
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
                                    readback.get(pos)};
@@ -184,6 +191,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisRwPScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     BitVector out = cells.read();
     for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
         if (groupInverted(part.groupOf(pos, slope)))

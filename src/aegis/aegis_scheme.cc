@@ -6,6 +6,8 @@
 
 #include "aegis/cost.h"
 #include "aegis/trackers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::core {
@@ -35,10 +37,12 @@ AegisPartitionPolicy::separate(const pcm::FaultSet &faults,
 {
     // The hardware increments the slope counter and re-examines; we
     // scan the B configurations starting from the current slope.
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRecover);
     for (std::uint32_t trial = 0; trial < part.slopes(); ++trial) {
         const std::uint32_t k = (slope + trial) % part.slopes();
         if (separatesUnder(faults, k)) {
             repartitions += trial;
+            obs::bump(obs::Counter::AegisRepartitions, trial);
             slope = k;
             return true;
         }
@@ -117,6 +121,7 @@ AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     BitVector out = cells.read();
     if (invVector.any()) {
         for (std::size_t pos = 0; pos < out.size(); ++pos) {

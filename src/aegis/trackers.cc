@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "aegis/cost.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace aegis::core {
@@ -31,6 +32,7 @@ class AegisBasicTracker : public scheme::LifetimeTracker
             const std::uint32_t k = (slope + trial) % B;
             if (separatesUnder(k)) {
                 numRepartitions += trial;
+                obs::bump(obs::Counter::AegisRepartitions, trial);
                 slope = k;
                 return scheme::FaultVerdict::Alive;
             }
@@ -177,6 +179,7 @@ class RwTrackerBase : public scheme::LifetimeTracker
                 ++failures;
             ++done;
         }
+        obs::bump(obs::Counter::LabelingsSampled, done);
         return static_cast<double>(failures) / static_cast<double>(done);
     }
 

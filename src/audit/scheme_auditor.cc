@@ -11,9 +11,26 @@
 #include "aegis/aegis_scheme.h"
 #include "aegis/collision_rom.h"
 #include "aegis/cost.h"
+#include "obs/metrics.h"
 #include "pcm/fail_cache.h"
 #include "util/error.h"
 #include "util/primes.h"
+
+/*
+ * Every auditor assertion flows through this wrapper so the metrics
+ * registry sees both the check and — since AEGIS_AUDIT throws and
+ * would otherwise hide it — the violation. The condition is only
+ * re-evaluated on the failure path, where we are about to throw
+ * anyway; auditor conditions are pure, so the re-read is safe.
+ */
+#define AUDITOR_AUDIT(cond, dump)                                           \
+    do {                                                                    \
+        ::aegis::obs::bump(::aegis::obs::Counter::AuditChecks);             \
+        if (!(cond)) {                                                      \
+            ::aegis::obs::bump(::aegis::obs::Counter::AuditViolations);     \
+            AEGIS_AUDIT(cond, dump);                                        \
+        }                                                                   \
+    } while (0)
 
 namespace aegis::audit {
 
@@ -90,12 +107,12 @@ verifyPartitionTheorems(const core::Partition &part)
     const std::uint32_t width = part.a();
     const std::uint32_t height = part.b();
 
-    AEGIS_AUDIT(isPrime(height),
+    AUDITOR_AUDIT(isPrime(height),
                 "Aegis height B=" << height << " is not prime");
-    AEGIS_AUDIT(width >= 1 && width <= height,
+    AUDITOR_AUDIT(width >= 1 && width <= height,
                 "formation " << part.formation()
                              << " violates 0 < A <= B");
-    AEGIS_AUDIT(static_cast<std::uint64_t>(width - 1) * height < n &&
+    AUDITOR_AUDIT(static_cast<std::uint64_t>(width - 1) * height < n &&
                     n <= static_cast<std::uint64_t>(width) * height,
                 "formation " << part.formation() << " cannot host n="
                              << n << " ((A-1)*B < n <= A*B)");
@@ -108,16 +125,16 @@ verifyPartitionTheorems(const core::Partition &part)
         for (std::uint32_t y = 0; y < part.groups(); ++y) {
             std::vector<bool> column_used(width, false);
             for (const std::uint32_t pos : part.groupMembers(y, k)) {
-                AEGIS_AUDIT(pos < n, "group member " << pos
+                AUDITOR_AUDIT(pos < n, "group member " << pos
                                                      << " out of range");
-                AEGIS_AUDIT(part.groupOf(pos, k) == y,
+                AUDITOR_AUDIT(part.groupOf(pos, k) == y,
                             "groupMembers/groupOf disagree at pos "
                                 << pos << " slope " << k);
-                AEGIS_AUDIT(!visited[pos],
+                AUDITOR_AUDIT(!visited[pos],
                             "pos " << pos << " in two groups, slope "
                                    << k << " (Theorem 1)");
                 const std::uint32_t col = part.columnOf(pos);
-                AEGIS_AUDIT(!column_used[col],
+                AUDITOR_AUDIT(!column_used[col],
                             "two points of column " << col
                                 << " share group " << y << " slope "
                                 << k);
@@ -126,7 +143,7 @@ verifyPartitionTheorems(const core::Partition &part)
                 ++covered;
             }
         }
-        AEGIS_AUDIT(covered == n, "slope " << k << " covers " << covered
+        AUDITOR_AUDIT(covered == n, "slope " << k << " covers " << covered
                                            << " of " << n
                                            << " points (Theorem 1)");
     }
@@ -146,17 +163,17 @@ verifyPartitionTheorems(const core::Partition &part)
             }
             const bool same_column =
                 part.columnOf(p1) == part.columnOf(p2);
-            AEGIS_AUDIT(collisions == (same_column ? 0u : 1u),
+            AUDITOR_AUDIT(collisions == (same_column ? 0u : 1u),
                         "pair (" << p1 << "," << p2 << ") collides on "
                                  << collisions
                                  << " slopes (Theorem 2)");
             const std::uint32_t claimed = part.collisionSlope(p1, p2);
-            AEGIS_AUDIT(claimed == where,
+            AUDITOR_AUDIT(claimed == where,
                         "collisionSlope(" << p1 << "," << p2 << ")="
                                           << claimed
                                           << " but brute force says "
                                           << where);
-            AEGIS_AUDIT(rom.lookup(p1, p2) == where,
+            AUDITOR_AUDIT(rom.lookup(p1, p2) == where,
                         "collision ROM disagrees at (" << p1 << ","
                                                        << p2 << ")");
         }
@@ -191,7 +208,7 @@ verifyBudget(const scheme::Scheme &s)
 {
     const std::size_t used = s.metadataBits();
     const std::size_t advertised = s.overheadBits();
-    AEGIS_AUDIT(used >= advertised,
+    AUDITOR_AUDIT(used >= advertised,
                 s.name() << ": image " << used
                          << "b narrower than advertised overhead "
                          << advertised << "b");
@@ -205,10 +222,10 @@ verifyBudget(const scheme::Scheme &s)
             ceilLog2(height) -
             ceilLog2(std::min<std::uint64_t>(core::slopesNeededRw(f),
                                              height));
-        AEGIS_AUDIT(advertised == table1,
+        AUDITOR_AUDIT(advertised == table1,
                     s.name() << " advertises " << advertised
                              << "b but Table 1 claims " << table1);
-        AEGIS_AUDIT(used == table1 + slack,
+        AUDITOR_AUDIT(used == table1 + slack,
                     s.name() << " packs " << used << "b; Table 1 + "
                              << "counter slack allows "
                              << table1 + slack);
@@ -225,7 +242,7 @@ verifyBudget(const scheme::Scheme &s)
                                       : core::costBitsBasic(height, f);
         const std::size_t slack =
             ceilLog2(height) - core::slopeCounterBits(height, f);
-        AEGIS_AUDIT(used == table1 + slack,
+        AUDITOR_AUDIT(used == table1 + slack,
                     s.name() << " packs " << used
                              << "b; Table 1 claims " << table1
                              << "b plus " << slack
@@ -235,7 +252,7 @@ verifyBudget(const scheme::Scheme &s)
 
     // Non-Aegis schemes: metadataBits() documents at most a few bits
     // beyond the advertised Table-1 overhead (ECP's entry counter).
-    AEGIS_AUDIT(used <= advertised + 16,
+    AUDITOR_AUDIT(used <= advertised + 16,
                 s.name() << ": image " << used << "b exceeds overhead "
                          << advertised << "b by more than the "
                          << "documented few-bit slack");
@@ -302,7 +319,7 @@ SchemeAuditor::auditMetadata(const pcm::CellArray &cells) const
 {
     const BitVector image = wrapped->exportMetadata();
     ++numChecks;
-    AEGIS_AUDIT(image.size() == wrapped->metadataBits(),
+    AUDITOR_AUDIT(image.size() == wrapped->metadataBits(),
                 wrapped->name() << " exported " << image.size()
                                 << "b, metadataBits() promises "
                                 << wrapped->metadataBits());
@@ -314,13 +331,13 @@ SchemeAuditor::auditMetadata(const pcm::CellArray &cells) const
     const std::unique_ptr<scheme::Scheme> restored = wrapped->clone();
     restored->importMetadata(image);
     ++numChecks;
-    AEGIS_AUDIT(restored->exportMetadata() == image,
+    AUDITOR_AUDIT(restored->exportMetadata() == image,
                 wrapped->name()
                     << " metadata image does not round-trip: "
                     << dumpState(cells));
     if (haveShadow) {
         ++numChecks;
-        AEGIS_AUDIT(restored->read(cells) == shadow,
+        AUDITOR_AUDIT(restored->read(cells) == shadow,
                     wrapped->name()
                         << " restored clone decodes different data: "
                         << dumpState(cells));
@@ -334,13 +351,13 @@ SchemeAuditor::auditDirectory(const pcm::CellArray &cells) const
         return;
     for (const pcm::Fault &f : directory->lookup(blockId)) {
         ++numChecks;
-        AEGIS_AUDIT(f.pos < cells.size(),
+        AUDITOR_AUDIT(f.pos < cells.size(),
                     "fail cache lists out-of-range pos " << f.pos
                         << " for block " << blockId);
-        AEGIS_AUDIT(cells.isStuck(f.pos),
+        AUDITOR_AUDIT(cells.isStuck(f.pos),
                     "fail cache lists healthy cell " << f.pos
                         << " as stuck: " << dumpState(cells));
-        AEGIS_AUDIT(cells.readBit(f.pos) == f.stuck,
+        AUDITOR_AUDIT(cells.readBit(f.pos) == f.stuck,
                     "fail cache stuck value wrong at pos " << f.pos
                         << ": " << dumpState(cells));
     }
@@ -352,7 +369,7 @@ SchemeAuditor::auditFailure(const pcm::CellArray &cells,
 {
     const pcm::FaultSet faults = cells.faults();
     ++numChecks;
-    AEGIS_AUDIT(faults.size() > wrapped->hardFtc(),
+    AUDITOR_AUDIT(faults.size() > wrapped->hardFtc(),
                 wrapped->name() << " retired a block holding "
                                 << faults.size()
                                 << " faults, within its hard FTC of "
@@ -377,12 +394,12 @@ SchemeAuditor::auditFailure(const pcm::CellArray &cells,
     for (std::uint32_t k = 0; k < part->slopes(); ++k) {
         ++numChecks;
         if (rw_family) {
-            AEGIS_AUDIT(slopeBlocked(*part, faults, data, k),
+            AUDITOR_AUDIT(slopeBlocked(*part, faults, data, k),
                         wrapped->name() << " declared failure but slope "
                             << k << " mixes no W/R group: "
                             << dumpState(cells));
         } else {
-            AEGIS_AUDIT(!slopeSeparates(*part, faults, k),
+            AUDITOR_AUDIT(!slopeSeparates(*part, faults, k),
                         wrapped->name() << " declared failure but slope "
                             << k << " separates all faults: "
                             << dumpState(cells));
@@ -398,12 +415,12 @@ SchemeAuditor::write(pcm::CellArray &cells, const BitVector &data)
 
     if (outcome.ok) {
         ++numChecks;
-        AEGIS_AUDIT(outcome.programPasses >= 1,
+        AUDITOR_AUDIT(outcome.programPasses >= 1,
                     wrapped->name()
                         << " claims success without a program pass");
         const BitVector decoded = wrapped->read(cells);
         ++numChecks;
-        AEGIS_AUDIT(decoded == data,
+        AUDITOR_AUDIT(decoded == data,
                     wrapped->name() << " read-after-write mismatch ("
                         << decoded.hammingDistance(data)
                         << " bits differ): " << dumpState(cells));
@@ -425,7 +442,7 @@ SchemeAuditor::read(const pcm::CellArray &cells) const
     BitVector decoded = wrapped->read(cells);
     if (haveShadow) {
         ++numChecks;
-        AEGIS_AUDIT(decoded == shadow,
+        AUDITOR_AUDIT(decoded == shadow,
                     wrapped->name()
                         << " decode no longer matches the last "
                         << "successful write: " << dumpState(cells));

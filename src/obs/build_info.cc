@@ -1,0 +1,27 @@
+#include "obs/build_info.h"
+
+// The build system defines these; the fallbacks keep non-CMake builds
+// (e.g. IDE single-file parses) compiling.
+#ifndef AEGIS_GIT_SHA
+#define AEGIS_GIT_SHA "unknown"
+#endif
+#ifndef AEGIS_BUILD_TYPE
+#define AEGIS_BUILD_TYPE "unknown"
+#endif
+#ifndef AEGIS_COMPILER_ID
+#define AEGIS_COMPILER_ID "unknown"
+#endif
+#ifndef AEGIS_CXX_FLAGS
+#define AEGIS_CXX_FLAGS ""
+#endif
+
+namespace aegis::obs {
+
+BuildInfo
+currentBuildInfo()
+{
+    return BuildInfo{AEGIS_GIT_SHA, AEGIS_BUILD_TYPE, AEGIS_COMPILER_ID,
+                     AEGIS_CXX_FLAGS};
+}
+
+} // namespace aegis::obs

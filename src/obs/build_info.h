@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Build provenance embedded in every run manifest: git SHA, build
+ * type, compiler and flags, captured at CMake configure time via
+ * compile definitions on the obs library (see src/obs/CMakeLists.txt).
+ */
+
+#ifndef AEGIS_OBS_BUILD_INFO_H
+#define AEGIS_OBS_BUILD_INFO_H
+
+#include <string>
+
+namespace aegis::obs {
+
+/** Provenance of the running binary. */
+struct BuildInfo
+{
+    std::string gitSha;    ///< commit the tree was configured at
+    std::string buildType; ///< CMAKE_BUILD_TYPE
+    std::string compiler;  ///< compiler id + version
+    std::string flags;     ///< extra compile flags (sanitizers etc.)
+};
+
+/** The build info baked into this binary ("unknown" fields when the
+ *  tree was configured outside git). */
+BuildInfo currentBuildInfo();
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_BUILD_INFO_H

@@ -1,0 +1,278 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace aegis::obs {
+
+JsonValue
+JsonValue::boolean(bool v)
+{
+    JsonValue j;
+    j.tag = Kind::Bool;
+    j.b = v;
+    return j;
+}
+
+JsonValue
+JsonValue::uint(std::uint64_t v)
+{
+    JsonValue j;
+    j.tag = Kind::Uint;
+    j.u = v;
+    return j;
+}
+
+JsonValue
+JsonValue::integer(std::int64_t v)
+{
+    JsonValue j;
+    j.tag = Kind::Int;
+    j.i = v;
+    return j;
+}
+
+JsonValue
+JsonValue::real(double v)
+{
+    JsonValue j;
+    j.tag = Kind::Double;
+    j.d = v;
+    return j;
+}
+
+JsonValue
+JsonValue::str(std::string v)
+{
+    JsonValue j;
+    j.tag = Kind::String;
+    j.s = std::move(v);
+    return j;
+}
+
+void
+JsonValue::write(std::ostream &os) const
+{
+    switch (tag) {
+    case Kind::Null:
+        os << "null";
+        break;
+    case Kind::Bool:
+        os << (b ? "true" : "false");
+        break;
+    case Kind::Uint:
+        os << u;
+        break;
+    case Kind::Int:
+        os << i;
+        break;
+    case Kind::Double:
+        os << JsonWriter::number(d);
+        break;
+    case Kind::String:
+        os << JsonWriter::quote(s);
+        break;
+    }
+}
+
+JsonWriter::JsonWriter(std::ostream &out, int indent_width)
+    : os(out), indentWidth(indent_width)
+{}
+
+std::string
+JsonWriter::quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char raw : s) {
+        const auto ch = static_cast<unsigned char>(raw);
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (ch < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(raw);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    const std::to_chars_result res =
+        std::to_chars(buf, buf + sizeof buf, v);
+    std::string out(buf, res.ptr);
+    // Bare integers are valid JSON but keep a ".0" so consumers see a
+    // float where the producer meant one.
+    if (out.find_first_of(".eEnN") == std::string::npos)
+        out += ".0";
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os << '\n';
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        for (int k = 0; k < indentWidth; ++k)
+            os << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (levels.empty())
+        return; // top-level value
+    Level &level = levels.back();
+    AEGIS_ASSERT(level.array, "object member written without key()");
+    if (level.any)
+        os << ',';
+    level.any = true;
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    AEGIS_ASSERT(!levels.empty() && !levels.back().array,
+                 "key() outside of an object");
+    AEGIS_ASSERT(!afterKey, "key() immediately after key()");
+    if (levels.back().any)
+        os << ',';
+    levels.back().any = true;
+    newlineIndent();
+    os << quote(k) << ": ";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << '{';
+    levels.push_back(Level{false, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    AEGIS_ASSERT(!levels.empty() && !levels.back().array,
+                 "endObject() without beginObject()");
+    const bool any = levels.back().any;
+    levels.pop_back();
+    if (any)
+        newlineIndent();
+    os << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << '[';
+    levels.push_back(Level{true, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    AEGIS_ASSERT(!levels.empty() && levels.back().array,
+                 "endArray() without beginArray()");
+    const bool any = levels.back().any;
+    levels.pop_back();
+    if (any)
+        newlineIndent();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const JsonValue &v)
+{
+    beforeValue();
+    v.write(os);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os << quote(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os << number(v);
+    return *this;
+}
+
+} // namespace aegis::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON emission for run manifests: a tagged scalar value and
+ * a streaming writer with indentation and escaping. No external
+ * dependencies; output is deterministic (keys are written in
+ * insertion order, doubles use shortest round-trip formatting).
+ */
+
+#ifndef AEGIS_OBS_JSON_H
+#define AEGIS_OBS_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aegis::obs {
+
+/** A JSON scalar with an explicit type tag. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Uint, Int, Double, String };
+
+    JsonValue() = default;
+
+    static JsonValue null() { return JsonValue{}; }
+    static JsonValue boolean(bool v);
+    static JsonValue uint(std::uint64_t v);
+    static JsonValue integer(std::int64_t v);
+    static JsonValue real(double v);
+    static JsonValue str(std::string v);
+
+    Kind kind() const { return tag; }
+
+    /** Emit this value as JSON text. */
+    void write(std::ostream &os) const;
+
+  private:
+    Kind tag = Kind::Null;
+    bool b = false;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string s;
+};
+
+/**
+ * Streaming JSON writer. The caller drives structure:
+ * @code
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("answer").value(std::uint64_t{42});
+ *   w.key("items").beginArray().value("a").value("b").endArray();
+ *   w.endObject();
+ * @endcode
+ * Commas, newlines and indentation are handled by the writer.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indent_width = 2);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a key/value pair inside an object. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(const JsonValue &v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(double v);
+
+    /** Escape and quote @p s per JSON string rules. */
+    static std::string quote(std::string_view s);
+
+    /** Shortest round-trip text for @p v ("null" if not finite). */
+    static std::string number(double v);
+
+  private:
+    struct Level
+    {
+        bool array;
+        bool any;
+    };
+
+    void beforeValue();
+    void newlineIndent();
+
+    std::ostream &os;
+    int indentWidth;
+    std::vector<Level> levels;
+    bool afterKey = false;
+};
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_JSON_H

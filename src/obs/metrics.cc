@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace aegis::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
+    "scheme.group_inversions",
+    "scheme.program_passes",
+    "scheme.verify_mismatches",
+    "aegis.slope_repartitions",
+    "safer.repartitions",
+    "rdis.solves",
+    "rdis.recursion_levels",
+    "ecp.pointers_consumed",
+    "failcache.hits",
+    "failcache.misses",
+    "failcache.insertions",
+    "failcache.evictions",
+    "pcm.diff_writes",
+    "pcm.diff_bits_flipped",
+    "pcm.blind_writes",
+    "tracker.labelings_sampled",
+    "sim.fault_arrivals",
+    "sim.block_lives",
+    "sim.page_lives",
+    "audit.checks",
+    "audit.violations",
+};
+
+constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
+    "rdis.max_recursion_depth",
+};
+
+constexpr std::array<std::string_view, kScopeCount> kScopeNames = {
+    "scheme.write",
+    "scheme.read",
+    "scheme.recover",
+    "sim.block_life",
+    "sim.page_life",
+};
+
+/**
+ * Per-thread metric storage. Slots are relaxed atomics so that
+ * processTotals() may read a live slab from another thread without a
+ * data race; the owning thread's writes stay uncontended (its slab is
+ * never written by anyone else), so a bump costs one load + one store
+ * on a cache line no other writer touches.
+ */
+struct Slab
+{
+    std::array<std::atomic<std::uint64_t>, kCounterCount> counters{};
+    std::array<std::atomic<std::uint64_t>, kGaugeCount> gauges{};
+    struct Timer
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> totalNs{0};
+        std::atomic<std::uint64_t> maxNs{0};
+    };
+    std::array<Timer, kScopeCount> timers{};
+};
+
+Metrics
+snapshot(const Slab &slab)
+{
+    Metrics m;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+        m.counters[i] = slab.counters[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kGaugeCount; ++i)
+        m.gauges[i] = slab.gauges[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kScopeCount; ++i) {
+        m.timers[i].count =
+            slab.timers[i].count.load(std::memory_order_relaxed);
+        m.timers[i].totalNs =
+            slab.timers[i].totalNs.load(std::memory_order_relaxed);
+        m.timers[i].maxNs =
+            slab.timers[i].maxNs.load(std::memory_order_relaxed);
+    }
+    return m;
+}
+
+void
+zero(Slab &slab)
+{
+    for (auto &c : slab.counters)
+        c.store(0, std::memory_order_relaxed);
+    for (auto &g : slab.gauges)
+        g.store(0, std::memory_order_relaxed);
+    for (auto &t : slab.timers) {
+        t.count.store(0, std::memory_order_relaxed);
+        t.totalNs.store(0, std::memory_order_relaxed);
+        t.maxNs.store(0, std::memory_order_relaxed);
+    }
+}
+
+/**
+ * All slabs ever created: the live ones plus the folded totals of
+ * exited threads (parallelFor joins its workers per call, so their
+ * slabs retire into `retired` before the study returns).
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<Slab *> live;
+    Metrics retired;
+};
+
+Registry &
+registry()
+{
+    // Leaked on purpose: worker threads may retire their slabs during
+    // static destruction, after a function-local static would already
+    // be gone.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+/** Registers the thread's slab for its lifetime. */
+struct SlabHandle
+{
+    Slab slab;
+
+    SlabHandle()
+    {
+        Registry &r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.live.push_back(&slab);
+    }
+
+    ~SlabHandle()
+    {
+        Registry &r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.retired.merge(snapshot(slab));
+        r.live.erase(std::remove(r.live.begin(), r.live.end(), &slab),
+                     r.live.end());
+    }
+};
+
+Slab &
+threadSlab()
+{
+    thread_local SlabHandle handle;
+    return handle.slab;
+}
+
+} // namespace
+
+std::string_view
+counterName(Counter c)
+{
+    return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+std::string_view
+gaugeName(Gauge g)
+{
+    return kGaugeNames[static_cast<std::size_t>(g)];
+}
+
+std::string_view
+scopeName(Scope s)
+{
+    return kScopeNames[static_cast<std::size_t>(s)];
+}
+
+void
+TimingStat::add(std::uint64_t ns)
+{
+    ++count;
+    totalNs += ns;
+    maxNs = std::max(maxNs, ns);
+}
+
+void
+TimingStat::merge(const TimingStat &other)
+{
+    count += other.count;
+    totalNs += other.totalNs;
+    maxNs = std::max(maxNs, other.maxNs);
+}
+
+void
+Metrics::merge(const Metrics &other)
+{
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+        counters[i] += other.counters[i];
+    for (std::size_t i = 0; i < kGaugeCount; ++i)
+        gauges[i] = std::max(gauges[i], other.gauges[i]);
+    for (std::size_t i = 0; i < kScopeCount; ++i)
+        timers[i].merge(other.timers[i]);
+}
+
+bool
+Metrics::empty() const
+{
+    for (const std::uint64_t c : counters)
+        if (c != 0)
+            return false;
+    for (const std::uint64_t g : gauges)
+        if (g != 0)
+            return false;
+    for (const TimingStat &t : timers)
+        if (t.count != 0)
+            return false;
+    return true;
+}
+
+void
+bump(Counter c, std::uint64_t n)
+{
+    std::atomic<std::uint64_t> &cell =
+        threadSlab().counters[static_cast<std::size_t>(c)];
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+void
+gaugeMax(Gauge g, std::uint64_t v)
+{
+    std::atomic<std::uint64_t> &cell =
+        threadSlab().gauges[static_cast<std::size_t>(g)];
+    if (cell.load(std::memory_order_relaxed) < v)
+        cell.store(v, std::memory_order_relaxed);
+}
+
+void
+recordTiming(Scope s, std::uint64_t ns)
+{
+    Slab::Timer &t = threadSlab().timers[static_cast<std::size_t>(s)];
+    t.count.store(t.count.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    t.totalNs.store(t.totalNs.load(std::memory_order_relaxed) + ns,
+                    std::memory_order_relaxed);
+    if (t.maxNs.load(std::memory_order_relaxed) < ns)
+        t.maxNs.store(ns, std::memory_order_relaxed);
+}
+
+ThreadMark
+mark()
+{
+    return ThreadMark{snapshot(threadSlab())};
+}
+
+Metrics
+deltaSince(const ThreadMark &m)
+{
+    const Metrics now = snapshot(threadSlab());
+    Metrics delta;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+        delta.counters[i] = now.counters[i] - m.snapshot.counters[i];
+    // Gauges stay zero: a running maximum has no exact per-item delta
+    // (see header).
+    for (std::size_t i = 0; i < kScopeCount; ++i) {
+        delta.timers[i].count =
+            now.timers[i].count - m.snapshot.timers[i].count;
+        delta.timers[i].totalNs =
+            now.timers[i].totalNs - m.snapshot.timers[i].totalNs;
+        if (delta.timers[i].count > 0)
+            delta.timers[i].maxNs = now.timers[i].maxNs;
+    }
+    return delta;
+}
+
+Metrics
+processTotals()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    Metrics m = r.retired;
+    for (const Slab *slab : r.live)
+        m.merge(snapshot(*slab));
+    return m;
+}
+
+void
+resetProcessMetrics()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.retired = Metrics{};
+    for (Slab *slab : r.live)
+        zero(*slab);
+}
+
+} // namespace aegis::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Process-wide metrics registry: named event counters, max-gauges and
+ * scope timers with a fixed slot per metric.
+ *
+ * Design constraints (see README "Observability"):
+ *  - Allocation-free on the hot path: every metric is a fixed enum
+ *    slot in a per-thread slab; bump() is an uncontended relaxed
+ *    atomic add on the calling thread's own slab.
+ *  - Deterministic aggregation: counter deltas captured around each
+ *    Monte-Carlo item (mark()/deltaSince()) are folded into the
+ *    parallel reducer's chunk accumulators and merged in chunk order,
+ *    exactly like StudyResult::merge — so counter totals are
+ *    bit-identical for every --jobs value.
+ *  - Whole-process totals (processTotals()) additionally fold slabs
+ *    of exited threads, serving benches that bypass the study
+ *    runners (micro benches, the fail-cache ablation).
+ */
+
+#ifndef AEGIS_OBS_METRICS_H
+#define AEGIS_OBS_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aegis::obs {
+
+/**
+ * Event counters. One slot per named event; the name (counterName)
+ * doubles as the manifest JSON key. Counters are documented next to
+ * the paper mechanism they expose — see README "Observability".
+ */
+enum class Counter : std::uint32_t {
+    GroupInversions,     ///< scheme.group_inversions — groups written inverted (§2.2)
+    ProgramPasses,       ///< scheme.program_passes — program+verify iterations
+    VerifyMismatches,    ///< scheme.verify_mismatches — verify reads that disagreed
+    AegisRepartitions,   ///< aegis.slope_repartitions — slope trials consumed (§2.4)
+    SaferRepartitions,   ///< safer.repartitions — SAFER field re-partitions
+    RdisSolves,          ///< rdis.solves — invertible-set solver invocations
+    RdisRecursionLevels, ///< rdis.recursion_levels — recursion levels entered
+    EcpPointersConsumed, ///< ecp.pointers_consumed — correction pointers allocated
+    FailCacheHits,       ///< failcache.hits — fault lookups answered from the cache
+    FailCacheMisses,     ///< failcache.misses — recorded faults lost to eviction
+    FailCacheInsertions, ///< failcache.insertions — entries inserted
+    FailCacheEvictions,  ///< failcache.evictions — entries evicted
+    DiffWrites,          ///< pcm.diff_writes — differential write operations
+    DiffBitsFlipped,     ///< pcm.diff_bits_flipped — cells actually programmed
+    BlindWrites,         ///< pcm.blind_writes — non-differential write operations
+    LabelingsSampled,    ///< tracker.labelings_sampled — W/R labeling samples drawn
+    FaultArrivals,       ///< sim.fault_arrivals — stuck-at fault arrivals simulated
+    BlockLives,          ///< sim.block_lives — block Monte-Carlo lives completed
+    PageLives,           ///< sim.page_lives — page Monte-Carlo lives completed
+    AuditChecks,         ///< audit.checks — invariant checks performed
+    AuditViolations,     ///< audit.violations — invariant violations caught
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::AuditViolations) + 1;
+
+/** Max-gauges: merge takes the maximum instead of the sum. */
+enum class Gauge : std::uint32_t {
+    RdisMaxRecursionDepth, ///< rdis.max_recursion_depth — deepest solve
+};
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::RdisMaxRecursionDepth) + 1;
+
+/** Timed scopes recorded by AEGIS_TRACE_SCOPE (see obs/trace.h). */
+enum class Scope : std::uint32_t {
+    SchemeWrite,   ///< scheme.write — functional-layer block write
+    SchemeRead,    ///< scheme.read — functional-layer block read
+    SchemeRecover, ///< scheme.recover — re-partition search after a new fault
+    BlockLife,     ///< sim.block_life — one block Monte-Carlo life
+    PageLife,      ///< sim.page_life — one page Monte-Carlo life
+};
+inline constexpr std::size_t kScopeCount =
+    static_cast<std::size_t>(Scope::PageLife) + 1;
+
+/** Stable manifest key for @p c (e.g. "scheme.group_inversions"). */
+std::string_view counterName(Counter c);
+/** Stable manifest key for @p g. */
+std::string_view gaugeName(Gauge g);
+/** Stable manifest key for @p s. */
+std::string_view scopeName(Scope s);
+
+/** Aggregated wall-clock for one trace scope. */
+struct TimingStat
+{
+    std::uint64_t count = 0;   ///< scope entries recorded
+    std::uint64_t totalNs = 0; ///< summed wall-clock nanoseconds
+    std::uint64_t maxNs = 0;   ///< slowest single entry
+
+    void add(std::uint64_t ns);
+    void merge(const TimingStat &other);
+};
+
+/**
+ * A value snapshot of every metric: plain mergeable data, used both
+ * as the per-study accumulator carried through StudyResult::merge and
+ * as the process-total snapshot embedded in run manifests.
+ */
+struct Metrics
+{
+    std::array<std::uint64_t, kCounterCount> counters{};
+    std::array<std::uint64_t, kGaugeCount> gauges{};
+    std::array<TimingStat, kScopeCount> timers{};
+
+    std::uint64_t counter(Counter c) const
+    { return counters[static_cast<std::size_t>(c)]; }
+    std::uint64_t gauge(Gauge g) const
+    { return gauges[static_cast<std::size_t>(g)]; }
+    const TimingStat &timer(Scope s) const
+    { return timers[static_cast<std::size_t>(s)]; }
+
+    /** Counters/timers add, gauges take the max. Commutative and
+     *  associative, so chunk-order merging is jobs-invariant. */
+    void merge(const Metrics &other);
+
+    /** True when every slot is zero. */
+    bool empty() const;
+};
+
+/** Add @p n to counter @p c on the calling thread's slab. */
+void bump(Counter c, std::uint64_t n = 1);
+
+/** Raise gauge @p g to at least @p v on the calling thread's slab. */
+void gaugeMax(Gauge g, std::uint64_t v);
+
+/** Record one timed entry of scope @p s (used by TraceScope). */
+void recordTiming(Scope s, std::uint64_t ns);
+
+/**
+ * A snapshot of the calling thread's slab, for attributing the events
+ * of one Monte-Carlo item to its chunk accumulator.
+ */
+struct ThreadMark
+{
+    Metrics snapshot;
+};
+
+/** Snapshot the calling thread's slab. */
+ThreadMark mark();
+
+/**
+ * Counters/timers accumulated on the calling thread since @p m.
+ * Gauges are excluded (left zero): a running maximum has no exact
+ * per-item delta, and including it would break jobs-invariance of
+ * study metrics. Gauges still reach processTotals().
+ */
+Metrics deltaSince(const ThreadMark &m);
+
+/**
+ * Totals across every thread that ever recorded a metric: live slabs
+ * plus the retained sums of exited threads.
+ */
+Metrics processTotals();
+
+/**
+ * Zero every slab and the retained totals. Only meaningful while no
+ * worker threads are recording; intended for test isolation.
+ */
+void resetProcessMetrics();
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_METRICS_H

@@ -1,0 +1,127 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace aegis::obs {
+
+namespace {
+
+/** First report after 1s, then every 500ms: short runs stay silent. */
+constexpr std::int64_t kFirstReportMs = 1000;
+constexpr std::int64_t kReportIntervalMs = 500;
+
+bool g_progressEnabled = false;
+
+std::string
+formatDuration(double seconds)
+{
+    char buf[32];
+    if (seconds < 0)
+        seconds = 0;
+    if (seconds < 60) {
+        std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+    } else if (seconds < 3600) {
+        const int m = static_cast<int>(seconds) / 60;
+        const int s = static_cast<int>(seconds) % 60;
+        std::snprintf(buf, sizeof buf, "%dm%02ds", m, s);
+    } else {
+        const int h = static_cast<int>(seconds) / 3600;
+        const int m = (static_cast<int>(seconds) % 3600) / 60;
+        std::snprintf(buf, sizeof buf, "%dh%02dm", h, m);
+    }
+    return buf;
+}
+
+} // namespace
+
+bool
+progressEnabled()
+{
+    return g_progressEnabled;
+}
+
+void
+setProgressEnabled(bool on)
+{
+    g_progressEnabled = on;
+}
+
+ProgressReporter::ProgressReporter(std::string progress_label,
+                                   std::uint64_t total_items,
+                                   std::string unit_name)
+    : label(std::move(progress_label)), unit(std::move(unit_name)),
+      total(total_items), enabled(progressEnabled()),
+      tty(isatty(2) != 0), start(std::chrono::steady_clock::now()),
+      nextReportMs(kFirstReportMs)
+{}
+
+ProgressReporter::~ProgressReporter()
+{
+    // Close out the line only if an intermediate report was printed;
+    // otherwise the run was too short to be worth a message.
+    if (enabled && reported.load(std::memory_order_relaxed))
+        report(done.load(std::memory_order_relaxed), true);
+}
+
+void
+ProgressReporter::tick(std::uint64_t n)
+{
+    if (!enabled)
+        return;
+    const std::uint64_t done_now =
+        done.fetch_add(n, std::memory_order_relaxed) + n;
+    const std::int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::int64_t next = nextReportMs.load(std::memory_order_relaxed);
+    if (elapsed_ms < next)
+        return;
+    // One thread wins the CAS and prints; the rest carry on.
+    if (!nextReportMs.compare_exchange_strong(
+            next, elapsed_ms + kReportIntervalMs,
+            std::memory_order_relaxed))
+        return;
+    report(done_now, false);
+}
+
+void
+ProgressReporter::report(std::uint64_t done_now, bool final_line) const
+{
+    reported.store(true, std::memory_order_relaxed);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double rate =
+        elapsed_s > 1e-9 ? static_cast<double>(done_now) / elapsed_s : 0;
+    const double pct =
+        total > 0 ? 100.0 * static_cast<double>(done_now) /
+                        static_cast<double>(total)
+                  : 0;
+    if (final_line) {
+        std::fprintf(stderr,
+                     "%s%s: %" PRIu64 "/%" PRIu64 " %s in %s (%.1f/s)\n",
+                     tty ? "\r\033[K" : "", label.c_str(), done_now,
+                     total, unit.c_str(), formatDuration(elapsed_s).c_str(),
+                     rate);
+        return;
+    }
+    const double remaining =
+        rate > 1e-9 && done_now < total
+            ? static_cast<double>(total - done_now) / rate
+            : 0;
+    std::fprintf(stderr,
+                 "%s%s: %" PRIu64 "/%" PRIu64 " %s (%.0f%%), %.1f/s, "
+                 "ETA %s%s",
+                 tty ? "\r\033[K" : "", label.c_str(), done_now, total,
+                 unit.c_str(), pct, rate,
+                 formatDuration(remaining).c_str(), tty ? "" : "\n");
+    if (tty)
+        std::fflush(stderr);
+}
+
+} // namespace aegis::obs

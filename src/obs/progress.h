@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Rate-limited progress/ETA reporting for long Monte-Carlo sweeps.
+ *
+ * Globally off by default so library consumers and tests stay silent;
+ * the bench harness turns it on unless --quiet is given. Output goes
+ * to stderr (carriage-return overwrite on a tty, one line per report
+ * otherwise) so it never contaminates table/CSV/JSON output on
+ * stdout.
+ */
+
+#ifndef AEGIS_OBS_PROGRESS_H
+#define AEGIS_OBS_PROGRESS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace aegis::obs {
+
+/** Whether ProgressReporter instances print anything. */
+bool progressEnabled();
+
+/** Turn progress reporting on or off process-wide. */
+void setProgressEnabled(bool on);
+
+/**
+ * Tracks completion of @p total work items and periodically prints
+ * "label: done/total unit (pct), rate/s, ETA" to stderr. tick() is
+ * thread-safe and cheap: a relaxed fetch_add plus a rate-limit check;
+ * only the thread that wins the rate-limit CAS formats and prints.
+ * Nothing is printed for runs shorter than the first report interval.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::string label, std::uint64_t total,
+                     std::string unit = "items");
+    ~ProgressReporter();
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** Mark @p n items complete; may print a rate-limited report. */
+    void tick(std::uint64_t n = 1);
+
+  private:
+    void report(std::uint64_t done_now, bool final_line) const;
+
+    std::string label;
+    std::string unit;
+    std::uint64_t total;
+    bool enabled;
+    bool tty;
+    std::chrono::steady_clock::time_point start;
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::int64_t> nextReportMs;
+    mutable std::atomic<bool> reported{false};
+};
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_PROGRESS_H

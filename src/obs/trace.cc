@@ -1,0 +1,15 @@
+#include "obs/trace.h"
+
+namespace aegis::obs {
+
+namespace detail {
+bool g_tracingEnabled = false;
+} // namespace detail
+
+void
+setTracingEnabled(bool on)
+{
+    detail::g_tracingEnabled = on;
+}
+
+} // namespace aegis::obs

@@ -1,5 +1,6 @@
 #include "pcm/cell_array.h"
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace aegis::pcm {
@@ -51,6 +52,8 @@ CellArray::writeDifferential(const BitVector &target)
         programBit(i, target.get(i));
         ++programmed;
     }
+    obs::bump(obs::Counter::DiffWrites);
+    obs::bump(obs::Counter::DiffBitsFlipped, programmed);
     return programmed;
 }
 
@@ -61,6 +64,7 @@ CellArray::writeBlind(const BitVector &target)
                   "write size must match the cell array");
     for (std::size_t i = 0; i < size(); ++i)
         programBit(i, target.get(i));
+    obs::bump(obs::Counter::BlindWrites);
     return size();
 }
 

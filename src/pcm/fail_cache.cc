@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace aegis::pcm {
@@ -23,7 +24,11 @@ FaultSet
 OracleFaultDirectory::lookup(std::uint64_t block) const
 {
     const auto it = entries.find(block);
-    return it == entries.end() ? FaultSet{} : it->second;
+    if (it == entries.end())
+        return FaultSet{};
+    // The oracle never forgets: every recorded fault is a hit.
+    obs::bump(obs::Counter::FailCacheHits, it->second.size());
+    return it->second;
 }
 
 std::size_t
@@ -66,15 +71,19 @@ DirectMappedFailCache::record(std::uint64_t block, const Fault &fault)
         truth.push_back(fault);
 
     Entry &e = sets[indexOf(block, fault.pos)];
-    if (e.valid && (e.block != block || e.pos != fault.pos))
+    if (e.valid && (e.block != block || e.pos != fault.pos)) {
         ++numEvictions;
-    if (!(e.valid && e.block == block && e.pos == fault.pos))
+        obs::bump(obs::Counter::FailCacheEvictions);
+    }
+    if (!(e.valid && e.block == block && e.pos == fault.pos)) {
         ++numInsertions;
+        obs::bump(obs::Counter::FailCacheInsertions);
+    }
     e = Entry{true, block, fault.pos, fault.stuck};
 }
 
 FaultSet
-DirectMappedFailCache::lookup(std::uint64_t block) const
+DirectMappedFailCache::resident(std::uint64_t block) const
 {
     // A real direct-mapped cache would probe per offset during the
     // pre-write check; the model reconstructs the same result from the
@@ -91,25 +100,38 @@ DirectMappedFailCache::lookup(std::uint64_t block) const
     return out;
 }
 
+FaultSet
+DirectMappedFailCache::lookup(std::uint64_t block) const
+{
+    FaultSet out = resident(block);
+    const auto it = recorded.find(block);
+    const std::size_t truth = it == recorded.end() ? 0 : it->second.size();
+    obs::bump(obs::Counter::FailCacheHits, out.size());
+    // A "miss" is a fault this block once recorded that a conflicting
+    // insertion has since evicted — the knowledge the scheme lost.
+    obs::bump(obs::Counter::FailCacheMisses, truth - out.size());
+    return out;
+}
+
 bool
 DirectMappedFailCache::complete(std::uint64_t block) const
 {
     const auto it = recorded.find(block);
     if (it == recorded.end())
         return true;
-    return lookup(block).size() == it->second.size();
+    return resident(block).size() == it->second.size();
 }
 
 double
 DirectMappedFailCache::residency() const
 {
-    std::size_t total = 0, resident = 0;
+    std::size_t total = 0, resident_faults = 0;
     for (const auto &[block, truth] : recorded) {
         total += truth.size();
-        resident += lookup(block).size();
+        resident_faults += resident(block).size();
     }
     return total == 0 ? 1.0
-                      : static_cast<double>(resident) /
+                      : static_cast<double>(resident_faults) /
                         static_cast<double>(total);
 }
 

@@ -89,6 +89,10 @@ class DirectMappedFailCache : public FaultDirectory
 
     std::size_t indexOf(std::uint64_t block, std::uint32_t pos) const;
 
+    /** lookup() without the hit/miss accounting, for the internal
+     *  completeness/residency bookkeeping queries. */
+    FaultSet resident(std::uint64_t block) const;
+
     std::vector<Entry> sets;
     /** Ground truth of what was recorded, for completeness checks. */
     std::unordered_map<std::uint64_t, FaultSet> recorded;

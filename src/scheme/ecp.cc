@@ -4,6 +4,8 @@
 
 #include "util/bit_io.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::scheme {
@@ -22,8 +24,11 @@ class EcpTracker : public LifetimeTracker
     onFault(const pcm::Fault &) override
     {
         ++faults;
-        return faults <= maxEntries ? FaultVerdict::Alive
-                                    : FaultVerdict::Dead;
+        if (faults <= maxEntries) {
+            obs::bump(obs::Counter::EcpPointersConsumed);
+            return FaultVerdict::Alive;
+        }
+        return FaultVerdict::Dead;
     }
 
     double writeFailureProbability(Rng &) override
@@ -84,6 +89,7 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     WriteOutcome outcome;
 
     // Refresh replacement bits for already-corrected cells, then
@@ -108,6 +114,7 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
         }
         entries.push_back(Entry{static_cast<std::uint32_t>(pos),
                                 data.get(pos)});
+        obs::bump(obs::Counter::EcpPointersConsumed);
         ++outcome.newFaults;
     }
     outcome.ok = true;
@@ -117,6 +124,7 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 EcpScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     BitVector out = cells.read();
     for (const Entry &e : entries)
         out.set(e.pos, e.replacement);

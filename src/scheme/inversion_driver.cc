@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::scheme {
@@ -29,6 +31,7 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     WriteOutcome outcome;
     inv = BitVector(partition.groupCount());
 
@@ -47,9 +50,12 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
                 inv.set(partition.groupOf(f.pos), true);
         }
 
+        obs::bump(obs::Counter::GroupInversions, inv.popcount());
+
         const BitVector target = applyGroupInversion(data, partition, inv);
         cells.writeDifferential(target);
         ++outcome.programPasses;
+        obs::bump(obs::Counter::ProgramPasses);
 
         const BitVector readback = cells.read();
         const BitVector diff = readback ^ target;
@@ -57,6 +63,7 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
             outcome.ok = true;
             return outcome;
         }
+        obs::bump(obs::Counter::VerifyMismatches);
 
         for (std::size_t pos : diff.setBits()) {
             const auto pos32 = static_cast<std::uint32_t>(pos);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bit_io.h"
 #include "util/error.h"
 
@@ -88,6 +90,7 @@ class RdisTracker : public LifetimeTracker
             if (!solver.solve(wrong, right, marks))
                 ++failures;
         }
+        obs::bump(obs::Counter::LabelingsSampled, samples);
         return static_cast<double>(failures) /
                static_cast<double>(samples);
     }
@@ -116,6 +119,7 @@ RdisSolver::solve(const std::vector<std::uint32_t> &wrong,
 {
     marks.levels.assign(numLevels,
                         {BitVector(numRows), BitVector(numCols)});
+    obs::bump(obs::Counter::RdisSolves);
 
     // Faults of the class being pulled into the current level's set.
     // Level 0 includes Wrong faults; violators alternate classes.
@@ -127,6 +131,9 @@ RdisSolver::solve(const std::vector<std::uint32_t> &wrong,
     for (std::size_t level = 0; level < numLevels; ++level) {
         if (to_fix.empty())
             return true;    // nothing left to separate
+
+        obs::bump(obs::Counter::RdisRecursionLevels);
+        obs::gaugeMax(obs::Gauge::RdisMaxRecursionDepth, level + 1);
 
         auto &[row_marks, col_marks] = marks.levels[level];
         for (std::uint32_t pos : to_fix) {
@@ -213,6 +220,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
     AEGIS_REQUIRE(directory, "RDIS needs an attached fault directory");
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     WriteOutcome outcome;
 
     // Session-local fault observations: keeps the loop convergent
@@ -247,6 +255,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
             data ^ solver.inversionMask(marks, bits);
         cells.writeDifferential(target);
         ++outcome.programPasses;
+        obs::bump(obs::Counter::ProgramPasses);
 
         const BitVector readback = cells.read();
         const BitVector diff = readback ^ target;
@@ -254,6 +263,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
             outcome.ok = true;
             return outcome;
         }
+        obs::bump(obs::Counter::VerifyMismatches);
         for (std::size_t pos : diff.setBits()) {
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
                                    readback.get(pos)};
@@ -268,6 +278,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 RdisScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     return cells.read() ^ solver.inversionMask(marks, bits);
 }
 

@@ -6,6 +6,9 @@
 
 #include "util/bit_io.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include "util/error.h"
 
 namespace aegis::scheme {
@@ -180,6 +183,7 @@ SaferPartition::separate(const pcm::FaultSet &faults,
     if (separated(faults))
         return true;
 
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRecover);
     // Greedy: as long as fields are free, resolve one colliding pair
     // by appending an address bit at which the pair differs, picking
     // the candidate that leaves the fewest colliding pairs overall
@@ -226,12 +230,14 @@ SaferPartition::separate(const pcm::FaultSet &faults,
                      "colliding faults must agree on selected fields");
         fieldSel.push_back(best_bit);
         ++repartitions;
+        obs::bump(obs::Counter::SaferRepartitions);
         if (separated(faults))
             return true;
     }
 
     if (exhaustive) {
         ++repartitions;
+        obs::bump(obs::Counter::SaferRepartitions);
         return searchExhaustive(faults);
     }
     return false;
@@ -311,6 +317,7 @@ SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 SaferScheme::read(const pcm::CellArray &cells) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     BitVector out = cells.read();
     if (invVector.any()) {
         for (std::size_t pos = 0; pos < bits; ++pos) {

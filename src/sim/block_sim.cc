@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::sim {
@@ -20,6 +22,7 @@ BlockSimulator::BlockSimulator(const scheme::Scheme &scheme,
 BlockLifeResult
 BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::BlockLife);
     const std::size_t n = schemeProto.blockBits();
     auto tracker = schemeProto.makeTracker(trackerOpts);
 
@@ -62,6 +65,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
                 result.faultsAtDeath =
                     static_cast<std::uint32_t>(tracker->faultCount());
                 result.repartitions = tracker->repartitions();
+                obs::bump(obs::Counter::BlockLives);
                 return result;
             }
         } else if (victim == n) {
@@ -73,6 +77,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
             result.faultsAtDeath =
                 static_cast<std::uint32_t>(tracker->faultCount());
             result.repartitions = tracker->repartitions();
+            obs::bump(obs::Counter::BlockLives);
             return result;
         }
 
@@ -84,6 +89,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
         }
         healthy[victim] = false;
         result.faultTimes.push_back(t);
+        obs::bump(obs::Counter::FaultArrivals);
 
         const pcm::Fault fault{static_cast<std::uint32_t>(victim),
                                stuck_value[victim]};
@@ -92,6 +98,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
             result.faultsAtDeath =
                 static_cast<std::uint32_t>(tracker->faultCount());
             result.repartitions = tracker->repartitions();
+            obs::bump(obs::Counter::BlockLives);
             return result;
         }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "aegis/factory.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "pcm/address.h"
 #include "sim/page_sim.h"
 #include "sim/workload.h"
@@ -35,6 +37,7 @@ void
 PageStudy::merge(const PageStudy &other)
 {
     adoptLabels(other);
+    metrics.merge(other.metrics);
     recoverableFaults.merge(other.recoverableFaults);
     pageLifetime.merge(other.pageLifetime);
     repartitions.merge(other.repartitions);
@@ -45,6 +48,7 @@ void
 BlockStudy::merge(const BlockStudy &other)
 {
     adoptLabels(other);
+    metrics.merge(other.metrics);
     blockLifetime.merge(other.blockLifetime);
     faultsAtDeath.merge(other.faultsAtDeath);
 }
@@ -82,8 +86,11 @@ runPageStudy(const ExperimentConfig &config)
     // streams; the chunk grid and merge order never depend on jobs,
     // so every jobs value yields bit-identical studies.
     const Rng master(config.seed);
+    obs::ProgressReporter progress("pages [" + stack.scheme->name() + "]",
+                                   config.pages, "pages");
     PageStudy study = parallelReduce<PageStudy>(
         config.pages, config.jobs, [&](PageStudy &acc, std::size_t p) {
+            const obs::ThreadMark before = obs::mark();
             const Rng page_rng = master.split(p);
             const PageLifeResult life = page_sim.run(page_rng);
             acc.recoverableFaults.add(
@@ -92,6 +99,8 @@ runPageStudy(const ExperimentConfig &config)
             acc.repartitions.add(
                 static_cast<double>(life.repartitions));
             acc.survival.addDeath(life.deathTime);
+            acc.metrics.merge(obs::deltaSince(before));
+            progress.tick();
         });
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
@@ -107,8 +116,11 @@ runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
                                    config.wear, config.tracker);
 
     const Rng master(config.seed);
+    obs::ProgressReporter progress("blocks [" + stack.scheme->name() + "]",
+                                   blocks, "blocks");
     BlockStudy study = parallelReduce<BlockStudy>(
         blocks, config.jobs, [&](BlockStudy &acc, std::size_t b) {
+            const obs::ThreadMark before = obs::mark();
             Rng cell_rng = master.split(2ull * b);
             Rng sim_rng = master.split(2ull * b + 1);
             const BlockLifeResult life =
@@ -117,6 +129,8 @@ runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
                          "paper-scale blocks cannot be immortal");
             acc.blockLifetime.add(life.deathTime);
             acc.faultsAtDeath.add(life.faultsAtDeath);
+            acc.metrics.merge(obs::deltaSince(before));
+            progress.tick();
         });
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
@@ -148,6 +162,8 @@ runMemorySurvival(const ExperimentConfig &config,
     const std::vector<double> rates =
         workload.pageRates(config.pages, workload_rng);
 
+    obs::ProgressReporter progress(
+        "survival [" + stack.scheme->name() + "]", config.pages, "pages");
     return parallelReduce<SurvivalCurve>(
         config.pages, config.jobs,
         [&](SurvivalCurve &acc, std::size_t p) {
@@ -155,6 +171,7 @@ runMemorySurvival(const ExperimentConfig &config,
             const PageLifeResult life = page_sim.run(page_rng);
             AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
             acc.addDeath(life.deathTime / rates[p]);
+            progress.tick();
         });
 }
 

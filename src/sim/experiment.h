@@ -11,6 +11,7 @@
 #include <string>
 
 #include "aegis/factory.h"
+#include "obs/metrics.h"
 #include "scheme/tracker.h"
 #include "sim/block_sim.h"
 #include "util/histogram.h"
@@ -70,6 +71,12 @@ struct StudyResult
     std::string scheme;
     std::size_t overheadBits = 0;
     std::size_t blockBits = 0;
+
+    /** Event counters and scope timers attributed to this study:
+     *  per-item deltas folded into the chunk accumulators and merged
+     *  in chunk order, so counter slots are bit-identical for every
+     *  jobs value (timers are wall-clock and therefore not). */
+    obs::Metrics metrics;
 
     /** Overhead as a fraction of the data bits. */
     double overheadFraction() const;

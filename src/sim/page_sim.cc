@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace aegis::sim {
@@ -24,6 +26,7 @@ PageLifeResult
 PageSimulator::runDetailed(const Rng &page_rng,
                            std::vector<BlockLifeResult> &blocks) const
 {
+    AEGIS_TRACE_SCOPE(obs::Scope::PageLife);
     blocks.clear();
     blocks.reserve(blocksPerPage);
     double death = std::numeric_limits<double>::infinity();
@@ -35,6 +38,7 @@ PageSimulator::runDetailed(const Rng &page_rng,
         death = std::min(death, blocks.back().deathTime);
     }
 
+    obs::bump(obs::Counter::PageLives);
     PageLifeResult result;
     result.deathTime = death;
     for (const BlockLifeResult &blk : blocks) {

@@ -130,6 +130,19 @@ CliParser::getBool(const std::string &name) const
                       f.value + "'");
 }
 
+std::vector<CliParser::FlagValue>
+CliParser::values() const
+{
+    std::vector<FlagValue> out;
+    out.reserve(order.size());
+    for (const std::string &name : order) {
+        const Flag &f = flags.at(name);
+        out.push_back(
+            FlagValue{name, f.kind, f.value, f.value == f.defaultValue});
+    }
+    return out;
+}
+
 void
 CliParser::printHelp() const
 {

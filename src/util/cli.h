@@ -48,11 +48,27 @@ class CliParser
     const std::string &getString(const std::string &name) const;
     bool getBool(const std::string &name) const;
 
+    /** Typed flag kinds, exposed for introspection. */
+    enum class FlagKind { Uint, Double, String, Bool };
+
+    /** One registered flag with its current (post-parse) value. */
+    struct FlagValue
+    {
+        std::string name;
+        FlagKind kind;
+        std::string value; ///< raw text of the effective value
+        bool isDefault;    ///< true when never overridden
+    };
+
+    /** Every registered flag in registration order, for run manifests
+     *  that record the exact invocation. */
+    std::vector<FlagValue> values() const;
+
     /** Print usage to stdout. */
     void printHelp() const;
 
   private:
-    enum class Kind { Uint, Double, String, Bool };
+    using Kind = FlagKind;
 
     struct Flag
     {

@@ -1,6 +1,7 @@
 #include "util/table_printer.h"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <sstream>
 
@@ -55,6 +56,62 @@ TablePrinter::intNum(long long v)
     return out;
 }
 
+namespace {
+
+/**
+ * Numeric-looking cell: digits plus sign/grouping/decimal/exponent
+ * characters, optionally ending in the bench suffixes "x" or "%".
+ * "" and "-" are neutral (they neither make nor break a numeric
+ * column).
+ */
+bool
+numericCell(const std::string &s)
+{
+    std::size_t i = 0;
+    if (!s.empty() && (s[0] == '+' || s[0] == '-'))
+        i = 1;
+    bool digit = false;
+    for (; i < s.size(); ++i) {
+        const char ch = s[i];
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            digit = true;
+            continue;
+        }
+        if (ch == '.' || ch == ',' || ch == 'e' || ch == 'E' ||
+            ch == '+' || ch == '-')
+            continue;
+        if ((ch == 'x' || ch == '%') && i == s.size() - 1)
+            continue;
+        return false;
+    }
+    return digit;
+}
+
+bool
+neutralCell(const std::string &s)
+{
+    return s.empty() || s == "-";
+}
+
+} // namespace
+
+bool
+TablePrinter::numericColumn(std::size_t c) const
+{
+    // Every non-neutral body cell must look numeric (the header label
+    // is text and does not count); an all-neutral column stays
+    // left-aligned.
+    bool any = false;
+    for (const auto &r : rows) {
+        if (c >= r.size() || neutralCell(r[c]))
+            continue;
+        if (!numericCell(r[c]))
+            return false;
+        any = true;
+    }
+    return any;
+}
+
 void
 TablePrinter::print(std::ostream &os) const
 {
@@ -74,11 +131,19 @@ TablePrinter::print(std::ostream &os) const
     for (const auto &r : rows)
         measure(r);
 
+    std::vector<bool> rightAlign(cols, false);
+    for (std::size_t c = 0; c < cols; ++c)
+        rightAlign[c] = numericColumn(c);
+
     const auto emit = [&](const std::vector<std::string> &row) {
         for (std::size_t c = 0; c < cols; ++c) {
             const std::string &cell = c < row.size() ? row[c] : "";
-            os << (c == 0 ? "| " : " | ")
-               << cell << std::string(width[c] - cell.size(), ' ');
+            const std::string pad(width[c] - cell.size(), ' ');
+            os << (c == 0 ? "| " : " | ");
+            if (rightAlign[c])
+                os << pad << cell;
+            else
+                os << cell << pad;
         }
         os << " |\n";
     };

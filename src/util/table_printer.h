@@ -42,7 +42,16 @@ class TablePrinter
 
     std::size_t rowCount() const { return rows.size(); }
 
+    /** The already-computed cells, for JSON manifests: emitting these
+     *  verbatim guarantees manifests and tables can never diverge. */
+    const std::string &tableTitle() const { return title; }
+    const std::vector<std::string> &headerRow() const { return header; }
+    const std::vector<std::vector<std::string>> &rowData() const
+    { return rows; }
+
   private:
+    bool numericColumn(std::size_t c) const;
+
     std::string title;
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics registry semantics,
+ * jobs-invariant counter aggregation through the study runners, and
+ * the zero-cost disabled trace path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/experiment.h"
+
+namespace aegis {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Scope;
+
+/** The fast config the parallel determinism tests use. */
+sim::ExperimentConfig
+smallConfig(const std::string &scheme)
+{
+    sim::ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pages = 48;
+    cfg.pageBytes = 1024;
+    cfg.lifetimeMean = 1e6;
+    return cfg;
+}
+
+TEST(Metrics, BumpMarkDelta)
+{
+    const obs::ThreadMark m0 = obs::mark();
+    obs::bump(Counter::GroupInversions, 3);
+    obs::bump(Counter::GroupInversions);
+    const obs::Metrics d = obs::deltaSince(m0);
+    EXPECT_EQ(d.counter(Counter::GroupInversions), 4u);
+    EXPECT_EQ(d.counter(Counter::ProgramPasses), 0u);
+
+    // A fresh mark sees none of the earlier events.
+    const obs::ThreadMark m1 = obs::mark();
+    EXPECT_TRUE(obs::deltaSince(m1).empty());
+}
+
+TEST(Metrics, DeltaExcludesGauges)
+{
+    const obs::ThreadMark m0 = obs::mark();
+    obs::gaugeMax(Gauge::RdisMaxRecursionDepth, 7);
+    const obs::Metrics d = obs::deltaSince(m0);
+    // A running maximum has no exact per-item delta; gauges only
+    // reach processTotals().
+    EXPECT_EQ(d.gauge(Gauge::RdisMaxRecursionDepth), 0u);
+    EXPECT_GE(obs::processTotals().gauge(Gauge::RdisMaxRecursionDepth),
+              7u);
+}
+
+TEST(Metrics, MergeAddsCountersAndMaxesGauges)
+{
+    obs::Metrics a, b;
+    a.counters[0] = 5;
+    b.counters[0] = 7;
+    a.gauges[0] = 3;
+    b.gauges[0] = 2;
+    a.timers[0].add(10);
+    b.timers[0].add(30);
+    a.merge(b);
+    EXPECT_EQ(a.counters[0], 12u);
+    EXPECT_EQ(a.gauges[0], 3u);
+    EXPECT_EQ(a.timers[0].count, 2u);
+    EXPECT_EQ(a.timers[0].totalNs, 40u);
+    EXPECT_EQ(a.timers[0].maxNs, 30u);
+}
+
+TEST(Metrics, ResetClearsProcessTotals)
+{
+    obs::bump(Counter::BlindWrites, 9);
+    EXPECT_GE(obs::processTotals().counter(Counter::BlindWrites), 9u);
+    obs::resetProcessMetrics();
+    EXPECT_TRUE(obs::processTotals().empty());
+}
+
+TEST(Metrics, CounterNamesAreStable)
+{
+    EXPECT_EQ(obs::counterName(Counter::GroupInversions),
+              "scheme.group_inversions");
+    EXPECT_EQ(obs::counterName(Counter::AuditViolations),
+              "audit.violations");
+    EXPECT_EQ(obs::gaugeName(Gauge::RdisMaxRecursionDepth),
+              "rdis.max_recursion_depth");
+    EXPECT_EQ(obs::scopeName(Scope::PageLife), "sim.page_life");
+}
+
+/**
+ * The tentpole determinism guarantee: study-attributed counters are
+ * folded into the parallel reducer's chunk accumulators, so totals
+ * are bit-identical for every --jobs value.
+ */
+TEST(MetricsDeterminism, PageStudyCountersJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("aegis-23x23");
+    cfg.jobs = 1;
+    const sim::PageStudy serial = sim::runPageStudy(cfg);
+    cfg.jobs = 8;
+    const sim::PageStudy parallel = sim::runPageStudy(cfg);
+
+    EXPECT_EQ(serial.metrics.counters, parallel.metrics.counters);
+    // The sweep actually exercised the instrumented paths.
+    EXPECT_GT(serial.metrics.counter(Counter::FaultArrivals), 0u);
+    EXPECT_GT(serial.metrics.counter(Counter::BlockLives), 0u);
+    EXPECT_EQ(serial.metrics.counter(Counter::PageLives), cfg.pages);
+    EXPECT_GT(serial.metrics.counter(Counter::AegisRepartitions), 0u);
+}
+
+TEST(MetricsDeterminism, RdisCountersJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("rdis3");
+    cfg.pages = 16;
+    cfg.jobs = 1;
+    const sim::PageStudy serial = sim::runPageStudy(cfg);
+    cfg.jobs = 5;
+    const sim::PageStudy parallel = sim::runPageStudy(cfg);
+
+    EXPECT_EQ(serial.metrics.counters, parallel.metrics.counters);
+    EXPECT_GT(serial.metrics.counter(Counter::RdisSolves), 0u);
+    EXPECT_GT(serial.metrics.counter(Counter::LabelingsSampled), 0u);
+}
+
+TEST(MetricsDeterminism, BlockStudyCountersJobsInvariant)
+{
+    sim::ExperimentConfig cfg = smallConfig("ecp6");
+    cfg.jobs = 1;
+    const sim::BlockStudy serial = sim::runBlockStudy(cfg, 96);
+    cfg.jobs = 6;
+    const sim::BlockStudy parallel = sim::runBlockStudy(cfg, 96);
+
+    EXPECT_EQ(serial.metrics.counters, parallel.metrics.counters);
+    EXPECT_GT(serial.metrics.counter(Counter::EcpPointersConsumed), 0u);
+    EXPECT_EQ(serial.metrics.counter(Counter::BlockLives), 96u);
+}
+
+TEST(MetricsDeterminism, StudyMergeAddsMetrics)
+{
+    sim::ExperimentConfig cfg = smallConfig("safer32");
+    cfg.pages = 24;
+    const sim::PageStudy a = sim::runPageStudy(cfg);
+    EXPECT_GT(a.metrics.counter(Counter::SaferRepartitions), 0u);
+
+    sim::PageStudy sum = a;
+    sum.merge(a);
+    EXPECT_EQ(sum.metrics.counter(Counter::FaultArrivals),
+              2 * a.metrics.counter(Counter::FaultArrivals));
+}
+
+TEST(Trace, DisabledScopeRecordsNothing)
+{
+    obs::resetProcessMetrics();
+    obs::setTracingEnabled(false);
+    {
+        AEGIS_TRACE_SCOPE(Scope::SchemeWrite);
+    }
+    EXPECT_EQ(obs::processTotals().timer(Scope::SchemeWrite).count, 0u);
+
+    // A Monte-Carlo sweep with tracing off records no timings either:
+    // the scopes in the scheme/sim hot paths all stay dormant.
+    const sim::PageStudy study =
+        sim::runPageStudy(smallConfig("aegis-23x23"));
+    const obs::Metrics totals = obs::processTotals();
+    for (std::size_t s = 0; s < obs::kScopeCount; ++s)
+        EXPECT_EQ(totals.timers[s].count, 0u) << "scope " << s;
+    EXPECT_GT(totals.counter(Counter::FaultArrivals), 0u);
+}
+
+TEST(Trace, EnabledScopeRecordsTimings)
+{
+    obs::resetProcessMetrics();
+    obs::setTracingEnabled(true);
+    {
+        AEGIS_TRACE_SCOPE(Scope::SchemeWrite);
+    }
+    obs::setTracingEnabled(false);
+    const obs::Metrics totals = obs::processTotals();
+    const obs::TimingStat &t = totals.timer(Scope::SchemeWrite);
+    EXPECT_EQ(t.count, 1u);
+    EXPECT_GE(t.maxNs, 0u);
+}
+
+TEST(Trace, SweepWithTracingTimesLives)
+{
+    obs::resetProcessMetrics();
+    obs::setTracingEnabled(true);
+    sim::ExperimentConfig cfg = smallConfig("aegis-23x23");
+    cfg.pages = 8;
+    (void)sim::runPageStudy(cfg);
+    obs::setTracingEnabled(false);
+
+    const obs::Metrics totals = obs::processTotals();
+    EXPECT_EQ(totals.timer(Scope::PageLife).count, 8u);
+    EXPECT_GT(totals.timer(Scope::BlockLife).count, 0u);
+    EXPECT_GT(totals.timer(Scope::BlockLife).totalNs, 0u);
+}
+
+} // namespace
+} // namespace aegis

@@ -30,6 +30,50 @@ TEST(TablePrinter, RendersAlignedTable)
     EXPECT_NE(out.find("| safer64"), std::string::npos);
 }
 
+TEST(TablePrinter, NumericColumnsRightAligned)
+{
+    TablePrinter t;
+    t.setHeader({"scheme", "bits", "gain", "paper"});
+    t.addRow({"aegis-9x61", "67", "2.1x", "711"});
+    t.addRow({"safer64", "7", "10.5x", "-"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Numeric columns pad on the left; the short value lines up with
+    // the right edge of the column.
+    EXPECT_NE(out.find("|    7 |"), std::string::npos) << out;
+    EXPECT_NE(out.find("|  2.1x |"), std::string::npos) << out;
+    // The neutral "-" cell rides along in the right-aligned column.
+    EXPECT_NE(out.find("|     - |"), std::string::npos) << out;
+    // The scheme column stays left-aligned (padding after the text).
+    EXPECT_NE(out.find("| safer64    |"), std::string::npos) << out;
+}
+
+TEST(TablePrinter, TextColumnStaysLeftAligned)
+{
+    TablePrinter t;
+    t.setHeader({"name"});
+    t.addRow({"12"});
+    t.addRow({"mixed3"});    // one non-numeric cell → left alignment
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("| 12     |"), std::string::npos)
+        << os.str();
+}
+
+TEST(TablePrinter, CellAccessorsExposeVerbatimData)
+{
+    TablePrinter t("Title");
+    t.setHeader({"a", "b"});
+    t.addRow({"x", "1"});
+    t.addRow({"y", "2"});
+    EXPECT_EQ(t.tableTitle(), "Title");
+    EXPECT_EQ(t.headerRow(), (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(t.rowData().size(), 2u);
+    EXPECT_EQ(t.rowData()[1],
+              (std::vector<std::string>{"y", "2"}));
+}
+
 TEST(TablePrinter, RowWidthEnforced)
 {
     TablePrinter t;
@@ -78,6 +122,34 @@ TEST(Cli, ParsesAllForms)
     EXPECT_DOUBLE_EQ(cli.getDouble("mean"), 2.5);
     EXPECT_EQ(cli.getString("scheme"), "aegis-9x61");
     EXPECT_TRUE(cli.getBool("verbose"));
+}
+
+TEST(Cli, ValuesReportKindsAndOverrides)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("pages", 10, "page count");
+    cli.addDouble("mean", 1.5, "mean");
+    cli.addString("scheme", "none", "scheme");
+    cli.addBool("verbose", false, "verbosity");
+
+    const char *argv[] = {"prog", "--pages=32", "--verbose"};
+    ASSERT_TRUE(cli.parse(3, argv));
+
+    const std::vector<CliParser::FlagValue> vals = cli.values();
+    ASSERT_EQ(vals.size(), 4u);
+    // Registration order is preserved.
+    EXPECT_EQ(vals[0].name, "pages");
+    EXPECT_EQ(vals[0].kind, CliParser::FlagKind::Uint);
+    EXPECT_EQ(vals[0].value, "32");
+    EXPECT_FALSE(vals[0].isDefault);
+    EXPECT_EQ(vals[1].name, "mean");
+    EXPECT_EQ(vals[1].kind, CliParser::FlagKind::Double);
+    EXPECT_TRUE(vals[1].isDefault);
+    EXPECT_EQ(vals[2].kind, CliParser::FlagKind::String);
+    EXPECT_EQ(vals[2].value, "none");
+    EXPECT_EQ(vals[3].kind, CliParser::FlagKind::Bool);
+    EXPECT_EQ(vals[3].value, "true");
+    EXPECT_FALSE(vals[3].isDefault);
 }
 
 TEST(Cli, DefaultsHold)
