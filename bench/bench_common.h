@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,11 +30,16 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "sim/experiment.h"
 #include "sim/workload.h"
+#include "util/atomic_file.h"
+#include "util/cancel.h"
+#include "util/chaos.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/serialize.h"
 #include "util/table_printer.h"
 
 namespace aegis::bench {
@@ -165,7 +171,8 @@ class BenchRunner
     BenchRunner(const std::string &program, const std::string &about,
                 Flags flag_set = Flags::MonteCarlo)
         : cliParser(program, about), record(program, about),
-          monteCarlo(flag_set == Flags::MonteCarlo)
+          monteCarlo(flag_set == Flags::MonteCarlo),
+          programName(program)
     {
         if (monteCarlo) {
             addCommonFlags(cliParser);
@@ -181,6 +188,22 @@ class BenchRunner
                           "record scoped wall-clock timers (scheme "
                           "read/write/recover, block/page lives) in "
                           "the manifest");
+        cliParser.addString("checkpoint", "",
+                            "periodically snapshot sweep state to "
+                            "this path (atomic replace; resumable "
+                            "with --resume)");
+        cliParser.addBool("resume", false,
+                          "restore prior progress from the "
+                          "--checkpoint file; the resumed run is "
+                          "bit-identical to an uninterrupted one");
+        cliParser.addUint("checkpoint-every", 8,
+                          "snapshot cadence in finished chunks "
+                          "(0 = only at sweep boundaries)");
+        cliParser.addDouble("deadline", 0,
+                            "cancel gracefully after this many "
+                            "seconds of wall clock (0 = none); a "
+                            "cancelled run exits 124 and can be "
+                            "resumed");
         AEGIS_REQUIRE(current_ == nullptr,
                       "one BenchRunner per process");
         current_ = this;
@@ -221,20 +244,100 @@ class BenchRunner
     /** Record a printed table's cells verbatim. */
     void noteTable(const TablePrinter &table) { record.addTable(table); }
 
-    /** Parse flags, run @p body, then finalize/write the manifest. */
+    /**
+     * Parse flags, run @p body, then finalize/write the manifest.
+     *
+     * Exit codes: 0 success, 1 runtime/configuration error, 2 usage
+     * error (bad flags, rejected before any work), 130/124/3 when the
+     * sweep was cancelled by a signal / the --deadline watchdog / an
+     * injected cancellation (the manifest is still written, marked
+     * "status": "partial", and a final checkpoint is saved).
+     */
     template <typename Fn>
     int
     run(int argc, const char *const *argv, Fn body)
     {
+        const Expected<CliParser::ParseResult> parsed =
+            cliParser.tryParse(argc, argv);
+        if (!parsed.ok()) {
+            std::cerr << "error: " << parsed.error() << "\n";
+            return 2;
+        }
+        if (parsed.value() == CliParser::ParseResult::Help)
+            return 0;
+        if (monteCarlo && cliParser.isSet("jobs") &&
+            cliParser.getUint("jobs") == 0) {
+            std::cerr << "error: --jobs must be at least 1 (omit the "
+                         "flag for one worker per hardware thread)\n";
+            return 2;
+        }
+        if (cliParser.getBool("resume") &&
+            cliParser.getString("checkpoint").empty()) {
+            std::cerr << "error: --resume requires --checkpoint "
+                         "<path>\n";
+            return 2;
+        }
+
         try {
-            if (!cliParser.parse(argc, argv))
-                return 0;
             obs::setProgressEnabled(!cliParser.getBool("quiet"));
             obs::setTracingEnabled(cliParser.getBool("trace"));
+            (void)chaosConfig(); // malformed AEGIS_CHAOS fails here
+
+            // Fail fast on unwritable output paths: a sweep must not
+            // run for hours only to lose its results at the end.
+            const std::string jsonPath = cliParser.getString("json");
+            if (!jsonPath.empty()) {
+                const Status w = probeWritable(jsonPath);
+                AEGIS_REQUIRE(w.ok(), "--json path is not writable: " +
+                                          w.error());
+            }
+
+            CancelToken &cancel = processCancelToken();
+            installSignalCancellation();
+            const double deadline = cliParser.getDouble("deadline");
+            if (deadline > 0)
+                cancel.setDeadlineAfter(deadline);
+
+            const std::string ckptPath =
+                cliParser.getString("checkpoint");
+            if (!ckptPath.empty()) {
+                const Status w = probeWritable(ckptPath);
+                AEGIS_REQUIRE(w.ok(),
+                              "--checkpoint path is not writable: " +
+                                  w.error());
+                session = std::make_unique<sim::CheckpointSession>(
+                    ckptPath, programName, flagsFingerprint(),
+                    masterSeed());
+                session->setSnapshotEveryChunks(
+                    static_cast<std::uint32_t>(
+                        cliParser.getUint("checkpoint-every")));
+                if (cliParser.getBool("resume")) {
+                    const Status r = session->resume();
+                    AEGIS_REQUIRE(r.ok(), r.error());
+                }
+            }
+
+            const sim::ScopedRunContext scope(
+                sim::RunContext{session.get(), &cancel});
             runStart = std::chrono::steady_clock::now();
             body();
-            finish();
+            finish("complete");
             return 0;
+        } catch (const CancelledError &ex) {
+            obs::progressLine(std::string(programName) + ": " +
+                              cancelOutcomeLabel(ex.reason()) +
+                              (session != nullptr
+                                   ? "; progress saved to `" +
+                                         session->path() +
+                                         "' (rerun with --resume)"
+                                   : ""));
+            try {
+                finish("partial");
+            } catch (const std::exception &nested) {
+                std::cerr << "error: " << nested.what() << "\n";
+                return 1;
+            }
+            return cancelExitCode(ex.reason());
         } catch (const std::exception &ex) {
             std::cerr << "error: " << ex.what() << "\n";
             return 1;
@@ -257,8 +360,45 @@ class BenchRunner
         phaseOpen = false;
     }
 
+    /** The master seed a checkpoint must match (0 for analytic
+     *  benches, which have no seed flag). */
+    std::uint64_t
+    masterSeed() const
+    {
+        return monteCarlo ? cliParser.getUint("seed") : 0;
+    }
+
+    /**
+     * Fingerprint of the result-affecting flags, recorded in
+     * checkpoints so a resume under different parameters is rejected.
+     * Output/robustness flags are excluded — resuming with a
+     * different --jobs, --json path, cadence or deadline is exactly
+     * the point — and --seed is excluded because the session checks
+     * it separately (with a friendlier message).
+     */
+    std::uint64_t
+    flagsFingerprint() const
+    {
+        static constexpr std::string_view excluded[] = {
+            "seed",       "jobs",   "json",
+            "quiet",      "trace",  "csv",
+            "checkpoint", "resume", "checkpoint-every",
+            "deadline"};
+        BinaryWriter w;
+        for (const CliParser::FlagValue &f : cliParser.values()) {
+            bool skip = false;
+            for (const std::string_view name : excluded)
+                skip = skip || f.name == name;
+            if (skip)
+                continue;
+            w.str(f.name);
+            w.str(f.value);
+        }
+        return fnv1a64(w.data());
+    }
+
     void
-    finish()
+    finish(const std::string &status)
     {
         closePhase();
         if (phasesRecorded == 0) {
@@ -266,12 +406,19 @@ class BenchRunner
                 std::chrono::steady_clock::now() - runStart;
             record.addPhase("run", dt.count());
         }
+        record.setStatus(status);
         for (const CliParser::FlagValue &f : cliParser.values()) {
             if (f.name == "seed" && f.kind == CliParser::FlagKind::Uint)
                 record.setSeed(std::stoull(f.value));
             record.addFlag(f.name, flagJson(f));
         }
-        record.setMetrics(obs::processTotals());
+        // Work restored from a checkpoint ran in an earlier process;
+        // folding its recorded metrics back in keeps a resumed run's
+        // counters byte-equal to an uninterrupted run's.
+        obs::Metrics totals = obs::processTotals();
+        if (session != nullptr)
+            totals.merge(session->restoredMetrics());
+        record.setMetrics(totals);
         const std::string &path = cliParser.getString("json");
         if (!path.empty())
             record.writeFile(path);
@@ -282,6 +429,8 @@ class BenchRunner
     CliParser cliParser;
     obs::Manifest record;
     bool monteCarlo;
+    std::string programName;
+    std::unique_ptr<sim::CheckpointSession> session;
     std::chrono::steady_clock::time_point runStart{};
     std::chrono::steady_clock::time_point phaseStart{};
     std::string phaseName;
@@ -331,14 +480,21 @@ memorySurvival(const sim::ExperimentConfig &cfg,
     return sim::runMemorySurvival(cfg, workload);
 }
 
-/** Wrap main-body logic with uniform error reporting. */
+/** Wrap main-body logic with uniform error reporting: usage errors
+ *  exit 2 before any work runs, runtime errors exit 1. */
 template <typename Fn>
 int
 runBench(int argc, const char *const *argv, CliParser &cli, Fn body)
 {
+    const Expected<CliParser::ParseResult> parsed =
+        cli.tryParse(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.error() << "\n";
+        return 2;
+    }
+    if (parsed.value() == CliParser::ParseResult::Help)
+        return 0;
     try {
-        if (!cli.parse(argc, argv))
-            return 0;
         body();
         return 0;
     } catch (const std::exception &ex) {

@@ -1,9 +1,9 @@
 #include "obs/manifest.h"
 
 #include <ctime>
-#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/table_printer.h"
 
@@ -66,6 +66,12 @@ Manifest::setSeed(std::uint64_t master_seed)
 }
 
 void
+Manifest::setStatus(std::string value)
+{
+    status = std::move(value);
+}
+
+void
 Manifest::addFlag(const std::string &name, JsonValue v)
 {
     flags.emplace_back(name, std::move(v));
@@ -109,6 +115,7 @@ Manifest::write(std::ostream &os) const
         .value(static_cast<std::int64_t>(kSchemaVersion));
     w.key("program").value(program);
     w.key("description").value(description);
+    w.key("status").value(status);
     w.key("timestampUtc").value(timestampUtc);
 
     w.key("build").beginObject();
@@ -196,11 +203,12 @@ Manifest::toJson() const
 void
 Manifest::writeFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    AEGIS_REQUIRE(os.good(), "cannot open manifest file `" + path + "'");
-    write(os);
-    os.flush();
-    AEGIS_REQUIRE(os.good(), "failed writing manifest file `" + path + "'");
+    // Crash-safe: a run killed mid-write must never leave a truncated
+    // manifest where a valid one is expected.
+    const Status s = atomicWriteFile(path, toJson());
+    AEGIS_REQUIRE(s.ok(),
+                  "failed writing manifest file `" + path + "': " +
+                      s.error());
 }
 
 } // namespace aegis::obs

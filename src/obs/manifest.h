@@ -34,7 +34,7 @@ using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
 class Manifest
 {
   public:
-    static constexpr int kSchemaVersion = 1;
+    static constexpr int kSchemaVersion = 2;
     static constexpr std::string_view kSchemaName =
         "aegis-bench-manifest";
 
@@ -50,6 +50,13 @@ class Manifest
 
     /** Record the master seed. */
     void setSeed(std::uint64_t master_seed);
+
+    /**
+     * Outcome of the run: "complete" (default) or "partial" — the
+     * sweep was cancelled (signal/deadline) and the manifest records
+     * only the work finished before the cancellation.
+     */
+    void setStatus(std::string value);
 
     /** Record one parsed flag value (insertion order preserved). */
     void addFlag(const std::string &name, JsonValue v);
@@ -87,6 +94,7 @@ class Manifest
 
     std::string program;
     std::string description;
+    std::string status = "complete";
     std::string timestampUtc;
     BuildInfo build;
     std::uint64_t seed = 0;

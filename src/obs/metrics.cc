@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace aegis::obs {
 
 namespace {
@@ -209,6 +211,35 @@ Metrics::empty() const
         if (t.count != 0)
             return false;
     return true;
+}
+
+void
+Metrics::serialize(BinaryWriter &w) const
+{
+    for (const std::uint64_t c : counters)
+        w.u64(c);
+    for (const std::uint64_t g : gauges)
+        w.u64(g);
+    for (const TimingStat &t : timers) {
+        w.u64(t.count);
+        w.u64(t.totalNs);
+        w.u64(t.maxNs);
+    }
+}
+
+bool
+Metrics::deserialize(BinaryReader &r)
+{
+    for (std::uint64_t &c : counters)
+        c = r.u64();
+    for (std::uint64_t &g : gauges)
+        g = r.u64();
+    for (TimingStat &t : timers) {
+        t.count = r.u64();
+        t.totalNs = r.u64();
+        t.maxNs = r.u64();
+    }
+    return r.ok();
 }
 
 void

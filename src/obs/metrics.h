@@ -25,6 +25,11 @@
 #include <cstdint>
 #include <string_view>
 
+namespace aegis {
+class BinaryWriter;
+class BinaryReader;
+} // namespace aegis
+
 namespace aegis::obs {
 
 /**
@@ -118,6 +123,11 @@ struct Metrics
 
     /** True when every slot is zero. */
     bool empty() const;
+
+    /** Append every slot to @p w (checkpoint blobs). */
+    void serialize(BinaryWriter &w) const;
+    /** Restore state written by serialize(); false on short input. */
+    bool deserialize(BinaryReader &r);
 };
 
 /** Add @p n to counter @p c on the calling thread's slab. */

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
 
 #include <unistd.h>
 
@@ -14,6 +15,14 @@ constexpr std::int64_t kFirstReportMs = 1000;
 constexpr std::int64_t kReportIntervalMs = 500;
 
 bool g_progressEnabled = false;
+
+/** Serializes every stderr line this module emits (no tearing). */
+std::mutex &
+stderrMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 std::string
 formatDuration(double seconds)
@@ -49,6 +58,14 @@ setProgressEnabled(bool on)
     g_progressEnabled = on;
 }
 
+void
+progressLine(const std::string &text)
+{
+    const std::lock_guard<std::mutex> lock(stderrMutex());
+    const bool tty = isatty(2) != 0;
+    std::fprintf(stderr, "%s%s\n", tty ? "\r\033[K" : "", text.c_str());
+}
+
 ProgressReporter::ProgressReporter(std::string progress_label,
                                    std::uint64_t total_items,
                                    std::string unit_name)
@@ -60,10 +77,19 @@ ProgressReporter::ProgressReporter(std::string progress_label,
 
 ProgressReporter::~ProgressReporter()
 {
+    close("completed");
+}
+
+void
+ProgressReporter::close(const std::string &outcome)
+{
+    if (!enabled || closed.exchange(true, std::memory_order_relaxed))
+        return;
     // Close out the line only if an intermediate report was printed;
     // otherwise the run was too short to be worth a message.
-    if (enabled && reported.load(std::memory_order_relaxed))
-        report(done.load(std::memory_order_relaxed), true);
+    if (!reported.load(std::memory_order_relaxed))
+        return;
+    report(done.load(std::memory_order_relaxed), true, outcome.c_str());
 }
 
 void
@@ -89,7 +115,8 @@ ProgressReporter::tick(std::uint64_t n)
 }
 
 void
-ProgressReporter::report(std::uint64_t done_now, bool final_line) const
+ProgressReporter::report(std::uint64_t done_now, bool final_line,
+                         const char *outcome) const
 {
     reported.store(true, std::memory_order_relaxed);
     const double elapsed_s =
@@ -102,12 +129,14 @@ ProgressReporter::report(std::uint64_t done_now, bool final_line) const
         total > 0 ? 100.0 * static_cast<double>(done_now) /
                         static_cast<double>(total)
                   : 0;
+    const std::lock_guard<std::mutex> lock(stderrMutex());
     if (final_line) {
         std::fprintf(stderr,
-                     "%s%s: %" PRIu64 "/%" PRIu64 " %s in %s (%.1f/s)\n",
+                     "%s%s: %" PRIu64 "/%" PRIu64 " %s in %s (%.1f/s)"
+                     " — %s\n",
                      tty ? "\r\033[K" : "", label.c_str(), done_now,
                      total, unit.c_str(), formatDuration(elapsed_s).c_str(),
-                     rate);
+                     rate, outcome != nullptr ? outcome : "completed");
         return;
     }
     const double remaining =

@@ -26,6 +26,14 @@ bool progressEnabled();
 void setProgressEnabled(bool on);
 
 /**
+ * Print one whole line to stderr under the same lock the progress
+ * reports hold, clearing any half-drawn tty progress line first — so
+ * harness messages (cancellation notices, warnings) never tear into
+ * or interleave with a concurrent progress report.
+ */
+void progressLine(const std::string &text);
+
+/**
  * Tracks completion of @p total work items and periodically prints
  * "label: done/total unit (pct), rate/s, ETA" to stderr. tick() is
  * thread-safe and cheap: a relaxed fetch_add plus a rate-limit check;
@@ -45,8 +53,17 @@ class ProgressReporter
     /** Mark @p n items complete; may print a rate-limited report. */
     void tick(std::uint64_t n = 1);
 
+    /**
+     * Print the final line now, stating the run's @p outcome
+     * ("completed", "cancelled (signal)", "deadline exceeded"...).
+     * Idempotent; the destructor closes with "completed" if nobody
+     * closed first. Short runs that never reported stay silent.
+     */
+    void close(const std::string &outcome);
+
   private:
-    void report(std::uint64_t done_now, bool final_line) const;
+    void report(std::uint64_t done_now, bool final_line,
+                const char *outcome = nullptr) const;
 
     std::string label;
     std::string unit;
@@ -57,6 +74,7 @@ class ProgressReporter
     std::atomic<std::uint64_t> done{0};
     std::atomic<std::int64_t> nextReportMs;
     mutable std::atomic<bool> reported{false};
+    std::atomic<bool> closed{false};
 };
 
 } // namespace aegis::obs

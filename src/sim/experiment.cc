@@ -6,10 +6,12 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "pcm/address.h"
+#include "sim/checkpoint.h"
 #include "sim/page_sim.h"
 #include "sim/workload.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/serialize.h"
 
 namespace aegis::sim {
 
@@ -53,6 +55,14 @@ BlockStudy::merge(const BlockStudy &other)
     faultsAtDeath.merge(other.faultsAtDeath);
 }
 
+void
+SurvivalStudy::merge(const SurvivalStudy &other)
+{
+    adoptLabels(other);
+    metrics.merge(other.metrics);
+    survival.merge(other.survival);
+}
+
 namespace {
 
 /** Assemble the simulator stack shared by both study kinds. */
@@ -68,6 +78,36 @@ struct Stack
                                           config.lifetimeParam))
     {}
 };
+
+/**
+ * Fingerprint of everything that shapes one study unit's results, so
+ * a resumed checkpoint is rejected when any of it changed. The master
+ * seed is checked at the session level and --jobs is deliberately
+ * excluded: results are jobs-invariant, so a sweep may be resumed
+ * with a different worker count.
+ */
+std::uint64_t
+unitFingerprint(const ExperimentConfig &config, StudyKind kind,
+                std::uint64_t items, std::uint64_t grain,
+                const std::string &extra = std::string())
+{
+    BinaryWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.str(config.scheme);
+    w.u32(config.blockBits);
+    w.u32(config.pageBytes);
+    w.str(config.lifetimeKind);
+    w.f64(config.lifetimeMean);
+    w.f64(config.lifetimeParam);
+    w.f64(config.wear.baseRate);
+    w.f64(config.wear.amplifiedExtra);
+    w.u32(config.tracker.labelingSamples);
+    w.u8(config.audit ? 1 : 0);
+    w.u64(items);
+    w.u64(grain);
+    w.str(extra);
+    return fnv1a64(w.data());
+}
 
 } // namespace
 
@@ -88,20 +128,29 @@ runPageStudy(const ExperimentConfig &config)
     const Rng master(config.seed);
     obs::ProgressReporter progress("pages [" + stack.scheme->name() + "]",
                                    config.pages, "pages");
-    PageStudy study = parallelReduce<PageStudy>(
-        config.pages, config.jobs, [&](PageStudy &acc, std::size_t p) {
-            const obs::ThreadMark before = obs::mark();
-            const Rng page_rng = master.split(p);
-            const PageLifeResult life = page_sim.run(page_rng);
-            acc.recoverableFaults.add(
-                static_cast<double>(life.faultsRecovered));
-            acc.pageLifetime.add(life.deathTime);
-            acc.repartitions.add(
-                static_cast<double>(life.repartitions));
-            acc.survival.addDeath(life.deathTime);
-            acc.metrics.merge(obs::deltaSince(before));
-            progress.tick();
-        });
+    PageStudy study;
+    try {
+        study = runStudyUnit<PageStudy>(
+            config.pages, config.jobs, StudyKind::Page,
+            unitFingerprint(config, StudyKind::Page, config.pages,
+                            kDefaultGrain),
+            [&](PageStudy &acc, std::size_t p) {
+                const obs::ThreadMark before = obs::mark();
+                const Rng page_rng = master.split(p);
+                const PageLifeResult life = page_sim.run(page_rng);
+                acc.recoverableFaults.add(
+                    static_cast<double>(life.faultsRecovered));
+                acc.pageLifetime.add(life.deathTime);
+                acc.repartitions.add(
+                    static_cast<double>(life.repartitions));
+                acc.survival.addDeath(life.deathTime);
+                acc.metrics.merge(obs::deltaSince(before));
+                progress.tick();
+            });
+    } catch (const CancelledError &ex) {
+        progress.close(cancelOutcomeLabel(ex.reason()));
+        throw;
+    }
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
     study.blockBits = config.blockBits;
@@ -118,20 +167,29 @@ runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
     const Rng master(config.seed);
     obs::ProgressReporter progress("blocks [" + stack.scheme->name() + "]",
                                    blocks, "blocks");
-    BlockStudy study = parallelReduce<BlockStudy>(
-        blocks, config.jobs, [&](BlockStudy &acc, std::size_t b) {
-            const obs::ThreadMark before = obs::mark();
-            Rng cell_rng = master.split(2ull * b);
-            Rng sim_rng = master.split(2ull * b + 1);
-            const BlockLifeResult life =
-                block_sim.run(cell_rng, sim_rng);
-            AEGIS_ASSERT(!life.immortal,
-                         "paper-scale blocks cannot be immortal");
-            acc.blockLifetime.add(life.deathTime);
-            acc.faultsAtDeath.add(life.faultsAtDeath);
-            acc.metrics.merge(obs::deltaSince(before));
-            progress.tick();
-        });
+    BlockStudy study;
+    try {
+        study = runStudyUnit<BlockStudy>(
+            blocks, config.jobs, StudyKind::Block,
+            unitFingerprint(config, StudyKind::Block, blocks,
+                            kDefaultGrain),
+            [&](BlockStudy &acc, std::size_t b) {
+                const obs::ThreadMark before = obs::mark();
+                Rng cell_rng = master.split(2ull * b);
+                Rng sim_rng = master.split(2ull * b + 1);
+                const BlockLifeResult life =
+                    block_sim.run(cell_rng, sim_rng);
+                AEGIS_ASSERT(!life.immortal,
+                             "paper-scale blocks cannot be immortal");
+                acc.blockLifetime.add(life.deathTime);
+                acc.faultsAtDeath.add(life.faultsAtDeath);
+                acc.metrics.merge(obs::deltaSince(before));
+                progress.tick();
+            });
+    } catch (const CancelledError &ex) {
+        progress.close(cancelOutcomeLabel(ex.reason()));
+        throw;
+    }
     study.scheme = stack.scheme->name();
     study.overheadBits = stack.scheme->overheadBits();
     study.blockBits = config.blockBits;
@@ -164,15 +222,26 @@ runMemorySurvival(const ExperimentConfig &config,
 
     obs::ProgressReporter progress(
         "survival [" + stack.scheme->name() + "]", config.pages, "pages");
-    return parallelReduce<SurvivalCurve>(
-        config.pages, config.jobs,
-        [&](SurvivalCurve &acc, std::size_t p) {
-            const Rng page_rng = master.split(p);
-            const PageLifeResult life = page_sim.run(page_rng);
-            AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
-            acc.addDeath(life.deathTime / rates[p]);
-            progress.tick();
-        });
+    SurvivalStudy study;
+    try {
+        study = runStudyUnit<SurvivalStudy>(
+            config.pages, config.jobs, StudyKind::Survival,
+            unitFingerprint(config, StudyKind::Survival, config.pages,
+                            kDefaultGrain, workload.name()),
+            [&](SurvivalStudy &acc, std::size_t p) {
+                const obs::ThreadMark before = obs::mark();
+                const Rng page_rng = master.split(p);
+                const PageLifeResult life = page_sim.run(page_rng);
+                AEGIS_ASSERT(rates[p] > 0, "page rate must be positive");
+                acc.survival.addDeath(life.deathTime / rates[p]);
+                acc.metrics.merge(obs::deltaSince(before));
+                progress.tick();
+            });
+    } catch (const CancelledError &ex) {
+        progress.close(cancelOutcomeLabel(ex.reason()));
+        throw;
+    }
+    return study.survival;
 }
 
 } // namespace aegis::sim

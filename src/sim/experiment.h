@@ -121,6 +121,16 @@ struct BlockStudy : StudyResult
     void merge(const BlockStudy &other);
 };
 
+/** Aggregated memory-survival results (workload-weighted deaths). */
+struct SurvivalStudy : StudyResult
+{
+    /** Death times in memory time (page lifetime / page write rate). */
+    SurvivalCurve survival;
+
+    /** Fold another (partial) study into this one. */
+    void merge(const SurvivalStudy &other);
+};
+
 /** Run the page-level Monte Carlo for one scheme. */
 PageStudy runPageStudy(const ExperimentConfig &config);
 

@@ -1,0 +1,126 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/chaos.h"
+
+namespace aegis {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+/** Directory part of @p path ("." when it has none). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+Status
+writeAll(int fd, std::string_view data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off,
+                                  data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::failure("write failed: " + errnoText());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Status();
+}
+
+} // namespace
+
+Status
+atomicWriteFile(const std::string &path, std::string_view data)
+{
+    if (chaosShouldFailIo())
+        return Status::failure("chaos: injected I/O failure writing `" +
+                               path + "'");
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return Status::failure("cannot create `" + tmp +
+                               "': " + errnoText());
+
+    Status status = writeAll(fd, data);
+    if (status.ok() && ::fsync(fd) != 0)
+        status = Status::failure("fsync of `" + tmp +
+                                 "' failed: " + errnoText());
+    if (::close(fd) != 0 && status.ok())
+        status = Status::failure("close of `" + tmp +
+                                 "' failed: " + errnoText());
+    if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0)
+        status = Status::failure("cannot rename `" + tmp + "' to `" +
+                                 path + "': " + errnoText());
+    if (!status.ok()) {
+        ::unlink(tmp.c_str());
+        return status;
+    }
+
+    // Make the rename itself durable. Failure to sync the directory
+    // is not worth failing the run over: the data file is complete.
+    const int dirFd = ::open(dirOf(path).c_str(),
+                             O_RDONLY | O_DIRECTORY);
+    if (dirFd >= 0) {
+        ::fsync(dirFd);
+        ::close(dirFd);
+    }
+    return Status();
+}
+
+Status
+probeWritable(const std::string &path)
+{
+    const std::string probe =
+        path + ".probe." + std::to_string(::getpid());
+    const int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_EXCL,
+                          0644);
+    if (fd < 0)
+        return Status::failure("`" + path +
+                               "' is not writable: " + errnoText());
+    ::close(fd);
+    ::unlink(probe.c_str());
+    return Status();
+}
+
+Expected<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Expected<std::string>::failure(
+            "cannot open `" + path + "': " + errnoText());
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        return Expected<std::string>::failure(
+            "read of `" + path + "' failed");
+    return os.str();
+}
+
+} // namespace aegis

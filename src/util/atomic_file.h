@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Crash-safe file output: every durable artifact (JSON manifests,
+ * checkpoints) goes through one write-temp-fsync-rename helper, so a
+ * crash mid-write can never leave a torn file at the destination —
+ * readers see either the previous complete version or the new one.
+ */
+
+#ifndef AEGIS_UTIL_ATOMIC_FILE_H
+#define AEGIS_UTIL_ATOMIC_FILE_H
+
+#include <string>
+#include <string_view>
+
+#include "util/expected.h"
+
+namespace aegis {
+
+/**
+ * Atomically replace @p path with @p data: write `path.tmp.<pid>`,
+ * fsync it, rename() over @p path, then fsync the directory. Honours
+ * the AEGIS_CHAOS io-fail-rate hook. Never throws; failures carry an
+ * actionable message (path + errno text).
+ */
+Status atomicWriteFile(const std::string &path, std::string_view data);
+
+/**
+ * Fail-fast probe that @p path will be writable later, by creating
+ * and removing a sibling temp file — so an unwritable --json or
+ * --checkpoint destination is reported at startup, not after hours of
+ * simulation.
+ */
+Status probeWritable(const std::string &path);
+
+/** Read a whole file into a string (for checkpoint loads). */
+Expected<std::string> readFile(const std::string &path);
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_ATOMIC_FILE_H

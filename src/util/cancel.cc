@@ -1,0 +1,84 @@
+#include "util/cancel.h"
+
+#include <csignal>
+
+namespace aegis {
+
+const char *
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+    case CancelReason::None:
+        return "none";
+    case CancelReason::Signal:
+        return "signal";
+    case CancelReason::Deadline:
+        return "deadline";
+    case CancelReason::Injected:
+        return "injected";
+    }
+    return "unknown";
+}
+
+const char *
+cancelOutcomeLabel(CancelReason reason)
+{
+    switch (reason) {
+    case CancelReason::None:
+        return "completed";
+    case CancelReason::Signal:
+        return "cancelled (signal)";
+    case CancelReason::Deadline:
+        return "deadline exceeded";
+    case CancelReason::Injected:
+        return "cancelled (injected)";
+    }
+    return "cancelled";
+}
+
+int
+cancelExitCode(CancelReason reason)
+{
+    switch (reason) {
+    case CancelReason::Signal:
+        return 130;    // 128 + SIGINT, the shell convention
+    case CancelReason::Deadline:
+        return 124;    // timeout(1)'s convention
+    case CancelReason::None:
+    case CancelReason::Injected:
+        break;
+    }
+    return 3;
+}
+
+CancelToken &
+processCancelToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+namespace {
+
+extern "C" void
+cancelSignalHandler(int sig)
+{
+    // Async-signal-safe: one lock-free atomic CAS. The token is
+    // constructed by installSignalCancellation() before the handler
+    // can ever run. Restoring the default disposition lets a second
+    // signal terminate a stuck process immediately.
+    processCancelToken().requestCancel(CancelReason::Signal);
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installSignalCancellation()
+{
+    processCancelToken();    // construct before any signal can arrive
+    std::signal(SIGINT, cancelSignalHandler);
+    std::signal(SIGTERM, cancelSignalHandler);
+}
+
+} // namespace aegis

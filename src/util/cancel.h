@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cooperative cancellation for long Monte-Carlo sweeps.
+ *
+ * A CancelToken is a latch that workers poll at chunk boundaries (see
+ * parallelFor): once cancelled — by a SIGINT/SIGTERM handler, a
+ * --deadline watchdog, or fault injection — no new chunks are handed
+ * out, in-flight chunks run to completion, and the study runner
+ * writes a final checkpoint before raising CancelledError. The signal
+ * handler itself only performs an async-signal-safe atomic store;
+ * every message and checkpoint write happens on normal control flow
+ * after the workers have drained.
+ */
+
+#ifndef AEGIS_UTIL_CANCEL_H
+#define AEGIS_UTIL_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace aegis {
+
+/** Why a sweep was cancelled; the first request wins. */
+enum class CancelReason : int {
+    None = 0,
+    Signal = 1,   ///< SIGINT or SIGTERM
+    Deadline = 2, ///< --deadline watchdog expired
+    Injected = 3, ///< programmatic/test cancellation
+};
+
+/** Human-readable reason ("signal", "deadline", "injected"). */
+const char *cancelReasonName(CancelReason reason);
+
+/** Final-line outcome label ("cancelled (signal)", "deadline
+ *  exceeded", ...) for progress reports and harness messages. */
+const char *cancelOutcomeLabel(CancelReason reason);
+
+/**
+ * Conventional process exit code for a run cancelled for @p reason:
+ * 130 (128+SIGINT) for signals, 124 (timeout(1)) for deadlines, 3
+ * for injected cancellations.
+ */
+int cancelExitCode(CancelReason reason);
+
+/**
+ * One-way cancellation latch with an optional deadline. cancelled()
+ * is cheap (one relaxed load on the fast path) and safe to call from
+ * any thread; requestCancel() is async-signal-safe.
+ */
+class CancelToken
+{
+  public:
+    /** Latch cancellation; the first reason is kept. */
+    void
+    requestCancel(CancelReason reason)
+    {
+        int expected = 0;
+        state.compare_exchange_strong(expected,
+                                      static_cast<int>(reason),
+                                      std::memory_order_relaxed);
+    }
+
+    /**
+     * True once cancelled. Also arms the latch when the deadline has
+     * passed, so pollers need no separate watchdog thread.
+     */
+    bool
+    cancelled() const
+    {
+        if (state.load(std::memory_order_relaxed) != 0)
+            return true;
+        if (armedDeadline.load(std::memory_order_relaxed) &&
+            std::chrono::steady_clock::now() >= deadline) {
+            int expected = 0;
+            state.compare_exchange_strong(
+                expected, static_cast<int>(CancelReason::Deadline),
+                std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    CancelReason
+    reason() const
+    {
+        return static_cast<CancelReason>(
+            state.load(std::memory_order_relaxed));
+    }
+
+    /** Cancel automatically once @p seconds of wall clock elapse. */
+    void
+    setDeadlineAfter(double seconds)
+    {
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+        armedDeadline.store(true, std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token (test isolation; not for use mid-sweep). */
+    void
+    reset()
+    {
+        state.store(0, std::memory_order_relaxed);
+        armedDeadline.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<int> state{0};
+    std::atomic<bool> armedDeadline{false};
+    std::chrono::steady_clock::time_point deadline{};
+};
+
+/**
+ * Raised by the study runners after the workers have drained and the
+ * final checkpoint is written. BenchRunner turns it into a manifest
+ * marked "status": "partial" plus the reason's exit code.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(CancelReason cause)
+        : std::runtime_error(std::string("run cancelled (") +
+                             cancelReasonName(cause) + ")"),
+          why(cause)
+    {}
+
+    CancelReason reason() const { return why; }
+
+  private:
+    CancelReason why;
+};
+
+/** The process-wide token the signal handler and benches share. */
+CancelToken &processCancelToken();
+
+/**
+ * Route SIGINT/SIGTERM to processCancelToken(). The first signal
+ * requests graceful cancellation; the handler then restores the
+ * default disposition so a second signal kills the process the
+ * ordinary way. Idempotent.
+ */
+void installSignalCancellation();
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_CANCEL_H

@@ -1,11 +1,48 @@
 #include "util/cli.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
 #include "util/error.h"
 
 namespace aegis {
+
+namespace {
+
+bool
+parsesAsUint(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool
+parsesAsDouble(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    std::size_t used = 0;
+    try {
+        (void)std::stod(text, &used);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return used == text.size();
+}
+
+bool
+parsesAsBool(const std::string &text)
+{
+    return text == "true" || text == "1" || text == "yes" ||
+           text == "false" || text == "0" || text == "no";
+}
+
+} // namespace
 
 CliParser::CliParser(std::string prog_name, std::string about)
     : prog(std::move(prog_name)), description(std::move(about))
@@ -46,37 +83,81 @@ CliParser::addBool(const std::string &name, bool def,
     order.push_back(name);
 }
 
-void
+Status
 CliParser::setValue(const std::string &name, const std::string &value)
 {
     auto it = flags.find(name);
-    AEGIS_REQUIRE(it != flags.end(), "unknown flag --" + name);
+    if (it == flags.end())
+        return Status::failure("unknown flag --" + name +
+                               " (run with --help for usage)");
+    // Reject malformed values at parse time, before any simulation
+    // runs, so `--jobs banana` cannot fail hours into a sweep.
+    switch (it->second.kind) {
+    case Kind::Uint:
+        if (!parsesAsUint(value))
+            return Status::failure(
+                "flag --" + name + " expects an unsigned integer, "
+                "got `" + value + "'");
+        break;
+    case Kind::Double:
+        if (!parsesAsDouble(value))
+            return Status::failure("flag --" + name +
+                                   " expects a number, got `" +
+                                   value + "'");
+        break;
+    case Kind::Bool:
+        if (!parsesAsBool(value))
+            return Status::failure(
+                "flag --" + name + " expects a boolean "
+                "(true/false/1/0/yes/no), got `" + value + "'");
+        break;
+    case Kind::String:
+        break;
+    }
     it->second.value = value;
+    it->second.overridden = true;
+    return Status();
+}
+
+Expected<CliParser::ParseResult>
+CliParser::tryParse(int argc, const char *const *argv)
+{
+    using Result = Expected<ParseResult>;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return ParseResult::Help;
+        }
+        if (arg.rfind("--", 0) != 0)
+            return Result::failure("expected --flag, got `" + arg +
+                                   "' (run with --help for usage)");
+        arg = arg.substr(2);
+        Status set = Status();
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            set = setValue(arg.substr(0, eq), arg.substr(eq + 1));
+        } else if (flags.count(arg) && flags[arg].kind == Kind::Bool) {
+            set = setValue(arg, "true");
+        } else if (i + 1 >= argc) {
+            return Result::failure("flag --" + arg +
+                                   " needs a value (run with --help "
+                                   "for usage)");
+        } else {
+            set = setValue(arg, argv[++i]);
+        }
+        if (!set.ok())
+            return Result::failure(set.error());
+    }
+    return ParseResult::Run;
 }
 
 bool
 CliParser::parse(int argc, const char *const *argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            printHelp();
-            return false;
-        }
-        AEGIS_REQUIRE(arg.rfind("--", 0) == 0,
-                      "expected --flag, got `" + arg + "'");
-        arg = arg.substr(2);
-        const auto eq = arg.find('=');
-        if (eq != std::string::npos) {
-            setValue(arg.substr(0, eq), arg.substr(eq + 1));
-        } else if (flags.count(arg) && flags[arg].kind == Kind::Bool) {
-            setValue(arg, "true");
-        } else {
-            AEGIS_REQUIRE(i + 1 < argc, "flag --" + arg + " needs a value");
-            setValue(arg, argv[++i]);
-        }
-    }
-    return true;
+    const Expected<ParseResult> result = tryParse(argc, argv);
+    AEGIS_REQUIRE(result.ok(), result.error());
+    return result.value() == ParseResult::Run;
 }
 
 const CliParser::Flag &
@@ -130,6 +211,14 @@ CliParser::getBool(const std::string &name) const
                       f.value + "'");
 }
 
+bool
+CliParser::isSet(const std::string &name) const
+{
+    const auto it = flags.find(name);
+    AEGIS_ASSERT(it != flags.end(), "flag " + name + " not registered");
+    return it->second.overridden;
+}
+
 std::vector<CliParser::FlagValue>
 CliParser::values() const
 {
@@ -137,8 +226,7 @@ CliParser::values() const
     out.reserve(order.size());
     for (const std::string &name : order) {
         const Flag &f = flags.at(name);
-        out.push_back(
-            FlagValue{name, f.kind, f.value, f.value == f.defaultValue});
+        out.push_back(FlagValue{name, f.kind, f.value, !f.overridden});
     }
     return out;
 }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/expected.h"
+
 namespace aegis {
 
 /**
@@ -37,9 +39,25 @@ class CliParser
     void addBool(const std::string &name, bool def,
                  const std::string &help);
 
+    /** Outcome of a successful tryParse. */
+    enum class ParseResult {
+        Run, ///< flags parsed; proceed with the program body
+        Help ///< --help was given and usage printed; exit 0
+    };
+
     /**
-     * Parse argv. Unknown flags raise ConfigError; --help prints usage
-     * and returns false (caller should exit 0).
+     * Parse argv without throwing. Unknown flags, missing flag
+     * arguments, and values that do not parse as the flag's
+     * registered kind (non-numeric or negative text for a Uint, junk
+     * for a Double/Bool) are all rejected *here*, before any work
+     * runs, with an actionable message. --help prints usage and
+     * yields ParseResult::Help.
+     */
+    Expected<ParseResult> tryParse(int argc, const char *const *argv);
+
+    /**
+     * Throwing wrapper around tryParse (ConfigError on bad input);
+     * --help prints usage and returns false (caller should exit 0).
      */
     bool parse(int argc, const char *const *argv);
 
@@ -47,6 +65,10 @@ class CliParser
     double getDouble(const std::string &name) const;
     const std::string &getString(const std::string &name) const;
     bool getBool(const std::string &name) const;
+
+    /** True when @p name was explicitly given on the command line
+     *  (even if set to its default value). */
+    bool isSet(const std::string &name) const;
 
     /** Typed flag kinds, exposed for introspection. */
     enum class FlagKind { Uint, Double, String, Bool };
@@ -76,10 +98,11 @@ class CliParser
         std::string value;
         std::string defaultValue;
         std::string help;
+        bool overridden = false;
     };
 
     const Flag &find(const std::string &name, Kind kind) const;
-    void setValue(const std::string &name, const std::string &value);
+    Status setValue(const std::string &name, const std::string &value);
 
     std::string prog;
     std::string description;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Expected-style result types for recoverable failures.
+ *
+ * util/error.h covers the two *throwing* failure classes (internal
+ * bugs and invalid configuration). This header adds the third class
+ * the robustness layer needs: operations that are *expected* to fail
+ * in normal operation — checkpoint I/O on a full disk, a corrupt or
+ * stale checkpoint file, an unwritable --json path — and whose
+ * callers must branch on the outcome instead of unwinding. Status and
+ * Expected<T> carry either success or an actionable message the CLI
+ * surfaces verbatim with a nonzero exit code.
+ */
+
+#ifndef AEGIS_UTIL_EXPECTED_H
+#define AEGIS_UTIL_EXPECTED_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace aegis {
+
+/** Success-or-message result of a fallible void operation. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    static Status
+    failure(std::string message)
+    {
+        Status s;
+        s.msg = std::move(message);
+        s.failed = true;
+        return s;
+    }
+
+    bool ok() const { return !failed; }
+    explicit operator bool() const { return !failed; }
+
+    /** The failure message; empty on success. */
+    const std::string &error() const { return msg; }
+
+  private:
+    std::string msg;
+    bool failed = false;
+};
+
+/**
+ * A value of type @p T or a failure message. Minimal stand-in for
+ * C++23 std::expected<T, std::string>:
+ * @code
+ *   Expected<Checkpoint> c = loadCheckpointFile(path);
+ *   if (!c.ok())
+ *       return Status::failure(c.error());
+ *   use(c.value());
+ * @endcode
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    /** Implicit success conversion so `return value;` works. */
+    Expected(T value) : val(std::move(value)) {}    // NOLINT
+
+    static Expected
+    failure(std::string message)
+    {
+        Expected e;
+        e.msg = std::move(message);
+        return e;
+    }
+
+    bool ok() const { return val.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        AEGIS_ASSERT(ok(), "Expected::value() on failure: " + msg);
+        return *val;
+    }
+
+    const T &
+    value() const
+    {
+        AEGIS_ASSERT(ok(), "Expected::value() on failure: " + msg);
+        return *val;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** The failure message; empty on success. */
+    const std::string &error() const { return msg; }
+
+    /** The value, or @p fallback on failure. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? *val : std::move(fallback);
+    }
+
+  private:
+    Expected() = default;
+
+    std::optional<T> val;
+    std::string msg;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_EXPECTED_H

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/serialize.h"
 
 namespace aegis {
 
@@ -61,6 +62,30 @@ std::vector<std::pair<std::int64_t, std::uint64_t>>
 Histogram::items() const
 {
     return {bins.begin(), bins.end()};
+}
+
+void
+Histogram::serialize(BinaryWriter &w) const
+{
+    w.u64(totalCount);
+    w.u64(bins.size());
+    for (const auto &[key, count] : bins) {
+        w.i64(key);
+        w.u64(count);
+    }
+}
+
+bool
+Histogram::deserialize(BinaryReader &r)
+{
+    totalCount = r.u64();
+    const std::uint64_t size = r.u64();
+    bins.clear();
+    for (std::uint64_t i = 0; i < size && r.ok(); ++i) {
+        const std::int64_t key = r.i64();
+        bins[key] = r.u64();
+    }
+    return r.ok();
 }
 
 void
@@ -133,6 +158,30 @@ SurvivalCurve::sample(std::size_t points) const
         out.emplace_back(t, aliveFraction(t));
     }
     return out;
+}
+
+void
+SurvivalCurve::serialize(BinaryWriter &w) const
+{
+    w.u64(deaths.size());
+    for (const double d : deaths)
+        w.f64(d);
+}
+
+bool
+SurvivalCurve::deserialize(BinaryReader &r)
+{
+    const std::uint64_t count = r.u64();
+    if (!r.ok())
+        return false;
+    deaths.clear();
+    // A corrupt length must not drive a giant allocation; the loop
+    // below stops at end-of-input anyway.
+    deaths.reserve(std::min<std::uint64_t>(count, 1u << 20));
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i)
+        deaths.push_back(r.f64());
+    dirty = !deaths.empty();
+    return r.ok();
 }
 
 } // namespace aegis

@@ -16,6 +16,9 @@
 
 namespace aegis {
 
+class BinaryWriter;
+class BinaryReader;
+
 /** Count occurrences of integer keys (e.g. faults survived per block). */
 class Histogram
 {
@@ -45,6 +48,11 @@ class Histogram
 
     /** All (key, count) pairs in key order. */
     std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
+
+    /** Append the bins (key order) to @p w. */
+    void serialize(BinaryWriter &w) const;
+    /** Restore state written by serialize(); false on short input. */
+    bool deserialize(BinaryReader &r);
 
   private:
     std::map<std::int64_t, std::uint64_t> bins;
@@ -79,6 +87,11 @@ class SurvivalCurve
 
     /** Sample (time, aliveFraction) at @p points evenly spaced times. */
     std::vector<std::pair<double, double>> sample(std::size_t points) const;
+
+    /** Append the death times (raw bits, current order) to @p w. */
+    void serialize(BinaryWriter &w) const;
+    /** Restore state written by serialize(); false on short input. */
+    bool deserialize(BinaryReader &r);
 
   private:
     void ensureSorted() const;

@@ -22,14 +22,18 @@ resolveJobs(unsigned jobs)
 
 void
 parallelFor(std::size_t chunks, unsigned jobs,
-            const std::function<void(std::size_t)> &body)
+            const std::function<void(std::size_t)> &body,
+            const CancelToken *cancel)
 {
     jobs = resolveJobs(jobs);
     if (chunks == 0)
         return;
     if (jobs == 1 || chunks == 1) {
-        for (std::size_t c = 0; c < chunks; ++c)
+        for (std::size_t c = 0; c < chunks; ++c) {
+            if (cancel != nullptr && cancel->cancelled())
+                return;
             body(c);
+        }
         return;
     }
 
@@ -41,6 +45,8 @@ parallelFor(std::size_t chunks, unsigned jobs,
 
     const auto drain = [&] {
         for (;;) {
+            if (cancel != nullptr && cancel->cancelled())
+                return;
             const std::size_t c =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (c >= chunks)

@@ -21,6 +21,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/cancel.h"
+
 namespace aegis {
 
 /** Worker count meaning "one per hardware thread" (always >= 1). */
@@ -35,9 +37,15 @@ unsigned resolveJobs(unsigned jobs);
  * participates). Chunks are handed out dynamically, so bodies may
  * take unequal time. The first exception thrown by any body stops
  * the distribution of further chunks and is rethrown here.
+ *
+ * When @p cancel is given, workers poll it before claiming each
+ * chunk: once cancelled no new chunks start, in-flight chunks run to
+ * completion (cooperative draining at chunk boundaries), and the call
+ * returns normally — the caller decides what a partial sweep means.
  */
 void parallelFor(std::size_t chunks, unsigned jobs,
-                 const std::function<void(std::size_t)> &body);
+                 const std::function<void(std::size_t)> &body,
+                 const CancelToken *cancel = nullptr);
 
 /**
  * Default chunk grain for parallelReduce: small enough to load-balance
@@ -53,22 +61,34 @@ inline constexpr std::size_t kDefaultGrain = 16;
  * merge in chunk order. The chunk grid depends only on @p items and
  * @p grain — never on @p jobs — so the returned Result is
  * bit-identical for every jobs value.
+ *
+ * When @p cancel fires, the workers drain at the next chunk boundary
+ * and CancelledError is thrown: a reduction cannot return a partial
+ * result without silently changing its statistics. Callers that can
+ * use partial chunk grids (the checkpointing study runner) build on
+ * parallelFor directly.
  */
 template <typename Result, typename Body>
 Result
 parallelReduce(std::size_t items, unsigned jobs, Body body,
-               std::size_t grain = kDefaultGrain)
+               std::size_t grain = kDefaultGrain,
+               const CancelToken *cancel = nullptr)
 {
     if (grain == 0)
         grain = 1;
     const std::size_t chunks = (items + grain - 1) / grain;
     std::vector<Result> partial(chunks);
-    parallelFor(chunks, jobs, [&](std::size_t c) {
-        const std::size_t begin = c * grain;
-        const std::size_t end = std::min(items, begin + grain);
-        for (std::size_t i = begin; i < end; ++i)
-            body(partial[c], i);
-    });
+    parallelFor(
+        chunks, jobs,
+        [&](std::size_t c) {
+            const std::size_t begin = c * grain;
+            const std::size_t end = std::min(items, begin + grain);
+            for (std::size_t i = begin; i < end; ++i)
+                body(partial[c], i);
+        },
+        cancel);
+    if (cancel != nullptr && cancel->cancelled())
+        throw CancelledError(cancel->reason());
     Result out;
     for (Result &p : partial)
         out.merge(p);

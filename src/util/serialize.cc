@@ -1,0 +1,116 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace aegis {
+
+std::uint64_t
+fnv1a64(std::string_view data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+BinaryWriter::u32(std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void
+BinaryWriter::u64(std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void
+BinaryWriter::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v, "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+}
+
+void
+BinaryWriter::str(std::string_view s)
+{
+    u64(s.size());
+    buf.append(s.data(), s.size());
+}
+
+bool
+BinaryReader::take(std::size_t n, const char **out)
+{
+    if (!good || input.size() - pos < n) {
+        good = false;
+        return false;
+    }
+    *out = input.data() + pos;
+    pos += n;
+    return true;
+}
+
+std::uint8_t
+BinaryReader::u8()
+{
+    const char *p = nullptr;
+    if (!take(1, &p))
+        return 0;
+    return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t
+BinaryReader::u32()
+{
+    const char *p = nullptr;
+    if (!take(4, &p))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+BinaryReader::u64()
+{
+    const char *p = nullptr;
+    if (!take(8, &p))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+double
+BinaryReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return good ? v : 0.0;
+}
+
+std::string
+BinaryReader::str()
+{
+    const std::uint64_t n = u64();
+    const char *p = nullptr;
+    if (!take(static_cast<std::size_t>(n), &p))
+        return {};
+    return std::string(p, static_cast<std::size_t>(n));
+}
+
+} // namespace aegis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Byte-exact binary serialization for checkpoint blobs.
+ *
+ * Checkpoint resume must reproduce bit-identical study results, so
+ * the encoding is exact rather than readable: integers are fixed-size
+ * little-endian, doubles are raw IEEE-754 bit patterns (no text
+ * round-trip), strings are length-prefixed. BinaryReader uses sticky
+ * failure — any short read latches ok() == false and subsequent reads
+ * return zero — so decoders can run a whole record and check once,
+ * turning truncated or corrupt input into a clean error instead of
+ * undefined behavior.
+ */
+
+#ifndef AEGIS_UTIL_SERIALIZE_H
+#define AEGIS_UTIL_SERIALIZE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aegis {
+
+/** FNV-1a 64-bit hash; used for checkpoint checksums/fingerprints. */
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Append-only little-endian encoder. */
+class BinaryWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Signed value, two's-complement bit pattern. */
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    /** Raw IEEE-754 bits: exact, including -0.0 and NaN payloads. */
+    void f64(double v);
+    /** Length-prefixed byte string. */
+    void str(std::string_view s);
+
+    const std::string &data() const { return buf; }
+    std::string take() { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/** Little-endian decoder with sticky failure. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::string_view bytes) : input(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    std::string str();
+
+    /** False once any read ran past the end of the input. */
+    bool ok() const { return good; }
+    /** True when every byte has been consumed (and no read failed). */
+    bool atEnd() const { return good && pos == input.size(); }
+
+  private:
+    bool take(std::size_t n, const char **out);
+
+    std::string_view input;
+    std::size_t pos = 0;
+    bool good = true;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_SERIALIZE_H

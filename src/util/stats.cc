@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/serialize.h"
 
 namespace aegis {
 
@@ -67,6 +68,29 @@ RunningStat::stderrOfMean() const
 }
 
 void
+RunningStat::serialize(BinaryWriter &w) const
+{
+    w.u64(n);
+    w.f64(m);
+    w.f64(m2);
+    w.f64(total);
+    w.f64(minValue);
+    w.f64(maxValue);
+}
+
+bool
+RunningStat::deserialize(BinaryReader &r)
+{
+    n = static_cast<std::size_t>(r.u64());
+    m = r.f64();
+    m2 = r.f64();
+    total = r.f64();
+    minValue = r.f64();
+    maxValue = r.f64();
+    return r.ok();
+}
+
+void
 QuantileSampler::merge(const QuantileSampler &other)
 {
     if (other.samples.empty())
@@ -92,6 +116,33 @@ QuantileSampler::quantile(double q) const
     const std::size_t hi = std::min(lo + 1, samples.size() - 1);
     const double frac = pos - static_cast<double>(lo);
     return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void
+QuantileSampler::serialize(BinaryWriter &w) const
+{
+    // Samples are written in their current (insertion or post-sort)
+    // order so a restored accumulator is byte-for-byte the state that
+    // was snapshotted.
+    w.u64(samples.size());
+    for (const double s : samples)
+        w.f64(s);
+}
+
+bool
+QuantileSampler::deserialize(BinaryReader &r)
+{
+    const std::uint64_t count = r.u64();
+    if (!r.ok())
+        return false;
+    samples.clear();
+    // A corrupt length must not drive a giant allocation; the loop
+    // below stops at end-of-input anyway.
+    samples.reserve(std::min<std::uint64_t>(count, 1u << 20));
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i)
+        samples.push_back(r.f64());
+    dirty = !samples.empty();
+    return r.ok();
 }
 
 } // namespace aegis

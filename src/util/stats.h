@@ -11,6 +11,9 @@
 
 namespace aegis {
 
+class BinaryWriter;
+class BinaryReader;
+
 /**
  * Single-pass mean/variance accumulator (Welford's algorithm) with
  * min/max tracking. Numerically stable for the large write counts the
@@ -50,6 +53,11 @@ class RunningStat
      *  the mean, which loses precision at large counts). */
     double sum() const { return total; }
 
+    /** Append the exact accumulator state (raw double bits) to @p w. */
+    void serialize(BinaryWriter &w) const;
+    /** Restore state written by serialize(); false on short input. */
+    bool deserialize(BinaryReader &r);
+
   private:
     std::size_t n = 0;
     double m = 0.0;
@@ -83,6 +91,11 @@ class QuantileSampler
 
     /** Median shorthand. */
     double median() const { return quantile(0.5); }
+
+    /** Append the samples (raw double bits, current order) to @p w. */
+    void serialize(BinaryWriter &w) const;
+    /** Restore state written by serialize(); false on short input. */
+    bool deserialize(BinaryReader &r);
 
   private:
     mutable std::vector<double> samples;

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Kill-and-resume integration test.
+#
+# Runs a bench to completion for a golden manifest, re-runs it under
+# AEGIS_CHAOS so the process is killed (as if SIGKILLed; no graceful
+# shutdown) after N Monte-Carlo chunks, then resumes the checkpoint
+# twice with different --jobs values. Both resumed manifests must be
+# bit-identical to the golden one in every deterministic field (seed,
+# table cells, metrics counters). Also checks that a corrupt
+# checkpoint is rejected with a nonzero exit instead of silently
+# producing wrong numbers.
+#
+# Usage: kill_resume_test.sh <bench-binary> <tools-dir>
+
+set -u
+
+BENCH=${1:?usage: kill_resume_test.sh <bench-binary> <tools-dir>}
+TOOLS=${2:?usage: kill_resume_test.sh <bench-binary> <tools-dir>}
+PYTHON=${PYTHON:-python3}
+FLAGS="--blocks 96 --seed 7 --quiet"
+
+WORK=$(mktemp -d) || exit 1
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# 1. Golden: the uninterrupted run.
+"$BENCH" $FLAGS --json "$WORK/golden.json" >/dev/null ||
+    fail "golden run exited $?"
+
+# 2. Chaos: die abruptly after 8 chunks, checkpointing every chunk.
+AEGIS_CHAOS=kill-after-chunks=8 \
+    "$BENCH" $FLAGS --checkpoint "$WORK/ck" --checkpoint-every 1 \
+    >/dev/null 2>&1
+STATUS=$?
+[ "$STATUS" -eq 137 ] || fail "chaos kill exited $STATUS, want 137"
+[ -s "$WORK/ck" ] || fail "chaos kill left no checkpoint"
+
+# 3. Resume the same checkpoint with two different worker counts.
+cp "$WORK/ck" "$WORK/ck2" || exit 1
+"$BENCH" $FLAGS --checkpoint "$WORK/ck" --resume --jobs 1 \
+    --json "$WORK/resume_j1.json" >/dev/null ||
+    fail "resume with --jobs 1 exited $?"
+"$BENCH" $FLAGS --checkpoint "$WORK/ck2" --resume --jobs 4 \
+    --json "$WORK/resume_j4.json" >/dev/null ||
+    fail "resume with --jobs 4 exited $?"
+
+# 4. Resumed manifests are valid and bit-identical to the golden run.
+"$PYTHON" "$TOOLS/validate_manifest.py" "$WORK/resume_j1.json" ||
+    fail "resumed manifest fails schema validation"
+"$PYTHON" "$TOOLS/compare_manifests.py" \
+    "$WORK/golden.json" "$WORK/resume_j1.json" ||
+    fail "resume with --jobs 1 diverged from the golden run"
+"$PYTHON" "$TOOLS/compare_manifests.py" \
+    "$WORK/golden.json" "$WORK/resume_j4.json" ||
+    fail "resume with --jobs 4 diverged from the golden run"
+
+# 5. A corrupt checkpoint must be rejected, not silently recomputed.
+head -c 16 "$WORK/golden.json" > "$WORK/ck_bad"
+"$BENCH" $FLAGS --checkpoint "$WORK/ck_bad" --resume \
+    >/dev/null 2>"$WORK/bad.err"
+STATUS=$?
+[ "$STATUS" -ne 0 ] || fail "corrupt checkpoint accepted (exit 0)"
+grep -q "ck_bad" "$WORK/bad.err" ||
+    fail "corrupt-checkpoint error does not name the file"
+
+# 6. A stale checkpoint (different flags) must be rejected too.
+"$BENCH" --blocks 96 --seed 8 --quiet \
+    --checkpoint "$WORK/ck" --resume >/dev/null 2>"$WORK/stale.err"
+STATUS=$?
+[ "$STATUS" -ne 0 ] || fail "stale checkpoint accepted (exit 0)"
+grep -qi "cannot resume" "$WORK/stale.err" ||
+    fail "stale-checkpoint error is not actionable"
+
+echo "PASS kill-and-resume: resumed runs are bit-identical"
+exit 0

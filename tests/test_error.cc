@@ -11,6 +11,7 @@
 #include <string>
 
 #include "util/error.h"
+#include "util/expected.h"
 
 namespace aegis {
 namespace {
@@ -118,6 +119,51 @@ TEST(ErrorMacros, AuditDumpIsLazilyEvaluated)
     EXPECT_EQ(evaluations, 0);
     EXPECT_THROW(AEGIS_AUDIT(false, expensive()), InternalError);
     EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Expected, StatusDefaultsToSuccess)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_TRUE(s.error().empty());
+}
+
+TEST(Expected, StatusFailureCarriesTheMessage)
+{
+    const Status s = Status::failure("disk full");
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(static_cast<bool>(s));
+    EXPECT_EQ(s.error(), "disk full");
+}
+
+TEST(Expected, ValueSideBehavesLikeTheValue)
+{
+    const Expected<int> e = 42;    // implicit success conversion
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.value(), 42);
+    EXPECT_EQ(*e, 42);
+    EXPECT_EQ(e.valueOr(7), 42);
+    EXPECT_TRUE(e.error().empty());
+}
+
+TEST(Expected, FailureSideCarriesMessageAndGuardsValue)
+{
+    const Expected<std::string> e =
+        Expected<std::string>::failure("bad checkpoint");
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error(), "bad checkpoint");
+    EXPECT_EQ(e.valueOr("fallback"), "fallback");
+    // Touching the value of a failure is a library bug, not UB.
+    EXPECT_THROW((void)e.value(), InternalError);
+}
+
+TEST(Expected, ArrowOperatorReachesMembers)
+{
+    Expected<std::string> e = std::string("abc");
+    EXPECT_EQ(e->size(), 3u);
+    e->push_back('d');
+    EXPECT_EQ(*e, "abcd");
 }
 
 TEST(ErrorMacros, ConditionEvaluatedExactlyOnce)

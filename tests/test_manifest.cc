@@ -91,9 +91,10 @@ TEST(Manifest, GoldenFixture)
 
     const std::string golden = R"json({
   "schema": "aegis-bench-manifest",
-  "schemaVersion": 1,
+  "schemaVersion": 2,
   "program": "demo_bench",
   "description": "golden manifest fixture",
+  "status": "complete",
   "timestampUtc": "2026-01-02T03:04:05Z",
   "build": {
     "gitSha": "deadbeef",
@@ -197,6 +198,14 @@ TEST(Manifest, GoldenFixture)
 }
 )json";
     EXPECT_EQ(m.toJson(), golden);
+}
+
+TEST(Manifest, PartialStatusRecorded)
+{
+    obs::Manifest m("p", "d");
+    m.setStatus("partial");
+    EXPECT_NE(m.toJson().find("\"status\": \"partial\""),
+              std::string::npos);
 }
 
 TEST(Manifest, TableCellsCapturedVerbatim)

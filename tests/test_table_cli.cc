@@ -178,15 +178,54 @@ TEST(Cli, UnknownFlagRejected)
 
 TEST(Cli, BadValuesRejected)
 {
+    // Malformed values are rejected at parse time, before any work
+    // runs, not lazily when the getter is first called.
     CliParser cli("prog", "test");
     cli.addUint("n", 1, "n");
     cli.addBool("flag", false, "f");
     const char *argv[] = {"prog", "--n=abc"};
-    ASSERT_TRUE(cli.parse(2, argv));
-    EXPECT_THROW(cli.getUint("n"), ConfigError);
+    EXPECT_THROW(cli.parse(2, argv), ConfigError);
     const char *argv2[] = {"prog", "--flag=maybe"};
-    ASSERT_TRUE(cli.parse(2, argv2));
-    EXPECT_THROW(cli.getBool("flag"), ConfigError);
+    EXPECT_THROW(cli.parse(2, argv2), ConfigError);
+    const char *argv3[] = {"prog", "--n=-3"};
+    EXPECT_THROW(cli.parse(2, argv3), ConfigError);
+    const char *argv4[] = {"prog", "--n=1.5"};
+    EXPECT_THROW(cli.parse(2, argv4), ConfigError);
+}
+
+TEST(Cli, TryParseReportsErrorsWithoutThrowing)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("jobs", 4, "worker threads");
+    const char *bad[] = {"prog", "--jobs", "banana"};
+    const Expected<CliParser::ParseResult> r = cli.tryParse(3, bad);
+    ASSERT_FALSE(r.ok());
+    // The message names the flag and the offending text.
+    EXPECT_NE(r.error().find("jobs"), std::string::npos) << r.error();
+    EXPECT_NE(r.error().find("banana"), std::string::npos) << r.error();
+
+    const char *unknown[] = {"prog", "--bogus=1"};
+    EXPECT_FALSE(cli.tryParse(2, unknown).ok());
+    const char *missing[] = {"prog", "--jobs"};
+    EXPECT_FALSE(cli.tryParse(2, missing).ok());
+
+    const char *good[] = {"prog", "--jobs=8"};
+    const Expected<CliParser::ParseResult> okr = cli.tryParse(2, good);
+    ASSERT_TRUE(okr.ok());
+    EXPECT_EQ(*okr, CliParser::ParseResult::Run);
+    EXPECT_EQ(cli.getUint("jobs"), 8u);
+}
+
+TEST(Cli, IsSetTracksExplicitFlags)
+{
+    CliParser cli("prog", "test");
+    cli.addUint("jobs", 4, "worker threads");
+    cli.addUint("pages", 10, "pages");
+    // Explicitly passing the default value still counts as "set".
+    const char *argv[] = {"prog", "--jobs=4"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.isSet("jobs"));
+    EXPECT_FALSE(cli.isSet("pages"));
 }
 
 TEST(Cli, MissingValueRejected)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare the deterministic sections of two aegis bench manifests.
+
+A resumed run must be bit-identical to an uninterrupted one, but only
+in the fields that are deterministic by design: the master seed, the
+result tables (every cell, verbatim), and the metrics *counters*.
+Timestamps, phase wall-clock seconds, timer nanoseconds, the status
+field and the flag record (a resumed invocation adds --resume) are all
+legitimately different and excluded.
+
+Usage: compare_manifests.py <golden.json> <candidate.json>
+Exit status 0 when the deterministic sections match; 1 with one line
+per difference otherwise.
+"""
+
+import json
+import sys
+
+
+def diff_tables(golden, candidate, errors):
+    if len(golden) != len(candidate):
+        errors.append("table count: %d vs %d"
+                      % (len(golden), len(candidate)))
+        return
+    for t, (g, c) in enumerate(zip(golden, candidate)):
+        where = "tables[%d] (%s)" % (t, g.get("title", "?"))
+        if g.get("title") != c.get("title"):
+            errors.append("%s: title %r vs %r"
+                          % (where, g.get("title"), c.get("title")))
+        if g.get("header") != c.get("header"):
+            errors.append("%s: header %r vs %r"
+                          % (where, g.get("header"), c.get("header")))
+        grows, crows = g.get("rows", []), c.get("rows", [])
+        if len(grows) != len(crows):
+            errors.append("%s: %d rows vs %d rows"
+                          % (where, len(grows), len(crows)))
+            continue
+        for r, (grow, crow) in enumerate(zip(grows, crows)):
+            if grow != crow:
+                errors.append("%s row %d: %r vs %r"
+                              % (where, r, grow, crow))
+
+
+def diff_counters(golden, candidate, errors):
+    for name in sorted(set(golden) | set(candidate)):
+        g, c = golden.get(name), candidate.get(name)
+        if g != c:
+            errors.append("counter %s: %r vs %r" % (name, g, c))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        golden = json.load(f)
+    with open(argv[2]) as f:
+        candidate = json.load(f)
+
+    errors = []
+    if golden.get("seed") != candidate.get("seed"):
+        errors.append("seed: %r vs %r"
+                      % (golden.get("seed"), candidate.get("seed")))
+    if golden.get("program") != candidate.get("program"):
+        errors.append("program: %r vs %r"
+                      % (golden.get("program"),
+                         candidate.get("program")))
+    diff_tables(golden.get("tables", []),
+                candidate.get("tables", []), errors)
+    diff_counters(golden.get("metrics", {}).get("counters", {}),
+                  candidate.get("metrics", {}).get("counters", {}),
+                  errors)
+
+    if errors:
+        for e in errors:
+            print("DIFFER %s vs %s: %s" % (argv[1], argv[2], e))
+        return 1
+    print("MATCH %s vs %s (seed, %d tables, counters)"
+          % (argv[1], argv[2], len(golden.get("tables", []))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
