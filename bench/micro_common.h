@@ -7,7 +7,9 @@
  * here before benchmark::Initialize sees them. After the benchmarks
  * finish, --json writes the same schema-versioned run manifest the
  * figure benches emit (build provenance, wall-clock, process metric
- * totals); the per-benchmark timings remain google-benchmark's job.
+ * totals) plus a per-benchmark timing table captured through a
+ * collecting reporter, so a committed manifest doubles as a perf
+ * baseline that tools/compare_manifests.py can diff.
  */
 
 #ifndef AEGIS_BENCH_MICRO_COMMON_H
@@ -24,8 +26,46 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/table_printer.h"
 
 namespace aegis::bench {
+
+/**
+ * Console reporter that additionally records each benchmark's
+ * per-iteration timings so microMain can embed them in the JSON run
+ * manifest.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double realNs;
+        double cpuNs;
+        std::int64_t iterations;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred ||
+                run.run_type != Run::RT_Iteration)
+                continue;
+            rows.push_back({run.benchmark_name(),
+                            run.GetAdjustedRealTime(),
+                            run.GetAdjustedCPUTime(),
+                            static_cast<std::int64_t>(run.iterations)});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Row> &results() const { return rows; }
+
+  private:
+    std::vector<Row> rows;
+};
 
 inline int
 microMain(int argc, char **argv, const std::string &program,
@@ -60,7 +100,8 @@ microMain(int argc, char **argv, const std::string &program,
             return 1;
 
         const auto start = std::chrono::steady_clock::now();
-        benchmark::RunSpecifiedBenchmarks();
+        CollectingReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
         benchmark::Shutdown();
 
         if (!json_path.empty()) {
@@ -69,6 +110,16 @@ microMain(int argc, char **argv, const std::string &program,
                 std::chrono::steady_clock::now() - start;
             manifest.addPhase("benchmarks", dt.count());
             manifest.addFlag("trace", obs::JsonValue::boolean(trace));
+
+            TablePrinter table("microbenchmarks");
+            table.setHeader({"benchmark", "real_ns_per_iter",
+                             "cpu_ns_per_iter", "iterations"});
+            for (const auto &row : reporter.results()) {
+                table.addRow({row.name, TablePrinter::num(row.realNs),
+                              TablePrinter::num(row.cpuNs),
+                              TablePrinter::intNum(row.iterations)});
+            }
+            manifest.addTable(table);
             manifest.setMetrics(obs::processTotals());
             manifest.writeFile(json_path);
         }

@@ -17,7 +17,9 @@ AegisRwScheme::AegisRwScheme(std::uint32_t a, std::uint32_t b,
                              std::uint32_t block_bits)
     : part(a, b, block_bits),
       rom(std::make_shared<const CollisionRom>(part)), invVector(b)
-{}
+{
+    masks.rebuild(part, slope);
+}
 
 AegisRwScheme
 AegisRwScheme::forHeight(std::uint32_t b, std::uint32_t block_bits)
@@ -113,39 +115,38 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
             return outcome;
         }
         slope = k;
+        masks.rebuild(part, slope);
 
         invVector.fill(false);
         for (std::uint32_t w : wrong)
             invVector.set(part.groupOf(w, slope), true);
 
-        BitVector target = data;
-        if (invVector.any()) {
-            for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
-                if (invVector.get(part.groupOf(pos, slope)))
-                    target.flip(pos);
-            }
-        }
+        writeWs.target.assignFrom(data);
+        invVector.forEachSetBit([this](std::size_t g) {
+            writeWs.target.invertMasked(masks.mask(g));
+        });
 
-        cells.writeDifferential(target);
+        cells.writeDifferential(writeWs.target);
         ++outcome.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
-        const BitVector readback = cells.read();
-        const BitVector diff = readback ^ target;
-        if (diff.none()) {
+        cells.readInto(writeWs.readback);
+        writeWs.diff.assignFrom(writeWs.readback);
+        writeWs.diff.xorAssign(writeWs.target);
+        if (writeWs.diff.none()) {
             outcome.ok = true;
             return outcome;
         }
         obs::bump(obs::Counter::VerifyMismatches);
         // Mismatches are faults the directory did not know about yet
         // (the fail cache is filled by verification reads).
-        for (std::size_t pos : diff.setBits()) {
+        writeWs.diff.forEachSetBit([&](std::size_t pos) {
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
-                                   readback.get(pos)};
+                                   writeWs.readback.get(pos)};
             directory->record(blockId, fault);
             session.push_back(fault);
             ++outcome.newFaults;
-        }
+        });
     }
     throw InternalError("Aegis-rw write did not converge");
 }
@@ -153,21 +154,26 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisRwScheme::read(const pcm::CellArray &cells) const
 {
-    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    BitVector out = cells.read();
-    if (invVector.any()) {
-        for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
-            if (invVector.get(part.groupOf(pos, slope)))
-                out.flip(pos);
-        }
-    }
+    BitVector out;
+    readInto(cells, out);
     return out;
+}
+
+void
+AegisRwScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
+    cells.readInto(out);
+    invVector.forEachSetBit([&](std::size_t g) {
+        out.invertMasked(masks.mask(g));
+    });
 }
 
 void
 AegisRwScheme::reset()
 {
     slope = 0;
+    masks.rebuild(part, slope);
     invVector.fill(false);
 }
 
@@ -201,6 +207,7 @@ AegisRwScheme::importMetadata(const BitVector &image)
     const auto k = static_cast<std::uint32_t>(r.readBits(counter_width));
     AEGIS_REQUIRE(k < b, "corrupt slope counter");
     slope = k;
+    masks.rebuild(part, slope);
     invVector = r.readVector(b);
 }
 

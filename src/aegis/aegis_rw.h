@@ -20,6 +20,7 @@
 
 #include "aegis/collision_rom.h"
 #include "aegis/partition.h"
+#include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
 
 namespace aegis::core {
@@ -41,6 +42,8 @@ class AegisRwScheme : public scheme::Scheme
     scheme::WriteOutcome write(pcm::CellArray &cells,
                                const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -56,6 +59,7 @@ class AegisRwScheme : public scheme::Scheme
 
     const Partition &partition() const { return part; }
     std::uint32_t currentSlope() const { return slope; }
+    const BitVector &inversionVector() const { return invVector; }
 
   private:
     /**
@@ -69,8 +73,10 @@ class AegisRwScheme : public scheme::Scheme
 
     Partition part;
     std::shared_ptr<const CollisionRom> rom;    ///< shared across clones
+    GroupMaskCache masks;    ///< rebuilt eagerly on slope changes
     std::uint32_t slope = 0;
     BitVector invVector;
+    scheme::InversionWorkspace writeWs;
 };
 
 } // namespace aegis::core

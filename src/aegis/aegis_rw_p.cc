@@ -40,6 +40,7 @@ AegisRwPScheme::AegisRwPScheme(std::uint32_t a, std::uint32_t b,
       maxPointers(pointers)
 {
     AEGIS_REQUIRE(pointers >= 1, "Aegis-rw-p needs at least one pointer");
+    masks.rebuild(part, slope);
 }
 
 AegisRwPScheme
@@ -157,33 +158,37 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
         }
 
         slope = chosen;
+        masks.rebuild(part, slope);
         invertComplement = chosen_complement;
         groupPointers = std::move(chosen_groups);
 
-        BitVector target = data;
-        for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
-            if (groupInverted(part.groupOf(pos, slope)))
-                target.flip(pos);
-        }
+        // Complement case: invert the whole block, then flipping the
+        // pointed (R) groups' masks un-inverts exactly those groups.
+        writeWs.target.assignFrom(data);
+        if (invertComplement)
+            writeWs.target.invert();
+        for (std::uint32_t g : groupPointers)
+            writeWs.target.invertMasked(masks.mask(g));
 
-        cells.writeDifferential(target);
+        cells.writeDifferential(writeWs.target);
         ++outcome.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
-        const BitVector readback = cells.read();
-        const BitVector diff = readback ^ target;
-        if (diff.none()) {
+        cells.readInto(writeWs.readback);
+        writeWs.diff.assignFrom(writeWs.readback);
+        writeWs.diff.xorAssign(writeWs.target);
+        if (writeWs.diff.none()) {
             outcome.ok = true;
             return outcome;
         }
         obs::bump(obs::Counter::VerifyMismatches);
-        for (std::size_t pos : diff.setBits()) {
+        writeWs.diff.forEachSetBit([&](std::size_t pos) {
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
-                                   readback.get(pos)};
+                                   writeWs.readback.get(pos)};
             directory->record(blockId, fault);
             session.push_back(fault);
             ++outcome.newFaults;
-        }
+        });
     }
     throw InternalError("Aegis-rw-p write did not converge");
 }
@@ -191,19 +196,28 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisRwPScheme::read(const pcm::CellArray &cells) const
 {
-    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    BitVector out = cells.read();
-    for (std::uint32_t pos = 0; pos < part.blockBits(); ++pos) {
-        if (groupInverted(part.groupOf(pos, slope)))
-            out.flip(pos);
-    }
+    BitVector out;
+    readInto(cells, out);
     return out;
+}
+
+void
+AegisRwPScheme::readInto(const pcm::CellArray &cells,
+                         BitVector &out) const
+{
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
+    cells.readInto(out);
+    if (invertComplement)
+        out.invert();
+    for (std::uint32_t g : groupPointers)
+        out.invertMasked(masks.mask(g));
 }
 
 void
 AegisRwPScheme::reset()
 {
     slope = 0;
+    masks.rebuild(part, slope);
     invertComplement = false;
     groupPointers.clear();
 }
@@ -257,6 +271,7 @@ AegisRwPScheme::importMetadata(const BitVector &image)
     const auto k = static_cast<std::uint32_t>(r.readBits(width));
     AEGIS_REQUIRE(k < part.b(), "corrupt slope counter");
     slope = k;
+    masks.rebuild(part, slope);
     invertComplement = r.readBit();
     groupPointers.clear();
     for (std::size_t i = 0; i < maxPointers; ++i) {

@@ -21,6 +21,7 @@
 
 #include "aegis/collision_rom.h"
 #include "aegis/partition.h"
+#include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
 
 namespace aegis::core {
@@ -47,6 +48,8 @@ class AegisRwPScheme : public scheme::Scheme
     scheme::WriteOutcome write(pcm::CellArray &cells,
                                const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -66,13 +69,16 @@ class AegisRwPScheme : public scheme::Scheme
 
     const Partition &partition() const { return part; }
     std::uint32_t pointerBudget() const { return maxPointers; }
+    std::uint32_t currentSlope() const { return slope; }
 
-  private:
-    /** Inversion mask implied by the current metadata. */
+    /** Inversion state implied by the current metadata (also the
+     *  auditor's per-bit decode oracle). */
     bool groupInverted(std::uint32_t group) const;
 
+  private:
     Partition part;
     std::shared_ptr<const CollisionRom> rom;
+    GroupMaskCache masks;    ///< rebuilt eagerly on slope changes
     std::uint32_t maxPointers;
 
     // --- per-block metadata ---
@@ -81,6 +87,7 @@ class AegisRwPScheme : public scheme::Scheme
      *  the R groups excluded from a whole-block inversion. */
     bool invertComplement = false;
     std::vector<std::uint32_t> groupPointers;
+    scheme::InversionWorkspace writeWs;
 };
 
 } // namespace aegis::core

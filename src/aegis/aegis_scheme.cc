@@ -44,6 +44,7 @@ AegisPartitionPolicy::separate(const pcm::FaultSet &faults,
             repartitions += trial;
             obs::bump(obs::Counter::AegisRepartitions, trial);
             slope = k;
+            masks.rebuild(part, slope);
             return true;
         }
     }
@@ -55,6 +56,7 @@ AegisPartitionPolicy::setSlope(std::uint32_t k)
 {
     AEGIS_REQUIRE(k < part.slopes(), "slope out of range");
     slope = k;
+    masks.rebuild(part, slope);
 }
 
 AegisScheme::AegisScheme(std::uint32_t a, std::uint32_t b,
@@ -109,7 +111,7 @@ AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
     const std::size_t known_before = known.size();
 
     const scheme::WriteOutcome outcome = scheme::writeWithInversion(
-        cells, data, policy, invVector, known);
+        cells, data, policy, invVector, known, writeWs);
 
     if (directory) {
         for (std::size_t i = known_before; i < known.size(); ++i)
@@ -121,15 +123,20 @@ AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 AegisScheme::read(const pcm::CellArray &cells) const
 {
-    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    BitVector out = cells.read();
-    if (invVector.any()) {
-        for (std::size_t pos = 0; pos < out.size(); ++pos) {
-            if (invVector.get(policy.groupOf(pos)))
-                out.flip(pos);
-        }
-    }
+    BitVector out;
+    readInto(cells, out);
     return out;
+}
+
+void
+AegisScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
+    cells.readInto(out);
+    // Undo the selective inversion one group mask at a time.
+    invVector.forEachSetBit([&](std::size_t g) {
+        out.invertMasked(*policy.groupMask(g));
+    });
 }
 
 void

@@ -30,7 +30,9 @@ class AegisPartitionPolicy : public scheme::GroupPartition
   public:
     explicit AegisPartitionPolicy(Partition partition)
         : part(std::move(partition))
-    {}
+    {
+        masks.rebuild(part, slope);
+    }
 
     std::size_t groupCount() const override { return part.groups(); }
 
@@ -40,7 +42,16 @@ class AegisPartitionPolicy : public scheme::GroupPartition
     bool separate(const pcm::FaultSet &faults,
                   std::uint32_t &repartitions) override;
 
-    void resetConfig() override { slope = 0; }
+    void resetConfig() override
+    {
+        slope = 0;
+        masks.rebuild(part, slope);
+    }
+
+    /** Membership masks are rebuilt eagerly on every slope change, so
+     *  this is a plain lookup on the (const) hot path. */
+    const BitVector *groupMask(std::size_t group) const override
+    { return &masks.mask(group); }
 
     /** Restore a configuration (metadata import). */
     void setSlope(std::uint32_t k);
@@ -54,6 +65,7 @@ class AegisPartitionPolicy : public scheme::GroupPartition
 
   private:
     Partition part;
+    GroupMaskCache masks;
     std::uint32_t slope = 0;
 };
 
@@ -86,6 +98,8 @@ class AegisScheme : public scheme::Scheme
     scheme::WriteOutcome write(pcm::CellArray &cells,
                                const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -106,6 +120,7 @@ class AegisScheme : public scheme::Scheme
   private:
     AegisPartitionPolicy policy;
     BitVector invVector;
+    scheme::InversionWorkspace writeWs;
     bool cacheMode = false;
 };
 

@@ -78,4 +78,31 @@ Partition::formation() const
     return std::to_string(widthA) + "x" + std::to_string(heightB);
 }
 
+void
+GroupMaskCache::rebuild(const Partition &part, std::uint32_t k)
+{
+    AEGIS_ASSERT(k < part.slopes(), "slope out of range");
+    if (cachedSlope == k)
+        return;
+    const std::uint32_t n = part.blockBits();
+    if (masks.size() != part.groups() ||
+        (!masks.empty() && masks.front().size() != n)) {
+        masks.assign(part.groups(), BitVector(n));
+    } else {
+        for (BitVector &m : masks)
+            m.fill(false);
+    }
+    for (std::uint32_t pos = 0; pos < n; ++pos)
+        masks[part.groupOf(pos, k)].set(pos, true);
+    cachedSlope = k;
+}
+
+const BitVector &
+GroupMaskCache::mask(std::size_t group) const
+{
+    AEGIS_ASSERT(cachedSlope != kNoSlope, "mask cache not built");
+    AEGIS_ASSERT(group < masks.size(), "group out of range");
+    return masks[group];
+}
+
 } // namespace aegis::core

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "util/bit_vector.h"
+
 namespace aegis::core {
 
 /** Geometry + group arithmetic of one A x B Aegis partition scheme. */
@@ -87,6 +89,40 @@ class Partition
     std::uint32_t widthA;
     std::uint32_t heightB;
     std::uint32_t bits;
+};
+
+/**
+ * Materialized group-membership masks of one partition configuration.
+ *
+ * A configuration is a *static* bit-to-group map (Theorems 1-2), so
+ * membership of each group under a slope can be precomputed once as
+ * 64-bit word masks; applying a group inversion then costs one XOR of
+ * the group's mask instead of a per-bit groupOf scan. rebuild() is a
+ * no-op when the requested slope is already cached, so callers invoke
+ * it eagerly at every configuration change (constructor, repartition,
+ * metadata import) and the masks stay read-only on the hot path.
+ */
+class GroupMaskCache
+{
+  public:
+    /** Make the masks describe @p part under slope @p k (one pass
+     *  over the block; no-op when @p k is already cached). */
+    void rebuild(const Partition &part, std::uint32_t k);
+
+    /** True when the masks are current for slope @p k. */
+    bool builtFor(std::uint32_t k) const { return cachedSlope == k; }
+
+    /** Membership mask of @p group (rebuild must have run). */
+    const BitVector &mask(std::size_t group) const;
+
+    /** Drop the cached masks; the next rebuild() recomputes. */
+    void invalidate() { cachedSlope = kNoSlope; }
+
+  private:
+    static constexpr std::uint32_t kNoSlope = ~std::uint32_t{0};
+
+    std::vector<BitVector> masks;
+    std::uint32_t cachedSlope = kNoSlope;
 };
 
 } // namespace aegis::core

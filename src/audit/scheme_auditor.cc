@@ -13,6 +13,7 @@
 #include "aegis/cost.h"
 #include "obs/metrics.h"
 #include "pcm/fail_cache.h"
+#include "scheme/safer.h"
 #include "util/error.h"
 #include "util/primes.h"
 
@@ -407,6 +408,86 @@ SchemeAuditor::auditFailure(const pcm::CellArray &cells,
     }
 }
 
+void
+SchemeAuditor::auditDataPlane(const pcm::CellArray &cells) const
+{
+    // Effective-value oracle: the word-parallel readInto computes
+    // (stored & ~stuckMask) | (stuckValue & stuckMask) per 64-bit
+    // word; the per-bit readBit loop is the naive reference it must
+    // match after any sequence of differential/blind writes.
+    const std::size_t n = cells.size();
+    BitVector naive(n);
+    for (std::size_t i = 0; i < n; ++i)
+        naive.set(i, cells.readBit(i));
+    BitVector effective;
+    cells.readInto(effective);
+    ++numChecks;
+    AUDITOR_AUDIT(effective == naive,
+                wrapped->name()
+                    << " word-parallel readInto disagrees with the "
+                    << "per-bit readBit oracle: " << dumpState(cells));
+
+    // Group-inversion decode oracle: re-derive the masked XOR decode
+    // with a per-bit groupOf scan over the scheme's current
+    // configuration. `naive` currently holds the effective values;
+    // flip each bit whose group is inverted.
+    bool have_oracle = false;
+    if (const auto *basic =
+            dynamic_cast<const core::AegisScheme *>(wrapped.get())) {
+        const core::Partition &part = basic->partition();
+        const BitVector &inv = basic->inversionVector();
+        for (std::size_t pos = 0; pos < n; ++pos) {
+            const std::uint32_t g = part.groupOf(
+                static_cast<std::uint32_t>(pos), basic->currentSlope());
+            if (inv.get(g))
+                naive.set(pos, !naive.get(pos));
+        }
+        have_oracle = true;
+    } else if (const auto *rw =
+                   dynamic_cast<const core::AegisRwScheme *>(
+                       wrapped.get())) {
+        const core::Partition &part = rw->partition();
+        const BitVector &inv = rw->inversionVector();
+        for (std::size_t pos = 0; pos < n; ++pos) {
+            const std::uint32_t g = part.groupOf(
+                static_cast<std::uint32_t>(pos), rw->currentSlope());
+            if (inv.get(g))
+                naive.set(pos, !naive.get(pos));
+        }
+        have_oracle = true;
+    } else if (const auto *rwp =
+                   dynamic_cast<const core::AegisRwPScheme *>(
+                       wrapped.get())) {
+        // groupInverted folds the complement flag into the per-group
+        // answer, so it is the complete per-bit decode oracle.
+        const core::Partition &part = rwp->partition();
+        for (std::size_t pos = 0; pos < n; ++pos) {
+            const std::uint32_t g = part.groupOf(
+                static_cast<std::uint32_t>(pos), rwp->currentSlope());
+            if (rwp->groupInverted(g))
+                naive.set(pos, !naive.get(pos));
+        }
+        have_oracle = true;
+    } else if (const auto *safer =
+                   dynamic_cast<const scheme::SaferScheme *>(
+                       wrapped.get())) {
+        const scheme::SaferPartition &part = safer->partition();
+        const BitVector &inv = safer->inversionVector();
+        for (std::size_t pos = 0; pos < n; ++pos) {
+            if (inv.get(part.groupOf(pos)))
+                naive.set(pos, !naive.get(pos));
+        }
+        have_oracle = true;
+    }
+    if (!have_oracle)
+        return;
+    ++numChecks;
+    AUDITOR_AUDIT(wrapped->read(cells) == naive,
+                wrapped->name()
+                    << " masked decode disagrees with the per-bit "
+                    << "groupOf oracle: " << dumpState(cells));
+}
+
 scheme::WriteOutcome
 SchemeAuditor::write(pcm::CellArray &cells, const BitVector &data)
 {
@@ -431,6 +512,7 @@ SchemeAuditor::write(pcm::CellArray &cells, const BitVector &data)
         auditFailure(cells, data);
     }
 
+    auditDataPlane(cells);
     auditMetadata(cells);
     auditDirectory(cells);
     return outcome;
@@ -439,6 +521,7 @@ SchemeAuditor::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 SchemeAuditor::read(const pcm::CellArray &cells) const
 {
+    auditDataPlane(cells);
     BitVector decoded = wrapped->read(cells);
     if (haveShadow) {
         ++numChecks;

@@ -26,7 +26,11 @@
  *    cross-checked against a freshly built CollisionRom;
  *  - Aegis failure claims: when basic Aegis / Aegis-rw declares a
  *    block unrecoverable, a brute-force sweep over all B slopes
- *    confirms that no configuration could have stored the data.
+ *    confirms that no configuration could have stored the data;
+ *  - data-plane equivalence: the word-parallel hot paths (masked
+ *    group inversion, assignSelect-based effective reads) are
+ *    re-derived with the retained naive per-bit reference paths —
+ *    readBit loops and groupOf scans — and must agree bit-for-bit.
  *
  * Violations throw InternalError via AEGIS_AUDIT with a state dump
  * (scheme name, slope, metadata image, fault list). The auditor is
@@ -102,6 +106,9 @@ class SchemeAuditor : public scheme::Scheme
     /** A failed write must be a genuinely unrecoverable block. */
     void auditFailure(const pcm::CellArray &cells,
                       const BitVector &data) const;
+
+    /** Word-parallel read/decode paths vs naive per-bit oracles. */
+    void auditDataPlane(const pcm::CellArray &cells) const;
 
     /** Render scheme identity + fault state for violation dumps. */
     std::string dumpState(const pcm::CellArray &cells) const;

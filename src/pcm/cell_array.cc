@@ -1,5 +1,7 @@
 #include "pcm/cell_array.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -32,13 +34,16 @@ CellArray::readBit(std::size_t i) const
 BitVector
 CellArray::read() const
 {
-    // effective = (stored & ~stuck) | (stuckValue & stuck)
-    BitVector out = stored;
-    out &= ~stuckMask;
-    BitVector stuck_bits = stuckValue;
-    stuck_bits &= stuckMask;
-    out |= stuck_bits;
+    BitVector out;
+    readInto(out);
     return out;
+}
+
+void
+CellArray::readInto(BitVector &out) const
+{
+    // effective = (stored & ~stuck) | (stuckValue & stuck)
+    out.assignSelect(stored, stuckValue, stuckMask);
 }
 
 std::size_t
@@ -46,12 +51,17 @@ CellArray::writeDifferential(const BitVector &target)
 {
     AEGIS_REQUIRE(target.size() == size(),
                   "write size must match the cell array");
-    const BitVector diff = read() ^ target;
-    std::size_t programmed = 0;
-    for (std::size_t i : diff.setBits()) {
-        programBit(i, target.get(i));
-        ++programmed;
-    }
+    // diff = effective ^ target, computed per 64-bit word; every set
+    // bit receives one program pulse.
+    diffScratch.assignSelect(stored, stuckValue, stuckMask);
+    diffScratch.xorAssign(target);
+    const std::size_t programmed = diffScratch.popcount();
+    diffScratch.forEachSetBit(
+        [this](std::size_t i) { ++writesPerCell[i]; });
+    cellWrites += programmed;
+    // Stuck cells absorb the pulse but keep their value, so only the
+    // healthy diff bits land in the stored plane.
+    stored.xorAssignAndNot(diffScratch, stuckMask);
     obs::bump(obs::Counter::DiffWrites);
     obs::bump(obs::Counter::DiffBitsFlipped, programmed);
     return programmed;
@@ -62,8 +72,10 @@ CellArray::writeBlind(const BitVector &target)
 {
     AEGIS_REQUIRE(target.size() == size(),
                   "write size must match the cell array");
-    for (std::size_t i = 0; i < size(); ++i)
-        programBit(i, target.get(i));
+    for (auto &w : writesPerCell)
+        ++w;
+    cellWrites += size();
+    stored.assignSelect(target, stored, stuckMask);
     obs::bump(obs::Counter::BlindWrites);
     return size();
 }
@@ -120,6 +132,17 @@ CellArray::cellWritesAt(std::size_t i) const
 {
     AEGIS_ASSERT(i < size(), "CellArray::cellWritesAt out of range");
     return writesPerCell[i];
+}
+
+void
+CellArray::reset()
+{
+    stored.fill(false);
+    stuckMask.fill(false);
+    stuckValue.fill(false);
+    std::fill(writesPerCell.begin(), writesPerCell.end(), 0);
+    numFaults = 0;
+    cellWrites = 0;
 }
 
 } // namespace aegis::pcm

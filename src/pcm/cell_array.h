@@ -39,8 +39,16 @@ class CellArray
     /** Effective value of cell @p i (stuck value if faulty). */
     bool readBit(std::size_t i) const;
 
-    /** Effective values of all cells. */
+    /** Effective values of all cells. Allocates; hot paths should
+     *  prefer readInto. */
     BitVector read() const;
+
+    /**
+     * Effective values of all cells into @p out, word-parallel:
+     * effective = (stored & ~stuckMask) | (stuckValue & stuckMask).
+     * Reuses @p out's allocation once its width matches.
+     */
+    void readInto(BitVector &out) const;
 
     /**
      * Differential write: reads the current contents and programs only
@@ -78,10 +86,19 @@ class CellArray
     /** Cell programs of one cell. */
     std::uint64_t cellWritesAt(std::size_t i) const;
 
+    /**
+     * Return the array to its as-constructed state (all cells healthy
+     * and storing 0, wear counters zeroed) without releasing any
+     * allocation, so simulators can reuse one array across block
+     * lives instead of constructing a fresh one.
+     */
+    void reset();
+
   private:
     BitVector stored;
     BitVector stuckMask;
     BitVector stuckValue;
+    BitVector diffScratch;
     std::vector<std::uint64_t> writesPerCell;
     std::size_t numFaults = 0;
     std::uint64_t cellWrites = 0;

@@ -124,11 +124,18 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 EcpScheme::read(const pcm::CellArray &cells) const
 {
+    BitVector out;
+    readInto(cells, out);
+    return out;
+}
+
+void
+EcpScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    BitVector out = cells.read();
+    cells.readInto(out);
     for (const Entry &e : entries)
         out.set(e.pos, e.replacement);
-    return out;
 }
 
 void

@@ -41,6 +41,8 @@ class EcpScheme : public Scheme
     WriteOutcome write(pcm::CellArray &cells,
                        const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 

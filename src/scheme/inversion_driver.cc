@@ -1,7 +1,5 @@
 #include "scheme/inversion_driver.h"
 
-#include <algorithm>
-
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -24,16 +22,49 @@ applyGroupInversion(const BitVector &data, const GroupPartition &partition,
     return target;
 }
 
+void
+applyGroupInversionInto(const BitVector &data,
+                        const GroupPartition &partition,
+                        const BitVector &inv, BitVector &out)
+{
+    AEGIS_ASSERT(inv.size() == partition.groupCount(),
+                 "inversion vector width mismatch");
+    out.assignFrom(data);
+    if (inv.none())
+        return;
+    if (partition.groupMask(inv.firstSetBit()) != nullptr) {
+        inv.forEachSetBit([&](std::size_t g) {
+            out.invertMasked(*partition.groupMask(g));
+        });
+        return;
+    }
+    // Per-bit fallback for policies without precomputed masks.
+    for (std::size_t pos = 0; pos < data.size(); ++pos) {
+        if (inv.get(partition.groupOf(pos)))
+            out.flip(pos);
+    }
+}
+
 WriteOutcome
 writeWithInversion(pcm::CellArray &cells, const BitVector &data,
                    GroupPartition &partition, BitVector &inv,
-                   pcm::FaultSet &known_faults)
+                   pcm::FaultSet &known_faults, InversionWorkspace &ws)
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
                   "data width must match the cell array");
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
     WriteOutcome outcome;
-    inv = BitVector(partition.groupCount());
+    if (inv.size() != partition.groupCount())
+        inv = BitVector(partition.groupCount());
+    else
+        inv.fill(false);
+
+    if (ws.knownMask.size() != cells.size())
+        ws.knownMask = BitVector(cells.size());
+    else
+        ws.knownMask.fill(false);
+    for (const pcm::Fault &f : known_faults)
+        ws.knownMask.set(f.pos, true);
 
     // Each retry discovers at least one new fault, so the loop is
     // bounded by the block size; the extra slack is pure paranoia.
@@ -52,31 +83,41 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
 
         obs::bump(obs::Counter::GroupInversions, inv.popcount());
 
-        const BitVector target = applyGroupInversion(data, partition, inv);
-        cells.writeDifferential(target);
+        applyGroupInversionInto(data, partition, inv, ws.target);
+        cells.writeDifferential(ws.target);
         ++outcome.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
-        const BitVector readback = cells.read();
-        const BitVector diff = readback ^ target;
-        if (diff.none()) {
+        cells.readInto(ws.readback);
+        ws.diff.assignFrom(ws.readback);
+        ws.diff.xorAssign(ws.target);
+        if (ws.diff.none()) {
             outcome.ok = true;
             return outcome;
         }
         obs::bump(obs::Counter::VerifyMismatches);
 
-        for (std::size_t pos : diff.setBits()) {
-            const auto pos32 = static_cast<std::uint32_t>(pos);
-            const bool already = std::any_of(
-                known_faults.begin(), known_faults.end(),
-                [pos32](const pcm::Fault &f) { return f.pos == pos32; });
-            AEGIS_ASSERT(!already,
+        ws.diff.forEachSetBit([&](std::size_t pos) {
+            AEGIS_ASSERT(!ws.knownMask.get(pos),
                          "verification mismatch at an already-known fault");
-            known_faults.push_back(pcm::Fault{pos32, readback.get(pos)});
+            ws.knownMask.set(pos, true);
+            known_faults.push_back(
+                pcm::Fault{static_cast<std::uint32_t>(pos),
+                           ws.readback.get(pos)});
             ++outcome.newFaults;
-        }
+        });
     }
     throw InternalError("partition-and-inversion write did not converge");
+}
+
+WriteOutcome
+writeWithInversion(pcm::CellArray &cells, const BitVector &data,
+                   GroupPartition &partition, BitVector &inv,
+                   pcm::FaultSet &known_faults)
+{
+    InversionWorkspace ws;
+    return writeWithInversion(cells, data, partition, inv, known_faults,
+                              ws);
 }
 
 } // namespace aegis::scheme

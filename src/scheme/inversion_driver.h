@@ -53,6 +53,33 @@ class GroupPartition
 
     /** Reset to the initial configuration. */
     virtual void resetConfig() = 0;
+
+    /**
+     * Word-parallel membership mask of @p group under the current
+     * configuration (bit pos set iff groupOf(pos) == group), or
+     * nullptr when the policy does not precompute masks — the driver
+     * then falls back to the per-bit groupOf path. A returned pointer
+     * is invalidated by separate()/resetConfig().
+     */
+    virtual const BitVector *groupMask(std::size_t group) const
+    {
+        (void)group;
+        return nullptr;
+    }
+};
+
+/**
+ * Reusable scratch for writeWithInversion so steady-state writes
+ * allocate nothing: each vector is sized on first use and only
+ * refilled afterwards. Plain data — schemes embed one per instance
+ * (cloning a scheme clones the workspace, which is harmless).
+ */
+struct InversionWorkspace
+{
+    BitVector target;    ///< selectively inverted program pattern
+    BitVector readback;  ///< verification read
+    BitVector diff;      ///< readback ^ target
+    BitVector knownMask; ///< known-fault positions, O(1) membership
 };
 
 /**
@@ -79,9 +106,20 @@ class GroupPartition
  * @param known_faults in/out: faults known before the write (pass the
  *                     fail-cache contents, or empty without a cache);
  *                     grows as faults are discovered.
+ * @param ws           reusable scratch; steady-state calls with a
+ *                     warmed workspace perform zero heap allocations.
  * @return outcome; ok == false means no configuration separates the
  *         discovered faults and the block is lost.
  */
+WriteOutcome writeWithInversion(pcm::CellArray &cells,
+                                const BitVector &data,
+                                GroupPartition &partition,
+                                BitVector &inv,
+                                pcm::FaultSet &known_faults,
+                                InversionWorkspace &ws);
+
+/** Convenience overload with a throwaway workspace (tests, cold
+ *  paths). */
 WriteOutcome writeWithInversion(pcm::CellArray &cells,
                                 const BitVector &data,
                                 GroupPartition &partition,
@@ -91,10 +129,24 @@ WriteOutcome writeWithInversion(pcm::CellArray &cells,
 /**
  * Compose the physical target pattern: @p data with every group whose
  * flag is set in @p inv bitwise inverted.
+ *
+ * This is the naive per-bit path, retained verbatim as the reference
+ * oracle the auditor and the masked-vs-naive fuzz tests compare
+ * against; production writes go through applyGroupInversionInto.
  */
 BitVector applyGroupInversion(const BitVector &data,
                               const GroupPartition &partition,
                               const BitVector &inv);
+
+/**
+ * applyGroupInversion into @p out without allocating: when the
+ * partition provides group masks the inversion is one XOR per
+ * inverted group; otherwise the per-bit path runs. Bit-identical to
+ * applyGroupInversion in either case.
+ */
+void applyGroupInversionInto(const BitVector &data,
+                             const GroupPartition &partition,
+                             const BitVector &inv, BitVector &out);
 
 } // namespace aegis::scheme
 

@@ -56,6 +56,12 @@ NoneScheme::read(const pcm::CellArray &cells) const
     return cells.read();
 }
 
+void
+NoneScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
+    cells.readInto(out);
+}
+
 std::unique_ptr<Scheme>
 NoneScheme::clone() const
 {

@@ -28,6 +28,8 @@ class NoneScheme : public Scheme
     WriteOutcome write(pcm::CellArray &cells,
                        const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override {}
     std::unique_ptr<Scheme> clone() const override;
 

@@ -278,8 +278,17 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 RdisScheme::read(const pcm::CellArray &cells) const
 {
+    BitVector out;
+    readInto(cells, out);
+    return out;
+}
+
+void
+RdisScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    return cells.read() ^ solver.inversionMask(marks, bits);
+    cells.readInto(out);
+    out.xorAssign(solver.inversionMask(marks, bits));
 }
 
 void

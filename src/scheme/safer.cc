@@ -114,6 +114,28 @@ SaferPartition::SaferPartition(std::size_t block_bits,
     addrBits = log2Exact(block_bits);
     AEGIS_REQUIRE(max_fields <= addrBits,
                   "partition vector cannot exceed the address width");
+    rebuildMasks();
+}
+
+void
+SaferPartition::rebuildMasks()
+{
+    if (groupMasks.size() != groupCount() ||
+        (!groupMasks.empty() && groupMasks.front().size() != bits)) {
+        groupMasks.assign(groupCount(), BitVector(bits));
+    } else {
+        for (BitVector &m : groupMasks)
+            m.fill(false);
+    }
+    for (std::size_t pos = 0; pos < bits; ++pos)
+        groupMasks[groupOf(pos)].set(pos, true);
+}
+
+const BitVector *
+SaferPartition::groupMask(std::size_t group) const
+{
+    AEGIS_ASSERT(group < groupMasks.size(), "group out of range");
+    return &groupMasks[group];
 }
 
 std::size_t
@@ -201,6 +223,7 @@ SaferPartition::separate(const pcm::FaultSet &faults,
             }
         }
         if (!a) {
+            rebuildMasks();
             return true;    // separated along the way
         }
         const std::uint32_t diff = a->pos ^ b->pos;
@@ -231,15 +254,20 @@ SaferPartition::separate(const pcm::FaultSet &faults,
         fieldSel.push_back(best_bit);
         ++repartitions;
         obs::bump(obs::Counter::SaferRepartitions);
-        if (separated(faults))
+        if (separated(faults)) {
+            rebuildMasks();
             return true;
+        }
     }
 
     if (exhaustive) {
         ++repartitions;
         obs::bump(obs::Counter::SaferRepartitions);
-        return searchExhaustive(faults);
+        const bool ok = searchExhaustive(faults);
+        rebuildMasks();
+        return ok;
     }
+    rebuildMasks();
     return false;
 }
 
@@ -247,6 +275,7 @@ void
 SaferPartition::resetConfig()
 {
     fieldSel.clear();
+    rebuildMasks();
 }
 
 void
@@ -257,6 +286,7 @@ SaferPartition::setFields(std::vector<std::uint8_t> fields)
     for (std::uint8_t f : fields)
         AEGIS_REQUIRE(f < addrBits, "field position out of range");
     fieldSel = std::move(fields);
+    rebuildMasks();
 }
 
 SaferScheme::SaferScheme(std::size_t block_bits, std::size_t num_groups,
@@ -305,7 +335,7 @@ SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
     const std::size_t known_before = known.size();
 
     WriteOutcome outcome =
-        writeWithInversion(cells, data, part, invVector, known);
+        writeWithInversion(cells, data, part, invVector, known, writeWs);
 
     if (directory) {
         for (std::size_t i = known_before; i < known.size(); ++i)
@@ -317,15 +347,19 @@ SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
 BitVector
 SaferScheme::read(const pcm::CellArray &cells) const
 {
-    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
-    BitVector out = cells.read();
-    if (invVector.any()) {
-        for (std::size_t pos = 0; pos < bits; ++pos) {
-            if (invVector.get(part.groupOf(pos)))
-                out.flip(pos);
-        }
-    }
+    BitVector out;
+    readInto(cells, out);
     return out;
+}
+
+void
+SaferScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
+    cells.readInto(out);
+    invVector.forEachSetBit([&](std::size_t g) {
+        out.invertMasked(*part.groupMask(g));
+    });
 }
 
 void

@@ -52,6 +52,10 @@ class SaferPartition : public GroupPartition
                   std::uint32_t &repartitions) override;
     void resetConfig() override;
 
+    /** Membership masks are rebuilt eagerly whenever the field
+     *  selection changes, so this is a plain lookup. */
+    const BitVector *groupMask(std::size_t group) const override;
+
     /** Currently selected address-bit positions (LSB field first). */
     const std::vector<std::uint8_t> &fields() const { return fieldSel; }
 
@@ -65,12 +69,14 @@ class SaferPartition : public GroupPartition
     bool separatedBy(const pcm::FaultSet &faults,
                      const std::vector<std::uint8_t> &sel) const;
     bool searchExhaustive(const pcm::FaultSet &faults);
+    void rebuildMasks();
 
     std::size_t bits;
     std::size_t addrBits;
     std::size_t maxFields;
     bool exhaustive;
     std::vector<std::uint8_t> fieldSel;
+    std::vector<BitVector> groupMasks;
 };
 
 /** The complete SAFER scheme (metadata + write/read protocol). */
@@ -94,6 +100,8 @@ class SaferScheme : public Scheme
     WriteOutcome write(pcm::CellArray &cells,
                        const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    void readInto(const pcm::CellArray &cells,
+                  BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -112,6 +120,7 @@ class SaferScheme : public Scheme
                                 std::size_t num_groups);
 
     const SaferPartition &partition() const { return part; }
+    const BitVector &inversionVector() const { return invVector; }
 
   private:
     std::size_t bits;
@@ -120,6 +129,7 @@ class SaferScheme : public Scheme
     bool cacheMode;
     SaferPartition part;
     BitVector invVector;
+    InversionWorkspace writeWs;
 };
 
 } // namespace aegis::scheme

@@ -76,6 +76,17 @@ class Scheme
     /** Decode the logical data currently stored in @p cells. */
     virtual BitVector read(const pcm::CellArray &cells) const = 0;
 
+    /**
+     * Decode into @p out, reusing its allocation. The default wraps
+     * read(); word-parallel schemes override it so steady-state reads
+     * allocate nothing.
+     */
+    virtual void readInto(const pcm::CellArray &cells,
+                          BitVector &out) const
+    {
+        out.assignFrom(read(cells));
+    }
+
     /** Clear metadata for reuse on a fresh block. */
     virtual void reset() = 0;
 

@@ -22,21 +22,35 @@ BlockSimulator::BlockSimulator(const scheme::Scheme &scheme,
 BlockLifeResult
 BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
 {
+    // run() is const and invoked concurrently by parallelFor workers,
+    // so the reusable scratch lives per thread.
+    static thread_local BlockSimWorkspace ws;
+    return run(cell_rng, sim_rng, ws);
+}
+
+BlockLifeResult
+BlockSimulator::run(Rng &cell_rng, Rng &sim_rng,
+                    BlockSimWorkspace &ws) const
+{
     AEGIS_TRACE_SCOPE(obs::Scope::BlockLife);
     const std::size_t n = schemeProto.blockBits();
     auto tracker = schemeProto.makeTracker(trackerOpts);
 
     // Draw the cell population first so it is identical for every
     // scheme simulated from the same cell_rng stream.
-    std::vector<double> remaining(n);
-    std::vector<bool> stuck_value(n);
+    std::vector<double> &remaining = ws.remaining;
+    std::vector<char> &stuck_value = ws.stuckValue;
+    remaining.resize(n);
+    stuck_value.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         remaining[i] = lifetime.sample(cell_rng);
-        stuck_value[i] = cell_rng.nextBool();
+        stuck_value[i] = cell_rng.nextBool() ? 1 : 0;
     }
 
-    std::vector<double> rate(n, wear.baseRate);
-    std::vector<bool> healthy(n, true);
+    std::vector<double> &rate = ws.rate;
+    std::vector<char> &healthy = ws.healthy;
+    rate.assign(n, wear.baseRate);
+    healthy.assign(n, 1);
 
     BlockLifeResult result;
     double t = 0.0;
@@ -46,7 +60,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
         double dt = std::numeric_limits<double>::infinity();
         std::size_t victim = n;
         for (std::size_t i = 0; i < n; ++i) {
-            if (!healthy[i])
+            if (healthy[i] == 0)
                 continue;
             const double d = remaining[i] / rate[i];
             if (d < dt) {
@@ -84,15 +98,15 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
         // Advance to the fault arrival.
         t += dt;
         for (std::size_t i = 0; i < n; ++i) {
-            if (healthy[i])
+            if (healthy[i] != 0)
                 remaining[i] -= rate[i] * dt;
         }
-        healthy[victim] = false;
+        healthy[victim] = 0;
         result.faultTimes.push_back(t);
         obs::bump(obs::Counter::FaultArrivals);
 
         const pcm::Fault fault{static_cast<std::uint32_t>(victim),
-                               stuck_value[victim]};
+                               stuck_value[victim] != 0};
         if (tracker->onFault(fault) == scheme::FaultVerdict::Dead) {
             result.deathTime = t;
             result.faultsAtDeath =
@@ -105,7 +119,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng) const
         // Refresh wear rates for the new configuration.
         std::fill(rate.begin(), rate.end(), wear.baseRate);
         for (std::uint32_t pos : tracker->amplifiedCells()) {
-            if (healthy[pos])
+            if (healthy[pos] != 0)
                 rate[pos] += wear.amplifiedExtra;
         }
     }

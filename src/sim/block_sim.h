@@ -43,6 +43,21 @@ struct WearModel
     double amplifiedExtra = 0.5;
 };
 
+/**
+ * Reusable scratch for BlockSimulator::run, so back-to-back block
+ * lives allocate nothing once the vectors are warmed. run() re-sizes
+ * and overwrites every field; the workspace carries no state between
+ * lives. (char instead of bool: vector<bool> has no word access and
+ * its proxy references cost measurably in the arg-min scan.)
+ */
+struct BlockSimWorkspace
+{
+    std::vector<double> remaining;
+    std::vector<double> rate;
+    std::vector<char> stuckValue;
+    std::vector<char> healthy;
+};
+
 /** Outcome of one block's simulated life. */
 struct BlockLifeResult
 {
@@ -78,9 +93,14 @@ class BlockSimulator
      * Run one life. @p cell_rng drives the lifetime/stuck-value draws
      * (keep it scheme-independent so different schemes see identical
      * cell populations); @p sim_rng drives tracker sampling and
-     * geometric failure draws.
+     * geometric failure draws. Uses thread-local scratch (run() is
+     * const and called concurrently by parallelFor workers).
      */
     BlockLifeResult run(Rng &cell_rng, Rng &sim_rng) const;
+
+    /** Like run(), with caller-owned scratch. */
+    BlockLifeResult run(Rng &cell_rng, Rng &sim_rng,
+                        BlockSimWorkspace &ws) const;
 
   private:
     const scheme::Scheme &schemeProto;

@@ -18,7 +18,10 @@ PageSimulator::PageSimulator(const BlockSimulator &block_sim,
 PageLifeResult
 PageSimulator::run(const Rng &page_rng) const
 {
-    std::vector<BlockLifeResult> blocks;
+    // run() is const and called concurrently by parallelFor workers;
+    // the per-thread buffer keeps back-to-back page lives from
+    // reallocating the block-result vector.
+    static thread_local std::vector<BlockLifeResult> blocks;
     return runDetailed(page_rng, blocks);
 }
 

@@ -9,7 +9,7 @@ namespace aegis {
 
 namespace {
 
-constexpr std::size_t kWordBits = 64;
+constexpr std::size_t kWordBits = BitVector::kWordBits;
 
 std::size_t
 wordCount(std::size_t bits)
@@ -116,7 +116,7 @@ BitVector::firstSetBit() const
 }
 
 BitVector &
-BitVector::operator^=(const BitVector &other)
+BitVector::xorAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
     for (std::size_t i = 0; i < wordStore.size(); ++i)
@@ -125,7 +125,7 @@ BitVector::operator^=(const BitVector &other)
 }
 
 BitVector &
-BitVector::operator&=(const BitVector &other)
+BitVector::andAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
     for (std::size_t i = 0; i < wordStore.size(); ++i)
@@ -134,12 +134,73 @@ BitVector::operator&=(const BitVector &other)
 }
 
 BitVector &
-BitVector::operator|=(const BitVector &other)
+BitVector::orAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
     for (std::size_t i = 0; i < wordStore.size(); ++i)
         wordStore[i] |= other.wordStore[i];
     return *this;
+}
+
+BitVector &
+BitVector::andNotAssign(const BitVector &other)
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] &= ~other.wordStore[i];
+    return *this;
+}
+
+BitVector &
+BitVector::xorAssignAndNot(const BitVector &value, const BitVector &mask)
+{
+    AEGIS_ASSERT(numBits == value.numBits && numBits == mask.numBits,
+                 "BitVector size mismatch");
+    for (std::size_t i = 0; i < wordStore.size(); ++i)
+        wordStore[i] ^= value.wordStore[i] & ~mask.wordStore[i];
+    return *this;
+}
+
+void
+BitVector::assignSelect(const BitVector &base, const BitVector &chosen,
+                        const BitVector &mask)
+{
+    AEGIS_ASSERT(base.numBits == chosen.numBits &&
+                     base.numBits == mask.numBits,
+                 "BitVector size mismatch");
+    numBits = base.numBits;
+    wordStore.resize(base.wordStore.size());
+    for (std::size_t i = 0; i < wordStore.size(); ++i) {
+        wordStore[i] = (base.wordStore[i] & ~mask.wordStore[i]) |
+                       (chosen.wordStore[i] & mask.wordStore[i]);
+    }
+}
+
+void
+BitVector::assignFrom(const BitVector &other)
+{
+    numBits = other.numBits;
+    wordStore.assign(other.wordStore.begin(), other.wordStore.end());
+}
+
+bool
+BitVector::equals(const BitVector &other) const
+{
+    return numBits == other.numBits && wordStore == other.wordStore;
+}
+
+std::size_t
+BitVector::firstMismatch(const BitVector &other) const
+{
+    AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
+    for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
+        const std::uint64_t diff = wordStore[wi] ^ other.wordStore[wi];
+        if (diff != 0) {
+            return wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(diff));
+        }
+    }
+    return numBits;
 }
 
 BitVector
@@ -148,12 +209,6 @@ BitVector::operator~() const
     BitVector out(*this);
     out.invert();
     return out;
-}
-
-bool
-BitVector::operator==(const BitVector &other) const
-{
-    return numBits == other.numBits && wordStore == other.wordStore;
 }
 
 std::size_t

@@ -12,6 +12,7 @@
 #ifndef AEGIS_UTIL_BIT_VECTOR_H
 #define AEGIS_UTIL_BIT_VECTOR_H
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@ class Rng;
 class BitVector
 {
   public:
+    /** Bits per backing word. */
+    static constexpr std::size_t kWordBits = 64;
+
     /** Construct an empty (zero-length) vector. */
     BitVector() = default;
 
@@ -69,20 +73,82 @@ class BitVector
     /** True when at least one bit is set. */
     bool any() const { return !none(); }
 
-    /** Indices of all set bits, ascending. */
+    /** Indices of all set bits, ascending. Allocates; hot loops
+     *  should prefer forEachSetBit. */
     std::vector<std::size_t> setBits() const;
 
     /** Index of the first set bit, or size() when none is set. */
     std::size_t firstSetBit() const;
 
-    /** In-place xor with @p other (sizes must match). */
-    BitVector &operator^=(const BitVector &other);
+    /**
+     * Invoke @p fn(index) for every set bit, ascending, without
+     * allocating. The vector must not be resized from within @p fn;
+     * mutating already-visited bits is allowed (each word is read
+     * once before its bits are dispatched).
+     */
+    template <typename Fn>
+    void forEachSetBit(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
+            std::uint64_t w = wordStore[wi];
+            while (w != 0) {
+                fn(wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
 
-    /** In-place and with @p other (sizes must match). */
-    BitVector &operator&=(const BitVector &other);
+    /** In-place xor with @p other (sizes must match). */
+    BitVector &xorAssign(const BitVector &other);
 
     /** In-place or with @p other (sizes must match). */
-    BitVector &operator|=(const BitVector &other);
+    BitVector &orAssign(const BitVector &other);
+
+    /** In-place and with @p other (sizes must match). */
+    BitVector &andAssign(const BitVector &other);
+
+    /** this &= ~other, without materializing ~other. */
+    BitVector &andNotAssign(const BitVector &other);
+
+    /** Flip exactly the bits selected by @p mask (word-parallel). */
+    void invertMasked(const BitVector &mask) { xorAssign(mask); }
+
+    /** this ^= (value & ~mask), without temporaries: xor in only the
+     *  bits of @p value that fall outside @p mask. */
+    BitVector &xorAssignAndNot(const BitVector &value,
+                               const BitVector &mask);
+
+    /**
+     * Become (base & ~mask) | (chosen & mask): take each bit from
+     * @p chosen where @p mask is set and from @p base elsewhere. All
+     * three sizes must match; resizes this vector if needed.
+     */
+    void assignSelect(const BitVector &base, const BitVector &chosen,
+                      const BitVector &mask);
+
+    /** Copy @p other's contents; reuses the existing allocation when
+     *  capacity suffices (always, once widths have stabilized). */
+    void assignFrom(const BitVector &other);
+
+    /** Word-level equality (same size and same bits). */
+    bool equals(const BitVector &other) const;
+
+    /** Index of the first bit where this and @p other differ, or
+     *  size() when equal (sizes must match). */
+    std::size_t firstMismatch(const BitVector &other) const;
+
+    /** In-place xor with @p other (sizes must match). */
+    BitVector &operator^=(const BitVector &other)
+    { return xorAssign(other); }
+
+    /** In-place and with @p other (sizes must match). */
+    BitVector &operator&=(const BitVector &other)
+    { return andAssign(other); }
+
+    /** In-place or with @p other (sizes must match). */
+    BitVector &operator|=(const BitVector &other)
+    { return orAssign(other); }
 
     friend BitVector operator^(BitVector lhs, const BitVector &rhs)
     { lhs ^= rhs; return lhs; }
@@ -96,7 +162,8 @@ class BitVector
     /** Bitwise complement. */
     BitVector operator~() const;
 
-    bool operator==(const BitVector &other) const;
+    bool operator==(const BitVector &other) const
+    { return equals(other); }
     bool operator!=(const BitVector &other) const
     { return !(*this == other); }
 

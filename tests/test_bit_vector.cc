@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/bit_vector.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -181,6 +183,108 @@ TEST_P(BitVectorSizes, XorWithSelfIsZero)
     Rng rng(GetParam() * 104729 + 3);
     BitVector v = BitVector::random(GetParam(), rng);
     EXPECT_TRUE((v ^ v).none());
+}
+
+TEST_P(BitVectorSizes, InPlaceOpsMatchPerBitReference)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 6151 + 5);
+    const BitVector a = BitVector::random(n, rng);
+    const BitVector b = BitVector::random(n, rng);
+
+    BitVector v = a;
+    v.xorAssign(b);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(v.get(i), a.get(i) != b.get(i)) << i;
+
+    v = a;
+    v.orAssign(b);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(v.get(i), a.get(i) || b.get(i)) << i;
+
+    v = a;
+    v.andAssign(b);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(v.get(i), a.get(i) && b.get(i)) << i;
+
+    v = a;
+    v.andNotAssign(b);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(v.get(i), a.get(i) && !b.get(i)) << i;
+
+    // invertMasked == XOR with the mask.
+    v = a;
+    v.invertMasked(b);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(v.get(i), b.get(i) ? !a.get(i) : a.get(i)) << i;
+}
+
+TEST_P(BitVectorSizes, XorAssignAndNotMatchesPerBitReference)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 12289 + 7);
+    const BitVector a = BitVector::random(n, rng);
+    const BitVector value = BitVector::random(n, rng);
+    const BitVector mask = BitVector::random(n, rng);
+
+    BitVector v = a;
+    v.xorAssignAndNot(value, mask);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(v.get(i),
+                  a.get(i) != (value.get(i) && !mask.get(i)))
+            << i;
+    }
+}
+
+TEST_P(BitVectorSizes, AssignSelectMatchesPerBitReference)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 24593 + 11);
+    const BitVector base = BitVector::random(n, rng);
+    const BitVector chosen = BitVector::random(n, rng);
+    const BitVector mask = BitVector::random(n, rng);
+
+    BitVector out;    // deliberately unsized: assignSelect resizes
+    out.assignSelect(base, chosen, mask);
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out.get(i),
+                  mask.get(i) ? chosen.get(i) : base.get(i))
+            << i;
+    }
+}
+
+TEST_P(BitVectorSizes, AssignFromEqualsAndFirstMismatch)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 49157 + 13);
+    const BitVector a = BitVector::random(n, rng);
+
+    BitVector copy;
+    copy.assignFrom(a);
+    EXPECT_TRUE(copy.equals(a));
+    EXPECT_EQ(copy.firstMismatch(a), n);
+
+    // Flip one bit: firstMismatch must name exactly it.
+    const std::size_t where = rng.nextBounded(n);
+    copy.flip(where);
+    EXPECT_FALSE(copy.equals(a));
+    EXPECT_EQ(copy.firstMismatch(a), where);
+    EXPECT_EQ(a.firstMismatch(copy), where);
+}
+
+TEST_P(BitVectorSizes, ForEachSetBitVisitsSetBitsAscending)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 786433 + 17);
+    const BitVector v = BitVector::random(n, rng);
+
+    std::vector<std::size_t> visited;
+    v.forEachSetBit([&visited](std::size_t i) { visited.push_back(i); });
+    const auto expected = v.setBits();
+    ASSERT_EQ(visited.size(), expected.size());
+    for (std::size_t i = 0; i < visited.size(); ++i)
+        ASSERT_EQ(visited[i], expected[i]) << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizes,

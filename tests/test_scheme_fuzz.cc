@@ -22,8 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "aegis/aegis_scheme.h"
 #include "aegis/factory.h"
+#include "aegis/partition.h"
+#include "pcm/cell_array.h"
 #include "pcm/fail_cache.h"
+#include "scheme/inversion_driver.h"
+#include "scheme/safer.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -360,6 +365,205 @@ TEST(DifferentialFuzz, BasicAegisNeverFailsWhileASlopeSeparates)
         }
         if (!outcome.ok)
             break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Masked vs naive: the word-parallel data plane (group masks, XOR
+// inversion, word-level differential writes) cross-checked against the
+// retained per-bit reference paths over randomized fault sets, data
+// patterns and block geometries.
+// ---------------------------------------------------------------------
+
+struct Formation
+{
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t bits;
+};
+
+constexpr Formation kFormations[] = {{23, 23, 512}, {17, 31, 512},
+                                     {9, 61, 512},  {12, 23, 256},
+                                     {6, 43, 256},  {4, 67, 256}};
+
+TEST(MaskedVsNaive, GroupMasksMatchGroupOfAndPartitionTheBlock)
+{
+    for (const Formation &f : kFormations) {
+        SCOPED_TRACE(std::to_string(f.a) + "x" + std::to_string(f.b) +
+                     "/" + std::to_string(f.bits));
+        const core::Partition part(f.a, f.b, f.bits);
+        core::GroupMaskCache cache;
+        for (std::uint32_t k = 0; k < part.slopes(); ++k) {
+            cache.rebuild(part, k);
+            BitVector covered(f.bits);
+            for (std::uint32_t g = 0; g < part.groups(); ++g) {
+                const BitVector &mask = cache.mask(g);
+                ASSERT_EQ(mask.size(), f.bits);
+                for (std::uint32_t pos = 0; pos < f.bits; ++pos) {
+                    ASSERT_EQ(mask.get(pos), part.groupOf(pos, k) == g)
+                        << "slope " << k << " group " << g << " pos "
+                        << pos;
+                }
+                // Masks of one slope must be pairwise disjoint...
+                BitVector overlap = covered;
+                overlap.andAssign(mask);
+                ASSERT_TRUE(overlap.none())
+                    << "slope " << k << " group " << g
+                    << " overlaps an earlier group";
+                covered.orAssign(mask);
+            }
+            // ...and together cover every bit (Theorem 1 again, this
+            // time through the materialized masks).
+            ASSERT_EQ(covered.popcount(), f.bits) << "slope " << k;
+        }
+    }
+}
+
+TEST(MaskedVsNaive, AegisMaskedInversionMatchesNaive)
+{
+    Rng rng(2026);
+    for (const Formation &f : kFormations) {
+        SCOPED_TRACE(std::to_string(f.a) + "x" + std::to_string(f.b) +
+                     "/" + std::to_string(f.bits));
+        core::AegisPartitionPolicy policy(
+            core::Partition(f.a, f.b, f.bits));
+        for (int trial = 0; trial < 16; ++trial) {
+            policy.setSlope(
+                static_cast<std::uint32_t>(rng.nextBounded(f.b)));
+            const BitVector inv =
+                BitVector::random(policy.groupCount(), rng);
+            const BitVector data = BitVector::random(f.bits, rng);
+            BitVector masked;
+            scheme::applyGroupInversionInto(data, policy, inv, masked);
+            ASSERT_EQ(masked,
+                      scheme::applyGroupInversion(data, policy, inv))
+                << "slope " << policy.currentSlope() << " trial "
+                << trial;
+        }
+    }
+}
+
+TEST(MaskedVsNaive, SaferMaskedInversionMatchesNaive)
+{
+    Rng rng(77);
+    for (const std::size_t bits : {std::size_t{256}, std::size_t{512}}) {
+        SCOPED_TRACE(bits);
+        scheme::SaferPartition part(bits, 5, true);
+        for (int trial = 0; trial < 16; ++trial) {
+            // Drive the field selection through random separations so
+            // the masks are exercised across many configurations.
+            pcm::FaultSet faults;
+            std::vector<bool> used(bits, false);
+            for (int i = 0; i < trial % 5; ++i) {
+                std::uint32_t pos;
+                do {
+                    pos = static_cast<std::uint32_t>(
+                        rng.nextBounded(bits));
+                } while (used[pos]);
+                used[pos] = true;
+                faults.push_back({pos, rng.nextBool()});
+            }
+            std::uint32_t repartitions = 0;
+            ASSERT_TRUE(part.separate(faults, repartitions));
+
+            const BitVector inv =
+                BitVector::random(part.groupCount(), rng);
+            const BitVector data = BitVector::random(bits, rng);
+            BitVector masked;
+            scheme::applyGroupInversionInto(data, part, inv, masked);
+            ASSERT_EQ(masked,
+                      scheme::applyGroupInversion(data, part, inv))
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(MaskedVsNaive, DifferentialWriteMatchesBitwiseReference)
+{
+    Rng rng(4242);
+    for (const std::size_t bits :
+         {std::size_t{1}, std::size_t{3}, std::size_t{63},
+          std::size_t{64}, std::size_t{65}, std::size_t{127},
+          std::size_t{128}, std::size_t{256}, std::size_t{512}}) {
+        SCOPED_TRACE(bits);
+        pcm::CellArray cells(bits);
+
+        // Independent bitwise reference model of the cell row.
+        std::vector<bool> stored(bits, false);
+        std::vector<bool> stuck(bits, false);
+        std::vector<bool> stuck_val(bits, false);
+        std::vector<std::uint64_t> writes(bits, 0);
+        std::uint64_t total = 0;
+
+        for (int round = 0; round < 24; ++round) {
+            if (round % 3 == 1) {
+                const auto pos = rng.nextBounded(bits);
+                if (!stuck[pos]) {
+                    const bool v = rng.nextBool();
+                    cells.injectFault(pos, v);
+                    stuck[pos] = true;
+                    stuck_val[pos] = v;
+                }
+            }
+            const BitVector target = BitVector::random(bits, rng);
+            const bool blind = round % 5 == 4;
+            const std::size_t programmed =
+                blind ? cells.writeBlind(target)
+                      : cells.writeDifferential(target);
+
+            std::size_t expected = 0;
+            for (std::size_t i = 0; i < bits; ++i) {
+                const bool effective =
+                    stuck[i] ? stuck_val[i] : stored[i];
+                const bool pulse = blind || effective != target.get(i);
+                if (pulse) {
+                    ++expected;
+                    ++writes[i];
+                    if (!stuck[i])
+                        stored[i] = target.get(i);
+                }
+            }
+            total += expected;
+
+            ASSERT_EQ(programmed, expected) << "round " << round;
+            ASSERT_EQ(cells.totalCellWrites(), total)
+                << "round " << round;
+            for (std::size_t i = 0; i < bits; ++i) {
+                ASSERT_EQ(cells.readBit(i),
+                          stuck[i] ? stuck_val[i] : stored[i])
+                    << "round " << round << " pos " << i;
+                ASSERT_EQ(cells.cellWritesAt(i), writes[i])
+                    << "round " << round << " pos " << i;
+            }
+        }
+    }
+}
+
+TEST(MaskedVsNaive, ReadIntoMatchesPerBitReadBit)
+{
+    Rng rng(31337);
+    for (const std::size_t bits :
+         {std::size_t{1}, std::size_t{3}, std::size_t{63},
+          std::size_t{64}, std::size_t{65}, std::size_t{127},
+          std::size_t{128}, std::size_t{256}, std::size_t{512}}) {
+        SCOPED_TRACE(bits);
+        pcm::CellArray cells(bits);
+        BitVector out;
+        for (int round = 0; round < 10; ++round) {
+            if (round % 2 == 1) {
+                const auto pos = rng.nextBounded(bits);
+                if (!cells.isStuck(pos))
+                    cells.injectFault(pos, rng.nextBool());
+            }
+            cells.writeDifferential(BitVector::random(bits, rng));
+            cells.readInto(out);
+            ASSERT_EQ(out.size(), bits);
+            for (std::size_t i = 0; i < bits; ++i) {
+                ASSERT_EQ(out.get(i), cells.readBit(i))
+                    << "round " << round << " pos " << i;
+            }
+            ASSERT_EQ(out, cells.read());
+        }
     }
 }
 
