@@ -47,7 +47,7 @@ AegisRwScheme::hardFtc() const
     return hardFtcRw(part.b());
 }
 
-std::uint32_t
+AEGIS_HOT std::uint32_t
 AegisRwScheme::chooseSlope(const std::vector<std::uint32_t> &wrong,
                            const std::vector<std::uint32_t> &right,
                            std::uint32_t &repartitions) const
@@ -55,6 +55,7 @@ AegisRwScheme::chooseSlope(const std::vector<std::uint32_t> &wrong,
     const std::uint32_t B = part.b();
     // Union the slopes blocked by each (Wrong, Right) pair — the
     // ROM-read procedure of §2.4.
+    // aegis-lint: allow(HOT-ALLOC constructed once per thread, then only assign()ed)
     static thread_local std::vector<bool> blocked;
     blocked.assign(B, false);
     for (std::uint32_t w : wrong) {
@@ -75,7 +76,7 @@ AegisRwScheme::chooseSlope(const std::vector<std::uint32_t> &wrong,
     return B;
 }
 
-scheme::WriteOutcome
+AEGIS_HOT scheme::WriteOutcome
 AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(directory,
@@ -88,23 +89,31 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
     // Faults observed during this write operation. A finite fail
     // cache can evict entries between verify passes; holding the
     // session's own observations keeps the loop convergent.
-    pcm::FaultSet session;
+    pcm::FaultSet &session = sessionScratch;
+    session.clear();
 
     const std::size_t max_iters = cells.size() + 2;
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
-        pcm::FaultSet known = directory->lookup(blockId);
+        pcm::FaultSet &known = knownScratch;
+        directory->lookupInto(blockId, known);
         for (const pcm::Fault &f : session) {
             const bool present = std::any_of(
                 known.begin(), known.end(),
                 [&f](const pcm::Fault &k) { return k.pos == f.pos; });
             if (!present)
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; grows only past the block's peak fault count)
                 known.push_back(f);
         }
-        std::vector<std::uint32_t> wrong, right;
+        std::vector<std::uint32_t> &wrong = wrongScratch;
+        std::vector<std::uint32_t> &right = rightScratch;
+        wrong.clear();
+        right.clear();
         for (const pcm::Fault &f : known) {
             if (f.stuck != data.get(f.pos))
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; bounded by the block's fault count)
                 wrong.push_back(f.pos);
             else
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; bounded by the block's fault count)
                 right.push_back(f.pos);
         }
 
@@ -144,6 +153,7 @@ AegisRwScheme::write(pcm::CellArray &cells, const BitVector &data)
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
                                    writeWs.readback.get(pos)};
             directory->record(blockId, fault);
+            // aegis-lint: allow(HOT-ALLOC grows only when a NEW fault is discovered — the cold branch by definition)
             session.push_back(fault);
             ++outcome.newFaults;
         });
@@ -159,7 +169,7 @@ AegisRwScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 AegisRwScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);

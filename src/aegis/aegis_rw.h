@@ -22,6 +22,7 @@
 #include "aegis/partition.h"
 #include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
+#include "util/hot.h"
 
 namespace aegis::core {
 
@@ -39,11 +40,11 @@ class AegisRwScheme : public scheme::Scheme
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
 
-    scheme::WriteOutcome write(pcm::CellArray &cells,
-                               const BitVector &data) override;
+    AEGIS_HOT scheme::WriteOutcome write(pcm::CellArray &cells,
+                                         const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -67,9 +68,10 @@ class AegisRwScheme : public scheme::Scheme
      * group mixes the given W and R fault positions; returns B when
      * every slope is blocked. @p repartitions counts advances.
      */
-    std::uint32_t chooseSlope(const std::vector<std::uint32_t> &wrong,
-                              const std::vector<std::uint32_t> &right,
-                              std::uint32_t &repartitions) const;
+    AEGIS_HOT std::uint32_t
+    chooseSlope(const std::vector<std::uint32_t> &wrong,
+                const std::vector<std::uint32_t> &right,
+                std::uint32_t &repartitions) const;
 
     Partition part;
     std::shared_ptr<const CollisionRom> rom;    ///< shared across clones
@@ -77,6 +79,12 @@ class AegisRwScheme : public scheme::Scheme
     std::uint32_t slope = 0;
     BitVector invVector;
     scheme::InversionWorkspace writeWs;
+    /** Reusable write-loop scratch: capacity is retained across
+     *  writes so steady-state writes allocate nothing. */
+    pcm::FaultSet knownScratch;
+    pcm::FaultSet sessionScratch;
+    std::vector<std::uint32_t> wrongScratch;
+    std::vector<std::uint32_t> rightScratch;
 };
 
 } // namespace aegis::core

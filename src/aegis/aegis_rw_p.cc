@@ -15,19 +15,19 @@ namespace aegis::core {
 
 namespace {
 
-/** Distinct groups of @p positions under slope @p k. */
-std::vector<std::uint32_t>
-distinctGroups(const Partition &part,
-               const std::vector<std::uint32_t> &positions,
-               std::uint32_t k)
+/** Distinct groups of @p positions under slope @p k, into reusable
+ *  scratch (capacity is retained by the caller across writes). */
+AEGIS_HOT void
+distinctGroupsInto(const Partition &part,
+                   const std::vector<std::uint32_t> &positions,
+                   std::uint32_t k, std::vector<std::uint32_t> &groups)
 {
-    std::vector<std::uint32_t> groups;
-    groups.reserve(positions.size());
+    groups.clear();
     for (std::uint32_t pos : positions)
+        // aegis-lint: allow(HOT-ALLOC scratch capacity retained across writes; bounded by the block's fault count)
         groups.push_back(part.groupOf(pos, k));
     std::sort(groups.begin(), groups.end());
     groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
-    return groups;
 }
 
 } // namespace
@@ -80,7 +80,7 @@ AegisRwPScheme::groupInverted(std::uint32_t group) const
     return invertComplement ? !pointed : pointed;
 }
 
-scheme::WriteOutcome
+AEGIS_HOT scheme::WriteOutcome
 AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(directory,
@@ -92,27 +92,36 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 
     const std::uint32_t B = part.b();
     // Session-local fault observations; see AegisRwScheme::write.
-    pcm::FaultSet session;
+    pcm::FaultSet &session = sessionScratch;
+    session.clear();
     const std::size_t max_iters = cells.size() + 2;
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
-        pcm::FaultSet known = directory->lookup(blockId);
+        pcm::FaultSet &known = knownScratch;
+        directory->lookupInto(blockId, known);
         for (const pcm::Fault &f : session) {
             const bool present = std::any_of(
                 known.begin(), known.end(),
                 [&f](const pcm::Fault &k) { return k.pos == f.pos; });
             if (!present)
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; grows only past the block's peak fault count)
                 known.push_back(f);
         }
-        std::vector<std::uint32_t> wrong, right;
+        std::vector<std::uint32_t> &wrong = wrongScratch;
+        std::vector<std::uint32_t> &right = rightScratch;
+        wrong.clear();
+        right.clear();
         for (const pcm::Fault &f : known) {
             if (f.stuck != data.get(f.pos))
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; bounded by the block's fault count)
                 wrong.push_back(f.pos);
             else
+                // aegis-lint: allow(HOT-ALLOC capacity retained across writes; bounded by the block's fault count)
                 right.push_back(f.pos);
         }
 
         // Slopes blocked by W/R mixtures (ROM lookups).
-        std::vector<bool> blocked(B, false);
+        std::vector<bool> &blocked = blockedScratch;
+        blocked.assign(B, false);
         for (std::uint32_t w : wrong) {
             for (std::uint32_t r : right) {
                 const std::uint32_t k = rom->lookup(w, r);
@@ -126,27 +135,27 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
         bool found = false;
         std::uint32_t chosen = 0;
         bool chosen_complement = false;
-        std::vector<std::uint32_t> chosen_groups;
+        const std::vector<std::uint32_t> *chosen_groups = nullptr;
         for (std::uint32_t trial = 0; trial < B && !found; ++trial) {
             const std::uint32_t k = (slope + trial) % B;
             if (blocked[k])
                 continue;
-            auto w_groups = distinctGroups(part, wrong, k);
-            if (w_groups.size() <= maxPointers) {
+            distinctGroupsInto(part, wrong, k, wGroupsScratch);
+            if (wGroupsScratch.size() <= maxPointers) {
                 found = true;
                 chosen = k;
                 chosen_complement = false;
-                chosen_groups = std::move(w_groups);
+                chosen_groups = &wGroupsScratch;
                 outcome.repartitions += trial;
                 obs::bump(obs::Counter::AegisRepartitions, trial);
                 break;
             }
-            auto r_groups = distinctGroups(part, right, k);
-            if (r_groups.size() <= maxPointers) {
+            distinctGroupsInto(part, right, k, rGroupsScratch);
+            if (rGroupsScratch.size() <= maxPointers) {
                 found = true;
                 chosen = k;
                 chosen_complement = true;
-                chosen_groups = std::move(r_groups);
+                chosen_groups = &rGroupsScratch;
                 outcome.repartitions += trial;
                 obs::bump(obs::Counter::AegisRepartitions, trial);
                 break;
@@ -160,7 +169,10 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
         slope = chosen;
         masks.rebuild(part, slope);
         invertComplement = chosen_complement;
-        groupPointers = std::move(chosen_groups);
+        // assign() reuses groupPointers' capacity — no allocation once
+        // the pointer budget has been reached.
+        groupPointers.assign(chosen_groups->begin(),
+                             chosen_groups->end());
 
         // Complement case: invert the whole block, then flipping the
         // pointed (R) groups' masks un-inverts exactly those groups.
@@ -186,6 +198,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
                                    writeWs.readback.get(pos)};
             directory->record(blockId, fault);
+            // aegis-lint: allow(HOT-ALLOC grows only when a NEW fault is discovered — the cold branch by definition)
             session.push_back(fault);
             ++outcome.newFaults;
         });
@@ -201,7 +214,7 @@ AegisRwPScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 AegisRwPScheme::readInto(const pcm::CellArray &cells,
                          BitVector &out) const
 {

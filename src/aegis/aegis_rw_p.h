@@ -23,6 +23,7 @@
 #include "aegis/partition.h"
 #include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
+#include "util/hot.h"
 
 namespace aegis::core {
 
@@ -45,11 +46,11 @@ class AegisRwPScheme : public scheme::Scheme
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
 
-    scheme::WriteOutcome write(pcm::CellArray &cells,
-                               const BitVector &data) override;
+    AEGIS_HOT scheme::WriteOutcome write(pcm::CellArray &cells,
+                                         const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -88,6 +89,15 @@ class AegisRwPScheme : public scheme::Scheme
     bool invertComplement = false;
     std::vector<std::uint32_t> groupPointers;
     scheme::InversionWorkspace writeWs;
+    /** Reusable write-loop scratch: capacity is retained across
+     *  writes so steady-state writes allocate nothing. */
+    pcm::FaultSet knownScratch;
+    pcm::FaultSet sessionScratch;
+    std::vector<std::uint32_t> wrongScratch;
+    std::vector<std::uint32_t> rightScratch;
+    std::vector<bool> blockedScratch;
+    std::vector<std::uint32_t> wGroupsScratch;
+    std::vector<std::uint32_t> rGroupsScratch;
 };
 
 } // namespace aegis::core

@@ -17,6 +17,7 @@ AegisPartitionPolicy::separatesUnder(const pcm::FaultSet &faults,
                                      std::uint32_t k) const
 {
     // B is at most a few hundred; a stamp array beats sorting.
+    // aegis-lint: allow(HOT-ALLOC constructed once per thread, then only assign()ed)
     static thread_local std::vector<std::uint32_t> stamp;
     static thread_local std::uint32_t epoch = 0;
     if (stamp.size() < part.groups())
@@ -31,7 +32,7 @@ AegisPartitionPolicy::separatesUnder(const pcm::FaultSet &faults,
     return true;
 }
 
-bool
+AEGIS_HOT bool
 AegisPartitionPolicy::separate(const pcm::FaultSet &faults,
                                std::uint32_t &repartitions)
 {
@@ -100,14 +101,15 @@ AegisScheme::hardFtc() const
     return hardFtcBasic(policy.partition().b());
 }
 
-scheme::WriteOutcome
+AEGIS_HOT scheme::WriteOutcome
 AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(!cacheMode || directory,
                   "aegis-cache needs an attached fault directory");
-    pcm::FaultSet known;
+    pcm::FaultSet &known = knownScratch;
+    known.clear();
     if (cacheMode)
-        known = directory->lookup(blockId);
+        directory->lookupInto(blockId, known);
     const std::size_t known_before = known.size();
 
     const scheme::WriteOutcome outcome = scheme::writeWithInversion(
@@ -128,7 +130,7 @@ AegisScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 AegisScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);

@@ -21,6 +21,7 @@
 #include "aegis/partition.h"
 #include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
+#include "util/hot.h"
 
 namespace aegis::core {
 
@@ -39,8 +40,8 @@ class AegisPartitionPolicy : public scheme::GroupPartition
     std::size_t groupOf(std::size_t pos) const override
     { return part.groupOf(static_cast<std::uint32_t>(pos), slope); }
 
-    bool separate(const pcm::FaultSet &faults,
-                  std::uint32_t &repartitions) override;
+    AEGIS_HOT bool separate(const pcm::FaultSet &faults,
+                            std::uint32_t &repartitions) override;
 
     void resetConfig() override
     {
@@ -95,11 +96,11 @@ class AegisScheme : public scheme::Scheme
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
 
-    scheme::WriteOutcome write(pcm::CellArray &cells,
-                               const BitVector &data) override;
+    AEGIS_HOT scheme::WriteOutcome write(pcm::CellArray &cells,
+                                         const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -121,6 +122,9 @@ class AegisScheme : public scheme::Scheme
     AegisPartitionPolicy policy;
     BitVector invVector;
     scheme::InversionWorkspace writeWs;
+    /** Reusable fault-lookup scratch so cache-mode writes stay
+     *  allocation-free once warmed. */
+    pcm::FaultSet knownScratch;
     bool cacheMode = false;
 };
 

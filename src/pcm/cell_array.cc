@@ -13,7 +13,7 @@ CellArray::CellArray(std::size_t n)
     AEGIS_REQUIRE(n > 0, "CellArray needs at least one cell");
 }
 
-void
+AEGIS_HOT void
 CellArray::programBit(std::size_t i, bool value)
 {
     AEGIS_ASSERT(i < size(), "CellArray::programBit out of range");
@@ -24,7 +24,7 @@ CellArray::programBit(std::size_t i, bool value)
     // A stuck cell absorbs the program pulse but keeps its value.
 }
 
-bool
+AEGIS_HOT bool
 CellArray::readBit(std::size_t i) const
 {
     AEGIS_ASSERT(i < size(), "CellArray::readBit out of range");
@@ -39,14 +39,14 @@ CellArray::read() const
     return out;
 }
 
-void
+AEGIS_HOT void
 CellArray::readInto(BitVector &out) const
 {
     // effective = (stored & ~stuck) | (stuckValue & stuck)
     out.assignSelect(stored, stuckValue, stuckMask);
 }
 
-std::size_t
+AEGIS_HOT std::size_t
 CellArray::writeDifferential(const BitVector &target)
 {
     AEGIS_REQUIRE(target.size() == size(),
@@ -67,7 +67,7 @@ CellArray::writeDifferential(const BitVector &target)
     return programmed;
 }
 
-std::size_t
+AEGIS_HOT std::size_t
 CellArray::writeBlind(const BitVector &target)
 {
     AEGIS_REQUIRE(target.size() == size(),

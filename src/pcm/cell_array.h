@@ -17,6 +17,7 @@
 
 #include "pcm/fault.h"
 #include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::pcm {
 
@@ -34,10 +35,10 @@ class CellArray
      * cell ignores the new value (this is the physical behaviour; use
      * verification reads to detect it).
      */
-    void programBit(std::size_t i, bool value);
+    AEGIS_HOT void programBit(std::size_t i, bool value);
 
     /** Effective value of cell @p i (stuck value if faulty). */
-    bool readBit(std::size_t i) const;
+    AEGIS_HOT bool readBit(std::size_t i) const;
 
     /** Effective values of all cells. Allocates; hot paths should
      *  prefer readInto. */
@@ -48,7 +49,7 @@ class CellArray
      * effective = (stored & ~stuckMask) | (stuckValue & stuckMask).
      * Reuses @p out's allocation once its width matches.
      */
-    void readInto(BitVector &out) const;
+    AEGIS_HOT void readInto(BitVector &out) const;
 
     /**
      * Differential write: reads the current contents and programs only
@@ -56,13 +57,13 @@ class CellArray
      * read-before-write wear reduction of [8, 18] in the paper).
      * @return the number of cells actually programmed.
      */
-    std::size_t writeDifferential(const BitVector &target);
+    AEGIS_HOT std::size_t writeDifferential(const BitVector &target);
 
     /**
      * Blind write: program every cell regardless of current contents.
      * @return the number of cells programmed (== size()).
      */
-    std::size_t writeBlind(const BitVector &target);
+    AEGIS_HOT std::size_t writeBlind(const BitVector &target);
 
     /** Make cell @p i permanently stuck at @p stuck_value. */
     void injectFault(std::size_t i, bool stuck_value);

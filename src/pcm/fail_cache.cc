@@ -31,12 +31,34 @@ OracleFaultDirectory::lookup(std::uint64_t block) const
     return it->second;
 }
 
+void
+OracleFaultDirectory::lookupInto(std::uint64_t block,
+                                 FaultSet &out) const
+{
+    out.clear();
+    const auto it = entries.find(block);
+    if (it == entries.end())
+        return;
+    obs::bump(obs::Counter::FailCacheHits, it->second.size());
+    // vector::assign reuses out's capacity; per block the fault count
+    // only grows, so steady-state probes never reallocate.
+    out.assign(it->second.begin(), it->second.end());
+}
+
 std::size_t
 OracleFaultDirectory::totalFaults() const
 {
-    std::size_t n = 0;
+    // Enumerate keys, then fold in sorted order: hash order must not
+    // reach any reported number, even an order-invariant sum.
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(entries.size());
+    // aegis-lint: allow(DET-UNORD keys only; the fold below runs in sorted order)
     for (const auto &[block, set] : entries)
-        n += set.size();
+        blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
+    std::size_t n = 0;
+    for (std::uint64_t block : blocks)
+        n += entries.at(block).size();
     return n;
 }
 
@@ -82,35 +104,51 @@ DirectMappedFailCache::record(std::uint64_t block, const Fault &fault)
     e = Entry{true, block, fault.pos, fault.stuck};
 }
 
-FaultSet
-DirectMappedFailCache::resident(std::uint64_t block) const
+void
+DirectMappedFailCache::residentInto(std::uint64_t block,
+                                    FaultSet &out) const
 {
     // A real direct-mapped cache would probe per offset during the
     // pre-write check; the model reconstructs the same result from the
     // recorded ground truth filtered by residency.
-    FaultSet out;
+    out.clear();
     const auto it = recorded.find(block);
     if (it == recorded.end())
-        return out;
+        return;
     for (const Fault &f : it->second) {
         const Entry &e = sets[indexOf(block, f.pos)];
         if (e.valid && e.block == block && e.pos == f.pos)
             out.push_back(Fault{f.pos, e.stuck});
     }
+}
+
+FaultSet
+DirectMappedFailCache::resident(std::uint64_t block) const
+{
+    FaultSet out;
+    residentInto(block, out);
     return out;
 }
 
 FaultSet
 DirectMappedFailCache::lookup(std::uint64_t block) const
 {
-    FaultSet out = resident(block);
+    FaultSet out;
+    lookupInto(block, out);
+    return out;
+}
+
+void
+DirectMappedFailCache::lookupInto(std::uint64_t block,
+                                  FaultSet &out) const
+{
+    residentInto(block, out);
     const auto it = recorded.find(block);
     const std::size_t truth = it == recorded.end() ? 0 : it->second.size();
     obs::bump(obs::Counter::FailCacheHits, out.size());
     // A "miss" is a fault this block once recorded that a conflicting
     // insertion has since evicted — the knowledge the scheme lost.
     obs::bump(obs::Counter::FailCacheMisses, truth - out.size());
-    return out;
 }
 
 bool
@@ -125,9 +163,17 @@ DirectMappedFailCache::complete(std::uint64_t block) const
 double
 DirectMappedFailCache::residency() const
 {
+    // Same key-enumeration discipline as OracleFaultDirectory::
+    // totalFaults: fold in sorted block order, never hash order.
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(recorded.size());
+    // aegis-lint: allow(DET-UNORD keys only; the fold below runs in sorted order)
+    for (const auto &[block, truth] : recorded)
+        blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
     std::size_t total = 0, resident_faults = 0;
-    for (const auto &[block, truth] : recorded) {
-        total += truth.size();
+    for (std::uint64_t block : blocks) {
+        total += recorded.at(block).size();
         resident_faults += resident(block).size();
     }
     return total == 0 ? 1.0

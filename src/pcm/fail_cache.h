@@ -39,6 +39,18 @@ class FaultDirectory
      */
     virtual FaultSet lookup(std::uint64_t block) const = 0;
 
+    /**
+     * lookup() into @p out, reusing its allocation: the pre-write
+     * probe sits on every directory-coupled scheme's hot path, so
+     * steady-state calls with a warmed @p out must not allocate.
+     * Implementations override the default, which copies.
+     */
+    virtual void lookupInto(std::uint64_t block, FaultSet &out) const
+    {
+        const FaultSet found = lookup(block);
+        out.assign(found.begin(), found.end());
+    }
+
     /** True when every recorded fault of @p block is still present. */
     virtual bool complete(std::uint64_t block) const = 0;
 };
@@ -49,6 +61,7 @@ class OracleFaultDirectory : public FaultDirectory
   public:
     void record(std::uint64_t block, const Fault &fault) override;
     FaultSet lookup(std::uint64_t block) const override;
+    void lookupInto(std::uint64_t block, FaultSet &out) const override;
     bool complete(std::uint64_t) const override { return true; }
 
     std::size_t totalFaults() const;
@@ -69,6 +82,7 @@ class DirectMappedFailCache : public FaultDirectory
 
     void record(std::uint64_t block, const Fault &fault) override;
     FaultSet lookup(std::uint64_t block) const override;
+    void lookupInto(std::uint64_t block, FaultSet &out) const override;
     bool complete(std::uint64_t block) const override;
 
     std::size_t capacity() const { return sets.size(); }
@@ -92,6 +106,9 @@ class DirectMappedFailCache : public FaultDirectory
     /** lookup() without the hit/miss accounting, for the internal
      *  completeness/residency bookkeeping queries. */
     FaultSet resident(std::uint64_t block) const;
+
+    /** resident() into @p out without allocating (hot-path core). */
+    void residentInto(std::uint64_t block, FaultSet &out) const;
 
     std::vector<Entry> sets;
     /** Ground truth of what was recorded, for completeness checks. */

@@ -84,7 +84,7 @@ EcpScheme::findEntry(std::size_t pos) const
     return nullptr;
 }
 
-WriteOutcome
+AEGIS_HOT WriteOutcome
 EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
@@ -100,24 +100,29 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
     cells.writeDifferential(data);
     outcome.programPasses = 1;
 
-    const BitVector readback = cells.read();
-    BitVector diff = readback ^ data;
+    cells.readInto(readbackWs);
+    diffWs.assignFrom(readbackWs);
+    diffWs.xorAssign(data);
     // Mismatches at corrected positions are expected: the replacement
     // bit supplies the data there.
     for (const Entry &e : entries)
-        diff.set(e.pos, false);
+        diffWs.set(e.pos, false);
 
-    for (std::size_t pos : diff.setBits()) {
+    bool exhausted = false;
+    diffWs.forEachSetBit([&](std::size_t pos) {
+        if (exhausted)
+            return;
         if (entries.size() >= entriesMax) {
-            outcome.ok = false;
-            return outcome;
+            exhausted = true;
+            return;
         }
+        // aegis-lint: allow(HOT-ALLOC grows only when a NEW fault consumes a pointer — the cold branch by definition)
         entries.push_back(Entry{static_cast<std::uint32_t>(pos),
                                 data.get(pos)});
         obs::bump(obs::Counter::EcpPointersConsumed);
         ++outcome.newFaults;
-    }
-    outcome.ok = true;
+    });
+    outcome.ok = !exhausted;
     return outcome;
 }
 
@@ -129,7 +134,7 @@ EcpScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 EcpScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "scheme/scheme.h"
+#include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -38,11 +40,11 @@ class EcpScheme : public Scheme
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override { return entriesMax; }
 
-    WriteOutcome write(pcm::CellArray &cells,
-                       const BitVector &data) override;
+    AEGIS_HOT WriteOutcome write(pcm::CellArray &cells,
+                                 const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -76,6 +78,10 @@ class EcpScheme : public Scheme
     std::size_t bits;
     std::size_t entriesMax;
     std::vector<Entry> entries;
+    /** Reusable verification scratch so steady-state writes stay
+     *  allocation-free once warmed. */
+    BitVector readbackWs;
+    BitVector diffWs;
 };
 
 } // namespace aegis::scheme

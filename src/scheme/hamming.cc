@@ -153,7 +153,7 @@ HammingScheme::wordOf(const BitVector &v, std::size_t w) const
     return v.words()[w];
 }
 
-WriteOutcome
+AEGIS_HOT WriteOutcome
 HammingScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
@@ -167,22 +167,30 @@ HammingScheme::write(pcm::CellArray &cells, const BitVector &data)
     outcome.programPasses = 1;
 
     // The write succeeds when every word decodes back to its data.
-    outcome.ok = read(cells) == data;
+    readInto(cells, decodedWs);
+    outcome.ok = decodedWs.equals(data);
     return outcome;
 }
 
 BitVector
 HammingScheme::read(const pcm::CellArray &cells) const
 {
-    const BitVector raw = cells.read();
-    BitVector out(bits);
-    for (std::size_t w = 0; w < bits / 64; ++w) {
-        std::uint64_t word = wordOf(raw, w);
-        (void)HammingCodec::decode(word, checkBits[w]);
-        for (std::size_t b = 0; b < 64; ++b)
-            out.set(w * 64 + b, (word >> b) & 1);
-    }
+    BitVector out;
+    readInto(cells, out);
     return out;
+}
+
+AEGIS_HOT void
+HammingScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
+{
+    // The block is a whole number of 64-bit words, so each codeword
+    // can be decoded word-at-a-time directly in the output vector.
+    cells.readInto(out);
+    for (std::size_t w = 0; w < bits / 64; ++w) {
+        std::uint64_t word = out.word(w);
+        (void)HammingCodec::decode(word, checkBits[w]);
+        out.setWord(w, word);
+    }
 }
 
 void

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "scheme/scheme.h"
+#include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -57,9 +59,11 @@ class HammingScheme : public Scheme
     std::size_t overheadBits() const override { return (bits / 64) * 8; }
     std::size_t hardFtc() const override { return 1; }
 
-    WriteOutcome write(pcm::CellArray &cells,
-                       const BitVector &data) override;
+    AEGIS_HOT WriteOutcome write(pcm::CellArray &cells,
+                                 const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -75,6 +79,9 @@ class HammingScheme : public Scheme
 
     std::size_t bits;
     std::vector<std::uint8_t> checkBits;
+    /** Reusable decode scratch so write verification stays
+     *  allocation-free once warmed. */
+    BitVector decodedWs;
 };
 
 } // namespace aegis::scheme

@@ -22,7 +22,7 @@ applyGroupInversion(const BitVector &data, const GroupPartition &partition,
     return target;
 }
 
-void
+AEGIS_HOT void
 applyGroupInversionInto(const BitVector &data,
                         const GroupPartition &partition,
                         const BitVector &inv, BitVector &out)
@@ -45,7 +45,7 @@ applyGroupInversionInto(const BitVector &data,
     }
 }
 
-WriteOutcome
+AEGIS_HOT WriteOutcome
 writeWithInversion(pcm::CellArray &cells, const BitVector &data,
                    GroupPartition &partition, BitVector &inv,
                    pcm::FaultSet &known_faults, InversionWorkspace &ws)
@@ -101,6 +101,7 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
             AEGIS_ASSERT(!ws.knownMask.get(pos),
                          "verification mismatch at an already-known fault");
             ws.knownMask.set(pos, true);
+            // aegis-lint: allow(HOT-ALLOC grows only when a NEW fault is discovered — the cold branch by definition)
             known_faults.push_back(
                 pcm::Fault{static_cast<std::uint32_t>(pos),
                            ws.readback.get(pos)});

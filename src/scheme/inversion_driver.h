@@ -19,6 +19,7 @@
 #include "pcm/fault.h"
 #include "scheme/scheme.h"
 #include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -111,12 +112,12 @@ struct InversionWorkspace
  * @return outcome; ok == false means no configuration separates the
  *         discovered faults and the block is lost.
  */
-WriteOutcome writeWithInversion(pcm::CellArray &cells,
-                                const BitVector &data,
-                                GroupPartition &partition,
-                                BitVector &inv,
-                                pcm::FaultSet &known_faults,
-                                InversionWorkspace &ws);
+AEGIS_HOT WriteOutcome writeWithInversion(pcm::CellArray &cells,
+                                          const BitVector &data,
+                                          GroupPartition &partition,
+                                          BitVector &inv,
+                                          pcm::FaultSet &known_faults,
+                                          InversionWorkspace &ws);
 
 /** Convenience overload with a throwaway workspace (tests, cold
  *  paths). */
@@ -144,9 +145,10 @@ BitVector applyGroupInversion(const BitVector &data,
  * inverted group; otherwise the per-bit path runs. Bit-identical to
  * applyGroupInversion in either case.
  */
-void applyGroupInversionInto(const BitVector &data,
-                             const GroupPartition &partition,
-                             const BitVector &inv, BitVector &out);
+AEGIS_HOT void applyGroupInversionInto(const BitVector &data,
+                                       const GroupPartition &partition,
+                                       const BitVector &inv,
+                                       BitVector &out);
 
 } // namespace aegis::scheme
 

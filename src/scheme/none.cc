@@ -38,7 +38,7 @@ NoneScheme::NoneScheme(std::size_t block_bits)
     AEGIS_REQUIRE(block_bits > 0, "block size must be positive");
 }
 
-WriteOutcome
+AEGIS_HOT WriteOutcome
 NoneScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(data.size() == cells.size(),
@@ -46,7 +46,8 @@ NoneScheme::write(pcm::CellArray &cells, const BitVector &data)
     WriteOutcome outcome;
     cells.writeDifferential(data);
     outcome.programPasses = 1;
-    outcome.ok = cells.read() == data;
+    cells.readInto(readbackWs);
+    outcome.ok = readbackWs.equals(data);
     return outcome;
 }
 
@@ -56,7 +57,7 @@ NoneScheme::read(const pcm::CellArray &cells) const
     return cells.read();
 }
 
-void
+AEGIS_HOT void
 NoneScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     cells.readInto(out);

@@ -12,6 +12,8 @@
 #define AEGIS_SCHEME_NONE_H
 
 #include "scheme/scheme.h"
+#include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -25,11 +27,11 @@ class NoneScheme : public Scheme
     std::size_t overheadBits() const override { return 0; }
     std::size_t hardFtc() const override { return 0; }
 
-    WriteOutcome write(pcm::CellArray &cells,
-                       const BitVector &data) override;
+    AEGIS_HOT WriteOutcome write(pcm::CellArray &cells,
+                                 const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override {}
     std::unique_ptr<Scheme> clone() const override;
 
@@ -41,6 +43,8 @@ class NoneScheme : public Scheme
 
   private:
     std::size_t bits;
+    /** Reusable verification scratch (write stays allocation-free). */
+    BitVector readbackWs;
 };
 
 } // namespace aegis::scheme

@@ -175,10 +175,24 @@ BitVector
 RdisSolver::inversionMask(const RdisMarks &marks,
                           std::size_t block_bits) const
 {
-    BitVector mask(block_bits);
-    for (std::size_t pos = 0; pos < block_bits; ++pos)
-        mask.set(pos, inverted(marks, pos));
+    BitVector mask;
+    inversionMaskInto(marks, block_bits, mask);
     return mask;
+}
+
+void
+RdisSolver::inversionMaskInto(const RdisMarks &marks,
+                              std::size_t block_bits,
+                              BitVector &mask) const
+{
+    if (mask.size() != block_bits)
+        mask = BitVector(block_bits);
+    else
+        mask.fill(false);
+    for (std::size_t pos = 0; pos < block_bits; ++pos) {
+        if (inverted(marks, pos))
+            mask.set(pos, true);
+    }
 }
 
 RdisScheme::RdisScheme(std::size_t block_bits, std::size_t rows,
@@ -190,6 +204,13 @@ RdisScheme::RdisScheme(std::size_t block_bits, std::size_t rows,
     marks.levels.assign(solver.markLevels(),
                         {BitVector(solver.rows()),
                          BitVector(solver.cols())});
+    refreshMask();
+}
+
+void
+RdisScheme::refreshMask()
+{
+    solver.inversionMaskInto(marks, bits, invMask);
 }
 
 std::string
@@ -250,9 +271,9 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
             return outcome;
         }
         ++outcome.repartitions;
+        refreshMask();
 
-        const BitVector target =
-            data ^ solver.inversionMask(marks, bits);
+        const BitVector target = data ^ invMask;
         cells.writeDifferential(target);
         ++outcome.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
@@ -283,12 +304,12 @@ RdisScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 RdisScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
     cells.readInto(out);
-    out.xorAssign(solver.inversionMask(marks, bits));
+    out.xorAssign(invMask);
 }
 
 void
@@ -297,6 +318,7 @@ RdisScheme::reset()
     marks.levels.assign(solver.markLevels(),
                         {BitVector(solver.rows()),
                          BitVector(solver.cols())});
+    refreshMask();
 }
 
 std::unique_ptr<Scheme>
@@ -330,6 +352,7 @@ RdisScheme::importMetadata(const BitVector &image)
         marks.levels.emplace_back(std::move(rows), std::move(cols));
     }
     (void)r.readBit();
+    refreshMask();
 }
 
 std::unique_ptr<LifetimeTracker>

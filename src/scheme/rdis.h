@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "scheme/scheme.h"
+#include "util/bit_vector.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -75,6 +77,11 @@ class RdisSolver
     BitVector inversionMask(const RdisMarks &marks,
                             std::size_t block_bits) const;
 
+    /** inversionMask into @p mask, reusing its storage. */
+    void inversionMaskInto(const RdisMarks &marks,
+                           std::size_t block_bits,
+                           BitVector &mask) const;
+
     std::size_t rows() const { return numRows; }
     std::size_t cols() const { return numCols; }
     std::size_t depth() const { return numLevels + 1; }
@@ -110,8 +117,8 @@ class RdisScheme : public Scheme
     WriteOutcome write(pcm::CellArray &cells,
                        const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -131,9 +138,16 @@ class RdisScheme : public Scheme
     const RdisSolver &getSolver() const { return solver; }
 
   private:
+    /** Recompute the cached inversion mask from the current marks.
+     *  Must run after every marks mutation (write/reset/import). */
+    void refreshMask();
+
     std::size_t bits;
     RdisSolver solver;
     RdisMarks marks;
+    /** Per-bit inversion implied by marks, cached so reads are one
+     *  word-parallel XOR instead of a per-bit mask rebuild. */
+    BitVector invMask;
 };
 
 } // namespace aegis::scheme

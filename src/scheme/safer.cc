@@ -324,14 +324,15 @@ SaferScheme::overheadBits() const
     return costBits(bits, numGroups);
 }
 
-WriteOutcome
+AEGIS_HOT WriteOutcome
 SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
 {
     AEGIS_REQUIRE(!cacheMode || directory,
                   "SAFER-cache needs an attached fault directory");
-    pcm::FaultSet known;
+    pcm::FaultSet &known = knownScratch;
+    known.clear();
     if (cacheMode)
-        known = directory->lookup(blockId);
+        directory->lookupInto(blockId, known);
     const std::size_t known_before = known.size();
 
     WriteOutcome outcome =
@@ -352,7 +353,7 @@ SaferScheme::read(const pcm::CellArray &cells) const
     return out;
 }
 
-void
+AEGIS_HOT void
 SaferScheme::readInto(const pcm::CellArray &cells, BitVector &out) const
 {
     AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);

@@ -30,6 +30,7 @@
 
 #include "scheme/inversion_driver.h"
 #include "scheme/scheme.h"
+#include "util/hot.h"
 
 namespace aegis::scheme {
 
@@ -97,11 +98,11 @@ class SaferScheme : public Scheme
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override { return maxFields + 1; }
 
-    WriteOutcome write(pcm::CellArray &cells,
-                       const BitVector &data) override;
+    AEGIS_HOT WriteOutcome write(pcm::CellArray &cells,
+                                 const BitVector &data) override;
     BitVector read(const pcm::CellArray &cells) const override;
-    void readInto(const pcm::CellArray &cells,
-                  BitVector &out) const override;
+    AEGIS_HOT void readInto(const pcm::CellArray &cells,
+                            BitVector &out) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -130,6 +131,9 @@ class SaferScheme : public Scheme
     SaferPartition part;
     BitVector invVector;
     InversionWorkspace writeWs;
+    /** Reusable fault-lookup scratch so cache-mode writes stay
+     *  allocation-free once warmed. */
+    pcm::FaultSet knownScratch;
 };
 
 } // namespace aegis::scheme

@@ -96,9 +96,11 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng,
         }
 
         // Advance to the fault arrival.
+        // aegis-lint: allow(DET-FLOAT per-life sequential fold; life order is fixed by the chunk grid)
         t += dt;
         for (std::size_t i = 0; i < n; ++i) {
             if (healthy[i] != 0)
+                // aegis-lint: allow(DET-FLOAT per-life sequential fold; life order is fixed by the chunk grid)
                 remaining[i] -= rate[i] * dt;
         }
         healthy[victim] = 0;
@@ -120,6 +122,7 @@ BlockSimulator::run(Rng &cell_rng, Rng &sim_rng,
         std::fill(rate.begin(), rate.end(), wear.baseRate);
         for (std::uint32_t pos : tracker->amplifiedCells()) {
             if (healthy[pos] != 0)
+                // aegis-lint: allow(DET-FLOAT per-life sequential fold; life order is fixed by the chunk grid)
                 rate[pos] += wear.amplifiedExtra;
         }
     }

@@ -109,10 +109,12 @@ replayTrace(PcmDevice &device, TraceGenerator &trace,
 
     double fault_debt = 0;
     for (std::uint64_t w = 0; w < page_writes; ++w) {
+        // aegis-lint: allow(DET-FLOAT single-threaded replay; write order is the trace order)
         fault_debt += faults_per_kwrite / 1000.0;
         while (fault_debt >= 1.0) {
             device.injectRandomFaults(1, rng);
             ++stats.faultsInjected;
+            // aegis-lint: allow(DET-FLOAT single-threaded replay; write order is the trace order)
             fault_debt -= 1.0;
         }
 

@@ -29,6 +29,7 @@ ResidualSkewWearLeveling::pageRates(std::uint32_t pages, Rng &rng) const
     // Renormalize so mean traffic is exactly 1.
     double sum = 0;
     for (double r : rates)
+        // aegis-lint: allow(DET-FLOAT fold order is the fixed page order, identical on every run)
         sum += r;
     const double scale = static_cast<double>(pages) / sum;
     for (double &r : rates)
@@ -56,6 +57,7 @@ ZipfWorkload::pageRates(std::uint32_t pages, Rng &rng) const
     double sum = 0;
     for (std::uint32_t i = 0; i < pages; ++i) {
         rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        // aegis-lint: allow(DET-FLOAT fold order is the fixed page order, identical on every run)
         sum += rates[i];
     }
     const double scale = static_cast<double>(pages) / sum;

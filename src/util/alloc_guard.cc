@@ -1,0 +1,146 @@
+#include "util/alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace aegis {
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_deallocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+} // namespace
+
+bool
+allocGuardActive()
+{
+#ifdef AEGIS_ALLOC_GUARD
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::uint64_t
+allocGuardAllocations()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+allocGuardDeallocations()
+{
+    return g_deallocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+allocGuardBytes()
+{
+    return g_bytes.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void *
+countedAllocate(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    // operator new(0) must return a unique pointer.
+    void *p = std::malloc(size == 0 ? 1 : size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+countedFree(void *p)
+{
+    if (p == nullptr)
+        return;
+    g_deallocs.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+} // namespace detail
+
+} // namespace aegis
+
+#ifdef AEGIS_ALLOC_GUARD
+
+// Replaceable global allocation functions ([new.delete]); linking
+// this TU with AEGIS_ALLOC_GUARD routes every new/delete in the
+// binary — including the standard library's — through the counters.
+
+void *
+operator new(std::size_t size)
+{
+    return aegis::detail::countedAllocate(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return aegis::detail::countedAllocate(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return aegis::detail::countedAllocate(size);
+    } catch (const std::bad_alloc &) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return aegis::detail::countedAllocate(size);
+    } catch (const std::bad_alloc &) {
+        return nullptr;
+    }
+}
+
+void
+operator delete(void *p) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    aegis::detail::countedFree(p);
+}
+
+#endif // AEGIS_ALLOC_GUARD

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Counting-allocator hook: runtime teeth for the AEGIS_HOT contract.
+ *
+ * When a binary is built with -DAEGIS_ALLOC_GUARD and links
+ * alloc_guard.cc, the global operator new/delete are replaced with
+ * counting versions. AllocationProbe then measures how many heap
+ * allocations a code region performed:
+ *
+ *     AllocationProbe probe;
+ *     scheme->write(cells, data);            // warmed hot path
+ *     EXPECT_EQ(probe.allocations(), 0u);
+ *
+ * Without AEGIS_ALLOC_GUARD the header still compiles and
+ * allocGuardActive() reports false, so callers can skip assertions
+ * instead of miscounting. The counters are relaxed atomics: the guard
+ * measures allocation *counts*, not ordering, and stays cheap enough
+ * to leave enabled for a whole test binary.
+ */
+
+#ifndef AEGIS_UTIL_ALLOC_GUARD_H
+#define AEGIS_UTIL_ALLOC_GUARD_H
+
+#include <cstdint>
+
+namespace aegis {
+
+/** True when the counting operator new/delete are linked in. */
+bool allocGuardActive();
+
+/** Heap allocations (operator new calls) since process start. */
+std::uint64_t allocGuardAllocations();
+
+/** Heap deallocations (operator delete calls with a non-null
+ *  pointer) since process start. */
+std::uint64_t allocGuardDeallocations();
+
+/** Bytes requested from operator new since process start. */
+std::uint64_t allocGuardBytes();
+
+/**
+ * Snapshot of the allocation counters over a scope. The probe is
+ * intentionally trivial — no registration, no nesting bookkeeping —
+ * so probing itself cannot allocate.
+ */
+class AllocationProbe
+{
+  public:
+    AllocationProbe()
+        : startAllocs(allocGuardAllocations()),
+          startBytes(allocGuardBytes())
+    {}
+
+    /** Allocations since construction (0 when the guard is off). */
+    std::uint64_t allocations() const
+    {
+        return allocGuardAllocations() - startAllocs;
+    }
+
+    /** Bytes requested since construction (0 when the guard is off). */
+    std::uint64_t bytes() const
+    {
+        return allocGuardBytes() - startBytes;
+    }
+
+  private:
+    std::uint64_t startAllocs;
+    std::uint64_t startBytes;
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_ALLOC_GUARD_H

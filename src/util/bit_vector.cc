@@ -37,14 +37,14 @@ BitVector::fromString(const std::string &bits)
     return v;
 }
 
-bool
+AEGIS_HOT bool
 BitVector::get(std::size_t i) const
 {
     AEGIS_ASSERT(i < numBits, "BitVector::get out of range");
     return (wordStore[i / kWordBits] >> (i % kWordBits)) & 1ull;
 }
 
-void
+AEGIS_HOT void
 BitVector::set(std::size_t i, bool value)
 {
     AEGIS_ASSERT(i < numBits, "BitVector::set out of range");
@@ -55,14 +55,14 @@ BitVector::set(std::size_t i, bool value)
         wordStore[i / kWordBits] &= ~mask;
 }
 
-void
+AEGIS_HOT void
 BitVector::flip(std::size_t i)
 {
     AEGIS_ASSERT(i < numBits, "BitVector::flip out of range");
     wordStore[i / kWordBits] ^= 1ull << (i % kWordBits);
 }
 
-void
+AEGIS_HOT void
 BitVector::fill(bool value)
 {
     for (auto &w : wordStore)
@@ -70,7 +70,7 @@ BitVector::fill(bool value)
     maskTail();
 }
 
-void
+AEGIS_HOT void
 BitVector::invert()
 {
     for (auto &w : wordStore)
@@ -78,7 +78,7 @@ BitVector::invert()
     maskTail();
 }
 
-std::size_t
+AEGIS_HOT std::size_t
 BitVector::popcount() const
 {
     std::size_t n = 0;
@@ -115,7 +115,7 @@ BitVector::firstSetBit() const
     return numBits;
 }
 
-BitVector &
+AEGIS_HOT BitVector &
 BitVector::xorAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
@@ -124,7 +124,7 @@ BitVector::xorAssign(const BitVector &other)
     return *this;
 }
 
-BitVector &
+AEGIS_HOT BitVector &
 BitVector::andAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
@@ -133,7 +133,7 @@ BitVector::andAssign(const BitVector &other)
     return *this;
 }
 
-BitVector &
+AEGIS_HOT BitVector &
 BitVector::orAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
@@ -142,7 +142,7 @@ BitVector::orAssign(const BitVector &other)
     return *this;
 }
 
-BitVector &
+AEGIS_HOT BitVector &
 BitVector::andNotAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
@@ -151,7 +151,7 @@ BitVector::andNotAssign(const BitVector &other)
     return *this;
 }
 
-BitVector &
+AEGIS_HOT BitVector &
 BitVector::xorAssignAndNot(const BitVector &value, const BitVector &mask)
 {
     AEGIS_ASSERT(numBits == value.numBits && numBits == mask.numBits,
@@ -161,7 +161,7 @@ BitVector::xorAssignAndNot(const BitVector &value, const BitVector &mask)
     return *this;
 }
 
-void
+AEGIS_HOT void
 BitVector::assignSelect(const BitVector &base, const BitVector &chosen,
                         const BitVector &mask)
 {
@@ -169,6 +169,7 @@ BitVector::assignSelect(const BitVector &base, const BitVector &chosen,
                      base.numBits == mask.numBits,
                  "BitVector size mismatch");
     numBits = base.numBits;
+    // aegis-lint: allow(HOT-ALLOC grows only until operand widths stabilize; steady state is a no-op)
     wordStore.resize(base.wordStore.size());
     for (std::size_t i = 0; i < wordStore.size(); ++i) {
         wordStore[i] = (base.wordStore[i] & ~mask.wordStore[i]) |
@@ -176,14 +177,14 @@ BitVector::assignSelect(const BitVector &base, const BitVector &chosen,
     }
 }
 
-void
+AEGIS_HOT void
 BitVector::assignFrom(const BitVector &other)
 {
     numBits = other.numBits;
     wordStore.assign(other.wordStore.begin(), other.wordStore.end());
 }
 
-bool
+AEGIS_HOT bool
 BitVector::equals(const BitVector &other) const
 {
     return numBits == other.numBits && wordStore == other.wordStore;
@@ -246,6 +247,16 @@ BitVector::random(std::size_t n, Rng &rng)
     BitVector v(n);
     v.randomize(rng);
     return v;
+}
+
+void
+BitVector::setWord(std::size_t wi, std::uint64_t w)
+{
+    AEGIS_ASSERT(wi < wordStore.size(),
+                 "BitVector::setWord out of range");
+    wordStore[wi] = w;
+    if (wi + 1 == wordStore.size())
+        maskTail();
 }
 
 void

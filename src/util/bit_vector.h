@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/hot.h"
+
 namespace aegis {
 
 class Rng;
@@ -50,22 +52,22 @@ class BitVector
     bool empty() const { return numBits == 0; }
 
     /** Read bit @p i. */
-    bool get(std::size_t i) const;
+    AEGIS_HOT bool get(std::size_t i) const;
 
     /** Set bit @p i to @p value. */
-    void set(std::size_t i, bool value);
+    AEGIS_HOT void set(std::size_t i, bool value);
 
     /** Flip bit @p i. */
-    void flip(std::size_t i);
+    AEGIS_HOT void flip(std::size_t i);
 
     /** Set all bits to @p value. */
-    void fill(bool value);
+    AEGIS_HOT void fill(bool value);
 
     /** Flip every bit in place. */
-    void invert();
+    AEGIS_HOT void invert();
 
     /** Number of set bits. */
-    std::size_t popcount() const;
+    AEGIS_HOT std::size_t popcount() const;
 
     /** True when no bit is set. */
     bool none() const { return popcount() == 0; }
@@ -87,7 +89,7 @@ class BitVector
      * once before its bits are dispatched).
      */
     template <typename Fn>
-    void forEachSetBit(Fn &&fn) const
+    AEGIS_HOT void forEachSetBit(Fn &&fn) const
     {
         for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
             std::uint64_t w = wordStore[wi];
@@ -100,39 +102,40 @@ class BitVector
     }
 
     /** In-place xor with @p other (sizes must match). */
-    BitVector &xorAssign(const BitVector &other);
+    AEGIS_HOT BitVector &xorAssign(const BitVector &other);
 
     /** In-place or with @p other (sizes must match). */
-    BitVector &orAssign(const BitVector &other);
+    AEGIS_HOT BitVector &orAssign(const BitVector &other);
 
     /** In-place and with @p other (sizes must match). */
-    BitVector &andAssign(const BitVector &other);
+    AEGIS_HOT BitVector &andAssign(const BitVector &other);
 
     /** this &= ~other, without materializing ~other. */
-    BitVector &andNotAssign(const BitVector &other);
+    AEGIS_HOT BitVector &andNotAssign(const BitVector &other);
 
     /** Flip exactly the bits selected by @p mask (word-parallel). */
-    void invertMasked(const BitVector &mask) { xorAssign(mask); }
+    AEGIS_HOT void invertMasked(const BitVector &mask) { xorAssign(mask); }
 
     /** this ^= (value & ~mask), without temporaries: xor in only the
      *  bits of @p value that fall outside @p mask. */
-    BitVector &xorAssignAndNot(const BitVector &value,
-                               const BitVector &mask);
+    AEGIS_HOT BitVector &xorAssignAndNot(const BitVector &value,
+                                         const BitVector &mask);
 
     /**
      * Become (base & ~mask) | (chosen & mask): take each bit from
      * @p chosen where @p mask is set and from @p base elsewhere. All
      * three sizes must match; resizes this vector if needed.
      */
-    void assignSelect(const BitVector &base, const BitVector &chosen,
-                      const BitVector &mask);
+    AEGIS_HOT void assignSelect(const BitVector &base,
+                                const BitVector &chosen,
+                                const BitVector &mask);
 
     /** Copy @p other's contents; reuses the existing allocation when
      *  capacity suffices (always, once widths have stabilized). */
-    void assignFrom(const BitVector &other);
+    AEGIS_HOT void assignFrom(const BitVector &other);
 
     /** Word-level equality (same size and same bits). */
-    bool equals(const BitVector &other) const;
+    AEGIS_HOT bool equals(const BitVector &other) const;
 
     /** Index of the first bit where this and @p other differ, or
      *  size() when equal (sizes must match). */
@@ -181,6 +184,14 @@ class BitVector
 
     /** Direct read access to the backing words (for fast scans). */
     const std::vector<std::uint64_t> &words() const { return wordStore; }
+
+    /** Backing word @p wi (for word-at-a-time codecs). */
+    AEGIS_HOT std::uint64_t word(std::size_t wi) const
+    { return wordStore[wi]; }
+
+    /** Overwrite backing word @p wi; tail bits beyond size() are
+     *  re-masked so invariants hold. */
+    AEGIS_HOT void setWord(std::size_t wi, std::uint64_t w);
 
   private:
     /** Clear any bits in the final partial word beyond numBits. */

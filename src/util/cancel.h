@@ -71,6 +71,7 @@ class CancelToken
         if (state.load(std::memory_order_relaxed) != 0)
             return true;
         if (armedDeadline.load(std::memory_order_relaxed) &&
+            // aegis-lint: allow(DET-CHRONO deadline cancellation is inherently wall-clock; never feeds result cells)
             std::chrono::steady_clock::now() >= deadline) {
             int expected = 0;
             state.compare_exchange_strong(
@@ -92,6 +93,7 @@ class CancelToken
     void
     setDeadlineAfter(double seconds)
     {
+        // aegis-lint: allow(DET-CHRONO deadline cancellation is inherently wall-clock; never feeds result cells)
         deadline = std::chrono::steady_clock::now() +
                    std::chrono::duration_cast<
                        std::chrono::steady_clock::duration>(

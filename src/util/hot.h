@@ -1,0 +1,33 @@
+/**
+ * @file
+ * AEGIS_HOT: the hot-path allocation-freedom contract marker.
+ *
+ * A function marked AEGIS_HOT promises that its steady-state
+ * executions perform zero heap allocations once its reusable
+ * workspaces are warm. The marker is deliberately inert in codegen;
+ * it exists for the contract's two enforcers:
+ *
+ *  - statically, tools/aegis_lint/aegis_lint.py (rule HOT-ALLOC)
+ *    rejects allocation-capable constructs — operator new,
+ *    push_back/resize/reserve, std::string, std::function, local
+ *    std::vector — inside a marked function and inside everything it
+ *    reaches at file-local depth. Cold branches that legitimately
+ *    allocate (first-use sizing, new-fault discovery) carry an
+ *    allow(HOT-ALLOC reason) suppression comment (see the
+ *    linter's --list-rules for the syntax).
+ *  - dynamically, tests/test_alloc_guard.cc drives every registered
+ *    scheme through warmed read/write/recover cycles under the
+ *    counting allocator in util/alloc_guard.h and fails on any heap
+ *    allocation.
+ *
+ * Mark declarations at the interface (so readers see the contract)
+ * and repeat the marker on out-of-line definitions (so the checker
+ * sees it in the translation unit it lints).
+ */
+
+#ifndef AEGIS_UTIL_HOT_H
+#define AEGIS_UTIL_HOT_H
+
+#define AEGIS_HOT
+
+#endif // AEGIS_UTIL_HOT_H

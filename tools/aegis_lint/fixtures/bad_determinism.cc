@@ -1,0 +1,36 @@
+// Fixture: every determinism sin DET-RAND / DET-CHRONO must catch.
+// Not part of any build; aegis-lint's fixture test scans it.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+noisySeed()
+{
+    std::random_device rd;
+    return static_cast<int>(rd());
+}
+
+int
+libcRand()
+{
+    srand(42);
+    return rand();
+}
+
+long
+stamp()
+{
+    return static_cast<long>(std::time(nullptr));
+}
+
+double
+elapsedGuess()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t1.time_since_epoch()).count() -
+           std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

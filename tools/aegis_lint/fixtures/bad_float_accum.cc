@@ -1,0 +1,30 @@
+// Fixture: DET-FLOAT must flag +=/-= folds into floats and into
+// elements of float vectors; the integer fold must NOT fire.
+
+#include <cstddef>
+#include <vector>
+
+double
+meanOfSquares(const double *xs, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += xs[i] * xs[i];
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+void
+subtractBaseline(std::vector<double> &levels, double baseline)
+{
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        levels[i] -= baseline;
+}
+
+long
+integerFoldIsFine(const std::vector<long> &xs)
+{
+    long total = 0;
+    for (long x : xs)
+        total += x;
+    return total;
+}

@@ -1,0 +1,52 @@
+// Fixture: HOT-ALLOC must reject allocation-capable constructs inside
+// AEGIS_HOT functions AND inside file-local helpers they reach; the
+// unmarked function at the end must NOT fire.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#define AEGIS_HOT
+
+namespace {
+
+// Not marked itself — reached from hotAppend, so still in scope.
+void
+growSink(std::vector<int> &sink, int v)
+{
+    sink.push_back(v);
+}
+
+} // namespace
+
+AEGIS_HOT void
+hotAppend(std::vector<int> &sink, int v)
+{
+    growSink(sink, v);
+}
+
+AEGIS_HOT std::size_t
+hotFormat(int v)
+{
+    std::string text = std::to_string(v);
+    int *boxed = new int(v);
+    const std::size_t r = text.size() + static_cast<std::size_t>(*boxed);
+    delete boxed;
+    return r;
+}
+
+AEGIS_HOT std::size_t
+hotScratch()
+{
+    std::vector<unsigned> scratch(64, 0u);
+    return scratch.size();
+}
+
+// Cold code may allocate freely.
+std::size_t
+coldPathIsFine()
+{
+    std::vector<unsigned> scratch(64, 0u);
+    scratch.push_back(1u);
+    return scratch.size();
+}

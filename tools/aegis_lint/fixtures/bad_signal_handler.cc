@@ -1,0 +1,37 @@
+// Fixture: SIG-SAFE must flag non-async-signal-safe calls in a
+// handler installed via std::signal, including through a file-local
+// helper; the atomic store and re-raise must NOT fire.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+std::atomic<int> g_flag{0};
+
+void
+logInterrupt(int sig)
+{
+    std::printf("interrupted: %d\n", sig);
+    std::fflush(stdout);
+}
+
+void
+onInterrupt(int sig)
+{
+    g_flag.store(sig);
+    logInterrupt(sig);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+void
+installHandlers()
+{
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+}

@@ -1,0 +1,31 @@
+// Fixture: DET-UNORD must flag both iteration spellings over
+// unordered containers; the std::map walk at the end must NOT fire.
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+std::size_t
+sumValues(const std::unordered_map<int, int> &table)
+{
+    std::size_t n = 0;
+    for (const auto &kv : table)
+        n += static_cast<std::size_t>(kv.second);
+    return n;
+}
+
+int
+firstElement(const std::unordered_set<int> &keys)
+{
+    return *keys.begin();
+}
+
+std::size_t
+orderedWalkIsFine(const std::map<int, int> &ordered)
+{
+    std::size_t n = 0;
+    for (const auto &kv : ordered)
+        n += static_cast<std::size_t>(kv.second);
+    return n;
+}

@@ -1,0 +1,35 @@
+// Fixture: idiomatic repo code the checker must accept untouched —
+// capacity-reusing assign/clear in a hot function, ordered folds,
+// integer arithmetic.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#define AEGIS_HOT
+
+AEGIS_HOT void
+refillScratch(std::vector<std::uint32_t> &scratch, std::uint32_t n)
+{
+    scratch.clear();
+    scratch.assign(n, 0u);
+    for (std::uint32_t i = 0; i < n; ++i)
+        scratch[i] = i * i;
+}
+
+std::uint64_t
+orderedFold(const std::map<std::uint64_t, std::uint64_t> &table)
+{
+    std::uint64_t total = 0;
+    for (const auto &kv : table)
+        total += kv.second;
+    return total;
+}
+
+double
+singleAssignmentIsFine(double base, double scale)
+{
+    const double scaled = base * scale;
+    return scaled;
+}

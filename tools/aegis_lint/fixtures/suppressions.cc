@@ -1,0 +1,39 @@
+// Fixture: suppression mechanics. The two allow() comments with
+// reasons silence their findings; the reasonless one, the
+// unknown-rule one, and the unused one must each raise LINT-SUPPRESS.
+
+#include <cstdlib>
+
+int
+blessedEntropy()
+{
+    // aegis-lint: allow(DET-RAND fixture demonstrating a justified suppression)
+    return rand();
+}
+
+int
+sameLineSuppression()
+{
+    return rand();    // aegis-lint: allow(DET-RAND same-line spelling works too)
+}
+
+int
+reasonlessSuppression()
+{
+    // aegis-lint: allow(DET-RAND)
+    return rand();
+}
+
+int
+unknownRule()
+{
+    // aegis-lint: allow(NOT-A-RULE whatever)
+    return 7;
+}
+
+int
+unusedSuppression()
+{
+    // aegis-lint: allow(DET-CHRONO nothing on the next line reads a clock)
+    return 9;
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Golden-findings test for aegis-lint.
+
+Runs the checker over every fixture in fixtures/ and compares the
+findings (file:line:col + rule id) against fixtures/expected.txt.
+Fixtures with expected findings must exit 1; fixtures without must
+exit 0.  Run with --src-clean to also assert the checker reports
+nothing on the repo's real src/ tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+LINTER = HERE / "aegis_lint.py"
+FIXTURES = HERE / "fixtures"
+EXPECTED = FIXTURES / "expected.txt"
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+): error: \[(?P<rule>[A-Z0-9-]+)\]"
+)
+
+
+def run_linter(paths):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--repo-root", str(REPO_ROOT), "--quiet"]
+        + [str(p) for p in paths],
+        capture_output=True,
+        text=True,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append(
+                (Path(m.group("path")).name, int(m.group("line")),
+                 int(m.group("col")), m.group("rule"))
+            )
+    return proc.returncode, findings, proc.stdout + proc.stderr
+
+
+def load_expected():
+    expected = []
+    for raw in EXPECTED.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        loc, rule = line.rsplit(None, 1)
+        name, lineno, col = loc.rsplit(":", 2)
+        expected.append((name, int(lineno), int(col), rule))
+    return expected
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--print-actual", action="store_true",
+                    help="print actual findings in expected.txt format and exit")
+    ap.add_argument("--src-clean", action="store_true",
+                    help="also require zero findings on the repo's src/ tree")
+    args = ap.parse_args()
+
+    fixtures = sorted(FIXTURES.glob("*.cc"))
+    if not fixtures:
+        print("FAIL: no fixtures found in", FIXTURES)
+        return 1
+
+    failures = []
+    actual_all = []
+    for fx in fixtures:
+        code, findings, output = run_linter([fx])
+        actual_all.extend(findings)
+        expected = [e for e in load_expected() if e[0] == fx.name]
+        want_exit = 1 if expected else 0
+        if code != want_exit:
+            failures.append(f"{fx.name}: exit code {code}, expected {want_exit}\n{output}")
+        if sorted(findings) != sorted(expected):
+            missing = sorted(set(expected) - set(findings))
+            extra = sorted(set(findings) - set(expected))
+            msg = [f"{fx.name}: findings mismatch"]
+            for m in missing:
+                msg.append(f"  missing: {m[0]}:{m[1]}:{m[2]} {m[3]}")
+            for e in extra:
+                msg.append(f"  extra:   {e[0]}:{e[1]}:{e[2]} {e[3]}")
+            failures.append("\n".join(msg))
+
+    if args.print_actual:
+        for name, line, col, rule in actual_all:
+            print(f"{name}:{line}:{col} {rule}")
+        return 0
+
+    if args.src_clean:
+        code, findings, output = run_linter([REPO_ROOT / "src"])
+        if code != 0 or findings:
+            failures.append(f"src/ is not lint-clean (exit {code}):\n{output}")
+
+    if failures:
+        print("FAIL: aegis-lint fixture test")
+        for f in failures:
+            print(f)
+        return 1
+
+    n = len(load_expected())
+    print(f"PASS: {len(fixtures)} fixtures, {n} golden findings matched"
+          + (", src/ clean" if args.src_clean else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

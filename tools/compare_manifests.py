@@ -11,10 +11,77 @@ legitimately different and excluded.
 Usage: compare_manifests.py <golden.json> <candidate.json>
 Exit status 0 when the deterministic sections match; 1 with one line
 per difference otherwise.
+
+Perf-gate mode: compare_manifests.py --perf [--tolerance PCT] then the
+two manifests. Instead of bit-exact equality, rows of the
+"microbenchmarks" table are matched by benchmark name and the
+candidate's cpu_ns_per_iter must not exceed the golden's by more than
+the tolerance (default 10%). Benchmarks present in only one manifest
+are reported but do not fail the gate (the set evolves); slower-than-
+tolerance rows do.
 """
 
 import json
 import sys
+
+PERF_TABLE = "microbenchmarks"
+PERF_METRIC = "cpu_ns_per_iter"
+
+
+def perf_rows(manifest, errors, label):
+    """Map benchmark name -> cpu ns/iter from the microbenchmarks table."""
+    for table in manifest.get("tables", []):
+        if table.get("title") != PERF_TABLE:
+            continue
+        header = table.get("header", [])
+        try:
+            name_col = header.index("benchmark")
+            metric_col = header.index(PERF_METRIC)
+        except ValueError:
+            errors.append("%s: %r table lacks benchmark/%s columns"
+                          % (label, PERF_TABLE, PERF_METRIC))
+            return {}
+        rows = {}
+        for row in table.get("rows", []):
+            # Cells are human-formatted strings ("1,760,247" / "391.91").
+            rows[row[name_col]] = float(row[metric_col].replace(",", ""))
+        return rows
+    errors.append("%s: no %r table" % (label, PERF_TABLE))
+    return {}
+
+
+def perf_gate(golden, candidate, tolerance_pct):
+    errors = []
+    g = perf_rows(golden, errors, "golden")
+    c = perf_rows(candidate, errors, "candidate")
+    if errors:
+        for e in errors:
+            print("PERF-GATE ERROR: %s" % e)
+        return 2
+
+    regressions = []
+    limit = 1.0 + tolerance_pct / 100.0
+    for name in sorted(set(g) | set(c)):
+        if name not in c:
+            print("PERF-GATE NOTE: %s only in golden (skipped)" % name)
+            continue
+        if name not in g:
+            print("PERF-GATE NOTE: %s only in candidate (skipped)" % name)
+            continue
+        ratio = c[name] / g[name] if g[name] > 0 else float("inf")
+        verdict = "FAIL" if ratio > limit else "ok"
+        print("PERF-GATE %-4s %-45s %10.2f -> %10.2f ns/iter (%+6.1f%%)"
+              % (verdict, name, g[name], c[name], (ratio - 1.0) * 100.0))
+        if ratio > limit:
+            regressions.append(name)
+
+    if regressions:
+        print("PERF-GATE: %d benchmark(s) regressed beyond %.0f%%: %s"
+              % (len(regressions), tolerance_pct, ", ".join(regressions)))
+        return 1
+    print("PERF-GATE: all shared benchmarks within %.0f%% of golden"
+          % tolerance_pct)
+    return 0
 
 
 def diff_tables(golden, candidate, errors):
@@ -49,13 +116,30 @@ def diff_counters(golden, candidate, errors):
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = argv[1:]
+    perf_mode = False
+    tolerance = 10.0
+    while args and args[0].startswith("--"):
+        if args[0] == "--perf":
+            perf_mode = True
+            args = args[1:]
+        elif args[0] == "--tolerance" and len(args) >= 2:
+            tolerance = float(args[1])
+            args = args[2:]
+        else:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
+    with open(args[0]) as f:
         golden = json.load(f)
-    with open(argv[2]) as f:
+    with open(args[1]) as f:
         candidate = json.load(f)
+
+    if perf_mode:
+        return perf_gate(golden, candidate, tolerance)
+    argv = [argv[0], args[0], args[1]]
 
     errors = []
     if golden.get("seed") != candidate.get("seed"):

@@ -9,10 +9,15 @@
 # always a meaningful gate and exits non-zero on findings.
 #
 # Usage:
-#   tools/lint.sh [--build-dir DIR] [file.cc ...]
+#   tools/lint.sh [--build-dir DIR] [--aegis] [file.cc ...]
 #
 # With file arguments only those files are checked (CI uses this for
 # changed-files linting); otherwise every .cc under src/ is checked.
+#
+# --aegis runs the repo-specific invariant checker
+# (tools/aegis_lint/aegis_lint.py: determinism, hot-path allocations,
+# signal safety) instead of clang-tidy. Headers are lintable in this
+# mode.
 
 set -u -o pipefail
 
@@ -20,6 +25,7 @@ cd "$(dirname "$0")/.."
 repo_root=$(pwd)
 
 build_dir="build-lint"
+aegis_mode=0
 files=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -27,8 +33,12 @@ while [ $# -gt 0 ]; do
             build_dir="$2"
             shift 2
             ;;
+        --aegis)
+            aegis_mode=1
+            shift
+            ;;
         -h | --help)
-            sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -37,6 +47,26 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
+
+if [ "$aegis_mode" -eq 1 ]; then
+    # The invariant checker takes headers too; it skips anything that
+    # is not a .cc/.h under the repo, so a raw changed-files list is
+    # fine to pass through.
+    lintable=()
+    for f in "${files[@]}"; do
+        case "$f" in
+            src/*.cc | src/*.h)
+                [ -f "$f" ] && lintable+=("$f")
+                ;;
+        esac
+    done
+    if [ "${#files[@]}" -gt 0 ] && [ "${#lintable[@]}" -eq 0 ]; then
+        echo "lint.sh: nothing to lint"
+        exit 0
+    fi
+    exec python3 "$repo_root/tools/aegis_lint/aegis_lint.py" \
+        --repo-root "$repo_root" "${lintable[@]}"
+fi
 
 if [ "${#files[@]}" -eq 0 ]; then
     while IFS= read -r f; do
