@@ -92,12 +92,16 @@ main(int argc, char **argv)
                               "assumption (functional layer, "
                               "fast-wearing cells)",
                               bench::BenchRunner::Flags::Minimal);
+    static constexpr FlagSpec kFlags[] = {
+        {"blocks", FlagKind::Uint, "24", "blocks per configuration"},
+        {"seed", FlagKind::Uint, "1", "random seed"},
+        {"scheme", FlagKind::String, "aegis-rw-23x23",
+         "cache-using scheme"},
+        {"audit", FlagKind::Bool, "false",
+         "wrap the scheme in the runtime invariant auditor"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("blocks", 24, "blocks per configuration");
-    cli.addUint("seed", 1, "random seed");
-    cli.addString("scheme", "aegis-rw-23x23", "cache-using scheme");
-    cli.addBool("audit", false,
-                "wrap the scheme in the runtime invariant auditor");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         const std::vector<std::size_t> capacities{0, 4096, 256, 64,
                                                   16, 4};

@@ -10,7 +10,10 @@
  *
  * BenchRunner adds the observability surface every bench shares:
  * --json writes a schema-versioned run manifest, --quiet silences the
- * progress/ETA reports, --trace records scoped wall-clock timers.
+ * progress/ETA reports, --trace-timers records scoped wall-clock
+ * timers. Flags are declared as FlagSpec tables (util/cli.h), so each
+ * binary's surface is one readable table and --help is generated from
+ * the same source of truth.
  * The study wrappers (pageStudy/blockStudy/memorySurvival) and emit()
  * feed the active runner, so a bench body needs no manifest plumbing
  * of its own.
@@ -44,29 +47,89 @@
 
 namespace aegis::bench {
 
+/** The flags shared by all Monte-Carlo figure benches. */
+inline constexpr FlagSpec kCommonFlagSpecs[] = {
+    {"pages", FlagKind::Uint, "64",
+     "4KB pages per Monte-Carlo run (paper: 2048 = 8MB)"},
+    {"blocks", FlagKind::Uint, "512", "blocks for block-level studies"},
+    {"seed", FlagKind::Uint, "1", "master random seed"},
+    {"lifetime-mean", FlagKind::Double, "1e8",
+     "mean cell lifetime in writes"},
+    {"lifetime-cv", FlagKind::Double, "0.25",
+     "lifetime coefficient of variation"},
+    {"lifetime-kind", FlagKind::String, "normal",
+     "lifetime distribution: normal|lognormal|weibull|uniform"},
+    {"labelings", FlagKind::Uint, "256",
+     "W/R labeling samples for data-dependent schemes"},
+    {"csv", FlagKind::Bool, "false",
+     "emit CSV instead of aligned tables"},
+    {"audit", FlagKind::Bool, "false",
+     "wrap every scheme in the runtime invariant auditor (slow; "
+     "aborts on the first violation)"},
+    {"jobs", FlagKind::Uint, "0",
+     "Monte-Carlo worker threads (0 = one per hardware thread); "
+     "output is identical for every value"},
+};
+
+/** The flags shared by the timed latency benches (bench/latency_*):
+ *  workload shape plus the controller's timing-model knobs. */
+inline constexpr FlagSpec kTimedFlagSpecs[] = {
+    {"schemes", FlagKind::String, "none,ecp6,safer64-cache,aegis-9x61",
+     "comma-separated schemes to simulate"},
+    {"trace", FlagKind::String, "uniform",
+     "request stream: uniform|sequential|hotcold:<f>:<t>|"
+     "zipfian[:<theta>]|file:<path>"},
+    {"pages", FlagKind::Uint, "16", "4KB pages the trace covers"},
+    {"writes", FlagKind::Uint, "2000",
+     "write requests to retire per scheme"},
+    {"read-fraction", FlagKind::Double, "0.5",
+     "fraction of synthetic requests that read"},
+    {"arrival-gap", FlagKind::Uint, "40",
+     "ticks between synthetic request arrivals"},
+    {"seed", FlagKind::Uint, "1", "master random seed"},
+    {"banks", FlagKind::Uint, "8", "independent memory banks"},
+    {"queue-depth", FlagKind::Uint, "32",
+     "per-bank, per-class request queue depth"},
+    {"t-read", FlagKind::Uint, "50", "array read latency, ticks"},
+    {"t-program", FlagKind::Uint, "500",
+     "one program pulse of program-and-verify, ticks"},
+    {"t-verify", FlagKind::Uint, "50",
+     "one in-loop verification read, ticks"},
+    {"csv", FlagKind::Bool, "false",
+     "emit CSV instead of aligned tables"},
+    {"jobs", FlagKind::Uint, "0",
+     "scheme-level worker threads (0 = one per hardware thread); "
+     "output is identical for every value"},
+};
+
+/** The observability/robustness flags every BenchRunner registers. */
+inline constexpr FlagSpec kRunnerFlagSpecs[] = {
+    {"json", FlagKind::String, "",
+     "write a JSON run manifest to this path"},
+    {"quiet", FlagKind::Bool, "false",
+     "suppress progress/ETA reports on stderr"},
+    {"trace-timers", FlagKind::Bool, "false",
+     "record scoped wall-clock timers (scheme read/write/recover, "
+     "block/page lives) in the manifest"},
+    {"checkpoint", FlagKind::String, "",
+     "periodically snapshot sweep state to this path (atomic "
+     "replace; resumable with --resume)"},
+    {"resume", FlagKind::Bool, "false",
+     "restore prior progress from the --checkpoint file; the "
+     "resumed run is bit-identical to an uninterrupted one"},
+    {"checkpoint-every", FlagKind::Uint, "8",
+     "snapshot cadence in finished chunks (0 = only at sweep "
+     "boundaries)"},
+    {"deadline", FlagKind::Double, "0",
+     "cancel gracefully after this many seconds of wall clock "
+     "(0 = none); a cancelled run exits 124 and can be resumed"},
+};
+
 /** Register the flags shared by all figure benches. */
 inline void
 addCommonFlags(CliParser &cli)
 {
-    cli.addUint("pages", 64, "4KB pages per Monte-Carlo run "
-                             "(paper: 2048 = 8MB)");
-    cli.addUint("blocks", 512, "blocks for block-level studies");
-    cli.addUint("seed", 1, "master random seed");
-    cli.addDouble("lifetime-mean", 1e8, "mean cell lifetime in writes");
-    cli.addDouble("lifetime-cv", 0.25, "lifetime coefficient of "
-                                       "variation");
-    cli.addString("lifetime-kind", "normal",
-                  "lifetime distribution: normal|lognormal|weibull|"
-                  "uniform");
-    cli.addUint("labelings", 256,
-                "W/R labeling samples for data-dependent schemes");
-    cli.addBool("csv", false, "emit CSV instead of aligned tables");
-    cli.addBool("audit", false,
-                "wrap every scheme in the runtime invariant auditor "
-                "(slow; aborts on the first violation)");
-    cli.addUint("jobs", 0,
-                "Monte-Carlo worker threads (0 = one per hardware "
-                "thread); output is identical for every value");
+    cli.addAll(kCommonFlagSpecs);
 }
 
 /** Build the experiment config implied by the parsed flags. */
@@ -164,46 +227,32 @@ class BenchRunner
 {
   public:
     enum class Flags {
-        MonteCarlo, ///< full Monte-Carlo flag set (addCommonFlags)
+        MonteCarlo, ///< full Monte-Carlo flag set (kCommonFlagSpecs)
+        Timed,      ///< latency benches: workload + timing model knobs
         Minimal     ///< analytic benches: --csv only
     };
 
     BenchRunner(const std::string &program, const std::string &about,
                 Flags flag_set = Flags::MonteCarlo)
         : cliParser(program, about), record(program, about),
-          monteCarlo(flag_set == Flags::MonteCarlo),
-          programName(program)
+          flagSet(flag_set), programName(program)
     {
-        if (monteCarlo) {
-            addCommonFlags(cliParser);
-        } else {
-            cliParser.addBool("csv", false,
-                              "emit CSV instead of aligned tables");
+        static constexpr FlagSpec kCsvOnly[] = {
+            {"csv", FlagKind::Bool, "false",
+             "emit CSV instead of aligned tables"},
+        };
+        switch (flagSet) {
+        case Flags::MonteCarlo:
+            cliParser.addAll(kCommonFlagSpecs);
+            break;
+        case Flags::Timed:
+            cliParser.addAll(kTimedFlagSpecs);
+            break;
+        case Flags::Minimal:
+            cliParser.addAll(kCsvOnly);
+            break;
         }
-        cliParser.addString("json", "",
-                            "write a JSON run manifest to this path");
-        cliParser.addBool("quiet", false,
-                          "suppress progress/ETA reports on stderr");
-        cliParser.addBool("trace", false,
-                          "record scoped wall-clock timers (scheme "
-                          "read/write/recover, block/page lives) in "
-                          "the manifest");
-        cliParser.addString("checkpoint", "",
-                            "periodically snapshot sweep state to "
-                            "this path (atomic replace; resumable "
-                            "with --resume)");
-        cliParser.addBool("resume", false,
-                          "restore prior progress from the "
-                          "--checkpoint file; the resumed run is "
-                          "bit-identical to an uninterrupted one");
-        cliParser.addUint("checkpoint-every", 8,
-                          "snapshot cadence in finished chunks "
-                          "(0 = only at sweep boundaries)");
-        cliParser.addDouble("deadline", 0,
-                            "cancel gracefully after this many "
-                            "seconds of wall clock (0 = none); a "
-                            "cancelled run exits 124 and can be "
-                            "resumed");
+        cliParser.addAll(kRunnerFlagSpecs);
         AEGIS_REQUIRE(current_ == nullptr,
                       "one BenchRunner per process");
         current_ = this;
@@ -265,7 +314,7 @@ class BenchRunner
         }
         if (parsed.value() == CliParser::ParseResult::Help)
             return 0;
-        if (monteCarlo && cliParser.isSet("jobs") &&
+        if (flagSet != Flags::Minimal && cliParser.isSet("jobs") &&
             cliParser.getUint("jobs") == 0) {
             std::cerr << "error: --jobs must be at least 1 (omit the "
                          "flag for one worker per hardware thread)\n";
@@ -280,7 +329,7 @@ class BenchRunner
 
         try {
             obs::setProgressEnabled(!cliParser.getBool("quiet"));
-            obs::setTracingEnabled(cliParser.getBool("trace"));
+            obs::setTracingEnabled(cliParser.getBool("trace-timers"));
             (void)chaosConfig(); // malformed AEGIS_CHAOS fails here
 
             // Fail fast on unwritable output paths: a sweep must not
@@ -365,7 +414,8 @@ class BenchRunner
     std::uint64_t
     masterSeed() const
     {
-        return monteCarlo ? cliParser.getUint("seed") : 0;
+        return flagSet != Flags::Minimal ? cliParser.getUint("seed")
+                                         : 0;
     }
 
     /**
@@ -381,7 +431,7 @@ class BenchRunner
     {
         static constexpr std::string_view excluded[] = {
             "seed",       "jobs",   "json",
-            "quiet",      "trace",  "csv",
+            "quiet",      "trace-timers", "csv",
             "checkpoint", "resume", "checkpoint-every",
             "deadline"};
         BinaryWriter w;
@@ -428,7 +478,7 @@ class BenchRunner
 
     CliParser cliParser;
     obs::Manifest record;
-    bool monteCarlo;
+    Flags flagSet;
     std::string programName;
     std::unique_ptr<sim::CheckpointSession> session;
     std::chrono::steady_clock::time_point runStart{};

@@ -25,8 +25,12 @@ main(int argc, char **argv)
 {
     bench::BenchRunner runner("ext_dynamic_pairing",
                   "Dynamic pairing of faulty pages (§4 extension)");
+    static constexpr FlagSpec kFlags[] = {
+        {"points", FlagKind::Uint, "12",
+         "sample points along the capacity curve"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("points", 12, "sample points along the capacity curve");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{"ecp4", "safer32",
                                                "aegis-17x31",

@@ -30,8 +30,12 @@ main(int argc, char **argv)
 {
     bench::BenchRunner runner("ext_payg_freep",
                   "PAYG and FREE-p extension experiments (§4)");
+    static constexpr FlagSpec kFlags[] = {
+        {"spares", FlagKind::Uint, "32",
+         "spare blocks for the remap study"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("spares", 32, "spare blocks for the remap study");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         sim::ExperimentConfig cfg = bench::configFrom(cli, 512);
 

@@ -25,8 +25,12 @@ main(int argc, char **argv)
     bench::BenchRunner runner("fig10_rwp_pointer_sweep",
                   "Reproduce Figure 10 (Aegis-rw-p block lifetime vs "
                   "pointer count)");
+    static constexpr FlagSpec kFlags[] = {
+        {"max-pointers", FlagKind::Uint, "15",
+         "largest pointer budget"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("max-pointers", 15, "largest pointer budget");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         const std::vector<std::string> formations{"23x23", "17x31",
                                                   "9x61", "8x71"};

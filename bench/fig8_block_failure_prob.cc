@@ -26,9 +26,14 @@ main(int argc, char **argv)
     bench::BenchRunner runner("fig8_block_failure_prob",
                   "Reproduce Figure 8 (block failure probability vs "
                   "fault count, 512-bit blocks)");
+    static constexpr FlagSpec kFlags[] = {
+        {"max-faults", FlagKind::Uint, "32",
+         "largest fault count column"},
+        {"fault-step", FlagKind::Uint, "2",
+         "fault-count column stride"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("max-faults", 32, "largest fault count column");
-    cli.addUint("fault-step", 2, "fault-count column stride");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{
             "ecp6",           "ecp8",

@@ -27,8 +27,12 @@ main(int argc, char **argv)
     bench::BenchRunner runner("fig9_page_survival",
                   "Reproduce Figure 9 (page survival vs page writes, "
                   "512-bit blocks)");
+    static constexpr FlagSpec kFlags[] = {
+        {"curve-points", FlagKind::Uint, "8",
+         "sampled points per survival curve"},
+    };
     CliParser &cli = runner.cli();
-    cli.addUint("curve-points", 8, "sampled points per survival curve");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         const std::vector<std::string> schemes{
             "ecp6",        "safer32",      "safer32-cache",

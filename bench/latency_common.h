@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared plumbing for the timed latency benches (bench/latency_*):
+ * translate the Timed flag set into a LatencySimConfig, record timed
+ * configurations in the run manifest, and format result rows.
+ *
+ * The benches parallelize across schemes only — each (scheme, trace,
+ * seed) simulation is single-threaded and seeded from its own
+ * Rng::split stream — so every table and counter is bit-identical for
+ * every --jobs value.
+ */
+
+#ifndef AEGIS_BENCH_LATENCY_COMMON_H
+#define AEGIS_BENCH_LATENCY_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/manifest.h"
+#include "sim/timing/latency_sim.h"
+#include "util/cli.h"
+
+namespace aegis::bench {
+
+/** Split a comma-separated flag value, dropping empty items. */
+inline std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string::npos)
+            end = list.size();
+        if (end > begin)
+            out.push_back(list.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+/** The LatencySimConfig implied by the Timed flag set
+ *  (kTimedFlagSpecs); fault injection stays at the caller's default. */
+inline sim::timing::LatencySimConfig
+latencyConfigFrom(const CliParser &cli)
+{
+    sim::timing::LatencySimConfig cfg;
+    cfg.timing.banks =
+        static_cast<std::uint32_t>(cli.getUint("banks"));
+    cfg.timing.queueDepth =
+        static_cast<std::uint32_t>(cli.getUint("queue-depth"));
+    cfg.timing.tRead = cli.getUint("t-read");
+    cfg.timing.tProgramPass = cli.getUint("t-program");
+    cfg.timing.tVerifyRead = cli.getUint("t-verify");
+    cfg.traceSpec = cli.getString("trace");
+    cfg.shape.pages = static_cast<std::uint32_t>(cli.getUint("pages"));
+    cfg.shape.readFraction = cli.getDouble("read-fraction");
+    cfg.shape.arrivalGap = cli.getUint("arrival-gap");
+    cfg.writes = cli.getUint("writes");
+    return cfg;
+}
+
+/** One timed simulation as a manifest "configs" entry. */
+inline obs::JsonObject
+latencyConfigJson(const std::string &scheme,
+                  const sim::timing::LatencySimConfig &cfg,
+                  std::uint64_t seed)
+{
+    using obs::JsonValue;
+    obs::JsonObject o;
+    o.emplace_back("scheme", JsonValue::str(scheme));
+    o.emplace_back("blockBits", JsonValue::uint(cfg.shape.blockBits));
+    o.emplace_back("pages", JsonValue::uint(cfg.shape.pages));
+    o.emplace_back("seed", JsonValue::uint(seed));
+    o.emplace_back("trace", JsonValue::str(cfg.traceSpec));
+    o.emplace_back("writes", JsonValue::uint(cfg.writes));
+    o.emplace_back("readFraction",
+                   JsonValue::real(cfg.shape.readFraction));
+    o.emplace_back("arrivalGap",
+                   JsonValue::uint(cfg.shape.arrivalGap));
+    o.emplace_back("faultsPerKwrite",
+                   JsonValue::real(cfg.faultsPerKwrite));
+    o.emplace_back("banks", JsonValue::uint(cfg.timing.banks));
+    o.emplace_back("queueDepth",
+                   JsonValue::uint(cfg.timing.queueDepth));
+    o.emplace_back("tRead", JsonValue::uint(cfg.timing.tRead));
+    o.emplace_back("tProgramPass",
+                   JsonValue::uint(cfg.timing.tProgramPass));
+    o.emplace_back("tVerifyRead",
+                   JsonValue::uint(cfg.timing.tVerifyRead));
+    return o;
+}
+
+} // namespace aegis::bench
+
+#endif // AEGIS_BENCH_LATENCY_COMMON_H

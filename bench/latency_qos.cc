@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Latency QoS per scheme: p50/p99 read and write latency plus
+ * sustained write bandwidth under the cycle-level controller model,
+ * with the scheme's metadata traffic (fail-cache lookups/updates,
+ * re-partition stalls) reported as distinct columns.
+ *
+ * Every write request runs the scheme's real program-and-verify
+ * protocol on a functional device; the resulting SchemeIoCost shapes
+ * that request's bank occupancy and metadata-bus events. Overhead
+ * bits buy different amounts of tail latency: ECP pays nothing until
+ * pointers run out, SAFER's fail cache adds bus traffic on every
+ * write, and Aegis re-partitions stall the bank but only on fault
+ * arrival.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aegis/factory.h"
+#include "bench_common.h"
+#include "latency_common.h"
+#include "sim/timing/latency_sim.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace aegis;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRunner runner(
+        "latency_qos",
+        "Per-scheme read/write latency percentiles and write "
+        "bandwidth under the cycle-level controller",
+        bench::BenchRunner::Flags::Timed);
+    static constexpr FlagSpec kFlags[] = {
+        {"faults-per-kwrite", FlagKind::Double, "20",
+         "stuck-at faults injected per 1000 block writes"},
+    };
+    CliParser &cli = runner.cli();
+    cli.addAll(kFlags);
+    return runner.run(argc, argv, [&] {
+        const std::vector<std::string> schemes =
+            bench::splitList(cli.getString("schemes"));
+        AEGIS_REQUIRE(!schemes.empty(),
+                      "--schemes must name at least one scheme");
+        sim::timing::LatencySimConfig cfg =
+            bench::latencyConfigFrom(cli);
+        cfg.faultsPerKwrite = cli.getDouble("faults-per-kwrite");
+
+        // Prototypes are built up front (unknown names fail before
+        // any simulation runs) and each worker clones its own device.
+        std::vector<std::unique_ptr<scheme::Scheme>> protos;
+        for (const std::string &name : schemes) {
+            protos.push_back(
+                core::makeScheme(name, cfg.shape.blockBits));
+            runner.manifest().addConfig(bench::latencyConfigJson(
+                name, cfg, cli.getUint("seed")));
+        }
+
+        runner.phase("timed simulations");
+        const Rng master(cli.getUint("seed"));
+        std::vector<sim::timing::LatencySimResult> results(
+            schemes.size());
+        parallelFor(
+            schemes.size(),
+            static_cast<unsigned>(cli.getUint("jobs")),
+            [&](std::size_t i) {
+                results[i] = sim::timing::runLatencySim(
+                    *protos[i], cfg, master.split(i));
+            });
+
+        runner.phase("report");
+        TablePrinter t("Latency QoS — trace " + cfg.traceSpec + ", " +
+                       std::to_string(cfg.writes) + " writes, " +
+                       std::to_string(cfg.timing.banks) + " banks");
+        t.setHeader({"scheme", "bits", "reads", "writes", "rd p50",
+                     "rd p99", "wr p50", "wr p99", "wrB/ktick",
+                     "fc lookups", "repart stalls"});
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const sim::timing::LatencySimResult &r = results[i];
+            t.addRow({schemes[i],
+                      std::to_string(protos[i]->overheadBits()),
+                      std::to_string(r.totals.reads),
+                      std::to_string(r.totals.writes),
+                      std::to_string(r.readP50()),
+                      std::to_string(r.readP99()),
+                      std::to_string(r.writeP50()),
+                      std::to_string(r.writeP99()),
+                      TablePrinter::num(r.writeBytesPerKilotick(), 1),
+                      std::to_string(r.totals.failCacheLookups),
+                      std::to_string(r.totals.repartitionStalls)});
+        }
+        bench::emit(t, cli);
+    });
+}

@@ -3,7 +3,8 @@
  * Shared main() for the google-benchmark microbenchmarks.
  *
  * The micros speak google-benchmark's own CLI, so the observability
- * flags every bench supports (--json/--quiet/--trace) are stripped
+ * flags every bench supports (--json/--quiet/--trace-timers) are
+ * stripped
  * here before benchmark::Initialize sees them. After the benchmarks
  * finish, --json writes the same schema-versioned run manifest the
  * figure benches emit (build provenance, wall-clock, process metric
@@ -78,7 +79,7 @@ microMain(int argc, char **argv, const std::string &program,
         rest.push_back(argv[0]);
         for (int i = 1; i < argc; ++i) {
             const std::string_view arg = argv[i];
-            if (arg == "--trace") {
+            if (arg == "--trace-timers") {
                 trace = true;
             } else if (arg == "--quiet") {
                 // Accepted for CLI uniformity; the micros print no
@@ -109,7 +110,8 @@ microMain(int argc, char **argv, const std::string &program,
             const std::chrono::duration<double> dt =
                 std::chrono::steady_clock::now() - start;
             manifest.addPhase("benchmarks", dt.count());
-            manifest.addFlag("trace", obs::JsonValue::boolean(trace));
+            manifest.addFlag("trace-timers",
+                             obs::JsonValue::boolean(trace));
 
             TablePrinter table("microbenchmarks");
             table.setHeader({"benchmark", "real_ns_per_iter",

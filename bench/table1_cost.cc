@@ -82,10 +82,12 @@ main(int argc, char **argv)
         "table1_cost",
         "Reproduce Table 1 (hardware cost vs hard FTC)",
         aegis::bench::BenchRunner::Flags::Minimal);
+    static constexpr aegis::FlagSpec kFlags[] = {
+        {"also-256", aegis::FlagKind::Bool, "true",
+         "print the 256-bit variant after the paper's 512-bit table"},
+    };
     aegis::CliParser &cli = runner.cli();
-    cli.addBool("also-256", true,
-                "print the 256-bit variant after the paper's 512-bit "
-                "table");
+    cli.addAll(kFlags);
     return runner.run(argc, argv, [&] {
         runner.phase("512-bit table");
         printTable(512, cli);

@@ -23,15 +23,20 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
+    static constexpr FlagSpec kFlags[] = {
+        {"scheme", FlagKind::String, "aegis-9x61",
+         "recovery scheme (see aegis/factory.h)"},
+        {"pages", FlagKind::Uint, "128",
+         "4KB pages to simulate (2048 = 8MB)"},
+        {"block-bits", FlagKind::Uint, "512", "protected block size"},
+        {"seed", FlagKind::Uint, "1", "random seed"},
+        {"mean-endurance", FlagKind::Double, "1e8",
+         "mean cell lifetime (writes)"},
+    };
     CliParser cli("device_lifetime",
                   "Estimate a PCM module's endurance under one "
                   "recovery scheme");
-    cli.addString("scheme", "aegis-9x61",
-                  "recovery scheme (see aegis/factory.h)");
-    cli.addUint("pages", 128, "4KB pages to simulate (2048 = 8MB)");
-    cli.addUint("block-bits", 512, "protected block size");
-    cli.addUint("seed", 1, "random seed");
-    cli.addDouble("mean-endurance", 1e8, "mean cell lifetime (writes)");
+    cli.addAll(kFlags);
     try {
         if (!cli.parse(argc, argv))
             return 0;

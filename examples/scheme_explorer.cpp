@@ -48,12 +48,17 @@ softFtc(const std::string &scheme, std::uint32_t block_bits,
 int
 main(int argc, char **argv)
 {
+    static constexpr FlagSpec kFlags[] = {
+        {"block-bits", FlagKind::Uint, "512",
+         "data block size in bits"},
+        {"budget", FlagKind::Uint, "64", "metadata budget in bits"},
+        {"blocks", FlagKind::Uint, "200",
+         "Monte-Carlo blocks per estimate"},
+    };
     CliParser cli("scheme_explorer",
                   "Explore the protection design space for one data "
                   "block");
-    cli.addUint("block-bits", 512, "data block size in bits");
-    cli.addUint("budget", 64, "metadata budget in bits");
-    cli.addUint("blocks", 200, "Monte-Carlo blocks per estimate");
+    cli.addAll(kFlags);
     try {
         if (!cli.parse(argc, argv))
             return 0;

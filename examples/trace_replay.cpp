@@ -7,7 +7,7 @@
  * faults accumulate.
  *
  *   ./build/examples/trace_replay --scheme=aegis-17x31 \
- *       --trace=hotcold:0.1:0.9 --writes=2000 --faults-per-kwrite=40
+ *       --writes=2000 --faults-per-kwrite=40
  */
 
 #include <iostream>
@@ -23,15 +23,19 @@ using namespace aegis;
 int
 main(int argc, char **argv)
 {
+    static constexpr FlagSpec kFlags[] = {
+        {"scheme", FlagKind::String, "aegis-17x31", "recovery scheme"},
+        {"pages", FlagKind::Uint, "8", "device size in 4KB pages"},
+        {"writes", FlagKind::Uint, "1500",
+         "page writes to replay per trace"},
+        {"faults-per-kwrite", FlagKind::Double, "200.0",
+         "stuck-at faults injected per 1000 page writes"},
+        {"seed", FlagKind::Uint, "1", "random seed"},
+    };
     CliParser cli("trace_replay",
                   "Replay synthetic write traces against a "
                   "functional PCM device");
-    cli.addString("scheme", "aegis-17x31", "recovery scheme");
-    cli.addUint("pages", 8, "device size in 4KB pages");
-    cli.addUint("writes", 1500, "page writes to replay per trace");
-    cli.addDouble("faults-per-kwrite", 200.0,
-                  "stuck-at faults injected per 1000 page writes");
-    cli.addUint("seed", 1, "random seed");
+    cli.addAll(kFlags);
     try {
         if (!cli.parse(argc, argv))
             return 0;
@@ -48,16 +52,20 @@ main(int argc, char **argv)
         t.setHeader({"trace", "programs/bit", "failed writes",
                      "dead blocks", "repartitions", "faults"});
 
-        for (const char *spec :
-             {"uniform", "sequential", "hotcold:0.1:0.9"}) {
+        sim::TraceShape shape;
+        shape.pages = pages;
+
+        for (const char *spec : {"uniform", "sequential",
+                                 "hotcold:0.1:0.9", "zipfian:0.99"}) {
             auto proto = core::makeScheme(scheme_name, 512);
             auto dir = std::make_shared<pcm::OracleFaultDirectory>();
             sim::PcmDevice device(geom, *proto,
                                   proto->requiresDirectory()
                                       ? dir
                                       : nullptr);
-            auto trace = sim::makeTrace(spec, pages);
-            Rng rng(cli.getUint("seed"));
+            const Rng master(cli.getUint("seed"));
+            auto trace = sim::makeTrace(spec, shape, master.split(0));
+            Rng rng = master.split(1);
             const sim::TraceReplayStats stats = sim::replayTrace(
                 device, *trace, cli.getUint("writes"),
                 cli.getDouble("faults-per-kwrite"), rng);

@@ -98,6 +98,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         pcm::FaultSet &known = knownScratch;
         directory->lookupInto(blockId, known);
+        ++outcome.io.metadataLookups;
         for (const pcm::Fault &f : session) {
             const bool present = std::any_of(
                 known.begin(), known.end(),
@@ -163,6 +164,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
         }
         if (!found) {
             outcome.ok = false;
+            outcome.io.repartitions = outcome.repartitions;
             return outcome;
         }
 
@@ -184,13 +186,16 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
 
         cells.writeDifferential(writeWs.target);
         ++outcome.programPasses;
+        ++outcome.io.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
         cells.readInto(writeWs.readback);
+        ++outcome.io.verifyReads;
         writeWs.diff.assignFrom(writeWs.readback);
         writeWs.diff.xorAssign(writeWs.target);
         if (writeWs.diff.none()) {
             outcome.ok = true;
+            outcome.io.repartitions = outcome.repartitions;
             return outcome;
         }
         obs::bump(obs::Counter::VerifyMismatches);
@@ -198,6 +203,7 @@ AegisRwPScheme::write(pcm::CellArray &cells, const BitVector &data)
             const pcm::Fault fault{static_cast<std::uint32_t>(pos),
                                    writeWs.readback.get(pos)};
             directory->record(blockId, fault);
+            ++outcome.io.metadataUpdates;
             // aegis-lint: allow(HOT-ALLOC grows only when a NEW fault is discovered — the cold branch by definition)
             session.push_back(fault);
             ++outcome.newFaults;

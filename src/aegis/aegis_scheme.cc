@@ -112,12 +112,16 @@ AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
         directory->lookupInto(blockId, known);
     const std::size_t known_before = known.size();
 
-    const scheme::WriteOutcome outcome = scheme::writeWithInversion(
+    scheme::WriteOutcome outcome = scheme::writeWithInversion(
         cells, data, policy, invVector, known, writeWs);
 
+    if (cacheMode)
+        ++outcome.io.metadataLookups;
     if (directory) {
-        for (std::size_t i = known_before; i < known.size(); ++i)
+        for (std::size_t i = known_before; i < known.size(); ++i) {
             directory->record(blockId, known[i]);
+            ++outcome.io.metadataUpdates;
+        }
     }
     return outcome;
 }

@@ -34,7 +34,7 @@ using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
 class Manifest
 {
   public:
-    static constexpr int kSchemaVersion = 2;
+    static constexpr int kSchemaVersion = 3;
     static constexpr std::string_view kSchemaName =
         "aegis-bench-manifest";
 

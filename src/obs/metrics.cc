@@ -33,6 +33,12 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "sim.page_lives",
     "audit.checks",
     "audit.violations",
+    "timing.reads",
+    "timing.writes",
+    "timing.verify_reads",
+    "timing.failcache_lookups",
+    "timing.failcache_updates",
+    "timing.repartition_stalls",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {

@@ -59,9 +59,15 @@ enum class Counter : std::uint32_t {
     PageLives,           ///< sim.page_lives — page Monte-Carlo lives completed
     AuditChecks,         ///< audit.checks — invariant checks performed
     AuditViolations,     ///< audit.violations — invariant violations caught
+    TimingReads,         ///< timing.reads — read requests retired by the controller
+    TimingWrites,        ///< timing.writes — write requests retired by the controller
+    TimingVerifyReads,   ///< timing.verify_reads — verify passes occupying a bank
+    TimingFailCacheLookups, ///< timing.failcache_lookups — metadata-bus fail-cache lookups
+    TimingFailCacheUpdates, ///< timing.failcache_updates — metadata-bus fail-cache updates
+    TimingRepartitionStalls,///< timing.repartition_stalls — re-partition search bus stalls
 };
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::AuditViolations) + 1;
+    static_cast<std::size_t>(Counter::TimingRepartitionStalls) + 1;
 
 /** Max-gauges: merge takes the maximum instead of the sum. */
 enum class Gauge : std::uint32_t {

@@ -7,7 +7,7 @@
  * load and a branch — no clock read, no atomic traffic — so scopes
  * can sit on the scheme hot path (micro_scheme_throughput budget:
  * ≤ 2% regression). Enable with setTracingEnabled(true) or the
- * benches' --trace flag.
+ * benches' --trace-timers flag.
  */
 
 #ifndef AEGIS_OBS_TRACE_H

@@ -99,8 +99,10 @@ EcpScheme::write(pcm::CellArray &cells, const BitVector &data)
 
     cells.writeDifferential(data);
     outcome.programPasses = 1;
+    outcome.io.programPasses = 1;
 
     cells.readInto(readbackWs);
+    outcome.io.verifyReads = 1;
     diffWs.assignFrom(readbackWs);
     diffWs.xorAssign(data);
     // Mismatches at corrected positions are expected: the replacement

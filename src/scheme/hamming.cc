@@ -165,9 +165,11 @@ HammingScheme::write(pcm::CellArray &cells, const BitVector &data)
 
     cells.writeDifferential(data);
     outcome.programPasses = 1;
+    outcome.io.programPasses = 1;
 
     // The write succeeds when every word decodes back to its data.
     readInto(cells, decodedWs);
+    outcome.io.verifyReads = 1;
     outcome.ok = decodedWs.equals(data);
     return outcome;
 }

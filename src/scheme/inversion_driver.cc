@@ -72,6 +72,7 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         if (!partition.separate(known_faults, outcome.repartitions)) {
             outcome.ok = false;
+            outcome.io.repartitions = outcome.repartitions;
             return outcome;
         }
 
@@ -86,13 +87,16 @@ writeWithInversion(pcm::CellArray &cells, const BitVector &data,
         applyGroupInversionInto(data, partition, inv, ws.target);
         cells.writeDifferential(ws.target);
         ++outcome.programPasses;
+        ++outcome.io.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
         cells.readInto(ws.readback);
+        ++outcome.io.verifyReads;
         ws.diff.assignFrom(ws.readback);
         ws.diff.xorAssign(ws.target);
         if (ws.diff.none()) {
             outcome.ok = true;
+            outcome.io.repartitions = outcome.repartitions;
             return outcome;
         }
         obs::bump(obs::Counter::VerifyMismatches);

@@ -46,7 +46,9 @@ NoneScheme::write(pcm::CellArray &cells, const BitVector &data)
     WriteOutcome outcome;
     cells.writeDifferential(data);
     outcome.programPasses = 1;
+    outcome.io.programPasses = 1;
     cells.readInto(readbackWs);
+    outcome.io.verifyReads = 1;
     outcome.ok = readbackWs.equals(data);
     return outcome;
 }

@@ -251,6 +251,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
     const std::size_t max_iters = cells.size() + 2;
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         pcm::FaultSet known = directory->lookup(blockId);
+        ++outcome.io.metadataLookups;
         for (const pcm::Fault &f : session) {
             const bool present = std::any_of(
                 known.begin(), known.end(),
@@ -271,14 +272,17 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
             return outcome;
         }
         ++outcome.repartitions;
+        ++outcome.io.repartitions;
         refreshMask();
 
         const BitVector target = data ^ invMask;
         cells.writeDifferential(target);
         ++outcome.programPasses;
+        ++outcome.io.programPasses;
         obs::bump(obs::Counter::ProgramPasses);
 
         const BitVector readback = cells.read();
+        ++outcome.io.verifyReads;
         const BitVector diff = readback ^ target;
         if (diff.none()) {
             outcome.ok = true;
@@ -291,6 +295,7 @@ RdisScheme::write(pcm::CellArray &cells, const BitVector &data)
             directory->record(blockId, fault);
             session.push_back(fault);
             ++outcome.newFaults;
+            ++outcome.io.metadataUpdates;
         }
     }
     throw InternalError("RDIS write did not converge");

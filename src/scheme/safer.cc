@@ -338,9 +338,13 @@ SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
     WriteOutcome outcome =
         writeWithInversion(cells, data, part, invVector, known, writeWs);
 
+    if (cacheMode)
+        ++outcome.io.metadataLookups;
     if (directory) {
-        for (std::size_t i = known_before; i < known.size(); ++i)
+        for (std::size_t i = known_before; i < known.size(); ++i) {
             directory->record(blockId, known[i]);
+            ++outcome.io.metadataUpdates;
+        }
     }
     return outcome;
 }

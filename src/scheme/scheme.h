@@ -25,6 +25,37 @@
 
 namespace aegis::scheme {
 
+/**
+ * Per-operation breakdown of a scheme's ancillary I/O: the array,
+ * metadata-SRAM and directory operations a write actually issued,
+ * reported as first-class events instead of opaque cell-program
+ * counts. The timing model (sim/timing/) turns each field into bank
+ * occupancy or metadata-bus events; the functional layer ignores it.
+ */
+struct SchemeIoCost
+{
+    /** Program pulses issued into the cell array. */
+    std::uint32_t programPasses = 0;
+    /** Verification reads issued after program pulses. */
+    std::uint32_t verifyReads = 0;
+    /** Fault-directory (fail-cache) probes before/during the write. */
+    std::uint32_t metadataLookups = 0;
+    /** Fault-directory insertions (newly discovered faults). */
+    std::uint32_t metadataUpdates = 0;
+    /** Re-partition passes: metadata recompute + rewrite stalls. */
+    std::uint32_t repartitions = 0;
+
+    void
+    add(const SchemeIoCost &other)
+    {
+        programPasses += other.programPasses;
+        verifyReads += other.verifyReads;
+        metadataLookups += other.metadataLookups;
+        metadataUpdates += other.metadataUpdates;
+        repartitions += other.repartitions;
+    }
+};
+
 /** What happened while servicing one write request. */
 struct WriteOutcome
 {
@@ -36,6 +67,8 @@ struct WriteOutcome
     std::uint32_t repartitions = 0;
     /** Faults newly discovered during this write. */
     std::uint32_t newFaults = 0;
+    /** Ancillary-operation breakdown of this write (see SchemeIoCost). */
+    SchemeIoCost io;
 };
 
 /**

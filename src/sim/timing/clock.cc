@@ -1,0 +1,28 @@
+#include "sim/timing/clock.h"
+
+namespace aegis::sim::timing {
+
+namespace {
+
+thread_local const Tick *g_tickSource = nullptr;
+
+} // namespace
+
+Tick
+sim_clock::now()
+{
+    return g_tickSource ? *g_tickSource : 0;
+}
+
+sim_clock::Binding::Binding(const Tick *source)
+    : previous(g_tickSource)
+{
+    g_tickSource = source;
+}
+
+sim_clock::Binding::~Binding()
+{
+    g_tickSource = previous;
+}
+
+} // namespace aegis::sim::timing

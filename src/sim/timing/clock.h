@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The simulation's virtual clock.
+ *
+ * Everything under sim/timing/ measures time in *ticks* of a
+ * deterministic simulated clock — never in wall-clock time, which
+ * would break the bit-identical --jobs contract. sim_clock mimics the
+ * chrono clock shape (a static now()) so accidental real-clock usage
+ * is mechanically distinguishable: aegis-lint's DET-CHRONO rule
+ * allowlists sim_clock::now() while still rejecting any
+ * std::chrono *_clock::now() in this directory.
+ *
+ * The clock is passive: it reads whatever tick source the running
+ * simulation has bound on this thread (RAII via sim_clock::Binding),
+ * and returns 0 when no simulation is active.
+ */
+
+#ifndef AEGIS_SIM_TIMING_CLOCK_H
+#define AEGIS_SIM_TIMING_CLOCK_H
+
+#include <cstdint>
+
+namespace aegis::sim::timing {
+
+/** Simulated time, in controller ticks. */
+using Tick = std::uint64_t;
+
+class sim_clock
+{
+  public:
+    /** Current simulated tick of the thread's bound simulation
+     *  (0 when no simulation is running on this thread). */
+    static Tick now();
+
+    /**
+     * Binds @p source as the thread's tick source for the binding's
+     * lifetime (nestable; the previous source is restored). The
+     * source must outlive the binding.
+     */
+    class Binding
+    {
+      public:
+        explicit Binding(const Tick *source);
+        ~Binding();
+
+        Binding(const Binding &) = delete;
+        Binding &operator=(const Binding &) = delete;
+
+      private:
+        const Tick *previous;
+    };
+};
+
+} // namespace aegis::sim::timing
+
+#endif // AEGIS_SIM_TIMING_CLOCK_H

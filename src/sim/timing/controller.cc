@@ -1,0 +1,200 @@
+#include "sim/timing/controller.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace aegis::sim::timing {
+
+MemController::MemController(const TimingConfig &config,
+                             const pcm::Geometry &geometry)
+    : cfg(config), geom(geometry), banks(config.banks)
+{
+    AEGIS_REQUIRE(cfg.banks > 0, "controller needs at least one bank");
+    AEGIS_REQUIRE(cfg.queueDepth > 0, "queue depth must be positive");
+    AEGIS_REQUIRE(cfg.writeDrainLow <= cfg.writeDrainHigh,
+                  "write-drain low watermark above the high one");
+    for (Bank &b : banks) {
+        b.readQueue.reserve(cfg.queueDepth);
+        b.writeQueue.reserve(cfg.queueDepth);
+    }
+}
+
+std::size_t
+MemController::bankOf(std::uint64_t addr) const
+{
+    // Block-interleaved banks: consecutive blocks hit different banks,
+    // the standard layout for streaming bandwidth.
+    return static_cast<std::size_t>(blockOfAddr(geom, addr) %
+                                    cfg.banks);
+}
+
+void
+MemController::submit(const MemRequest &request,
+                      const scheme::SchemeIoCost &io)
+{
+    Bank &bank = banks[bankOf(request.addr)];
+    std::vector<Pending> &queue =
+        request.op == MemOp::Read ? bank.readQueue : bank.writeQueue;
+    while (queue.size() >= cfg.queueDepth)
+        serviceOne(bank);
+    queue.push_back(Pending{request, io, nextSeq++});
+    nowTick = std::max(nowTick, request.issueTick);
+}
+
+void
+MemController::drain()
+{
+    for (Bank &bank : banks) {
+        while (serviceOne(bank)) {
+        }
+    }
+}
+
+std::size_t
+MemController::pickFrom(const std::vector<Pending> &queue, Tick free_at,
+                        std::uint64_t open_page) const
+{
+    // FR-FCFS over the requests that have already arrived: row hits
+    // first, then oldest (submission order). When nothing has arrived
+    // yet, take the earliest arrival.
+    std::size_t best = queue.size();
+    bool best_arrived = false;
+    bool best_hit = false;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Pending &p = queue[i];
+        const bool arrived = p.req.issueTick <= free_at;
+        const bool hit =
+            pageOfAddr(geom, p.req.addr) == open_page;
+        if (best == queue.size()) {
+            best = i;
+            best_arrived = arrived;
+            best_hit = hit;
+            continue;
+        }
+        const Pending &b = queue[best];
+        bool better = false;
+        if (arrived != best_arrived) {
+            better = arrived;
+        } else if (arrived) {
+            if (hit != best_hit)
+                better = hit;
+            else
+                better = p.seq < b.seq;
+        } else {
+            better = p.req.issueTick < b.req.issueTick ||
+                     (p.req.issueTick == b.req.issueTick &&
+                      p.seq < b.seq);
+        }
+        if (better) {
+            best = i;
+            best_arrived = arrived;
+            best_hit = hit;
+        }
+    }
+    return best;
+}
+
+bool
+MemController::serviceOne(Bank &bank)
+{
+    // Write-drain hysteresis: reads have priority until the write
+    // queue backs up past the high watermark, then writes drain until
+    // the low watermark frees the bank for reads again.
+    if (bank.writeQueue.size() >= cfg.writeDrainHigh)
+        bank.draining = true;
+    else if (bank.writeQueue.size() <= cfg.writeDrainLow)
+        bank.draining = false;
+
+    std::vector<Pending> *queue = nullptr;
+    if (bank.draining && !bank.writeQueue.empty())
+        queue = &bank.writeQueue;
+    else if (!bank.readQueue.empty())
+        queue = &bank.readQueue;
+    else if (!bank.writeQueue.empty())
+        queue = &bank.writeQueue;
+    if (!queue)
+        return false;
+
+    const std::size_t idx =
+        pickFrom(*queue, bank.freeAt, bank.openPage);
+    const Pending p = (*queue)[idx];
+    queue->erase(queue->begin() +
+                 static_cast<std::ptrdiff_t>(idx));
+    retire(bank, p);
+    return true;
+}
+
+void
+MemController::retire(Bank &bank, const Pending &p)
+{
+    Tick start = std::max(bank.freeAt, p.req.issueTick);
+
+    // Writes probe the fail cache before touching the array; the
+    // probes serialize on the shared metadata bus.
+    if (p.req.op == MemOp::Write && p.io.metadataLookups > 0) {
+        const Tick bus_start = std::max(start, metaBusFreeAt);
+        metaBusFreeAt =
+            bus_start + p.io.metadataLookups * cfg.tFailCacheLookup;
+        start = metaBusFreeAt;
+        eventTotals.failCacheLookups += p.io.metadataLookups;
+        obs::bump(obs::Counter::TimingFailCacheLookups,
+                  p.io.metadataLookups);
+    }
+
+    const std::uint64_t page = pageOfAddr(geom, p.req.addr);
+    Tick occupancy = 0;
+    if (page != bank.openPage) {
+        occupancy += cfg.tRowMiss;
+        ++eventTotals.rowMisses;
+    }
+    bank.openPage = page;
+
+    if (p.req.op == MemOp::Read) {
+        occupancy += cfg.tRead;
+    } else {
+        // Iterative program-and-verify: every pulse, verify read and
+        // re-partition step of the functional write occupies the bank.
+        const std::uint32_t passes =
+            std::max<std::uint32_t>(1, p.io.programPasses);
+        occupancy += passes * cfg.tProgramPass;
+        occupancy += p.io.verifyReads * cfg.tVerifyRead;
+        occupancy += p.io.repartitions * cfg.tRepartitionStall;
+    }
+    const Tick done = start + occupancy + cfg.tBusTransfer;
+
+    if (p.req.op == MemOp::Read) {
+        ++eventTotals.reads;
+        obs::bump(obs::Counter::TimingReads);
+        readLat.add(static_cast<std::int64_t>(done - p.req.issueTick));
+    } else {
+        ++eventTotals.writes;
+        eventTotals.programPasses +=
+            std::max<std::uint32_t>(1, p.io.programPasses);
+        eventTotals.verifyReads += p.io.verifyReads;
+        eventTotals.repartitionStalls += p.io.repartitions;
+        obs::bump(obs::Counter::TimingWrites);
+        obs::bump(obs::Counter::TimingVerifyReads, p.io.verifyReads);
+        obs::bump(obs::Counter::TimingRepartitionStalls,
+                  p.io.repartitions);
+        writeLat.add(static_cast<std::int64_t>(done - p.req.issueTick));
+
+        // Newly discovered faults post to the fail cache after the
+        // write retires; they hold the metadata bus, not the bank.
+        if (p.io.metadataUpdates > 0) {
+            const Tick bus_start = std::max(done, metaBusFreeAt);
+            metaBusFreeAt = bus_start +
+                            p.io.metadataUpdates * cfg.tFailCacheUpdate;
+            eventTotals.failCacheUpdates += p.io.metadataUpdates;
+            obs::bump(obs::Counter::TimingFailCacheUpdates,
+                      p.io.metadataUpdates);
+        }
+    }
+
+    bank.freeAt = done;
+    lastDone = std::max(lastDone, done);
+    nowTick = std::max(nowTick, done);
+}
+
+} // namespace aegis::sim::timing

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A deterministic cycle-level memory-controller model.
+ *
+ * Requests (sim::MemRequest) are queued per bank and scheduled
+ * FR-FCFS style: row-buffer hits first, then oldest-first, reads
+ * prioritized over writes until a bank's write queue crosses the
+ * drain threshold. A write's bank occupancy is derived from the
+ * scheme's actual ancillary work (scheme::SchemeIoCost): each program
+ * pulse, verify read and re-partition step of the iterative
+ * program-and-verify loop occupies the bank, and fail-cache lookups /
+ * updates serialize on a shared metadata bus as first-class events.
+ *
+ * Everything is integer tick arithmetic on state touched in a fixed
+ * order, so a given request stream yields bit-identical latency
+ * histograms on every run and every --jobs value.
+ */
+
+#ifndef AEGIS_SIM_TIMING_CONTROLLER_H
+#define AEGIS_SIM_TIMING_CONTROLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pcm/address.h"
+#include "scheme/scheme.h"
+#include "sim/timing/clock.h"
+#include "sim/timing/timing_config.h"
+#include "sim/trace.h"
+#include "util/histogram.h"
+
+namespace aegis::sim::timing {
+
+/** Event totals accumulated by one controller instance. */
+struct ControllerTotals
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t programPasses = 0;
+    std::uint64_t verifyReads = 0;
+    std::uint64_t failCacheLookups = 0;
+    std::uint64_t failCacheUpdates = 0;
+    std::uint64_t repartitionStalls = 0;
+    std::uint64_t rowMisses = 0;
+};
+
+class MemController
+{
+  public:
+    MemController(const TimingConfig &config,
+                  const pcm::Geometry &geometry);
+
+    /**
+     * Queue one request. @p io is the ancillary work the functional
+     * layer performed for it (empty for reads). When the target
+     * bank's queue is full the controller services queued requests
+     * until a slot frees — submission never drops requests.
+     */
+    void submit(const MemRequest &request,
+                const scheme::SchemeIoCost &io);
+
+    /** Service every queued request. */
+    void drain();
+
+    /** Completed-request latency (completion - issue), in ticks. */
+    const Histogram &readLatency() const { return readLat; }
+    const Histogram &writeLatency() const { return writeLat; }
+
+    const ControllerTotals &totals() const { return eventTotals; }
+
+    /** Completion tick of the latest retired request. */
+    Tick lastCompletion() const { return lastDone; }
+
+    /** Tick source for sim_clock::Binding: tracks the simulated time
+     *  frontier as requests are submitted and retired. */
+    const Tick *tickSource() const { return &nowTick; }
+
+  private:
+    struct Pending
+    {
+        MemRequest req;
+        scheme::SchemeIoCost io;
+        std::uint64_t seq = 0; ///< submission order (FCFS tiebreak)
+    };
+
+    struct Bank
+    {
+        std::vector<Pending> readQueue;
+        std::vector<Pending> writeQueue;
+        Tick freeAt = 0;
+        std::uint64_t openPage = kNoOpenPage;
+        bool draining = false; ///< write-drain hysteresis state
+    };
+
+    static constexpr std::uint64_t kNoOpenPage = ~0ull;
+
+    std::size_t bankOf(std::uint64_t addr) const;
+
+    /** Pick (FR-FCFS) and retire one request; false when idle. */
+    bool serviceOne(Bank &bank);
+
+    /** Index of the scheduled entry in @p queue given the bank is
+     *  free at @p free_at. */
+    std::size_t pickFrom(const std::vector<Pending> &queue,
+                         Tick free_at, std::uint64_t open_page) const;
+
+    void retire(Bank &bank, const Pending &p);
+
+    TimingConfig cfg;
+    pcm::Geometry geom;
+    std::vector<Bank> banks;
+    Tick metaBusFreeAt = 0;
+    Tick nowTick = 0;
+    Tick lastDone = 0;
+    std::uint64_t nextSeq = 0;
+    Histogram readLat;
+    Histogram writeLat;
+    ControllerTotals eventTotals;
+};
+
+} // namespace aegis::sim::timing
+
+#endif // AEGIS_SIM_TIMING_CONTROLLER_H

@@ -1,0 +1,109 @@
+#include "sim/timing/latency_sim.h"
+
+#include "pcm/fail_cache.h"
+#include "sim/device.h"
+#include "sim/timing/clock.h"
+#include "util/error.h"
+
+namespace aegis::sim::timing {
+
+std::int64_t
+LatencySimResult::readP50() const
+{
+    return readLatency.total() ? readLatency.quantileKey(0.5) : 0;
+}
+
+std::int64_t
+LatencySimResult::readP99() const
+{
+    return readLatency.total() ? readLatency.quantileKey(0.99) : 0;
+}
+
+std::int64_t
+LatencySimResult::writeP50() const
+{
+    return writeLatency.total() ? writeLatency.quantileKey(0.5) : 0;
+}
+
+std::int64_t
+LatencySimResult::writeP99() const
+{
+    return writeLatency.total() ? writeLatency.quantileKey(0.99) : 0;
+}
+
+double
+LatencySimResult::writeBytesPerKilotick() const
+{
+    if (elapsedTicks == 0)
+        return 0.0;
+    return static_cast<double>(bytesWritten) * 1000.0 /
+           static_cast<double>(elapsedTicks);
+}
+
+LatencySimResult
+runLatencySim(const scheme::Scheme &prototype,
+              const LatencySimConfig &cfg, const Rng &stream)
+{
+    AEGIS_REQUIRE(cfg.writes > 0, "latency sim needs at least one write");
+    const pcm::Geometry geom{cfg.shape.blockBits, cfg.shape.pageBytes,
+                             cfg.shape.pages};
+
+    auto directory = std::make_shared<pcm::OracleFaultDirectory>();
+    PcmDevice device(geom, prototype,
+                     prototype.requiresDirectory() ? directory
+                                                   : nullptr);
+
+    // Independent sub-streams: trace addresses, write data, fault
+    // placement. Splitting keeps each deterministic regardless of how
+    // the others advance.
+    auto trace = makeTrace(cfg.traceSpec, cfg.shape, stream.split(0));
+    Rng dataRng = stream.split(1);
+    Rng faultRng = stream.split(2);
+
+    MemController controller(cfg.timing, geom);
+    const sim_clock::Binding bind_clock(controller.tickSource());
+
+    LatencySimResult result;
+    BitVector data(geom.blockBits);
+    double fault_debt = 0;
+    const scheme::SchemeIoCost no_io;
+
+    MemRequest req;
+    std::uint64_t writes_done = 0;
+    while (writes_done < cfg.writes && trace->next(req)) {
+        if (req.op == MemOp::Read) {
+            controller.submit(req, no_io);
+            continue;
+        }
+
+        // aegis-lint: allow(DET-FLOAT single-threaded simulation; write order is the trace order)
+        fault_debt += cfg.faultsPerKwrite / 1000.0;
+        while (fault_debt >= 1.0) {
+            device.injectRandomFaults(1, faultRng);
+            ++result.faultsInjected;
+            // aegis-lint: allow(DET-FLOAT single-threaded simulation; write order is the trace order)
+            fault_debt -= 1.0;
+        }
+
+        const std::uint64_t block = blockOfAddr(geom, req.addr);
+        data.randomize(dataRng);
+        const scheme::WriteOutcome outcome =
+            device.writeBlock(block, data);
+        if (!outcome.ok)
+            ++result.failedWrites;
+        controller.submit(req, outcome.io);
+        ++writes_done;
+    }
+    controller.drain();
+
+    result.readLatency = controller.readLatency();
+    result.writeLatency = controller.writeLatency();
+    result.totals = controller.totals();
+    result.elapsedTicks = sim_clock::now();
+    result.deadBlocks = device.stats().deadBlocks;
+    result.bytesWritten =
+        writes_done * (static_cast<std::uint64_t>(geom.blockBits) / 8);
+    return result;
+}
+
+} // namespace aegis::sim::timing

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The timed simulation loop: a TraceSource drives the functional
+ * device (real program-and-verify work per write) and the
+ * cycle-level controller (when that work completes).
+ *
+ * Each write request goes through the scheme's actual write protocol
+ * on a PcmDevice; the resulting SchemeIoCost — program pulses, verify
+ * reads, fail-cache traffic, re-partition stalls — becomes the
+ * request's bank occupancy and metadata-bus events in the
+ * MemController. Read requests occupy their bank for the decode
+ * latency only (functional decode correctness is covered by the
+ * replay layer and the integration tests).
+ *
+ * The loop is single-threaded and fully seeded, so a (scheme, trace,
+ * seed) triple produces bit-identical histograms everywhere; benches
+ * parallelize across schemes, never inside one simulation.
+ */
+
+#ifndef AEGIS_SIM_TIMING_LATENCY_SIM_H
+#define AEGIS_SIM_TIMING_LATENCY_SIM_H
+
+#include <cstdint>
+#include <string>
+
+#include "scheme/scheme.h"
+#include "sim/timing/controller.h"
+#include "sim/timing/timing_config.h"
+#include "sim/trace.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace aegis::sim::timing {
+
+struct LatencySimConfig
+{
+    TimingConfig timing;
+    /** Trace spec for makeTrace (uniform / hotcold:... / file:...). */
+    std::string traceSpec = "uniform";
+    TraceShape shape;
+    /** Write requests to retire (reads ride along per readFraction). */
+    std::uint64_t writes = 1000;
+    /** Stuck-at faults injected per 1000 block writes. */
+    double faultsPerKwrite = 0.0;
+};
+
+struct LatencySimResult
+{
+    Histogram readLatency;  ///< per-request read latency, ticks
+    Histogram writeLatency; ///< per-request write latency, ticks
+    ControllerTotals totals;
+    Tick elapsedTicks = 0; ///< completion tick of the last request
+    std::uint64_t failedWrites = 0;
+    std::uint64_t deadBlocks = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t bytesWritten = 0;
+
+    std::int64_t readP50() const;
+    std::int64_t readP99() const;
+    std::int64_t writeP50() const;
+    std::int64_t writeP99() const;
+
+    /** Sustained write bandwidth: data bytes retired per kilotick. */
+    double writeBytesPerKilotick() const;
+};
+
+/**
+ * Run one timed simulation of @p prototype (cloned into a device
+ * shaped by cfg.shape) under cfg.traceSpec. @p stream is this
+ * simulation's private Rng stream — split it from the master seed so
+ * concurrent per-scheme simulations stay independent and
+ * jobs-invariant.
+ */
+LatencySimResult runLatencySim(const scheme::Scheme &prototype,
+                               const LatencySimConfig &cfg,
+                               const Rng &stream);
+
+} // namespace aegis::sim::timing
+
+#endif // AEGIS_SIM_TIMING_LATENCY_SIM_H

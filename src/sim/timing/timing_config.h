@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Latency/occupancy parameters of the cycle-level controller model.
+ *
+ * All durations are in ticks of the virtual sim_clock. The defaults
+ * follow the usual PCM modeling ratios (reads fast, program pulses an
+ * order of magnitude slower, SRAM metadata traffic cheap) rather than
+ * any particular device datasheet; benches expose them as flags so
+ * studies can sweep them.
+ */
+
+#ifndef AEGIS_SIM_TIMING_TIMING_CONFIG_H
+#define AEGIS_SIM_TIMING_TIMING_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/timing/clock.h"
+
+namespace aegis::sim::timing {
+
+struct TimingConfig
+{
+    /** Independent banks; requests to different banks overlap. */
+    std::uint32_t banks = 8;
+    /** Per-bank, per-class (read/write) queue capacity. */
+    std::uint32_t queueDepth = 32;
+
+    /** Array read (decode) occupancy. */
+    Tick tRead = 50;
+    /** One program pulse of the iterative program-and-verify loop. */
+    Tick tProgramPass = 500;
+    /** One verification read inside the write loop. */
+    Tick tVerifyRead = 50;
+    /** Row-buffer miss penalty (open-row approximation). */
+    Tick tRowMiss = 20;
+    /** Data-bus transfer per retired request. */
+    Tick tBusTransfer = 4;
+
+    /** Fail-cache probe on the shared metadata bus. */
+    Tick tFailCacheLookup = 8;
+    /** Fail-cache insertion on the shared metadata bus. */
+    Tick tFailCacheUpdate = 8;
+    /** One re-partition step: metadata recompute + rewrite stall. */
+    Tick tRepartitionStall = 100;
+
+    /** Start draining writes when a bank's write queue reaches this. */
+    std::uint32_t writeDrainHigh = 24;
+    /** Stop draining when the write queue falls back to this. */
+    std::uint32_t writeDrainLow = 8;
+};
+
+} // namespace aegis::sim::timing
+
+#endif // AEGIS_SIM_TIMING_TIMING_CONFIG_H

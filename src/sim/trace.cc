@@ -1,58 +1,113 @@
 #include "sim/trace.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "util/error.h"
 
 namespace aegis::sim {
 
-UniformTrace::UniformTrace(std::uint32_t num_pages)
-    : pages(num_pages)
+std::uint32_t
+pageOfAddr(const pcm::Geometry &geom, std::uint64_t addr)
 {
-    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
+    return geom.pageOfBlock(blockOfAddr(geom, addr));
 }
+
+std::uint64_t
+blockOfAddr(const pcm::Geometry &geom, std::uint64_t addr)
+{
+    const std::uint64_t block_bytes = geom.blockBits / 8;
+    return (addr / block_bytes) % geom.totalBlocks();
+}
+
+SyntheticTrace::SyntheticTrace(const TraceShape &shape, const Rng &s)
+    : traceShape(shape), initialStream(s), stream(s)
+{
+    AEGIS_REQUIRE(shape.pages > 0, "trace needs at least one page");
+    AEGIS_REQUIRE(shape.blockBits > 0 && shape.blockBits % 8 == 0,
+                  "trace block size must be a whole number of bytes");
+    AEGIS_REQUIRE(shape.pageBytes * 8ull >= shape.blockBits &&
+                      (shape.pageBytes * 8ull) % shape.blockBits == 0,
+                  "page size must be a multiple of the block size");
+    AEGIS_REQUIRE(shape.readFraction >= 0 && shape.readFraction <= 1,
+                  "read fraction must be in [0, 1]");
+}
+
+bool
+SyntheticTrace::next(MemRequest &out)
+{
+    const std::uint32_t page = nextPageIndex();
+    const std::uint64_t block_bytes = traceShape.blockBits / 8;
+    const std::uint64_t blocks_per_page =
+        traceShape.pageBytes / block_bytes;
+    const std::uint64_t block = stream.nextBounded(blocks_per_page);
+    out.addr = static_cast<std::uint64_t>(page) * traceShape.pageBytes +
+               block * block_bytes;
+    out.op = (traceShape.readFraction > 0 &&
+              stream.nextBernoulli(traceShape.readFraction))
+                 ? MemOp::Read
+                 : MemOp::Write;
+    out.issueTick = tick;
+    tick += traceShape.arrivalGap;
+    return true;
+}
+
+void
+SyntheticTrace::reset()
+{
+    stream = initialStream;
+    tick = 0;
+    resetCursor();
+}
+
+UniformTrace::UniformTrace(const TraceShape &shape, const Rng &s)
+    : SyntheticTrace(shape, s)
+{}
 
 std::uint32_t
-UniformTrace::nextPage(Rng &rng)
+UniformTrace::nextPageIndex()
 {
-    return static_cast<std::uint32_t>(rng.nextBounded(pages));
+    return static_cast<std::uint32_t>(rng().nextBounded(shape().pages));
 }
 
-SequentialTrace::SequentialTrace(std::uint32_t num_pages)
-    : pages(num_pages)
-{
-    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
-}
+SequentialTrace::SequentialTrace(const TraceShape &shape, const Rng &s)
+    : SyntheticTrace(shape, s)
+{}
 
 std::uint32_t
-SequentialTrace::nextPage(Rng &)
+SequentialTrace::nextPageIndex()
 {
     const std::uint32_t page = cursor;
-    cursor = (cursor + 1) % pages;
+    cursor = (cursor + 1) % shape().pages;
     return page;
 }
 
-HotColdTrace::HotColdTrace(std::uint32_t num_pages,
+HotColdTrace::HotColdTrace(const TraceShape &shape, const Rng &s,
                            double hot_fraction, double hot_traffic)
-    : pages(num_pages), hotTraffic(hot_traffic)
+    : SyntheticTrace(shape, s), hotTraffic(hot_traffic)
 {
-    AEGIS_REQUIRE(num_pages > 0, "trace needs at least one page");
     AEGIS_REQUIRE(hot_fraction > 0 && hot_fraction < 1,
                   "hot fraction must be in (0, 1)");
     AEGIS_REQUIRE(hot_traffic > 0 && hot_traffic < 1,
                   "hot traffic share must be in (0, 1)");
     hotPages = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(hot_fraction * pages));
+        1, static_cast<std::uint32_t>(hot_fraction * shape.pages));
 }
 
 std::uint32_t
-HotColdTrace::nextPage(Rng &rng)
+HotColdTrace::nextPageIndex()
 {
-    if (rng.nextBernoulli(hotTraffic))
-        return static_cast<std::uint32_t>(rng.nextBounded(hotPages));
-    const std::uint32_t cold = pages - hotPages;
+    if (rng().nextBernoulli(hotTraffic))
+        return static_cast<std::uint32_t>(rng().nextBounded(hotPages));
+    const std::uint32_t cold = shape().pages - hotPages;
     if (cold == 0)
-        return static_cast<std::uint32_t>(rng.nextBounded(pages));
+        return static_cast<std::uint32_t>(
+            rng().nextBounded(shape().pages));
     return hotPages +
-           static_cast<std::uint32_t>(rng.nextBounded(cold));
+           static_cast<std::uint32_t>(rng().nextBounded(cold));
 }
 
 std::string
@@ -61,13 +116,149 @@ HotColdTrace::name() const
     return "hotcold(" + std::to_string(hotPages) + " hot pages)";
 }
 
-std::unique_ptr<TraceGenerator>
-makeTrace(const std::string &spec, std::uint32_t pages)
+ZipfianTrace::ZipfianTrace(const TraceShape &shape, const Rng &s,
+                           double zipf_theta)
+    : SyntheticTrace(shape, s), theta(zipf_theta)
+{
+    AEGIS_REQUIRE(theta >= 0, "zipfian theta must be non-negative");
+    cumulative.resize(shape.pages);
+    double total = 0;
+    for (std::uint32_t i = 0; i < shape.pages; ++i) {
+        // aegis-lint: allow(DET-FLOAT constructor-time CDF build; fixed iteration order, never folded across jobs)
+        total += std::pow(static_cast<double>(i) + 1.0, -theta);
+        cumulative[i] = total;
+    }
+    for (double &c : cumulative)
+        c /= total;
+    cumulative.back() = 1.0;
+}
+
+std::uint32_t
+ZipfianTrace::nextPageIndex()
+{
+    const double u = rng().nextDouble();
+    const auto it = std::lower_bound(cumulative.begin(),
+                                     cumulative.end(), u);
+    return static_cast<std::uint32_t>(it - cumulative.begin());
+}
+
+std::string
+ZipfianTrace::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "zipfian(theta=%g)", theta);
+    return buf;
+}
+
+namespace {
+
+/** Parse a decimal or 0x-hex unsigned value; false on junk. */
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    try {
+        std::size_t used = 0;
+        out = std::stoull(text, &used,
+                          text.rfind("0x", 0) == 0 ||
+                                  text.rfind("0X", 0) == 0
+                              ? 16
+                              : 10);
+        return used == text.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+FileTrace::FileTrace(const std::string &trace_path) : path(trace_path)
+{
+    std::ifstream in(path);
+    AEGIS_REQUIRE(in.good(),
+                  "cannot open trace file `" + path + "'");
+    std::string line;
+    std::size_t lineno = 0;
+    std::uint64_t last_tick = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string tick_text, op_text, addr_text;
+        if (!(fields >> tick_text))
+            continue; // blank or comment-only line
+        const auto bad = [&](const std::string &what) {
+            return ConfigError("trace file `" + path + "' line " +
+                               std::to_string(lineno) + ": " + what);
+        };
+        std::string extra;
+        if (!(fields >> op_text >> addr_text))
+            throw bad("want `<tick> <R|W> <address>'");
+        if (fields >> extra)
+            throw bad("trailing field `" + extra + "'");
+        MemRequest req;
+        if (!parseU64(tick_text, req.issueTick))
+            throw bad("bad tick `" + tick_text + "'");
+        if (op_text == "R" || op_text == "r" || op_text == "READ")
+            req.op = MemOp::Read;
+        else if (op_text == "W" || op_text == "w" ||
+                 op_text == "WRITE")
+            req.op = MemOp::Write;
+        else
+            throw bad("bad op `" + op_text + "' (want R or W)");
+        if (!parseU64(addr_text, req.addr))
+            throw bad("bad address `" + addr_text + "'");
+        if (req.issueTick < last_tick)
+            throw bad("issue ticks must be non-decreasing");
+        last_tick = req.issueTick;
+        requests.push_back(req);
+    }
+}
+
+bool
+FileTrace::next(MemRequest &out)
+{
+    if (cursor >= requests.size())
+        return false;
+    out = requests[cursor++];
+    return true;
+}
+
+std::string
+FileTrace::name() const
+{
+    const std::size_t slash = path.find_last_of('/');
+    return "file(" +
+           (slash == std::string::npos ? path
+                                       : path.substr(slash + 1)) +
+           ")";
+}
+
+std::unique_ptr<TraceSource>
+makeTrace(const std::string &spec, const TraceShape &shape,
+          const Rng &stream)
 {
     if (spec == "uniform")
-        return std::make_unique<UniformTrace>(pages);
+        return std::make_unique<UniformTrace>(shape, stream);
     if (spec == "sequential")
-        return std::make_unique<SequentialTrace>(pages);
+        return std::make_unique<SequentialTrace>(shape, stream);
+    if (spec == "zipfian")
+        return std::make_unique<ZipfianTrace>(shape, stream, 0.99);
+    if (spec.rfind("zipfian:", 0) == 0) {
+        try {
+            const double theta = std::stod(spec.substr(8));
+            return std::make_unique<ZipfianTrace>(shape, stream,
+                                                  theta);
+        } catch (const ConfigError &) {
+            throw;
+        } catch (const std::exception &) {
+        }
+        throw ConfigError("bad zipfian spec `" + spec +
+                          "' (want zipfian[:<theta>])");
+    }
     if (spec.rfind("hotcold:", 0) == 0) {
         const std::string rest = spec.substr(8);
         const auto colon = rest.find(':');
@@ -76,17 +267,22 @@ makeTrace(const std::string &spec, std::uint32_t pages)
                 const double frac = std::stod(rest.substr(0, colon));
                 const double traffic =
                     std::stod(rest.substr(colon + 1));
-                return std::make_unique<HotColdTrace>(pages, frac,
-                                                      traffic);
+                return std::make_unique<HotColdTrace>(shape, stream,
+                                                      frac, traffic);
+            } catch (const ConfigError &) {
+                throw;
             } catch (const std::exception &) {
             }
         }
         throw ConfigError("bad hotcold spec `" + spec +
                           "' (want hotcold:<frac>:<traffic>)");
     }
+    if (spec.rfind("file:", 0) == 0)
+        return std::make_unique<FileTrace>(spec.substr(5));
     throw ConfigError("unknown trace `" + spec +
                       "' (try uniform, sequential, "
-                      "hotcold:<frac>:<traffic>)");
+                      "hotcold:<frac>:<traffic>, zipfian[:<theta>], "
+                      "file:<path>)");
 }
 
 double
@@ -99,7 +295,7 @@ TraceReplayStats::programsPerBit() const
 }
 
 TraceReplayStats
-replayTrace(PcmDevice &device, TraceGenerator &trace,
+replayTrace(PcmDevice &device, TraceSource &trace,
             std::uint64_t page_writes, double faults_per_kwrite,
             Rng &rng)
 {
@@ -108,7 +304,15 @@ replayTrace(PcmDevice &device, TraceGenerator &trace,
     const DeviceStats before = device.stats();
 
     double fault_debt = 0;
-    for (std::uint64_t w = 0; w < page_writes; ++w) {
+    MemRequest req;
+    while (stats.pageWrites < page_writes && trace.next(req)) {
+        const std::uint32_t page = pageOfAddr(geom, req.addr);
+        if (req.op == MemOp::Read) {
+            (void)device.readPage(page);
+            ++stats.pageReads;
+            continue;
+        }
+
         // aegis-lint: allow(DET-FLOAT single-threaded replay; write order is the trace order)
         fault_debt += faults_per_kwrite / 1000.0;
         while (fault_debt >= 1.0) {
@@ -118,7 +322,6 @@ replayTrace(PcmDevice &device, TraceGenerator &trace,
             fault_debt -= 1.0;
         }
 
-        const std::uint32_t page = trace.nextPage(rng);
         const BitVector data = BitVector::random(geom.pageBits(), rng);
         const bool ok = device.writePage(page, data);
         ++stats.pageWrites;
@@ -128,7 +331,7 @@ replayTrace(PcmDevice &device, TraceGenerator &trace,
         }
     }
 
-    stats.bitsWritten = page_writes * geom.pageBits();
+    stats.bitsWritten = stats.pageWrites * geom.pageBits();
     const DeviceStats after = device.stats();
     stats.blockWrites = after.blockWrites - before.blockWrites;
     stats.failedWrites = after.failedWrites - before.failedWrites;

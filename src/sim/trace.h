@@ -1,11 +1,22 @@
 /**
  * @file
- * Synthetic write-trace generation and functional replay.
+ * The request/trace API: timed memory-request streams.
  *
- * Drives the byte-accurate PcmDevice with realistic address streams
- * so scheme overheads that only exist on the functional layer —
- * verification reads, inversion rewrites, re-partition passes — can
- * be measured under workload locality rather than uniform traffic.
+ * A TraceSource produces MemRequests — (byte address, read/write,
+ * issue tick) — consumed by two layers: the functional replay below
+ * (scheme overheads under workload locality) and the cycle-level
+ * memory-controller model in sim/timing/ (latency and bandwidth under
+ * load). Synthetic generators (uniform / sequential / hotcold /
+ * zipfian) and a file-backed reader for HybridSim-format CPU traces
+ * implement the same interface, so every bench and example can swap
+ * address streams freely.
+ *
+ * Constructor contract (restartability): a concrete source captures
+ * its entire replay state at construction — shape parameters plus its
+ * own Rng stream, split from the master seed by the caller — and
+ * reset() restores that exact state. Two full replays of the same
+ * source, or a replay after a checkpoint restore that re-creates and
+ * re-winds the source, therefore produce identical request streams.
  */
 
 #ifndef AEGIS_SIM_TRACE_H
@@ -14,73 +25,216 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "pcm/address.h"
 #include "sim/device.h"
 #include "util/rng.h"
 
 namespace aegis::sim {
 
-/** Address-stream generator over a device's pages. */
-class TraceGenerator
+/** Request direction. */
+enum class MemOp : std::uint8_t {
+    Read, ///< decode one data block
+    Write ///< program one data block
+};
+
+/**
+ * One memory request. Addresses are byte addresses at data-block
+ * granularity (one request touches one protected block, like the
+ * 64-byte cache-line requests of a CPU trace); consumers fold them
+ * into a device with pageOfAddr()/blockOfAddr().
+ */
+struct MemRequest
+{
+    std::uint64_t addr = 0;      ///< byte address
+    MemOp op = MemOp::Write;     ///< read or write
+    std::uint64_t issueTick = 0; ///< controller tick of arrival
+};
+
+/** Page index of @p addr folded into @p geom (wraps large traces). */
+std::uint32_t pageOfAddr(const pcm::Geometry &geom, std::uint64_t addr);
+
+/** Global block id of @p addr folded into @p geom; consistent with
+ *  pageOfAddr (the block always lies in the returned page). */
+std::uint64_t blockOfAddr(const pcm::Geometry &geom, std::uint64_t addr);
+
+/**
+ * Shape shared by the synthetic generators: the address range they
+ * cover, the request mix and the arrival cadence.
+ */
+struct TraceShape
+{
+    std::uint32_t pages = 1;       ///< pages the stream covers
+    std::uint32_t pageBytes = 4096;///< bytes per page
+    std::uint32_t blockBits = 512; ///< request granularity (one block)
+    double readFraction = 0.0;     ///< fraction of requests that read
+    std::uint64_t arrivalGap = 1;  ///< ticks between request arrivals
+};
+
+/**
+ * Abstract timed request stream.
+ *
+ * next() fills @p out and returns true, or returns false when the
+ * source is exhausted (synthetic generators never exhaust; file
+ * traces end). reset() rewinds to the just-constructed state — the
+ * cursor, the issue-tick clock and the internal Rng stream all
+ * restart, so the stream after reset() is bit-identical to the first.
+ */
+class TraceSource
 {
   public:
-    virtual ~TraceGenerator() = default;
+    virtual ~TraceSource() = default;
 
-    /** Page index of the next write. */
-    virtual std::uint32_t nextPage(Rng &rng) = 0;
+    /** Produce the next request; false when the trace is exhausted. */
+    virtual bool next(MemRequest &out) = 0;
+
+    /** Rewind to the initial state (see the class contract). */
+    virtual void reset() = 0;
 
     virtual std::string name() const = 0;
 };
 
-/** Uniformly random page addresses. */
-class UniformTrace : public TraceGenerator
+/**
+ * Base for the synthetic generators: owns the shape, the Rng stream
+ * (with its pristine copy for reset), the arrival clock and the
+ * page-to-address expansion. Subclasses supply the page-locality
+ * model via nextPageIndex().
+ */
+class SyntheticTrace : public TraceSource
 {
   public:
-    explicit UniformTrace(std::uint32_t pages);
-    std::uint32_t nextPage(Rng &rng) override;
-    std::string name() const override { return "uniform"; }
+    SyntheticTrace(const TraceShape &shape, const Rng &stream);
+
+    bool next(MemRequest &out) final;
+    void reset() override;
+
+  protected:
+    /** Page index of the next request (may draw from rng()). */
+    virtual std::uint32_t nextPageIndex() = 0;
+
+    /** Restore subclass cursors to their initial state. */
+    virtual void resetCursor() {}
+
+    Rng &rng() { return stream; }
+    const TraceShape &shape() const { return traceShape; }
 
   private:
-    std::uint32_t pages;
+    TraceShape traceShape;
+    Rng initialStream;
+    Rng stream;
+    std::uint64_t tick = 0;
+};
+
+/** Uniformly random page addresses. */
+class UniformTrace : public SyntheticTrace
+{
+  public:
+    UniformTrace(const TraceShape &shape, const Rng &stream);
+    std::string name() const override { return "uniform"; }
+
+  protected:
+    std::uint32_t nextPageIndex() override;
 };
 
 /** Sequential sweep over the pages (streaming writes). */
-class SequentialTrace : public TraceGenerator
+class SequentialTrace : public SyntheticTrace
 {
   public:
-    explicit SequentialTrace(std::uint32_t pages);
-    std::uint32_t nextPage(Rng &rng) override;
+    SequentialTrace(const TraceShape &shape, const Rng &stream);
     std::string name() const override { return "sequential"; }
 
+  protected:
+    std::uint32_t nextPageIndex() override;
+    void resetCursor() override { cursor = 0; }
+
   private:
-    std::uint32_t pages;
     std::uint32_t cursor = 0;
 };
 
 /** Hot/cold: @p hot_fraction of pages receive @p hot_traffic of the
- *  writes (e.g. 10% of pages take 90% of traffic). */
-class HotColdTrace : public TraceGenerator
+ *  requests (e.g. 10% of pages take 90% of traffic). */
+class HotColdTrace : public SyntheticTrace
 {
   public:
-    HotColdTrace(std::uint32_t pages, double hot_fraction,
-                 double hot_traffic);
-    std::uint32_t nextPage(Rng &rng) override;
+    HotColdTrace(const TraceShape &shape, const Rng &stream,
+                 double hot_fraction, double hot_traffic);
     std::string name() const override;
 
+  protected:
+    std::uint32_t nextPageIndex() override;
+
   private:
-    std::uint32_t pages;
     std::uint32_t hotPages;
     double hotTraffic;
 };
 
-/** Build "uniform", "sequential" or "hotcold:<frac>:<traffic>". */
-std::unique_ptr<TraceGenerator> makeTrace(const std::string &spec,
-                                          std::uint32_t pages);
+/**
+ * Zipfian page popularity: page of rank i (0 = hottest) is drawn with
+ * probability proportional to 1/(i+1)^theta. theta = 0 degenerates to
+ * uniform; web/storage workloads are commonly modeled near 0.99.
+ */
+class ZipfianTrace : public SyntheticTrace
+{
+  public:
+    ZipfianTrace(const TraceShape &shape, const Rng &stream,
+                 double theta);
+    std::string name() const override;
 
-/** Aggregate results of one trace replay. */
+  protected:
+    std::uint32_t nextPageIndex() override;
+
+  private:
+    double theta;
+    /** cumulative[i] = P(rank <= i); binary-searched per draw. */
+    std::vector<double> cumulative;
+};
+
+/**
+ * File-backed reader for HybridSim-format CPU traces: one request per
+ * line, whitespace-separated `<issue_tick> <R|W> <address>`, address
+ * decimal or 0x-hex, '#' starts a comment. Ticks must be
+ * non-decreasing. The whole file is parsed eagerly at construction
+ * (malformed lines throw ConfigError with the line number), so replay
+ * and reset() never touch the filesystem again.
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    bool next(MemRequest &out) override;
+    void reset() override { cursor = 0; }
+    std::string name() const override;
+
+    /** Parsed request count. */
+    std::size_t size() const { return requests.size(); }
+
+    /** The parsed requests, for golden tests. */
+    const std::vector<MemRequest> &all() const { return requests; }
+
+  private:
+    std::string path;
+    std::vector<MemRequest> requests;
+    std::size_t cursor = 0;
+};
+
+/**
+ * Build a source from a spec string: "uniform", "sequential",
+ * "hotcold:<frac>:<traffic>", "zipfian[:<theta>]" (default 0.99) or
+ * "file:<path>". @p stream seeds the synthetic generators; derive it
+ * from the master seed with Rng::split so the request stream is
+ * independent of every other consumer.
+ */
+std::unique_ptr<TraceSource> makeTrace(const std::string &spec,
+                                       const TraceShape &shape,
+                                       const Rng &stream);
+
+/** Aggregate results of one functional trace replay. */
 struct TraceReplayStats
 {
     std::uint64_t pageWrites = 0;
+    std::uint64_t pageReads = 0;
     std::uint64_t blockWrites = 0;
     std::uint64_t failedWrites = 0;
     std::uint64_t cellPrograms = 0;
@@ -96,12 +250,15 @@ struct TraceReplayStats
 };
 
 /**
- * Replay @p page_writes writes from @p trace against @p device with
- * random data, injecting @p faults_per_kwrite random stuck-at faults
- * per thousand page writes (accelerated wear-out). Read-back is
- * verified after every successful write; decode mismatches throw.
+ * Replay requests from @p trace against @p device until @p
+ * page_writes write requests have been serviced (reads decode the
+ * page and are tallied separately), with random data per write and @p
+ * faults_per_kwrite random stuck-at faults injected per thousand page
+ * writes (accelerated wear-out). Read-back is verified after every
+ * successful write; decode mismatches throw. A source that exhausts
+ * first ends the replay early.
  */
-TraceReplayStats replayTrace(PcmDevice &device, TraceGenerator &trace,
+TraceReplayStats replayTrace(PcmDevice &device, TraceSource &trace,
                              std::uint64_t page_writes,
                              double faults_per_kwrite, Rng &rng);
 

@@ -49,6 +49,40 @@ CliParser::CliParser(std::string prog_name, std::string about)
 {}
 
 void
+CliParser::add(const FlagSpec &spec)
+{
+    const std::string def = spec.def;
+    switch (spec.kind) {
+    case Kind::Uint:
+        AEGIS_ASSERT(parsesAsUint(def), std::string("flag --") +
+                                            spec.name +
+                                            ": default is not a uint");
+        break;
+    case Kind::Double:
+        AEGIS_ASSERT(parsesAsDouble(def),
+                     std::string("flag --") + spec.name +
+                         ": default is not a number");
+        break;
+    case Kind::Bool:
+        AEGIS_ASSERT(parsesAsBool(def), std::string("flag --") +
+                                            spec.name +
+                                            ": default is not a bool");
+        break;
+    case Kind::String:
+        break;
+    }
+    flags[spec.name] = Flag{spec.kind, def, def, spec.help};
+    order.push_back(spec.name);
+}
+
+void
+CliParser::addAll(const FlagSpec *specs, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        add(specs[i]);
+}
+
+void
 CliParser::addUint(const std::string &name, std::uint64_t def,
                    const std::string &help)
 {

@@ -7,6 +7,7 @@
 #ifndef AEGIS_UTIL_CLI_H
 #define AEGIS_UTIL_CLI_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,11 +17,34 @@
 
 namespace aegis {
 
+/** Typed flag kinds. */
+enum class FlagKind { Uint, Double, String, Bool };
+
+/**
+ * One declaratively registered flag: name, kind, textual default and
+ * help line. Benches describe their flags as static FlagSpec tables
+ * and register them with CliParser::addAll, so the flag surface of a
+ * binary is one readable table instead of copy-pasted add*() calls —
+ * and --help is generated from the same source of truth.
+ */
+struct FlagSpec
+{
+    const char *name;
+    FlagKind kind;
+    /** Default value, as the text the user would type (e.g. "64",
+     *  "0.25", "false", "uniform"). Must parse as @p kind. */
+    const char *def;
+    const char *help;
+};
+
 /**
  * Flag registry + parser. Typical use:
  * @code
+ *   constexpr FlagSpec kFlags[] = {
+ *       {"pages", FlagKind::Uint, "256", "pages per Monte-Carlo run"},
+ *   };
  *   CliParser cli("fig5", "Reproduce Figure 5");
- *   cli.addUint("pages", 256, "pages per Monte-Carlo run");
+ *   cli.addAll(kFlags);
  *   cli.parse(argc, argv);           // exits(0) on --help
  *   auto pages = cli.getUint("pages");
  * @endcode
@@ -29,6 +53,20 @@ class CliParser
 {
   public:
     CliParser(std::string prog, std::string description);
+
+    /** Register one declaratively described flag; the default must
+     *  parse as the declared kind (checked eagerly). */
+    void add(const FlagSpec &spec);
+
+    /** Register a whole FlagSpec table in order. */
+    void addAll(const FlagSpec *specs, std::size_t count);
+
+    template <std::size_t N>
+    void
+    addAll(const FlagSpec (&specs)[N])
+    {
+        addAll(specs, N);
+    }
 
     void addUint(const std::string &name, std::uint64_t def,
                  const std::string &help);
@@ -71,7 +109,7 @@ class CliParser
     bool isSet(const std::string &name) const;
 
     /** Typed flag kinds, exposed for introspection. */
-    enum class FlagKind { Uint, Double, String, Bool };
+    using FlagKind = aegis::FlagKind;
 
     /** One registered flag with its current (post-parse) value. */
     struct FlagValue

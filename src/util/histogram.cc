@@ -58,6 +58,29 @@ Histogram::cdf(std::int64_t key) const
     return static_cast<double>(below) / static_cast<double>(totalCount);
 }
 
+std::int64_t
+Histogram::quantileKey(double q) const
+{
+    AEGIS_REQUIRE(totalCount > 0, "quantileKey of an empty histogram");
+    AEGIS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    // Integer threshold: the smallest key k with
+    // count(<= k) >= ceil(q * total) — float-free comparisons keep
+    // the result exact across platforms.
+    const auto total = static_cast<double>(totalCount);
+    auto needed = static_cast<std::uint64_t>(q * total);
+    if (static_cast<double>(needed) < q * total)
+        ++needed;
+    if (needed == 0)
+        needed = 1;
+    std::uint64_t below = 0;
+    for (const auto &[k, c] : bins) {
+        below += c;
+        if (below >= needed)
+            return k;
+    }
+    return bins.rbegin()->first;
+}
+
 std::vector<std::pair<std::int64_t, std::uint64_t>>
 Histogram::items() const
 {

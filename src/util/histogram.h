@@ -46,6 +46,13 @@ class Histogram
     /** 1 - cdf: the empirical survival function. */
     double survival(std::int64_t key) const { return 1.0 - cdf(key); }
 
+    /**
+     * Smallest key whose CDF reaches @p q (e.g. 0.5 = median,
+     * 0.99 = p99); the usual latency-percentile convention. Requires
+     * a non-empty histogram and q in [0, 1].
+     */
+    std::int64_t quantileKey(double q) const;
+
     /** All (key, count) pairs in key order. */
     std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
 

@@ -91,7 +91,7 @@ TEST(Manifest, GoldenFixture)
 
     const std::string golden = R"json({
   "schema": "aegis-bench-manifest",
-  "schemaVersion": 2,
+  "schemaVersion": 3,
   "program": "demo_bench",
   "description": "golden manifest fixture",
   "status": "complete",
@@ -147,7 +147,13 @@ TEST(Manifest, GoldenFixture)
       "sim.block_lives": 0,
       "sim.page_lives": 0,
       "audit.checks": 0,
-      "audit.violations": 0
+      "audit.violations": 0,
+      "timing.reads": 0,
+      "timing.writes": 0,
+      "timing.verify_reads": 0,
+      "timing.failcache_lookups": 0,
+      "timing.failcache_updates": 0,
+      "timing.repartition_stalls": 0
     },
     "gauges": {
       "rdis.max_recursion_depth": 3

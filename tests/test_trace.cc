@@ -1,7 +1,11 @@
 /**
  * @file
- * Tests for the trace generators and the functional replay loop.
+ * Tests for the request/trace API: synthetic generator distributions,
+ * the reset()/seed-split restartability contract, HybridSim-format
+ * file parsing, and the functional replay loop.
  */
+
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -12,13 +16,42 @@
 namespace aegis::sim {
 namespace {
 
+TraceShape
+shapeFor(std::uint32_t pages, std::uint32_t page_bytes = 4096)
+{
+    TraceShape shape;
+    shape.pages = pages;
+    shape.pageBytes = page_bytes;
+    return shape;
+}
+
+pcm::Geometry
+geomFor(const TraceShape &shape)
+{
+    return pcm::Geometry{shape.blockBits, shape.pageBytes, shape.pages};
+}
+
+std::vector<MemRequest>
+draw(TraceSource &trace, std::size_t n)
+{
+    std::vector<MemRequest> out;
+    MemRequest req;
+    while (out.size() < n && trace.next(req))
+        out.push_back(req);
+    return out;
+}
+
 TEST(Trace, UniformCoversAllPages)
 {
-    UniformTrace trace(8);
-    Rng rng(1);
+    const TraceShape shape = shapeFor(8);
+    UniformTrace trace(shape, Rng(1));
+    const pcm::Geometry geom = geomFor(shape);
     std::vector<int> hits(8, 0);
-    for (int i = 0; i < 4000; ++i)
-        ++hits[trace.nextPage(rng)];
+    MemRequest req;
+    for (int i = 0; i < 4000; ++i) {
+        ASSERT_TRUE(trace.next(req));
+        ++hits[pageOfAddr(geom, req.addr)];
+    }
     for (int h : hits) {
         EXPECT_GT(h, 350);
         EXPECT_LT(h, 650);
@@ -27,40 +60,216 @@ TEST(Trace, UniformCoversAllPages)
 
 TEST(Trace, SequentialWrapsInOrder)
 {
-    SequentialTrace trace(4);
-    Rng rng(2);
-    for (std::uint32_t i = 0; i < 12; ++i)
-        EXPECT_EQ(trace.nextPage(rng), i % 4);
+    const TraceShape shape = shapeFor(4);
+    SequentialTrace trace(shape, Rng(2));
+    const pcm::Geometry geom = geomFor(shape);
+    MemRequest req;
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        ASSERT_TRUE(trace.next(req));
+        EXPECT_EQ(pageOfAddr(geom, req.addr), i % 4);
+        EXPECT_EQ(req.issueTick, i * shape.arrivalGap);
+        EXPECT_EQ(req.op, MemOp::Write);
+    }
 }
 
 TEST(Trace, HotColdSkewsTraffic)
 {
-    HotColdTrace trace(20, 0.1, 0.9);    // 2 hot pages, 90% traffic
-    Rng rng(3);
+    const TraceShape shape = shapeFor(20);
+    HotColdTrace trace(shape, Rng(3), 0.1, 0.9); // 2 hot pages, 90%
+    const pcm::Geometry geom = geomFor(shape);
     int hot = 0;
     constexpr int kDraws = 20000;
-    for (int i = 0; i < kDraws; ++i)
-        hot += trace.nextPage(rng) < 2;
+    MemRequest req;
+    for (int i = 0; i < kDraws; ++i) {
+        ASSERT_TRUE(trace.next(req));
+        hot += pageOfAddr(geom, req.addr) < 2;
+    }
     EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.9, 0.02);
+}
+
+TEST(Trace, ZipfianConcentratesOnLowRanks)
+{
+    const TraceShape shape = shapeFor(16);
+    ZipfianTrace trace(shape, Rng(4), 0.99);
+    const pcm::Geometry geom = geomFor(shape);
+    std::vector<int> hits(16, 0);
+    constexpr int kDraws = 20000;
+    MemRequest req;
+    for (int i = 0; i < kDraws; ++i) {
+        ASSERT_TRUE(trace.next(req));
+        ++hits[pageOfAddr(geom, req.addr)];
+    }
+    // theta=0.99 over 16 pages: rank 0 carries ~29% of the mass and
+    // the top quarter of pages a clear majority; uniform would give
+    // 6.25% and 25%.
+    EXPECT_GT(hits[0], kDraws / 5);
+    EXPECT_GT(hits[0], hits[8]);
+    const int top4 = hits[0] + hits[1] + hits[2] + hits[3];
+    EXPECT_GT(static_cast<double>(top4) / kDraws, 0.5);
+    EXPECT_EQ(trace.name(), "zipfian(theta=0.99)");
+}
+
+TEST(Trace, ReadFractionMixesOps)
+{
+    TraceShape shape = shapeFor(4);
+    shape.readFraction = 0.3;
+    UniformTrace trace(shape, Rng(5));
+    int reads = 0;
+    constexpr int kDraws = 10000;
+    MemRequest req;
+    for (int i = 0; i < kDraws; ++i) {
+        ASSERT_TRUE(trace.next(req));
+        reads += req.op == MemOp::Read;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / kDraws, 0.3, 0.02);
+}
+
+TEST(Trace, ResetReplaysBitIdentically)
+{
+    const TraceShape shape = shapeFor(8);
+    const char *specs[] = {"uniform", "sequential", "hotcold:0.25:0.8",
+                           "zipfian:0.99"};
+    for (const char *spec : specs) {
+        auto trace = makeTrace(spec, shape, Rng(7).split(3));
+        const std::vector<MemRequest> first = draw(*trace, 200);
+        trace->reset();
+        const std::vector<MemRequest> second = draw(*trace, 200);
+        ASSERT_EQ(first.size(), second.size()) << spec;
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            EXPECT_EQ(first[i].addr, second[i].addr) << spec;
+            EXPECT_EQ(first[i].op, second[i].op) << spec;
+            EXPECT_EQ(first[i].issueTick, second[i].issueTick) << spec;
+        }
+    }
+}
+
+TEST(Trace, SameStreamSameRequestsAcrossInstances)
+{
+    // The constructor contract: state is captured at construction, so
+    // two sources built from the same (shape, stream) pair replay the
+    // same requests — the property the --jobs grid relies on.
+    const TraceShape shape = shapeFor(8);
+    UniformTrace a(shape, Rng(11).split(2));
+    UniformTrace b(shape, Rng(11).split(2));
+    const std::vector<MemRequest> ra = draw(a, 100);
+    const std::vector<MemRequest> rb = draw(b, 100);
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i].addr, rb[i].addr);
+
+    UniformTrace c(shape, Rng(11).split(9));
+    const std::vector<MemRequest> rc = draw(c, 100);
+    bool differs = false;
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        differs = differs || ra[i].addr != rc[i].addr;
+    EXPECT_TRUE(differs); // distinct splits, distinct streams
 }
 
 TEST(Trace, FactoryParsesSpecs)
 {
-    EXPECT_EQ(makeTrace("uniform", 4)->name(), "uniform");
-    EXPECT_EQ(makeTrace("sequential", 4)->name(), "sequential");
-    EXPECT_EQ(makeTrace("hotcold:0.25:0.8", 8)->name(),
+    const TraceShape shape = shapeFor(8);
+    const Rng s(1);
+    EXPECT_EQ(makeTrace("uniform", shape, s)->name(), "uniform");
+    EXPECT_EQ(makeTrace("sequential", shape, s)->name(), "sequential");
+    EXPECT_EQ(makeTrace("hotcold:0.25:0.8", shape, s)->name(),
               "hotcold(2 hot pages)");
-    EXPECT_THROW(makeTrace("bogus", 4), ConfigError);
-    EXPECT_THROW(makeTrace("hotcold:2.0:0.5", 4), ConfigError);
-    EXPECT_THROW(makeTrace("hotcold:nope", 4), ConfigError);
+    EXPECT_EQ(makeTrace("zipfian", shape, s)->name(),
+              "zipfian(theta=0.99)");
+    EXPECT_EQ(makeTrace("zipfian:0.5", shape, s)->name(),
+              "zipfian(theta=0.5)");
+    EXPECT_THROW(makeTrace("bogus", shape, s), ConfigError);
+    EXPECT_THROW(makeTrace("hotcold:2.0:0.5", shape, s), ConfigError);
+    EXPECT_THROW(makeTrace("hotcold:nope", shape, s), ConfigError);
+    EXPECT_THROW(makeTrace("zipfian:x", shape, s), ConfigError);
+    EXPECT_THROW(makeTrace("file:/no/such/trace", shape, s),
+                 ConfigError);
+}
+
+class FileTraceTest : public ::testing::Test
+{
+  protected:
+    std::string
+    writeFile(const std::string &name, const std::string &body)
+    {
+        const std::string path = ::testing::TempDir() + name;
+        std::ofstream out(path);
+        out << body;
+        return path;
+    }
+};
+
+TEST_F(FileTraceTest, ParsesHybridSimFormat)
+{
+    const std::string path = writeFile("golden.trc",
+                                       "# issue_tick op address\n"
+                                       "0 W 0x1000\n"
+                                       "10 R 4096   # decimal below\n"
+                                       "10 W 8192\n"
+                                       "\n"
+                                       "25 r 0x2040\n");
+    FileTrace trace(path);
+    ASSERT_EQ(trace.size(), 4u);
+    const std::vector<MemRequest> &all = trace.all();
+    EXPECT_EQ(all[0].issueTick, 0u);
+    EXPECT_EQ(all[0].op, MemOp::Write);
+    EXPECT_EQ(all[0].addr, 0x1000u);
+    EXPECT_EQ(all[1].issueTick, 10u);
+    EXPECT_EQ(all[1].op, MemOp::Read);
+    EXPECT_EQ(all[1].addr, 4096u);
+    EXPECT_EQ(all[2].addr, 8192u);
+    EXPECT_EQ(all[3].op, MemOp::Read);
+    EXPECT_EQ(all[3].addr, 0x2040u);
+    EXPECT_EQ(trace.name(), "file(golden.trc)");
+
+    // Exhausts, then rewinds to the identical stream.
+    const std::vector<MemRequest> first = draw(trace, 100);
+    EXPECT_EQ(first.size(), 4u);
+    MemRequest req;
+    EXPECT_FALSE(trace.next(req));
+    trace.reset();
+    const std::vector<MemRequest> second = draw(trace, 100);
+    ASSERT_EQ(second.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(first[i].addr, second[i].addr);
+}
+
+TEST_F(FileTraceTest, RejectsMalformedLines)
+{
+    EXPECT_THROW(FileTrace(writeFile("t1.trc", "0 X 64\n")),
+                 ConfigError);
+    EXPECT_THROW(FileTrace(writeFile("t2.trc", "zero W 64\n")),
+                 ConfigError);
+    EXPECT_THROW(FileTrace(writeFile("t3.trc", "0 W junk\n")),
+                 ConfigError);
+    EXPECT_THROW(FileTrace(writeFile("t4.trc", "5 W 64\n1 W 64\n")),
+                 ConfigError);
+    EXPECT_THROW(FileTrace(writeFile("t5.trc", "0 W 64 extra\n")),
+                 ConfigError);
+    EXPECT_THROW(FileTrace(writeFile("t6.trc", "0 W\n")), ConfigError);
+}
+
+TEST(Trace, AddressFoldingIsConsistent)
+{
+    const pcm::Geometry geom{512, 1024, 4}; // 16 blocks of 64 bytes
+    // Any address, however large, folds to a valid block inside the
+    // page pageOfAddr reports.
+    for (const std::uint64_t addr :
+         {0ull, 63ull, 64ull, 1024ull, 65536ull, 0xdeadbeefull}) {
+        const std::uint64_t block = blockOfAddr(geom, addr);
+        EXPECT_LT(block, geom.totalBlocks());
+        EXPECT_EQ(geom.pageOfBlock(block), pageOfAddr(geom, addr));
+    }
+    EXPECT_EQ(blockOfAddr(geom, 0), 0u);
+    EXPECT_EQ(blockOfAddr(geom, 64), 1u);
+    EXPECT_EQ(blockOfAddr(geom, 64 * 64), 0u); // wraps at device size
 }
 
 TEST(TraceReplay, CleanDeviceHasIdealWear)
 {
-    const pcm::Geometry geom{512, 1024, 4};
+    const TraceShape shape = shapeFor(4, 1024);
+    const pcm::Geometry geom = geomFor(shape);
     auto proto = core::makeScheme("aegis-23x23", 512);
     PcmDevice device(geom, *proto);
-    UniformTrace trace(4);
+    UniformTrace trace(shape, Rng(4).split(0));
     Rng rng(4);
     const TraceReplayStats stats =
         replayTrace(device, trace, 200, 0.0, rng);
@@ -74,14 +283,15 @@ TEST(TraceReplay, CleanDeviceHasIdealWear)
 
 TEST(TraceReplay, FaultsRaiseWearAndRepartitions)
 {
-    const pcm::Geometry geom{512, 1024, 4};
+    const TraceShape shape = shapeFor(4, 1024);
+    const pcm::Geometry geom = geomFor(shape);
     auto proto = core::makeScheme("aegis-12x23", 256);
     // Wrong block size on purpose must throw at device construction.
     EXPECT_THROW(PcmDevice(geom, *proto), ConfigError);
 
     auto proto512 = core::makeScheme("aegis-23x23", 512);
     PcmDevice device(geom, *proto512);
-    UniformTrace trace(4);
+    UniformTrace trace(shape, Rng(5).split(0));
     Rng rng(5);
     // Heavy fault pressure: several faults per block by the end, so
     // inversion rework and re-partitions are unavoidable.
@@ -95,16 +305,32 @@ TEST(TraceReplay, FaultsRaiseWearAndRepartitions)
 
 TEST(TraceReplay, DirectorySchemesReplayToo)
 {
-    const pcm::Geometry geom{512, 1024, 2};
+    const TraceShape shape = shapeFor(2, 1024);
+    const pcm::Geometry geom = geomFor(shape);
     auto proto = core::makeScheme("aegis-rw-23x23", 512);
     auto dir = std::make_shared<pcm::OracleFaultDirectory>();
     PcmDevice device(geom, *proto, dir);
-    SequentialTrace trace(2);
+    SequentialTrace trace(shape, Rng(6).split(0));
     Rng rng(6);
     const TraceReplayStats stats =
         replayTrace(device, trace, 150, 30.0, rng);
     EXPECT_EQ(stats.pageWrites, 150u);
     EXPECT_GT(dir->totalFaults(), 0u);
+}
+
+TEST(TraceReplay, ReadsAreDecodedAndTallied)
+{
+    TraceShape shape = shapeFor(2, 1024);
+    shape.readFraction = 0.5;
+    const pcm::Geometry geom = geomFor(shape);
+    auto proto = core::makeScheme("aegis-23x23", 512);
+    PcmDevice device(geom, *proto);
+    UniformTrace trace(shape, Rng(8).split(0));
+    Rng rng(8);
+    const TraceReplayStats stats =
+        replayTrace(device, trace, 50, 0.0, rng);
+    EXPECT_EQ(stats.pageWrites, 50u);
+    EXPECT_GT(stats.pageReads, 10u);
 }
 
 } // namespace

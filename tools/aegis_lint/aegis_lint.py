@@ -95,6 +95,12 @@ RULES = {
 DET_EXEMPT_PREFIXES = ("src/obs/",)
 DET_EXEMPT_FILES = ("src/util/chaos.cc", "src/util/chaos.h")
 
+# Virtual clocks whose now() reads *simulated* time (deterministic
+# ticks), not the wall clock. sim_clock (sim/timing/clock.h) is named
+# like a chrono clock on purpose so that real chrono clocks remain
+# lintable in the same files.
+DET_CHRONO_VIRTUAL_CLOCKS = ("sim_clock",)
+
 # Methods that may (re)allocate on any standard container/string.
 ALLOCATING_METHODS = {
     "push_back", "emplace_back", "emplace", "emplace_front",
@@ -650,6 +656,8 @@ def check_det_chrono(tokens, relpath, findings):
         if p is None or p.text != "::" or i < 2:
             continue
         owner = tokens[i - 2].text
+        if owner in DET_CHRONO_VIRTUAL_CLOCKS:
+            continue
         if owner.endswith("_clock") or owner == "chrono":
             findings.append(Finding(
                 relpath, t.line, t.col, "DET-CHRONO",

@@ -1,0 +1,22 @@
+// Fixture: DET-CHRONO's virtual-clock allowlist. sim_clock::now()
+// reads simulated ticks and is allowed; a real chrono clock in the
+// same file must still be flagged.
+// Not part of any build; aegis-lint's fixture test scans it.
+
+#include <chrono>
+#include <cstdint>
+
+#include "sim/timing/clock.h"
+
+std::uint64_t
+simulatedNow()
+{
+    return aegis::sim::timing::sim_clock::now();    // allowed
+}
+
+long
+realNow()
+{
+    const auto t = std::chrono::steady_clock::now();    // flagged
+    return static_cast<long>(t.time_since_epoch().count());
+}
