@@ -11,7 +11,10 @@
  * BenchRunner adds the observability surface every bench shares:
  * --json writes a schema-versioned run manifest, --quiet silences the
  * progress/ETA reports, --trace-timers records scoped wall-clock
- * timers. Flags are declared as FlagSpec tables (util/cli.h), so each
+ * timers (with log2-bucket percentile estimates), --trace-out writes
+ * a Perfetto-loadable event trace on simulated time, --timeseries
+ * embeds deterministic telemetry series in the manifest. Flags are
+ * declared as FlagSpec tables (util/cli.h), so each
  * binary's surface is one readable table and --help is generated from
  * the same source of truth.
  * The study wrappers (pageStudy/blockStudy/memorySurvival) and emit()
@@ -32,7 +35,9 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "sim/checkpoint.h"
 #include "sim/experiment.h"
 #include "sim/workload.h"
@@ -66,6 +71,9 @@ inline constexpr FlagSpec kCommonFlagSpecs[] = {
     {"audit", FlagKind::Bool, "false",
      "wrap every scheme in the runtime invariant auditor (slow; "
      "aborts on the first violation)"},
+    {"timeseries", FlagKind::Bool, "false",
+     "record a per-chunk telemetry row grid in the manifest's "
+     "timeseries section (jobs-invariant except the wall_ms column)"},
     {"jobs", FlagKind::Uint, "0",
      "Monte-Carlo worker threads (0 = one per hardware thread); "
      "output is identical for every value"},
@@ -97,6 +105,12 @@ inline constexpr FlagSpec kTimedFlagSpecs[] = {
      "one in-loop verification read, ticks"},
     {"csv", FlagKind::Bool, "false",
      "emit CSV instead of aligned tables"},
+    {"timeline-interval", FlagKind::Uint, "2000",
+     "sim-tick interval between timeseries samples when --timeseries "
+     "is on (0 disables sampling)"},
+    {"timeseries", FlagKind::Bool, "false",
+     "record each simulation's sampled controller totals in the "
+     "manifest's timeseries section (bit-identical across --jobs)"},
     {"jobs", FlagKind::Uint, "0",
      "scheme-level worker threads (0 = one per hardware thread); "
      "output is identical for every value"},
@@ -123,6 +137,12 @@ inline constexpr FlagSpec kRunnerFlagSpecs[] = {
     {"deadline", FlagKind::Double, "0",
      "cancel gracefully after this many seconds of wall clock "
      "(0 = none); a cancelled run exits 124 and can be resumed"},
+    {"trace-out", FlagKind::String, "",
+     "write a Chrome trace-event JSON file (Perfetto-loadable) of "
+     "the run's simulated-time events to this path"},
+    {"trace-capacity", FlagKind::Uint, "65536",
+     "event-trace ring capacity per track; past it events are "
+     "dropped and counted"},
 };
 
 /** Register the flags shared by all figure benches. */
@@ -340,6 +360,19 @@ class BenchRunner
                 AEGIS_REQUIRE(w.ok(), "--json path is not writable: " +
                                           w.error());
             }
+            const std::string tracePath =
+                cliParser.getString("trace-out");
+            if (!tracePath.empty()) {
+                const Status w = probeWritable(tracePath);
+                AEGIS_REQUIRE(w.ok(),
+                              "--trace-out path is not writable: " +
+                                  w.error());
+                obs::armTraceSink(static_cast<std::size_t>(
+                    cliParser.getUint("trace-capacity")));
+            }
+            if (flagSet != Flags::Minimal &&
+                cliParser.getBool("timeseries"))
+                obs::armTimeline();
 
             CancelToken &cancel = processCancelToken();
             installSignalCancellation();
@@ -433,7 +466,8 @@ class BenchRunner
             "seed",       "jobs",   "json",
             "quiet",      "trace-timers", "csv",
             "checkpoint", "resume", "checkpoint-every",
-            "deadline"};
+            "deadline",   "trace-out", "trace-capacity",
+            "timeseries", "timeline-interval"};
         BinaryWriter w;
         for (const CliParser::FlagValue &f : cliParser.values()) {
             bool skip = false;
@@ -469,9 +503,26 @@ class BenchRunner
         if (session != nullptr)
             totals.merge(session->restoredMetrics());
         record.setMetrics(totals);
+        record.setTimerQuantiles(obs::scopeQuantileEstimates());
+        // Harvest the Monte-Carlo chunk recorder's series; the timed
+        // benches add their per-cell series directly via manifest().
+        for (obs::TimeSeries &ts : obs::takeTimelines())
+            record.addTimeSeries(std::move(ts));
+        obs::disarmTimeline();
         const std::string &path = cliParser.getString("json");
         if (!path.empty())
             record.writeFile(path);
+        const std::string &tracePath = cliParser.getString("trace-out");
+        if (!tracePath.empty()) {
+            const obs::TraceSinkStats stats = obs::traceSinkStats();
+            obs::writeTraceFile(tracePath);
+            obs::disarmTraceSink();
+            if (stats.dropped > 0)
+                obs::progressLine(
+                    std::string(programName) + ": trace ring full, " +
+                    std::to_string(stats.dropped) +
+                    " events dropped (raise --trace-capacity)");
+        }
     }
 
     static inline BenchRunner *current_ = nullptr;

@@ -58,7 +58,24 @@ latencyConfigFrom(const CliParser &cli)
     cfg.shape.readFraction = cli.getDouble("read-fraction");
     cfg.shape.arrivalGap = cli.getUint("arrival-gap");
     cfg.writes = cli.getUint("writes");
+    if (cli.getBool("timeseries"))
+        cfg.timelineInterval = cli.getUint("timeline-interval");
     return cfg;
+}
+
+/**
+ * Move @p result's sampled timeline (when sampling was on) into the
+ * manifest as @p name. Call in cell order after the sweep so the
+ * `timeseries` section is ordered by cell index, not completion.
+ */
+inline void
+emitLatencyTimeline(BenchRunner &runner, const std::string &name,
+                    sim::timing::LatencySimResult &result)
+{
+    if (result.timeline.columns.empty())
+        return;
+    result.timeline.name = name;
+    runner.manifest().addTimeSeries(std::move(result.timeline));
 }
 
 /** One timed simulation as a manifest "configs" entry. */

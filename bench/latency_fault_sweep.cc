@@ -80,6 +80,12 @@ main(int argc, char **argv)
                 const std::size_t s = cell / rates.size();
                 sim::timing::LatencySimConfig cfg = base;
                 cfg.faultsPerKwrite = rates[cell % rates.size()];
+                // The cell index doubles as the event-trace track id:
+                // stable across --jobs, so --trace-out output is too.
+                cfg.traceTrack = static_cast<std::uint32_t>(cell);
+                cfg.traceLabel = schemes[s] + "@" +
+                                 rateSpecs[cell % rates.size()] +
+                                 "/kw";
                 results[cell] = sim::timing::runLatencySim(
                     *protos[s], cfg, master.split(cell));
             });
@@ -111,5 +117,11 @@ main(int argc, char **argv)
                 schemes[s], cfg, cli.getUint("seed")));
         }
         bench::emit(t, cli);
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            bench::emitLatencyTimeline(
+                runner,
+                schemes[cell / rates.size()] + "@" +
+                    rateSpecs[cell % rates.size()] + ".controller",
+                results[cell]);
     });
 }

@@ -69,8 +69,13 @@ main(int argc, char **argv)
             schemes.size(),
             static_cast<unsigned>(cli.getUint("jobs")),
             [&](std::size_t i) {
+                // The cell index doubles as the event-trace track id:
+                // stable across --jobs, so --trace-out output is too.
+                sim::timing::LatencySimConfig cell = cfg;
+                cell.traceTrack = static_cast<std::uint32_t>(i);
+                cell.traceLabel = schemes[i];
                 results[i] = sim::timing::runLatencySim(
-                    *protos[i], cfg, master.split(i));
+                    *protos[i], cell, master.split(i));
             });
 
         runner.phase("report");
@@ -95,5 +100,8 @@ main(int argc, char **argv)
                       std::to_string(r.totals.repartitionStalls)});
         }
         bench::emit(t, cli);
+        for (std::size_t i = 0; i < schemes.size(); ++i)
+            bench::emitLatencyTimeline(
+                runner, schemes[i] + ".controller", results[i]);
     });
 }

@@ -106,6 +106,19 @@ Manifest::setMetrics(const Metrics &m)
 }
 
 void
+Manifest::setTimerQuantiles(
+    const std::array<ScopeQuantiles, kScopeCount> &q)
+{
+    timerQuantiles = q;
+}
+
+void
+Manifest::addTimeSeries(TimeSeries series)
+{
+    timeseries.push_back(std::move(series));
+}
+
+void
 Manifest::write(std::ostream &os) const
 {
     JsonWriter w(os);
@@ -159,10 +172,14 @@ Manifest::write(std::ostream &os) const
     w.key("timers").beginObject();
     for (std::size_t i = 0; i < kScopeCount; ++i) {
         const TimingStat &t = metrics.timers[i];
+        const ScopeQuantiles &q = timerQuantiles[i];
         w.key(scopeName(static_cast<Scope>(i))).beginObject();
         w.key("count").value(t.count);
         w.key("totalNs").value(t.totalNs);
         w.key("maxNs").value(t.maxNs);
+        w.key("p50Ns").value(q.p50Ns);
+        w.key("p95Ns").value(q.p95Ns);
+        w.key("p99Ns").value(q.p99Ns);
         w.endObject();
     }
     w.endObject();
@@ -181,6 +198,26 @@ Manifest::write(std::ostream &os) const
             w.beginArray();
             for (const std::string &cell : row)
                 w.value(cell);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("timeseries").beginArray();
+    for (const TimeSeries &ts : timeseries) {
+        w.beginObject();
+        w.key("name").value(ts.name);
+        w.key("columns").beginArray();
+        for (const std::string &c : ts.columns)
+            w.value(c);
+        w.endArray();
+        w.key("rows").beginArray();
+        for (const auto &row : ts.rows) {
+            w.beginArray();
+            for (const std::uint64_t v : row)
+                w.value(v);
             w.endArray();
         }
         w.endArray();

@@ -20,6 +20,7 @@
 #include "obs/build_info.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace aegis {
 class TablePrinter;
@@ -34,7 +35,7 @@ using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
 class Manifest
 {
   public:
-    static constexpr int kSchemaVersion = 3;
+    static constexpr int kSchemaVersion = 4;
     static constexpr std::string_view kSchemaName =
         "aegis-bench-manifest";
 
@@ -75,6 +76,15 @@ class Manifest
      *  obs::processTotals() at the end of the run). */
     void setMetrics(const Metrics &m);
 
+    /** Set the per-scope latency percentile estimates written next to
+     *  each timer (typically obs::scopeQuantileEstimates()). Written
+     *  as zeros when never set. */
+    void setTimerQuantiles(
+        const std::array<ScopeQuantiles, kScopeCount> &q);
+
+    /** Append one telemetry series to the `timeseries` section. */
+    void addTimeSeries(TimeSeries series);
+
     /** Serialize the manifest as pretty-printed JSON. */
     void write(std::ostream &os) const;
 
@@ -103,6 +113,8 @@ class Manifest
     std::vector<std::pair<std::string, double>> phases;
     std::vector<TableData> tables;
     Metrics metrics;
+    std::array<ScopeQuantiles, kScopeCount> timerQuantiles{};
+    std::vector<TimeSeries> timeseries;
 };
 
 } // namespace aegis::obs

@@ -54,6 +54,33 @@ constexpr std::array<std::string_view, kScopeCount> kScopeNames = {
 };
 
 /**
+ * Log2 latency histogram resolution: bucket index is bit_width(ns)
+ * (0ns -> 0, [2^(k-1), 2^k-1] -> k), clamped to the last bucket.
+ * 64 buckets cover the full uint64 nanosecond range.
+ */
+constexpr std::size_t kTimingBucketCount = 64;
+
+std::size_t
+bucketIndex(std::uint64_t ns)
+{
+    std::size_t b = 0;
+    while (ns >> b)
+        ++b;
+    return b < kTimingBucketCount ? b : kTimingBucketCount - 1;
+}
+
+/** Upper bound of bucket @p b — the quantile estimate reported. */
+std::uint64_t
+bucketUpperNs(std::size_t b)
+{
+    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+}
+
+using ScopeBuckets =
+    std::array<std::array<std::uint64_t, kTimingBucketCount>,
+               kScopeCount>;
+
+/**
  * Per-thread metric storage. Slots are relaxed atomics so that
  * processTotals() may read a live slab from another thread without a
  * data race; the owning thread's writes stay uncontended (its slab is
@@ -71,6 +98,13 @@ struct Slab
         std::atomic<std::uint64_t> maxNs{0};
     };
     std::array<Timer, kScopeCount> timers{};
+    /** Latency histograms backing scopeQuantileEstimates(). Slab-only
+     *  state: not part of Metrics, so checkpoint blobs and the
+     *  per-item delta path are unchanged. */
+    std::array<std::array<std::atomic<std::uint64_t>,
+                          kTimingBucketCount>,
+               kScopeCount>
+        timerBuckets{};
 };
 
 Metrics
@@ -104,6 +138,9 @@ zero(Slab &slab)
         t.totalNs.store(0, std::memory_order_relaxed);
         t.maxNs.store(0, std::memory_order_relaxed);
     }
+    for (auto &scope : slab.timerBuckets)
+        for (auto &b : scope)
+            b.store(0, std::memory_order_relaxed);
 }
 
 /**
@@ -116,6 +153,7 @@ struct Registry
     std::mutex mu;
     std::vector<Slab *> live;
     Metrics retired;
+    ScopeBuckets retiredBuckets{};
 };
 
 Registry &
@@ -145,6 +183,11 @@ struct SlabHandle
         Registry &r = registry();
         const std::lock_guard<std::mutex> lock(r.mu);
         r.retired.merge(snapshot(slab));
+        for (std::size_t s = 0; s < kScopeCount; ++s)
+            for (std::size_t b = 0; b < kTimingBucketCount; ++b)
+                r.retiredBuckets[s][b] +=
+                    slab.timerBuckets[s][b].load(
+                        std::memory_order_relaxed);
         r.live.erase(std::remove(r.live.begin(), r.live.end(), &slab),
                      r.live.end());
     }
@@ -269,13 +312,18 @@ gaugeMax(Gauge g, std::uint64_t v)
 void
 recordTiming(Scope s, std::uint64_t ns)
 {
-    Slab::Timer &t = threadSlab().timers[static_cast<std::size_t>(s)];
+    Slab &slab = threadSlab();
+    Slab::Timer &t = slab.timers[static_cast<std::size_t>(s)];
     t.count.store(t.count.load(std::memory_order_relaxed) + 1,
                   std::memory_order_relaxed);
     t.totalNs.store(t.totalNs.load(std::memory_order_relaxed) + ns,
                     std::memory_order_relaxed);
     if (t.maxNs.load(std::memory_order_relaxed) < ns)
         t.maxNs.store(ns, std::memory_order_relaxed);
+    std::atomic<std::uint64_t> &bucket =
+        slab.timerBuckets[static_cast<std::size_t>(s)][bucketIndex(ns)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
 }
 
 ThreadMark
@@ -315,12 +363,51 @@ processTotals()
     return m;
 }
 
+std::array<ScopeQuantiles, kScopeCount>
+scopeQuantileEstimates()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    ScopeBuckets folded = r.retiredBuckets;
+    for (const Slab *slab : r.live)
+        for (std::size_t s = 0; s < kScopeCount; ++s)
+            for (std::size_t b = 0; b < kTimingBucketCount; ++b)
+                folded[s][b] += slab->timerBuckets[s][b].load(
+                    std::memory_order_relaxed);
+
+    std::array<ScopeQuantiles, kScopeCount> out{};
+    for (std::size_t s = 0; s < kScopeCount; ++s) {
+        std::uint64_t total = 0;
+        for (const std::uint64_t n : folded[s])
+            total += n;
+        if (total == 0)
+            continue;
+        const auto quantile = [&](std::uint64_t num,
+                                  std::uint64_t den) {
+            // Rank of the quantile sample, 1-based, rounded up.
+            const std::uint64_t rank = (total * num + den - 1) / den;
+            std::uint64_t seen = 0;
+            for (std::size_t b = 0; b < kTimingBucketCount; ++b) {
+                seen += folded[s][b];
+                if (seen >= rank)
+                    return bucketUpperNs(b);
+            }
+            return bucketUpperNs(kTimingBucketCount - 1);
+        };
+        out[s].p50Ns = quantile(50, 100);
+        out[s].p95Ns = quantile(95, 100);
+        out[s].p99Ns = quantile(99, 100);
+    }
+    return out;
+}
+
 void
 resetProcessMetrics()
 {
     Registry &r = registry();
     const std::lock_guard<std::mutex> lock(r.mu);
     r.retired = Metrics{};
+    r.retiredBuckets = ScopeBuckets{};
     for (Slab *slab : r.live)
         zero(*slab);
 }

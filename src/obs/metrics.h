@@ -136,6 +136,28 @@ struct Metrics
     bool deserialize(BinaryReader &r);
 };
 
+/**
+ * Percentile estimates for one trace scope, derived from per-thread
+ * log2-bucket latency histograms (each estimate is the upper bound of
+ * the bucket containing the quantile, so values are exact to within a
+ * factor of two and deterministic for a given set of samples). The
+ * buckets live only in the slabs — Metrics, checkpoint blobs and the
+ * per-item delta path are untouched.
+ */
+struct ScopeQuantiles
+{
+    std::uint64_t p50Ns = 0;
+    std::uint64_t p95Ns = 0;
+    std::uint64_t p99Ns = 0;
+};
+
+/**
+ * Process-wide percentile estimates per scope (live slabs plus
+ * retired threads), for the manifest `timers` section. All zeros for
+ * scopes that never recorded (tracing off).
+ */
+std::array<ScopeQuantiles, kScopeCount> scopeQuantileEstimates();
+
 /** Add @p n to counter @p c on the calling thread's slab. */
 void bump(Counter c, std::uint64_t n = 1);
 

@@ -1,0 +1,117 @@
+#include "obs/timeline.h"
+
+#include <mutex>
+
+#include "obs/trace_sink.h"
+
+namespace aegis::obs {
+
+namespace {
+
+/**
+ * The chunk-series columns. Fixed so schemas and diff tooling can
+ * rely on them; wall_ms is the one advisory (nondeterministic)
+ * column and is named so compare_manifests.py can skip it.
+ */
+const char *const kChunkColumns[] = {
+    "chunk",           "items",          "faults",
+    "program_passes",  "repartitions",   "cells_programmed",
+    "failcache_inserts", "wall_ms",
+};
+constexpr std::size_t kChunkColumnCount =
+    sizeof(kChunkColumns) / sizeof(kChunkColumns[0]);
+
+struct Recorder
+{
+    std::mutex mu;
+    bool armed = false;
+    std::vector<TimeSeries> series;
+    std::uint64_t seriesStartNs = 0;
+};
+
+Recorder &
+recorder()
+{
+    static Recorder *r = new Recorder; // leaked: see metrics.cc
+    return *r;
+}
+
+} // namespace
+
+bool
+timelineEnabled()
+{
+    return recorder().armed;
+}
+
+void
+armTimeline()
+{
+    Recorder &r = recorder();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.series.clear();
+    r.armed = true;
+}
+
+void
+disarmTimeline()
+{
+    Recorder &r = recorder();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.series.clear();
+    r.armed = false;
+}
+
+void
+timelineBeginSeries(const std::string &name, std::size_t chunks)
+{
+    Recorder &r = recorder();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.armed)
+        return;
+    TimeSeries s;
+    s.name = name;
+    s.columns.assign(kChunkColumns, kChunkColumns + kChunkColumnCount);
+    s.rows.assign(chunks,
+                  std::vector<std::uint64_t>(kChunkColumnCount, 0));
+    r.series.push_back(std::move(s));
+    r.seriesStartNs = monotonicNanos();
+}
+
+void
+timelineChunkDone(std::size_t chunk, std::uint64_t items,
+                  const Metrics &delta, bool restored)
+{
+    Recorder &r = recorder();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.armed || r.series.empty())
+        return;
+    TimeSeries &s = r.series.back();
+    if (chunk >= s.rows.size())
+        return;
+    std::vector<std::uint64_t> &row = s.rows[chunk];
+    row[0] = chunk;
+    row[1] = items;
+    row[2] = delta.counter(Counter::FaultArrivals);
+    row[3] = delta.counter(Counter::ProgramPasses);
+    row[4] = delta.counter(Counter::AegisRepartitions) +
+             delta.counter(Counter::SaferRepartitions);
+    row[5] = delta.counter(Counter::DiffBitsFlipped);
+    row[6] = delta.counter(Counter::FailCacheInsertions);
+    // Advisory completion stamp: wall-clock ms since the series
+    // opened. Restored chunks did their work in an earlier process.
+    row[7] = restored ? 0
+                      : (monotonicNanos() - r.seriesStartNs) / 1000000;
+}
+
+std::vector<TimeSeries>
+takeTimelines()
+{
+    Recorder &r = recorder();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<TimeSeries> out = std::move(r.series);
+    r.series.clear();
+    return out;
+}
+
+} // namespace aegis::obs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic time-series telemetry: named series of fixed-width
+ * uint64 rows, embedded in run manifests as the `timeseries` section.
+ *
+ * Two producers fill these:
+ *  - the timed latency sims sample controller totals at fixed
+ *    sim-tick intervals (sim/timing/latency_sim.cc) — every column is
+ *    simulated state, so the series is byte-identical across --jobs;
+ *  - the Monte-Carlo study runners record one row per chunk of the
+ *    fixed chunk grid through the process-wide TimelineRecorder here.
+ *    Rows are indexed by chunk — never by completion order — so every
+ *    column except the advisory wall_ms one is jobs-invariant
+ *    (tools/compare_manifests.py --ignore-wallclock skips wall_ms).
+ */
+
+#ifndef AEGIS_OBS_TIMELINE_H
+#define AEGIS_OBS_TIMELINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aegis::obs {
+
+/** One named series: column labels plus fixed-width uint64 rows. */
+struct TimeSeries
+{
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::uint64_t>> rows;
+};
+
+/** True while the Monte-Carlo chunk recorder accepts series. */
+bool timelineEnabled();
+
+/** Arm the chunk recorder (clears previously recorded series). */
+void armTimeline();
+
+/** Stop recording and drop any unharvested series. */
+void disarmTimeline();
+
+/**
+ * Open a new chunk series named @p name with one pre-zeroed row per
+ * chunk of the sweep's grid. Call from the driving thread between
+ * sweeps (the study runners do); rows are then filled concurrently by
+ * timelineChunkDone. No-op while the recorder is disarmed.
+ */
+void timelineBeginSeries(const std::string &name, std::size_t chunks);
+
+/**
+ * Fill the open series' row @p chunk from that chunk's accumulated
+ * metrics delta: items finished, fault arrivals, program passes,
+ * re-partitions (Aegis + SAFER), cells programmed, fail-cache
+ * insertions, and an advisory wall-clock column (milliseconds since
+ * the series opened; 0 for chunks restored from a checkpoint).
+ * Thread-safe; called by the reducer's workers as chunks finish.
+ */
+void timelineChunkDone(std::size_t chunk, std::uint64_t items,
+                       const Metrics &delta, bool restored = false);
+
+/** Harvest every recorded series, in series-open order. */
+std::vector<TimeSeries> takeTimelines();
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_TIMELINE_H

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace aegis::obs {
 
@@ -39,7 +40,14 @@ tracingEnabled()
  */
 void setTracingEnabled(bool on);
 
-/** Times its lifetime and records into @ref Scope's TimingStat. */
+/**
+ * Times its lifetime and records into @ref Scope's TimingStat. When
+ * the calling thread additionally has an event-trace track bound
+ * (TraceTrackScope, see obs/trace_sink.h) the same scope also emits a
+ * span on the track's lane 0 in virtual trace_clock time, so one
+ * AEGIS_TRACE_SCOPE feeds both the timer aggregates and the Perfetto
+ * trace.
+ */
 class TraceScope
 {
   public:
@@ -49,6 +57,13 @@ class TraceScope
             scope = s;
             armed = true;
             start = std::chrono::steady_clock::now();
+        }
+        // Check the plain global first: with no sink armed (every
+        // run without --trace-out) this path never touches TLS.
+        if (traceSinkArmed() && traceTrackBound()) {
+            scope = s;
+            sinkArmed = true;
+            sinkStart = trace_clock::now();
         }
     }
 
@@ -62,6 +77,11 @@ class TraceScope
             recordTiming(scope,
                          ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
         }
+        if (sinkArmed)
+            // Scope names are NUL-terminated string literals (see
+            // kScopeNames), so .data() is a valid C string.
+            traceSpan(scopeName(scope).data(), 0, sinkStart,
+                      trace_clock::now());
     }
 
     TraceScope(const TraceScope &) = delete;
@@ -69,8 +89,10 @@ class TraceScope
 
   private:
     std::chrono::steady_clock::time_point start{};
+    std::uint64_t sinkStart = 0;
     Scope scope{};
     bool armed = false;
+    bool sinkArmed = false;
 };
 
 } // namespace aegis::obs

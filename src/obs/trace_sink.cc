@@ -1,0 +1,319 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/hot.h"
+
+namespace aegis::obs {
+
+namespace detail {
+
+/**
+ * One track: a label, a fixed-capacity event array, and the drop
+ * counter. Written by exactly one thread (the TraceTrackScope owner);
+ * read at flush time after the writers joined, so the fields are
+ * plain integers, not atomics.
+ */
+struct TraceTrack
+{
+    std::uint32_t id = 0;
+    std::string label;
+    std::unique_ptr<TraceEvent[]> events;
+    std::size_t count = 0;
+    std::size_t capacity = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::pair<std::uint32_t, std::string>> laneNames;
+};
+
+thread_local TraceTrack *g_boundTrack = nullptr;
+thread_local const std::uint64_t *g_boundTicks = nullptr;
+bool g_sinkArmed = false;
+
+} // namespace detail
+
+namespace {
+
+using detail::TraceTrack;
+
+/**
+ * The sink registry. Tracks are keyed by their caller-chosen stable
+ * id (std::map: the flush iterates in id order, so output never
+ * depends on open order or thread interleaving). The mutex guards
+ * open/flush only — recording touches the thread-bound track without
+ * locking.
+ */
+struct Sink
+{
+    std::mutex mu;
+    std::size_t capacity = 0;
+    std::map<std::uint32_t, std::unique_ptr<TraceTrack>> tracks;
+};
+
+Sink &
+sink()
+{
+    static Sink *s = new Sink; // leaked: see obs/metrics.cc registry()
+    return *s;
+}
+
+/** The ring-buffer store every record path funnels through. */
+AEGIS_HOT void
+record(const TraceEvent &e)
+{
+    TraceTrack *t = detail::g_boundTrack;
+    if (t == nullptr)
+        return;
+    if (t->count < t->capacity)
+        t->events[t->count++] = e;
+    else
+        ++t->dropped;
+}
+
+} // namespace
+
+void
+armTraceSink(std::size_t events_per_track)
+{
+    AEGIS_REQUIRE(events_per_track > 0,
+                  "trace sink capacity must be positive");
+    Sink &s = sink();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.tracks.clear();
+    s.capacity = events_per_track;
+    detail::g_sinkArmed = true;
+}
+
+void
+disarmTraceSink()
+{
+    Sink &s = sink();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.tracks.clear();
+    s.capacity = 0;
+    detail::g_sinkArmed = false;
+}
+
+TraceTrackScope::TraceTrackScope(std::uint32_t track_id,
+                                 const std::string &label,
+                                 const std::uint64_t *tick_source)
+    : previousTrack(detail::g_boundTrack),
+      previousTicks(detail::g_boundTicks)
+{
+    Sink &s = sink();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    if (!detail::g_sinkArmed)
+        return;
+    std::unique_ptr<TraceTrack> &slot = s.tracks[track_id];
+    if (slot == nullptr) {
+        slot = std::make_unique<TraceTrack>();
+        slot->id = track_id;
+        slot->label = label;
+        slot->capacity = s.capacity;
+        slot->events = std::make_unique<TraceEvent[]>(s.capacity);
+    }
+    detail::g_boundTrack = slot.get();
+    detail::g_boundTicks = tick_source;
+}
+
+TraceTrackScope::~TraceTrackScope()
+{
+    detail::g_boundTrack = previousTrack;
+    detail::g_boundTicks = previousTicks;
+}
+
+AEGIS_HOT void
+traceSpan(const char *name, std::uint32_t lane, std::uint64_t start,
+          std::uint64_t end)
+{
+    TraceEvent e;
+    e.name = name;
+    e.tick = start;
+    e.dur = end > start ? end - start : 0;
+    e.lane = lane;
+    e.kind = TraceEventKind::Span;
+    record(e);
+}
+
+AEGIS_HOT void
+traceInstant(const char *name, std::uint32_t lane, std::uint64_t tick)
+{
+    TraceEvent e;
+    e.name = name;
+    e.tick = tick;
+    e.lane = lane;
+    e.kind = TraceEventKind::Instant;
+    record(e);
+}
+
+AEGIS_HOT void
+traceCounter(const char *name, std::uint32_t lane, std::uint64_t tick,
+             std::int64_t value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.tick = tick;
+    e.value = value;
+    e.lane = lane;
+    e.kind = TraceEventKind::Counter;
+    record(e);
+}
+
+void
+nameTraceLane(std::uint32_t lane, const std::string &name)
+{
+    TraceTrack *t = detail::g_boundTrack;
+    if (t == nullptr)
+        return;
+    for (auto &[l, n] : t->laneNames)
+        if (l == lane) {
+            n = name;
+            return;
+        }
+    t->laneNames.emplace_back(lane, name);
+}
+
+TraceSinkStats
+traceSinkStats()
+{
+    Sink &s = sink();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    TraceSinkStats stats;
+    for (const auto &[id, t] : s.tracks) {
+        ++stats.tracks;
+        stats.recorded += t->count;
+        stats.dropped += t->dropped;
+    }
+    return stats;
+}
+
+std::string
+traceToJson()
+{
+    Sink &s = sink();
+    const std::lock_guard<std::mutex> lock(s.mu);
+
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject();
+    // Ticks are virtual time; Chrome interprets ts/dur as
+    // microseconds, so one tick renders as one "µs" on the timeline.
+    w.key("displayTimeUnit").value("ms");
+
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    for (const auto &[id, t] : s.tracks) {
+        recorded += t->count;
+        dropped += t->dropped;
+    }
+    w.key("otherData").beginObject();
+    w.key("generator").value("aegis trace sink");
+    w.key("clock").value("sim ticks (1 tick rendered as 1us)");
+    w.key("recordedEvents").value(recorded);
+    w.key("droppedEvents").value(dropped);
+    w.endObject();
+
+    w.key("traceEvents").beginArray();
+    for (const auto &[id, t] : s.tracks) {
+        // pid 0 is reserved by some viewers; shift track ids by one.
+        const std::uint64_t pid = static_cast<std::uint64_t>(id) + 1;
+        w.beginObject();
+        w.key("name").value("process_name");
+        w.key("ph").value("M");
+        w.key("pid").value(pid);
+        w.key("args").beginObject();
+        w.key("name").value(t->label);
+        w.endObject();
+        w.endObject();
+        for (const auto &[lane, lane_name] : t->laneNames) {
+            w.beginObject();
+            w.key("name").value("thread_name");
+            w.key("ph").value("M");
+            w.key("pid").value(pid);
+            w.key("tid").value(static_cast<std::uint64_t>(lane));
+            w.key("args").beginObject();
+            w.key("name").value(lane_name);
+            w.endObject();
+            w.endObject();
+        }
+        for (std::size_t i = 0; i < t->count; ++i) {
+            const TraceEvent &e = t->events[i];
+            w.beginObject();
+            switch (e.kind) {
+            case TraceEventKind::Span:
+                w.key("name").value(e.name);
+                w.key("ph").value("X");
+                w.key("ts").value(e.tick);
+                w.key("dur").value(e.dur);
+                w.key("pid").value(pid);
+                w.key("tid").value(static_cast<std::uint64_t>(e.lane));
+                break;
+            case TraceEventKind::Instant:
+                w.key("name").value(e.name);
+                w.key("ph").value("i");
+                w.key("ts").value(e.tick);
+                w.key("pid").value(pid);
+                w.key("tid").value(static_cast<std::uint64_t>(e.lane));
+                w.key("s").value("t");
+                break;
+            case TraceEventKind::Counter:
+                // Counter tracks are per (pid, name): fold the lane
+                // into the series name so per-bank series separate.
+                w.key("name").value(std::string(e.name) + ".b" +
+                                    std::to_string(e.lane));
+                w.key("ph").value("C");
+                w.key("ts").value(e.tick);
+                w.key("pid").value(pid);
+                w.key("args").beginObject();
+                w.key("value").value(e.value);
+                w.endObject();
+                break;
+            }
+            w.endObject();
+        }
+        if (t->dropped > 0) {
+            w.beginObject();
+            w.key("name").value("trace.dropped_events");
+            w.key("ph").value("C");
+            w.key("ts").value(t->count > 0
+                                  ? t->events[t->count - 1].tick
+                                  : 0);
+            w.key("pid").value(pid);
+            w.key("args").beginObject();
+            w.key("value").value(t->dropped);
+            w.endObject();
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+void
+writeTraceFile(const std::string &path)
+{
+    const Status s = atomicWriteFile(path, traceToJson());
+    AEGIS_REQUIRE(s.ok(), "failed writing trace file `" + path +
+                              "': " + s.error());
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace aegis::obs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Structured event-trace sink: span/instant/counter events on virtual
+ * simulation time, recorded into fixed-capacity per-track ring
+ * buffers and flushed as Chrome trace-event JSON (loadable in
+ * Perfetto / chrome://tracing).
+ *
+ * Design constraints:
+ *  - Allocation-free recording: a track's event buffer is allocated
+ *    once when the track opens (cold); traceSpan/traceInstant/
+ *    traceCounter are index-stores into that buffer. When the buffer
+ *    fills, further events are dropped and counted — never resized.
+ *  - Deterministic output: events carry simulated ticks (never wall
+ *    clock), tracks are keyed by caller-chosen stable ids (the
+ *    latency benches use the cell index), and the flush orders tracks
+ *    by id and events in recording order. A fixed-seed run therefore
+ *    produces a byte-identical trace file for every --jobs value.
+ *  - One writer per track: a track is bound to the recording thread
+ *    with TraceTrackScope (RAII); the single-threaded latency sims
+ *    each own one track. Flush and stats are for after the workers
+ *    joined.
+ *
+ * Event names must be string literals (the sink stores the pointer).
+ * The `lane` becomes the Chrome `tid` for spans/instants (one
+ * Perfetto row per lane; name lanes with nameTraceLane) and a series
+ * suffix for counters ("queue.write" on lane 3 -> "queue.write.b3").
+ */
+
+#ifndef AEGIS_OBS_TRACE_SINK_H
+#define AEGIS_OBS_TRACE_SINK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/hot.h"
+
+namespace aegis::obs {
+
+namespace detail {
+struct TraceTrack;
+extern thread_local TraceTrack *g_boundTrack;
+extern thread_local const std::uint64_t *g_boundTicks;
+/** Plain (non-TLS) armed flag: the disarmed fast path in TraceScope
+ *  must stay one global load + branch, like tracingEnabled(). */
+extern bool g_sinkArmed;
+} // namespace detail
+
+/** Event kinds a track records (Chrome ph "X", "i" and "C"). */
+enum class TraceEventKind : std::uint8_t { Span, Instant, Counter };
+
+/** One recorded event. POD — the ring buffer is a plain array. */
+struct TraceEvent
+{
+    const char *name = "";       ///< static string literal
+    std::uint64_t tick = 0;      ///< start (span) or timestamp
+    std::uint64_t dur = 0;       ///< span duration, ticks
+    std::int64_t value = 0;      ///< counter value
+    std::uint32_t lane = 0;      ///< tid (span/instant), suffix (counter)
+    TraceEventKind kind = TraceEventKind::Span;
+};
+
+/** True while the sink accepts track opens and records events. */
+inline bool
+traceSinkArmed()
+{
+    return detail::g_sinkArmed;
+}
+
+/**
+ * Arm the sink: subsequent openTraceTrack calls allocate a buffer of
+ * @p events_per_track events (drops are counted past that). Arm
+ * before the worker threads start; arming twice resets the sink.
+ */
+void armTraceSink(std::size_t events_per_track);
+
+/** Drop every track and stop recording. */
+void disarmTraceSink();
+
+/**
+ * The virtual clock the sink records against: reads the tick source
+ * bound by the innermost TraceTrackScope on this thread (0 when
+ * unbound). Mirrors sim_clock's passive shape; aegis-lint's
+ * DET-CHRONO rule allowlists it as a virtual clock.
+ */
+class trace_clock
+{
+  public:
+    static std::uint64_t now()
+    {
+        return detail::g_boundTicks ? *detail::g_boundTicks : 0;
+    }
+};
+
+/**
+ * Open (or re-open) the track @p track_id and bind it — together with
+ * @p tick_source, the recording simulation's tick counter — to the
+ * calling thread for the scope's lifetime. Cold: allocates the event
+ * buffer on first open. When the sink is disarmed the scope is a
+ * no-op and recording stays off.
+ */
+class TraceTrackScope
+{
+  public:
+    TraceTrackScope(std::uint32_t track_id, const std::string &label,
+                    const std::uint64_t *tick_source);
+    ~TraceTrackScope();
+
+    TraceTrackScope(const TraceTrackScope &) = delete;
+    TraceTrackScope &operator=(const TraceTrackScope &) = delete;
+
+  private:
+    detail::TraceTrack *previousTrack;
+    const std::uint64_t *previousTicks;
+};
+
+/** Record a span [start, end) on the bound track. Allocation-free. */
+AEGIS_HOT void traceSpan(const char *name, std::uint32_t lane,
+                         std::uint64_t start, std::uint64_t end);
+
+/** Record an instant event on the bound track. Allocation-free. */
+AEGIS_HOT void traceInstant(const char *name, std::uint32_t lane,
+                            std::uint64_t tick);
+
+/** Record a counter sample on the bound track. Allocation-free. */
+AEGIS_HOT void traceCounter(const char *name, std::uint32_t lane,
+                            std::uint64_t tick, std::int64_t value);
+
+/** True when a track is bound on this thread (events will record). */
+inline bool
+traceTrackBound()
+{
+    return detail::g_boundTrack != nullptr;
+}
+
+/**
+ * Give @p lane of the calling thread's bound track a Perfetto row
+ * name (cold; call once per lane after opening the track).
+ */
+void nameTraceLane(std::uint32_t lane, const std::string &name);
+
+/** Whole-sink totals (read after the recording threads joined). */
+struct TraceSinkStats
+{
+    std::uint64_t tracks = 0;   ///< tracks opened
+    std::uint64_t recorded = 0; ///< events held in buffers
+    std::uint64_t dropped = 0;  ///< events lost to full buffers
+};
+
+TraceSinkStats traceSinkStats();
+
+/** The sink as Chrome trace-event JSON (tracks ordered by id). */
+std::string traceToJson();
+
+/** Write traceToJson() to @p path (ConfigError on I/O failure). */
+void writeTraceFile(const std::string &path);
+
+/**
+ * Monotonic wall-clock nanoseconds. Lives here (src/obs is
+ * DET-exempt) so deterministic layers can attach advisory wall-clock
+ * readings — e.g. the Monte-Carlo chunk timelines' wall_ms column —
+ * without reading std::chrono themselves.
+ */
+std::uint64_t monotonicNanos();
+
+} // namespace aegis::obs
+
+#endif // AEGIS_OBS_TRACE_SINK_H

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/experiment.h"
 #include "util/cancel.h"
 #include "util/error.h"
@@ -261,9 +262,19 @@ runStudyUnit(std::size_t items, unsigned jobs, StudyKind kind,
              std::size_t grain = kDefaultGrain)
 {
     RunContext &ctx = activeRunContext();
-    if (ctx.session == nullptr)
-        return parallelReduce<Study>(items, jobs, body, grain,
-                                     ctx.cancel);
+    if (ctx.session == nullptr) {
+        // Per-chunk telemetry hook: rows are indexed by chunk on the
+        // fixed grid, so the recorded timeline (wall_ms aside) is as
+        // jobs-invariant as the reduction itself.
+        const std::function<void(std::size_t, Study &, std::size_t)>
+            chunk_done = [](std::size_t c, Study &acc,
+                            std::size_t n) {
+                obs::timelineChunkDone(c, n, acc.metrics);
+            };
+        return parallelReduce<Study>(
+            items, jobs, body, grain, ctx.cancel,
+            obs::timelineEnabled() ? &chunk_done : nullptr);
+    }
 
     if (grain == 0)
         grain = 1;
@@ -293,6 +304,13 @@ runStudyUnit(std::size_t items, unsigned jobs, StudyKind kind,
                       "checkpoint `" + session.path() +
                           "' holds a corrupt chunk record");
         session.noteRestoredMetrics(partial[c.index].metrics);
+        if (obs::timelineEnabled()) {
+            const std::size_t begin = c.index * grain;
+            const std::size_t end = std::min(items, begin + grain);
+            obs::timelineChunkDone(c.index, end - begin,
+                                   partial[c.index].metrics,
+                                   /*restored=*/true);
+        }
         have[c.index] = 1;
     }
 
@@ -310,6 +328,9 @@ runStudyUnit(std::size_t items, unsigned jobs, StudyKind kind,
             const std::size_t end = std::min(items, begin + grain);
             for (std::size_t i = begin; i < end; ++i)
                 body(partial[c], i);
+            if (obs::timelineEnabled())
+                obs::timelineChunkDone(c, end - begin,
+                                       partial[c].metrics);
             BinaryWriter w;
             serializeStudy(partial[c], w);
             session.chunkDone(static_cast<std::uint32_t>(c), w.take());

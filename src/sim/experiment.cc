@@ -5,6 +5,7 @@
 #include "aegis/factory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/timeline.h"
 #include "pcm/address.h"
 #include "sim/checkpoint.h"
 #include "sim/page_sim.h"
@@ -109,6 +110,18 @@ unitFingerprint(const ExperimentConfig &config, StudyKind kind,
     return fnv1a64(w.data());
 }
 
+/** Open a chunk timeline row grid for this sweep (no-op when the
+ *  recorder is disarmed). Named "<scheme>.<study>" in the manifest. */
+void
+beginStudyTimeline(const std::string &scheme, const char *study,
+                   std::size_t items)
+{
+    if (obs::timelineEnabled())
+        obs::timelineBeginSeries(
+            scheme + "." + study,
+            (items + kDefaultGrain - 1) / kDefaultGrain);
+}
+
 } // namespace
 
 PageStudy
@@ -128,6 +141,8 @@ runPageStudy(const ExperimentConfig &config)
     const Rng master(config.seed);
     obs::ProgressReporter progress("pages [" + stack.scheme->name() + "]",
                                    config.pages, "pages");
+    beginStudyTimeline(stack.scheme->name(), "page_study",
+                       config.pages);
     PageStudy study;
     try {
         study = runStudyUnit<PageStudy>(
@@ -167,6 +182,7 @@ runBlockStudy(const ExperimentConfig &config, std::uint32_t blocks)
     const Rng master(config.seed);
     obs::ProgressReporter progress("blocks [" + stack.scheme->name() + "]",
                                    blocks, "blocks");
+    beginStudyTimeline(stack.scheme->name(), "block_study", blocks);
     BlockStudy study;
     try {
         study = runStudyUnit<BlockStudy>(
@@ -222,6 +238,9 @@ runMemorySurvival(const ExperimentConfig &config,
 
     obs::ProgressReporter progress(
         "survival [" + stack.scheme->name() + "]", config.pages, "pages");
+    beginStudyTimeline(stack.scheme->name(),
+                       ("survival." + workload.name()).c_str(),
+                       config.pages);
     SurvivalStudy study;
     try {
         study = runStudyUnit<SurvivalStudy>(

@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/error.h"
 
 namespace aegis::sim::timing {
+
+namespace {
+
+/** Event-trace lane for bank @p bank_index (lane 0 is the shared
+ *  metadata bus). */
+std::uint32_t
+bankLane(std::size_t bank_index)
+{
+    return static_cast<std::uint32_t>(bank_index) + 1;
+}
+
+} // namespace
 
 MemController::MemController(const TimingConfig &config,
                              const pcm::Geometry &geometry)
@@ -34,22 +47,38 @@ void
 MemController::submit(const MemRequest &request,
                       const scheme::SchemeIoCost &io)
 {
-    Bank &bank = banks[bankOf(request.addr)];
+    const std::size_t bank_index = bankOf(request.addr);
+    Bank &bank = banks[bank_index];
     std::vector<Pending> &queue =
         request.op == MemOp::Read ? bank.readQueue : bank.writeQueue;
     while (queue.size() >= cfg.queueDepth)
-        serviceOne(bank);
+        serviceOne(bank_index);
     queue.push_back(Pending{request, io, nextSeq++});
     nowTick = std::max(nowTick, request.issueTick);
+    if (obs::traceTrackBound()) {
+        obs::traceCounter(request.op == MemOp::Read ? "queue.read"
+                                                    : "queue.write",
+                          bankLane(bank_index), request.issueTick,
+                          static_cast<std::int64_t>(queue.size()));
+    }
 }
 
 void
 MemController::drain()
 {
-    for (Bank &bank : banks) {
-        while (serviceOne(bank)) {
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        while (serviceOne(i)) {
         }
     }
+}
+
+std::size_t
+MemController::pendingRequests() const
+{
+    std::size_t n = 0;
+    for (const Bank &bank : banks)
+        n += bank.readQueue.size() + bank.writeQueue.size();
+    return n;
 }
 
 std::size_t
@@ -97,15 +126,21 @@ MemController::pickFrom(const std::vector<Pending> &queue, Tick free_at,
 }
 
 bool
-MemController::serviceOne(Bank &bank)
+MemController::serviceOne(std::size_t bank_index)
 {
+    Bank &bank = banks[bank_index];
+
     // Write-drain hysteresis: reads have priority until the write
     // queue backs up past the high watermark, then writes drain until
     // the low watermark frees the bank for reads again.
+    const bool was_draining = bank.draining;
     if (bank.writeQueue.size() >= cfg.writeDrainHigh)
         bank.draining = true;
     else if (bank.writeQueue.size() <= cfg.writeDrainLow)
         bank.draining = false;
+    if (bank.draining != was_draining && obs::traceTrackBound())
+        obs::traceInstant(bank.draining ? "drain.enter" : "drain.exit",
+                          bankLane(bank_index), nowTick);
 
     std::vector<Pending> *queue = nullptr;
     if (bank.draining && !bank.writeQueue.empty())
@@ -120,15 +155,22 @@ MemController::serviceOne(Bank &bank)
     const std::size_t idx =
         pickFrom(*queue, bank.freeAt, bank.openPage);
     const Pending p = (*queue)[idx];
+    const bool was_read = queue == &bank.readQueue;
     queue->erase(queue->begin() +
                  static_cast<std::ptrdiff_t>(idx));
-    retire(bank, p);
+    retire(bank, bank_index, p);
+    if (obs::traceTrackBound())
+        obs::traceCounter(was_read ? "queue.read" : "queue.write",
+                          bankLane(bank_index), bank.freeAt,
+                          static_cast<std::int64_t>(queue->size()));
     return true;
 }
 
 void
-MemController::retire(Bank &bank, const Pending &p)
+MemController::retire(Bank &bank, std::size_t bank_index,
+                      const Pending &p)
 {
+    const bool traced = obs::traceTrackBound();
     Tick start = std::max(bank.freeAt, p.req.issueTick);
 
     // Writes probe the fail cache before touching the array; the
@@ -141,6 +183,8 @@ MemController::retire(Bank &bank, const Pending &p)
         eventTotals.failCacheLookups += p.io.metadataLookups;
         obs::bump(obs::Counter::TimingFailCacheLookups,
                   p.io.metadataLookups);
+        if (traced)
+            obs::traceSpan("meta.lookup", 0, bus_start, metaBusFreeAt);
     }
 
     const std::uint64_t page = pageOfAddr(geom, p.req.addr);
@@ -168,6 +212,8 @@ MemController::retire(Bank &bank, const Pending &p)
         ++eventTotals.reads;
         obs::bump(obs::Counter::TimingReads);
         readLat.add(static_cast<std::int64_t>(done - p.req.issueTick));
+        if (traced)
+            obs::traceSpan("read", bankLane(bank_index), start, done);
     } else {
         ++eventTotals.writes;
         eventTotals.programPasses +=
@@ -179,6 +225,22 @@ MemController::retire(Bank &bank, const Pending &p)
         obs::bump(obs::Counter::TimingRepartitionStalls,
                   p.io.repartitions);
         writeLat.add(static_cast<std::int64_t>(done - p.req.issueTick));
+        if (traced) {
+            obs::traceSpan("write.pv", bankLane(bank_index), start,
+                           done);
+            if (p.io.repartitions > 0) {
+                // The re-partition search stalls the tail of the bank
+                // occupancy, after the pulses and verify reads (the
+                // same order occupancy was summed above).
+                const Tick stall_end = start + occupancy;
+                const Tick stall_start =
+                    stall_end -
+                    p.io.repartitions * cfg.tRepartitionStall;
+                obs::traceSpan("write.repartition",
+                               bankLane(bank_index), stall_start,
+                               stall_end);
+            }
+        }
 
         // Newly discovered faults post to the fail cache after the
         // write retires; they hold the metadata bus, not the bank.
@@ -189,6 +251,9 @@ MemController::retire(Bank &bank, const Pending &p)
             eventTotals.failCacheUpdates += p.io.metadataUpdates;
             obs::bump(obs::Counter::TimingFailCacheUpdates,
                       p.io.metadataUpdates);
+            if (traced)
+                obs::traceSpan("meta.update", 0, bus_start,
+                               metaBusFreeAt);
         }
     }
 

@@ -14,6 +14,14 @@
  * Everything is integer tick arithmetic on state touched in a fixed
  * order, so a given request stream yields bit-identical latency
  * histograms on every run and every --jobs value.
+ *
+ * When the calling thread has an event-trace track bound
+ * (obs::TraceTrackScope), the controller additionally emits the
+ * scheduling timeline onto it: per-bank service spans ("read",
+ * "write.pv" with a nested "write.repartition"), metadata-bus
+ * occupancy spans on lane 0 ("meta.lookup"/"meta.update"), write-drain
+ * hysteresis instants and per-bank queue-depth counters — all on
+ * simulated ticks, so traces are deterministic too.
  */
 
 #ifndef AEGIS_SIM_TIMING_CONTROLLER_H
@@ -71,6 +79,9 @@ class MemController
     /** Completion tick of the latest retired request. */
     Tick lastCompletion() const { return lastDone; }
 
+    /** Requests currently queued across every bank. */
+    std::size_t pendingRequests() const;
+
     /** Tick source for sim_clock::Binding: tracks the simulated time
      *  frontier as requests are submitted and retired. */
     const Tick *tickSource() const { return &nowTick; }
@@ -97,14 +108,14 @@ class MemController
     std::size_t bankOf(std::uint64_t addr) const;
 
     /** Pick (FR-FCFS) and retire one request; false when idle. */
-    bool serviceOne(Bank &bank);
+    bool serviceOne(std::size_t bank_index);
 
     /** Index of the scheduled entry in @p queue given the bank is
      *  free at @p free_at. */
     std::size_t pickFrom(const std::vector<Pending> &queue,
                          Tick free_at, std::uint64_t open_page) const;
 
-    void retire(Bank &bank, const Pending &p);
+    void retire(Bank &bank, std::size_t bank_index, const Pending &p);
 
     TimingConfig cfg;
     pcm::Geometry geom;

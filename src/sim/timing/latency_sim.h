@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/timeline.h"
 #include "scheme/scheme.h"
 #include "sim/timing/controller.h"
 #include "sim/timing/timing_config.h"
@@ -31,6 +32,9 @@
 #include "util/rng.h"
 
 namespace aegis::sim::timing {
+
+/** traceTrack value meaning "do not bind an event-trace track". */
+inline constexpr std::uint32_t kNoTraceTrack = 0xffffffffu;
 
 struct LatencySimConfig
 {
@@ -42,6 +46,17 @@ struct LatencySimConfig
     std::uint64_t writes = 1000;
     /** Stuck-at faults injected per 1000 block writes. */
     double faultsPerKwrite = 0.0;
+    /** Sample controller totals into result.timeline every this many
+     *  sim ticks (0 disables sampling). Purely tick-driven, so the
+     *  sampled series is bit-identical across --jobs and reruns. */
+    std::uint64_t timelineInterval = 0;
+    /** Event-trace track to bind while the sim runs (see
+     *  obs/trace_sink.h). Use a stable caller-chosen id — the benches
+     *  use the cell index — so trace output is jobs-invariant.
+     *  kNoTraceTrack (the default) records nothing. */
+    std::uint32_t traceTrack = kNoTraceTrack;
+    /** Perfetto process label for the bound track. */
+    std::string traceLabel;
 };
 
 struct LatencySimResult
@@ -54,6 +69,11 @@ struct LatencySimResult
     std::uint64_t deadBlocks = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t bytesWritten = 0;
+    /** Sampled controller totals (cfg.timelineInterval > 0): columns
+     *  tick, reads, writes, verify_reads, failcache_lookups,
+     *  failcache_updates, repartition_stalls, queued. The name is left
+     *  for the caller to fill. */
+    obs::TimeSeries timeline;
 
     std::int64_t readP50() const;
     std::int64_t readP99() const;

@@ -67,12 +67,21 @@ inline constexpr std::size_t kDefaultGrain = 16;
  * result without silently changing its statistics. Callers that can
  * use partial chunk grids (the checkpointing study runner) build on
  * parallelFor directly.
+ *
+ * When @p chunk_done is given it is invoked on the worker thread
+ * right after a chunk's items finish, with the chunk index, its
+ * accumulator and its item count — the telemetry hook the study
+ * runners use to record per-chunk timelines. It must be thread-safe;
+ * chunks complete in an arbitrary order.
  */
 template <typename Result, typename Body>
 Result
 parallelReduce(std::size_t items, unsigned jobs, Body body,
                std::size_t grain = kDefaultGrain,
-               const CancelToken *cancel = nullptr)
+               const CancelToken *cancel = nullptr,
+               const std::function<void(std::size_t, Result &,
+                                        std::size_t)> *chunk_done =
+                   nullptr)
 {
     if (grain == 0)
         grain = 1;
@@ -85,6 +94,8 @@ parallelReduce(std::size_t items, unsigned jobs, Body body,
             const std::size_t end = std::min(items, begin + grain);
             for (std::size_t i = begin; i < end; ++i)
                 body(partial[c], i);
+            if (chunk_done != nullptr)
+                (*chunk_done)(c, partial[c], end - begin);
         },
         cancel);
     if (cancel != nullptr && cancel->cancelled())

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "aegis/factory.h"
+#include "obs/trace_sink.h"
 #include "pcm/cell_array.h"
 #include "pcm/fail_cache.h"
 #include "util/alloc_guard.h"
@@ -188,6 +189,55 @@ TEST(AllocGuard, DetectsInjectedAllocation)
     ASSERT_GT(sink.size(), 0u);    // keep the vector alive
     EXPECT_GT(probe.allocations(), 0u);
     EXPECT_GE(probe.bytes(), 257 * sizeof(std::uint64_t));
+}
+
+/** The trace sink's record path is an index-store into the buffer
+ *  allocated at track-open time: once armed and bound, steady-state
+ *  span/instant/counter emission must not touch the heap — including
+ *  past capacity, where events are dropped and counted. */
+TEST(AllocGuard, TraceSinkRecordingIsAllocationFree)
+{
+    ASSERT_TRUE(allocGuardActive());
+    obs::armTraceSink(64);
+    std::uint64_t ticks = 0;
+    {
+        obs::TraceTrackScope track(0, "guarded", &ticks);
+
+        std::uint64_t record_allocs;
+        {
+            AllocationProbe probe;
+            for (int i = 0; i < 200; ++i) {    // overflows capacity
+                ticks = static_cast<std::uint64_t>(i);
+                obs::traceSpan("span", 1, ticks, ticks + 2);
+                obs::traceInstant("instant", 1, ticks);
+                obs::traceCounter("counter", 2, ticks, i);
+            }
+            record_allocs = probe.allocations();
+        }
+        EXPECT_EQ(record_allocs, 0u)
+            << "armed trace recording touched the heap";
+    }
+    EXPECT_GT(obs::traceSinkStats().dropped, 0u);
+    obs::disarmTraceSink();
+}
+
+/** With the sink disarmed (the default for every bench run without
+ *  --trace-out) the emit helpers are unbound no-ops. */
+TEST(AllocGuard, DisarmedTraceEmitIsAllocationFree)
+{
+    ASSERT_TRUE(allocGuardActive());
+    ASSERT_FALSE(obs::traceSinkArmed());
+    std::uint64_t emit_allocs;
+    {
+        AllocationProbe probe;
+        for (int i = 0; i < 100; ++i) {
+            obs::traceSpan("span", 0, 0, 1);
+            obs::traceCounter("counter", 0, 0, i);
+        }
+        emit_allocs = probe.allocations();
+    }
+    EXPECT_EQ(emit_allocs, 0u)
+        << "disarmed trace emit touched the heap";
 }
 
 /** Deallocations are counted symmetrically. */

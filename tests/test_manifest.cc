@@ -6,6 +6,7 @@
  * number-formatting unit tests.
  */
 
+#include <array>
 #include <cmath>
 #include <sstream>
 
@@ -84,6 +85,14 @@ TEST(Manifest, GoldenFixture)
     metrics.gauges[0] = 3;
     metrics.timers[0] = obs::TimingStat{2, 100, 75};
     m.setMetrics(metrics);
+    std::array<obs::ScopeQuantiles, obs::kScopeCount> quantiles{};
+    quantiles[0] = obs::ScopeQuantiles{63, 127, 127};
+    m.setTimerQuantiles(quantiles);
+    obs::TimeSeries series;
+    series.name = "demo.controller";
+    series.columns = {"tick", "writes"};
+    series.rows = {{2000, 17}, {4000, 34}};
+    m.addTimeSeries(std::move(series));
     TablePrinter t("Demo table");
     t.setHeader({"scheme", "bits"});
     t.addRow({"aegis-9x61", "67"});
@@ -91,7 +100,7 @@ TEST(Manifest, GoldenFixture)
 
     const std::string golden = R"json({
   "schema": "aegis-bench-manifest",
-  "schemaVersion": 3,
+  "schemaVersion": 4,
   "program": "demo_bench",
   "description": "golden manifest fixture",
   "status": "complete",
@@ -162,27 +171,42 @@ TEST(Manifest, GoldenFixture)
       "scheme.write": {
         "count": 2,
         "totalNs": 100,
-        "maxNs": 75
+        "maxNs": 75,
+        "p50Ns": 63,
+        "p95Ns": 127,
+        "p99Ns": 127
       },
       "scheme.read": {
         "count": 0,
         "totalNs": 0,
-        "maxNs": 0
+        "maxNs": 0,
+        "p50Ns": 0,
+        "p95Ns": 0,
+        "p99Ns": 0
       },
       "scheme.recover": {
         "count": 0,
         "totalNs": 0,
-        "maxNs": 0
+        "maxNs": 0,
+        "p50Ns": 0,
+        "p95Ns": 0,
+        "p99Ns": 0
       },
       "sim.block_life": {
         "count": 0,
         "totalNs": 0,
-        "maxNs": 0
+        "maxNs": 0,
+        "p50Ns": 0,
+        "p95Ns": 0,
+        "p99Ns": 0
       },
       "sim.page_life": {
         "count": 0,
         "totalNs": 0,
-        "maxNs": 0
+        "maxNs": 0,
+        "p50Ns": 0,
+        "p95Ns": 0,
+        "p99Ns": 0
       }
     }
   },
@@ -197,6 +221,25 @@ TEST(Manifest, GoldenFixture)
         [
           "aegis-9x61",
           "67"
+        ]
+      ]
+    }
+  ],
+  "timeseries": [
+    {
+      "name": "demo.controller",
+      "columns": [
+        "tick",
+        "writes"
+      ],
+      "rows": [
+        [
+          2000,
+          17
+        ],
+        [
+          4000,
+          34
         ]
       ]
     }

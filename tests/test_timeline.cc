@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for deterministic time-series telemetry: the Monte-Carlo
+ * chunk recorder (rows indexed by chunk, advisory wall_ms column),
+ * the latency sim's fixed-tick sampler, and the log2-bucket timer
+ * percentile estimates that feed the manifest's v4 timer section.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aegis/factory.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "sim/timing/latency_sim.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+class TimelineTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { obs::disarmTimeline(); }
+};
+
+std::size_t
+col(const obs::TimeSeries &s, const std::string &name)
+{
+    for (std::size_t i = 0; i < s.columns.size(); ++i)
+        if (s.columns[i] == name)
+            return i;
+    ADD_FAILURE() << "no column " << name;
+    return 0;
+}
+
+TEST_F(TimelineTest, DisarmedRecorderIgnoresSeries)
+{
+    ASSERT_FALSE(obs::timelineEnabled());
+    obs::timelineBeginSeries("ignored", 4);
+    obs::Metrics delta;
+    obs::timelineChunkDone(0, 1, delta);
+    EXPECT_TRUE(obs::takeTimelines().empty());
+}
+
+TEST_F(TimelineTest, ChunkRowsIndexedByChunkNotCompletionOrder)
+{
+    obs::armTimeline();
+    obs::timelineBeginSeries("demo.block_study", 3);
+
+    obs::Metrics delta;
+    delta.counters[static_cast<std::size_t>(
+        obs::Counter::FaultArrivals)] = 7;
+    delta.counters[static_cast<std::size_t>(
+        obs::Counter::ProgramPasses)] = 11;
+    delta.counters[static_cast<std::size_t>(
+        obs::Counter::AegisRepartitions)] = 2;
+    delta.counters[static_cast<std::size_t>(
+        obs::Counter::SaferRepartitions)] = 1;
+    // Completion order 2 then 0; row order must stay 0,1,2.
+    obs::timelineChunkDone(2, 16, delta);
+    obs::timelineChunkDone(0, 16, delta, /*restored=*/true);
+
+    const auto series = obs::takeTimelines();
+    ASSERT_EQ(series.size(), 1u);
+    const obs::TimeSeries &s = series[0];
+    EXPECT_EQ(s.name, "demo.block_study");
+    ASSERT_EQ(s.rows.size(), 3u);
+    for (const auto &row : s.rows)
+        ASSERT_EQ(row.size(), s.columns.size());
+
+    EXPECT_EQ(s.rows[2][col(s, "chunk")], 2u);
+    EXPECT_EQ(s.rows[2][col(s, "items")], 16u);
+    EXPECT_EQ(s.rows[2][col(s, "faults")], 7u);
+    EXPECT_EQ(s.rows[2][col(s, "program_passes")], 11u);
+    EXPECT_EQ(s.rows[2][col(s, "repartitions")], 3u);
+    // Restored chunks carry no fresh wall-clock stamp.
+    EXPECT_EQ(s.rows[0][col(s, "wall_ms")], 0u);
+    // Untouched chunk 1 stays pre-zeroed, keeping the grid fixed.
+    for (const std::uint64_t v : s.rows[1])
+        EXPECT_EQ(v, 0u);
+
+    // takeTimelines drains.
+    EXPECT_TRUE(obs::takeTimelines().empty());
+}
+
+TEST_F(TimelineTest, LatencySimSamplesOnFixedTickGrid)
+{
+    auto scheme = core::makeScheme("ecp6", 512);
+    sim::timing::LatencySimConfig cfg;
+    cfg.writes = 300;
+    cfg.faultsPerKwrite = 200.0;
+    cfg.timelineInterval = 500;
+
+    const sim::timing::LatencySimResult a =
+        sim::timing::runLatencySim(*scheme, cfg, Rng(5));
+    ASSERT_FALSE(a.timeline.columns.empty());
+    ASSERT_FALSE(a.timeline.rows.empty());
+    const std::size_t tick = col(a.timeline, "tick");
+    const std::size_t writes = col(a.timeline, "writes");
+    std::uint64_t prev_tick = 0;
+    std::uint64_t prev_writes = 0;
+    for (std::size_t i = 0; i < a.timeline.rows.size(); ++i) {
+        const auto &row = a.timeline.rows[i];
+        ASSERT_EQ(row.size(), a.timeline.columns.size());
+        // Every sample sits on the fixed tick grid except the final
+        // one, taken at drain end to capture the finished totals.
+        if (i + 1 < a.timeline.rows.size()) {
+            EXPECT_EQ(row[tick] % cfg.timelineInterval, 0u);
+        }
+        EXPECT_GE(row[tick], prev_tick);
+        EXPECT_GE(row[writes], prev_writes);
+        prev_tick = row[tick];
+        prev_writes = row[writes];
+    }
+    EXPECT_EQ(a.timeline.rows.back()[writes], cfg.writes);
+
+    // Purely tick-driven sampling: a rerun reproduces every row.
+    const sim::timing::LatencySimResult b =
+        sim::timing::runLatencySim(*scheme, cfg, Rng(5));
+    EXPECT_EQ(a.timeline.columns, b.timeline.columns);
+    EXPECT_EQ(a.timeline.rows, b.timeline.rows);
+}
+
+TEST_F(TimelineTest, SamplingDisabledByDefault)
+{
+    auto scheme = core::makeScheme("none", 512);
+    sim::timing::LatencySimConfig cfg;
+    cfg.writes = 50;
+    const sim::timing::LatencySimResult r =
+        sim::timing::runLatencySim(*scheme, cfg, Rng(1));
+    EXPECT_TRUE(r.timeline.columns.empty());
+    EXPECT_TRUE(r.timeline.rows.empty());
+}
+
+TEST(ScopeQuantiles, Log2BucketEstimatesBracketTheSamples)
+{
+    obs::resetProcessMetrics();
+    // 90 fast entries and 10 slow ones: p50 must sit in the fast
+    // bucket, p99 in the slow one. Bucket upper bounds are 2^k - 1.
+    for (int i = 0; i < 90; ++i)
+        obs::recordTiming(obs::Scope::SchemeRead, 100);
+    for (int i = 0; i < 10; ++i)
+        obs::recordTiming(obs::Scope::SchemeRead, 5000);
+
+    const auto q = obs::scopeQuantileEstimates();
+    const obs::ScopeQuantiles &r =
+        q[static_cast<std::size_t>(obs::Scope::SchemeRead)];
+    EXPECT_EQ(r.p50Ns, 127u);     // 100 ns -> bucket [64, 127]
+    EXPECT_EQ(r.p99Ns, 8191u);    // 5000 ns -> bucket [4096, 8191]
+    EXPECT_LE(r.p50Ns, r.p95Ns);
+    EXPECT_LE(r.p95Ns, r.p99Ns);
+
+    // An untouched scope reports zero estimates.
+    const obs::ScopeQuantiles &idle =
+        q[static_cast<std::size_t>(obs::Scope::PageLife)];
+    EXPECT_EQ(idle.p50Ns, 0u);
+    EXPECT_EQ(idle.p99Ns, 0u);
+    obs::resetProcessMetrics();
+}
+
+} // namespace
+} // namespace aegis

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the event-trace sink: ring-buffer recording with counted
+ * drops, a golden-file check pinning the Chrome trace-event JSON
+ * format, the trace_clock bound/unbound contract, AEGIS_TRACE_SCOPE's
+ * dual feed into the sink, and byte-identical trace output across
+ * repeated fixed-seed latency simulations.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aegis/factory.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
+#include "sim/timing/latency_sim.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+/** Arm/disarm around each test so state never leaks between them. */
+class TraceSinkTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { obs::disarmTraceSink(); }
+};
+
+TEST_F(TraceSinkTest, DisarmedScopeRecordsNothing)
+{
+    ASSERT_FALSE(obs::traceSinkArmed());
+    const std::uint64_t ticks = 7;
+    {
+        obs::TraceTrackScope track(0, "noop", &ticks);
+        EXPECT_FALSE(obs::traceTrackBound());
+        EXPECT_EQ(obs::trace_clock::now(), 0u);
+        obs::traceSpan("x", 0, 1, 2);
+    }
+    const obs::TraceSinkStats stats = obs::traceSinkStats();
+    EXPECT_EQ(stats.tracks, 0u);
+    EXPECT_EQ(stats.recorded, 0u);
+    EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST_F(TraceSinkTest, TraceClockReadsBoundTickSource)
+{
+    obs::armTraceSink(8);
+    std::uint64_t ticks = 123;
+    {
+        obs::TraceTrackScope track(0, "clocked", &ticks);
+        ASSERT_TRUE(obs::traceTrackBound());
+        EXPECT_EQ(obs::trace_clock::now(), 123u);
+        ticks = 456;
+        EXPECT_EQ(obs::trace_clock::now(), 456u);
+    }
+    EXPECT_FALSE(obs::traceTrackBound());
+    EXPECT_EQ(obs::trace_clock::now(), 0u);
+}
+
+TEST_F(TraceSinkTest, GoldenJson)
+{
+    obs::armTraceSink(8);
+    const std::uint64_t ticks = 0;
+    {
+        obs::TraceTrackScope track(4, "demo", &ticks);
+        obs::nameTraceLane(0, "metadata-bus");
+        obs::traceSpan("write.pv", 1, 10, 25);
+        obs::traceInstant("drain.enter", 1, 30);
+        obs::traceCounter("queue.write", 2, 40, 3);
+    }
+    const std::string golden = R"json({
+  "displayTimeUnit": "ms",
+  "otherData": {
+    "generator": "aegis trace sink",
+    "clock": "sim ticks (1 tick rendered as 1us)",
+    "recordedEvents": 3,
+    "droppedEvents": 0
+  },
+  "traceEvents": [
+    {
+      "name": "process_name",
+      "ph": "M",
+      "pid": 5,
+      "args": {
+        "name": "demo"
+      }
+    },
+    {
+      "name": "thread_name",
+      "ph": "M",
+      "pid": 5,
+      "tid": 0,
+      "args": {
+        "name": "metadata-bus"
+      }
+    },
+    {
+      "name": "write.pv",
+      "ph": "X",
+      "ts": 10,
+      "dur": 15,
+      "pid": 5,
+      "tid": 1
+    },
+    {
+      "name": "drain.enter",
+      "ph": "i",
+      "ts": 30,
+      "pid": 5,
+      "tid": 1,
+      "s": "t"
+    },
+    {
+      "name": "queue.write.b2",
+      "ph": "C",
+      "ts": 40,
+      "pid": 5,
+      "args": {
+        "value": 3
+      }
+    }
+  ]
+}
+)json";
+    EXPECT_EQ(obs::traceToJson(), golden);
+}
+
+TEST_F(TraceSinkTest, OverflowDropsAreCountedNotResized)
+{
+    obs::armTraceSink(4);
+    const std::uint64_t ticks = 0;
+    {
+        obs::TraceTrackScope track(0, "tiny", &ticks);
+        for (std::uint64_t i = 0; i < 10; ++i)
+            obs::traceSpan("s", 0, i, i + 1);
+    }
+    const obs::TraceSinkStats stats = obs::traceSinkStats();
+    EXPECT_EQ(stats.tracks, 1u);
+    EXPECT_EQ(stats.recorded, 4u);
+    EXPECT_EQ(stats.dropped, 6u);
+    // The flush surfaces the loss as a trailing counter sample.
+    EXPECT_NE(obs::traceToJson().find("trace.dropped_events"),
+              std::string::npos);
+}
+
+TEST_F(TraceSinkTest, ReopeningATrackAppends)
+{
+    obs::armTraceSink(8);
+    const std::uint64_t ticks = 0;
+    {
+        obs::TraceTrackScope track(3, "first", &ticks);
+        obs::traceSpan("a", 0, 0, 1);
+    }
+    {
+        obs::TraceTrackScope track(3, "relabel-ignored", &ticks);
+        obs::traceSpan("b", 0, 1, 2);
+    }
+    const obs::TraceSinkStats stats = obs::traceSinkStats();
+    EXPECT_EQ(stats.tracks, 1u);
+    EXPECT_EQ(stats.recorded, 2u);
+    // The first open's label sticks.
+    EXPECT_NE(obs::traceToJson().find("\"first\""), std::string::npos);
+}
+
+TEST_F(TraceSinkTest, TraceScopeFeedsSinkOnVirtualTime)
+{
+    obs::armTraceSink(8);
+    std::uint64_t ticks = 100;
+    {
+        obs::TraceTrackScope track(0, "scoped", &ticks);
+        {
+            AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
+            ticks = 150;
+        }
+    }
+    EXPECT_EQ(obs::traceSinkStats().recorded, 1u);
+    const std::string json = obs::traceToJson();
+    EXPECT_NE(json.find("\"name\": \"scheme.write\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"ts\": 100"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"dur\": 50"), std::string::npos) << json;
+}
+
+/** Fixed seed + same config must flush a byte-identical trace, and
+ *  the controller events the report tooling keys on must appear. */
+TEST_F(TraceSinkTest, LatencySimTraceIsByteStable)
+{
+    // The cache variant exercises every instrumented event: program-
+    // and-verify spans, re-partition stalls, and fail-cache metadata
+    // bus traffic.
+    auto scheme = core::makeScheme("aegis-cache-23x23", 512);
+    sim::timing::LatencySimConfig cfg;
+    cfg.shape.pages = 16;
+    cfg.writes = 800;
+    cfg.faultsPerKwrite = 800.0;
+    cfg.traceTrack = 0;
+    cfg.traceLabel = "aegis-cache-23x23@800/kw";
+
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        obs::armTraceSink(1 << 16);
+        (void)sim::timing::runLatencySim(*scheme, cfg, Rng(99));
+        const std::string json = obs::traceToJson();
+        obs::disarmTraceSink();
+        if (run == 0) {
+            first = json;
+            EXPECT_NE(json.find("write.pv"), std::string::npos);
+            EXPECT_NE(json.find("write.repartition"),
+                      std::string::npos);
+            EXPECT_NE(json.find("queue.write"), std::string::npos);
+            EXPECT_NE(json.find("meta.lookup"), std::string::npos);
+        } else {
+            EXPECT_EQ(json, first);
+        }
+    }
+    EXPECT_EQ(obs::traceSinkStats().dropped, 0u);
+}
+
+} // namespace
+} // namespace aegis

@@ -98,8 +98,10 @@ DET_EXEMPT_FILES = ("src/util/chaos.cc", "src/util/chaos.h")
 # Virtual clocks whose now() reads *simulated* time (deterministic
 # ticks), not the wall clock. sim_clock (sim/timing/clock.h) is named
 # like a chrono clock on purpose so that real chrono clocks remain
-# lintable in the same files.
-DET_CHRONO_VIRTUAL_CLOCKS = ("sim_clock",)
+# lintable in the same files. trace_clock (obs/trace_sink.h) mirrors
+# it for event-trace timestamps: it reads whatever tick source the
+# bound trace track exposes, never the wall clock.
+DET_CHRONO_VIRTUAL_CLOCKS = ("sim_clock", "trace_clock")
 
 # Methods that may (re)allocate on any standard container/string.
 ALLOCATING_METHODS = {

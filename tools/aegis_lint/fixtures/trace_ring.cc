@@ -1,0 +1,49 @@
+// Fixture: the trace-sink ring-buffer recording idiom. The hot path
+// stores into a preallocated slot by index and bumps a drop counter
+// on overflow — HOT-ALLOC must accept that verbatim. The variant
+// that grows the buffer with push_back instead must be flagged.
+// Not part of any build; aegis-lint's fixture test scans it.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define AEGIS_HOT
+
+struct Event {
+    std::uint64_t ts;
+    std::uint64_t value;
+};
+
+struct Ring {
+    std::vector<Event> events;    // sized once at arm time
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+};
+
+// Allocation-free steady state: index-store into capacity reserved
+// when the sink was armed, count the overflow instead of growing.
+AEGIS_HOT void
+recordClean(Ring &ring, Event e)
+{
+    if (ring.count < ring.events.size())
+        ring.events[ring.count++] = e;
+    else
+        ++ring.dropped;
+}
+
+// Same shape, but growing on demand — allocates mid-recording.
+AEGIS_HOT void
+recordGrows(Ring &ring, Event e)
+{
+    ring.events.push_back(e);    // flagged
+}
+
+// Cold setup may size the ring freely.
+void
+armRing(Ring &ring, std::size_t capacity)
+{
+    ring.events.resize(capacity);
+    ring.count = 0;
+    ring.dropped = 0;
+}

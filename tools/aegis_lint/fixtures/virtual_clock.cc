@@ -20,3 +20,16 @@ realNow()
     const auto t = std::chrono::steady_clock::now();    // flagged
     return static_cast<long>(t.time_since_epoch().count());
 }
+
+// trace_clock is the obs-layer twin of sim_clock: its now() reads the
+// bound trace track's tick source. Appended after the flagged chrono
+// call so earlier finding line numbers stay put.
+namespace trace_clock {
+std::uint64_t now();
+} // namespace trace_clock
+
+std::uint64_t
+traceNow()
+{
+    return trace_clock::now();    // allowed
+}

@@ -3,14 +3,20 @@
 
 A resumed run must be bit-identical to an uninterrupted one, but only
 in the fields that are deterministic by design: the master seed, the
-result tables (every cell, verbatim), and the metrics *counters*.
-Timestamps, phase wall-clock seconds, timer nanoseconds, the status
-field and the flag record (a resumed invocation adds --resume) are all
-legitimately different and excluded.
+result tables (every cell, verbatim), the metrics *counters*, and the
+timeseries section. Timestamps, phase wall-clock seconds, timer
+nanoseconds, the status field and the flag record (a resumed
+invocation adds --resume) are all legitimately different and excluded.
 
-Usage: compare_manifests.py <golden.json> <candidate.json>
+Usage: compare_manifests.py [--ignore-wallclock] <golden.json>
+<candidate.json>
 Exit status 0 when the deterministic sections match; 1 with one line
 per difference otherwise.
+
+--ignore-wallclock additionally masks wall-clock columns (wall_ms) in
+the timeseries diff: the Monte-Carlo chunk timelines stamp each row
+with an advisory completion time that legitimately varies across
+--jobs and machines.
 
 Perf-gate mode: compare_manifests.py --perf [--tolerance PCT] then the
 two manifests. Instead of bit-exact equality, rows of the
@@ -115,13 +121,57 @@ def diff_counters(golden, candidate, errors):
             errors.append("counter %s: %r vs %r" % (name, g, c))
 
 
+WALLCLOCK_COLUMNS = ("wall_ms",)
+
+
+def masked_rows(series, ignore_wallclock):
+    """Rows with wall-clock columns zeroed when asked to ignore them."""
+    columns = series.get("columns", [])
+    masked = [i for i, name in enumerate(columns)
+              if ignore_wallclock and name in WALLCLOCK_COLUMNS]
+    if not masked:
+        return series.get("rows", [])
+    return [[0 if i in masked else v for i, v in enumerate(row)]
+            for row in series.get("rows", [])]
+
+
+def diff_timeseries(golden, candidate, errors, ignore_wallclock):
+    if len(golden) != len(candidate):
+        errors.append("timeseries count: %d vs %d"
+                      % (len(golden), len(candidate)))
+        return
+    for t, (g, c) in enumerate(zip(golden, candidate)):
+        where = "timeseries[%d] (%s)" % (t, g.get("name", "?"))
+        if g.get("name") != c.get("name"):
+            errors.append("%s: name %r vs %r"
+                          % (where, g.get("name"), c.get("name")))
+        if g.get("columns") != c.get("columns"):
+            errors.append("%s: columns %r vs %r"
+                          % (where, g.get("columns"), c.get("columns")))
+            continue
+        grows = masked_rows(g, ignore_wallclock)
+        crows = masked_rows(c, ignore_wallclock)
+        if len(grows) != len(crows):
+            errors.append("%s: %d rows vs %d rows"
+                          % (where, len(grows), len(crows)))
+            continue
+        for r, (grow, crow) in enumerate(zip(grows, crows)):
+            if grow != crow:
+                errors.append("%s row %d: %r vs %r"
+                              % (where, r, grow, crow))
+
+
 def main(argv):
     args = argv[1:]
     perf_mode = False
+    ignore_wallclock = False
     tolerance = 10.0
     while args and args[0].startswith("--"):
         if args[0] == "--perf":
             perf_mode = True
+            args = args[1:]
+        elif args[0] == "--ignore-wallclock":
+            ignore_wallclock = True
             args = args[1:]
         elif args[0] == "--tolerance" and len(args) >= 2:
             tolerance = float(args[1])
@@ -154,13 +204,18 @@ def main(argv):
     diff_counters(golden.get("metrics", {}).get("counters", {}),
                   candidate.get("metrics", {}).get("counters", {}),
                   errors)
+    diff_timeseries(golden.get("timeseries", []),
+                    candidate.get("timeseries", []), errors,
+                    ignore_wallclock)
 
     if errors:
         for e in errors:
             print("DIFFER %s vs %s: %s" % (argv[1], argv[2], e))
         return 1
-    print("MATCH %s vs %s (seed, %d tables, counters)"
-          % (argv[1], argv[2], len(golden.get("tables", []))))
+    print("MATCH %s vs %s (seed, %d tables, counters, %d timeseries%s)"
+          % (argv[1], argv[2], len(golden.get("tables", [])),
+             len(golden.get("timeseries", [])),
+             ", wall-clock columns ignored" if ignore_wallclock else ""))
     return 0
 
 

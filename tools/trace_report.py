@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file written by --trace-out.
+
+Standard-library only. Reads the trace the benches emit via the obs
+trace sink (src/obs/trace_sink.cc) and prints:
+
+  - span totals by event name: count, total/self time, max duration
+    (self time subtracts nested same-track-and-lane spans, so
+    "write.pv" totals exclude the "write.repartition" stalls they
+    contain);
+  - per-lane busy time and utilization per track (tracks are Chrome
+    processes — one simulated cell; lanes are Chrome threads — lane 0
+    the metadata bus, lane 1+b bank b);
+  - drop statistics from the sink's otherData block: a trace with
+    dropped events is still valid but incomplete, so drops are always
+    surfaced.
+
+Usage: trace_report.py [--top N] <trace.json>
+Exit status 0 on success, 1 when the file is malformed (not JSON, no
+traceEvents array, or events missing mandatory keys).
+"""
+
+import json
+import sys
+
+
+def load_trace(path):
+    with open(path) as f:
+        data = json.load(f)
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array")
+    return data, events
+
+
+def lane_label(meta_names, pid, tid):
+    name = meta_names.get((pid, tid))
+    return name if name else "lane %d" % tid
+
+
+def self_times(spans):
+    """Per-span self time: duration minus nested spans on the same
+    (pid, tid) row. Spans on one row never partially overlap (the sink
+    records a serial schedule per lane), so a sweep with a stack of
+    open intervals suffices."""
+    selfs = {}
+    by_row = {}
+    for i, (pid, tid, name, ts, dur) in enumerate(spans):
+        by_row.setdefault((pid, tid), []).append((ts, ts + dur, i))
+    for row in by_row.values():
+        # Sort by start, longest first at equal starts, so a parent
+        # precedes the children it contains.
+        row.sort(key=lambda e: (e[0], -(e[1] - e[0])))
+        stack = []
+        for start, end, i in row:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            nested = end - start
+            if stack:
+                parent = stack[-1][2]
+                selfs[parent] = selfs.get(parent, 0) - nested
+            stack.append((start, end, i))
+            selfs[i] = selfs.get(i, 0) + nested
+    return selfs
+
+
+def main(argv):
+    args = argv[1:]
+    top = 20
+    while args and args[0].startswith("--"):
+        if args[0] == "--top" and len(args) >= 2:
+            top = int(args[1])
+            args = args[2:]
+        else:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        data, events = load_trace(args[0])
+    except (OSError, ValueError) as ex:
+        print("MALFORMED %s: %s" % (args[0], ex))
+        return 1
+
+    spans = []        # (pid, tid, name, ts, dur)
+    counters = {}     # name -> samples
+    instants = {}     # name -> count
+    meta_names = {}   # (pid, tid) -> thread name; (pid, None) -> process
+    try:
+        for e in events:
+            ph = e["ph"]
+            if ph == "X":
+                spans.append((e["pid"], e["tid"], e["name"], e["ts"],
+                              e["dur"]))
+            elif ph == "C":
+                counters[e["name"]] = counters.get(e["name"], 0) + 1
+            elif ph == "i":
+                instants[e["name"]] = instants.get(e["name"], 0) + 1
+            elif ph == "M":
+                if e["name"] == "process_name":
+                    meta_names[(e["pid"], None)] = e["args"]["name"]
+                elif e["name"] == "thread_name":
+                    meta_names[(e["pid"], e["tid"])] = e["args"]["name"]
+    except (KeyError, TypeError) as ex:
+        print("MALFORMED %s: event missing key %s" % (args[0], ex))
+        return 1
+
+    other = data.get("otherData", {})
+    print("trace: %s" % args[0])
+    print("  events: %d recorded, %s dropped"
+          % (len(events), other.get("droppedEvents", "?")))
+    if isinstance(other.get("droppedEvents"), int) \
+            and other["droppedEvents"] > 0:
+        print("  WARNING: ring buffers overflowed; totals below are "
+              "lower bounds (raise --trace-capacity)")
+
+    selfs = self_times(spans)
+    by_name = {}
+    for i, (pid, tid, name, ts, dur) in enumerate(spans):
+        agg = by_name.setdefault(name, [0, 0, 0, 0])
+        agg[0] += 1
+        agg[1] += dur
+        agg[2] += selfs.get(i, dur)
+        agg[3] = max(agg[3], dur)
+
+    if by_name:
+        print("\nspans by total time (top %d):" % top)
+        print("  %-24s %10s %14s %14s %10s"
+              % ("name", "count", "total ticks", "self ticks", "max"))
+        ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])
+        for name, (count, total, self_t, mx) in ranked[:top]:
+            print("  %-24s %10d %14d %14d %10d"
+                  % (name, count, total, self_t, mx))
+        if len(ranked) > top:
+            print("  ... %d more span names" % (len(ranked) - top))
+
+    rows = {}
+    for pid, tid, name, ts, dur in spans:
+        busy, end = rows.get((pid, tid), (0, 0))
+        rows[(pid, tid)] = (busy + dur, max(end, ts + dur))
+    if rows:
+        print("\nlane utilization (busy/elapsed per track row, top %d):"
+              % top)
+        print("  %-24s %-16s %14s %14s %6s"
+              % ("track", "lane", "busy ticks", "last tick", "util"))
+        ranked = sorted(rows.items(), key=lambda kv: -kv[1][0])
+        for (pid, tid), (busy, end) in ranked[:top]:
+            track = meta_names.get((pid, None), "track %d" % pid)
+            util = 100.0 * busy / end if end > 0 else 0.0
+            print("  %-24s %-16s %14d %14d %5.1f%%"
+                  % (track, lane_label(meta_names, pid, tid), busy,
+                     end, util))
+        if len(ranked) > top:
+            print("  ... %d more lanes" % (len(ranked) - top))
+
+    if counters:
+        print("\ncounter series (samples):")
+        for name in sorted(counters):
+            print("  %-32s %10d" % (name, counters[name]))
+    if instants:
+        print("\ninstant events:")
+        for name in sorted(instants):
+            print("  %-32s %10d" % (name, instants[name]))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head; not an error

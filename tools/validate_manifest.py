@@ -73,6 +73,27 @@ def validate(value, schema, path, errors):
                 validate(element, items, "%s[%d]" % (path, i), errors)
 
 
+def check_timeseries(manifest, errors):
+    """Cross-field check the schema subset cannot express: every row of
+    a timeseries entry must be exactly as wide as its columns list, and
+    a v4 manifest must carry the section (possibly empty)."""
+    version = manifest.get("schemaVersion")
+    if isinstance(version, int) and version >= 4:
+        if "timeseries" not in manifest:
+            errors.append("$: schemaVersion %d requires a timeseries "
+                          "section" % version)
+    for i, series in enumerate(manifest.get("timeseries", [])):
+        if not isinstance(series, dict):
+            continue
+        width = len(series.get("columns", []))
+        for r, row in enumerate(series.get("rows", [])):
+            if isinstance(row, list) and len(row) != width:
+                errors.append(
+                    "$.timeseries[%d] (%s) row %d: %d values for %d "
+                    "columns" % (i, series.get("name", "?"), r,
+                                 len(row), width))
+
+
 def main(argv):
     if len(argv) not in (2, 3):
         print(__doc__.strip(), file=sys.stderr)
@@ -89,6 +110,7 @@ def main(argv):
 
     errors = []
     validate(manifest, schema, "$", errors)
+    check_timeseries(manifest, errors)
     if errors:
         for e in errors:
             print("INVALID %s: %s" % (manifest_path, e))
