@@ -85,6 +85,8 @@ encodeCheckpoint(const CheckpointData &data)
     payload.str(data.program);
     payload.u64(data.flagsFingerprint);
     payload.u64(data.masterSeed);
+    payload.u32(data.shardIndex);
+    payload.u32(data.shardCount);
     payload.u32(static_cast<std::uint32_t>(data.completed.size()));
     for (const CheckpointUnit &unit : data.completed) {
         payload.u32(unit.index);
@@ -92,9 +94,8 @@ encodeCheckpoint(const CheckpointData &data)
         payload.u8(unit.kind);
         payload.str(unit.blob);
     }
-    payload.u8(data.partial.has_value() ? 1 : 0);
-    if (data.partial.has_value()) {
-        const CheckpointPartial &p = *data.partial;
+    payload.u32(static_cast<std::uint32_t>(data.partials.size()));
+    for (const CheckpointPartial &p : data.partials) {
         payload.u32(p.index);
         payload.u64(p.fingerprint);
         payload.u8(p.kind);
@@ -155,9 +156,16 @@ decodeCheckpoint(std::string_view bytes, const std::string &path)
     data.program = r.str();
     data.flagsFingerprint = r.u64();
     data.masterSeed = r.u64();
+    data.shardIndex = r.u32();
+    data.shardCount = r.u32();
     const std::uint32_t units = r.u32();
     if (!r.ok())
         return corrupt();
+    if (data.shardCount == 0 || data.shardIndex >= data.shardCount)
+        return Result::failure(
+            "checkpoint `" + path + "' carries an impossible shard "
+            "identity " + std::to_string(data.shardIndex) + "/" +
+            std::to_string(data.shardCount));
     for (std::uint32_t i = 0; i < units; ++i) {
         CheckpointUnit unit;
         unit.index = r.u32();
@@ -168,7 +176,10 @@ decodeCheckpoint(std::string_view bytes, const std::string &path)
             return corrupt();
         data.completed.push_back(std::move(unit));
     }
-    if (r.u8() != 0) {
+    const std::uint32_t partials = r.u32();
+    if (!r.ok())
+        return corrupt();
+    for (std::uint32_t i = 0; i < partials; ++i) {
         CheckpointPartial p;
         p.index = r.u32();
         p.fingerprint = r.u64();
@@ -178,7 +189,7 @@ decodeCheckpoint(std::string_view bytes, const std::string &path)
         const std::uint32_t chunks = r.u32();
         if (!r.ok())
             return corrupt();
-        for (std::uint32_t i = 0; i < chunks; ++i) {
+        for (std::uint32_t j = 0; j < chunks; ++j) {
             CheckpointChunk c;
             c.index = r.u32();
             c.blob = r.str();
@@ -186,7 +197,7 @@ decodeCheckpoint(std::string_view bytes, const std::string &path)
                 return corrupt();
             p.chunks.push_back(std::move(c));
         }
-        data.partial = std::move(p);
+        data.partials.push_back(std::move(p));
     }
     if (!r.ok() || !r.atEnd())
         return corrupt();
@@ -205,12 +216,15 @@ loadCheckpointFile(const std::string &path)
 CheckpointSession::CheckpointSession(std::string path,
                                      std::string program,
                                      std::uint64_t flagsFingerprint,
-                                     std::uint64_t masterSeed)
+                                     std::uint64_t masterSeed,
+                                     ShardSpec shard)
     : filePath(std::move(path))
 {
     current.program = std::move(program);
     current.flagsFingerprint = flagsFingerprint;
     current.masterSeed = masterSeed;
+    current.shardIndex = shard.index;
+    current.shardCount = shard.count;
 }
 
 Status
@@ -236,6 +250,16 @@ CheckpointSession::resume()
             "' was written with --seed " +
             std::to_string(loaded->masterSeed) + ", not --seed " +
             std::to_string(current.masterSeed));
+    if (loaded->shardIndex != current.shardIndex ||
+        loaded->shardCount != current.shardCount)
+        return Status::failure(
+            "cannot resume: checkpoint `" + filePath +
+            "' was written by shard " +
+            std::to_string(loaded->shardIndex) + "/" +
+            std::to_string(loaded->shardCount) +
+            ", not shard " + std::to_string(current.shardIndex) + "/" +
+            std::to_string(current.shardCount) +
+            "; each shard resumes only its own checkpoint");
     restoredFile = std::move(*loaded);
     haveRestored = true;
     return Status();
@@ -246,8 +270,7 @@ CheckpointSession::beginUnit(std::uint64_t fingerprint, StudyKind kind,
                              std::uint64_t items, std::uint64_t grain)
 {
     const std::lock_guard<std::mutex> lock(mu);
-    AEGIS_ASSERT(!current.partial.has_value(),
-                 "beginUnit while a unit is still open");
+    AEGIS_ASSERT(!unitOpen, "beginUnit while a unit is still open");
     const std::uint32_t index = nextUnit++;
     const auto stale = [&](const std::string &what) {
         throw ConfigError(
@@ -271,15 +294,18 @@ CheckpointSession::beginUnit(std::uint64_t fingerprint, StudyKind kind,
             out.unitBlob = done->blob;
             return out;
         }
-        if (restoredFile.partial.has_value() &&
-            restoredFile.partial->index == index) {
-            const CheckpointPartial &p = *restoredFile.partial;
-            if (p.fingerprint != fingerprint ||
-                p.kind != static_cast<std::uint8_t>(kind))
+        const auto part = std::find_if(
+            restoredFile.partials.begin(), restoredFile.partials.end(),
+            [index](const CheckpointPartial &p) {
+                return p.index == index;
+            });
+        if (part != restoredFile.partials.end()) {
+            if (part->fingerprint != fingerprint ||
+                part->kind != static_cast<std::uint8_t>(kind))
                 stale("a different configuration");
-            if (p.items != items || p.grain != grain)
+            if (part->items != items || part->grain != grain)
                 stale("a different chunk grid");
-            out.chunks = p.chunks;
+            out.chunks = part->chunks;
         }
     }
 
@@ -290,7 +316,8 @@ CheckpointSession::beginUnit(std::uint64_t fingerprint, StudyKind kind,
     open.items = items;
     open.grain = grain;
     open.chunks = out.chunks;
-    current.partial = std::move(open);
+    current.partials.push_back(std::move(open));
+    unitOpen = true;
     return out;
 }
 
@@ -299,9 +326,8 @@ CheckpointSession::chunkDone(std::uint32_t chunk, std::string blob)
 {
     {
         const std::lock_guard<std::mutex> lock(mu);
-        AEGIS_ASSERT(current.partial.has_value(),
-                     "chunkDone without an open unit");
-        current.partial->chunks.push_back(
+        AEGIS_ASSERT(unitOpen, "chunkDone without an open unit");
+        current.partials.back().chunks.push_back(
             CheckpointChunk{chunk, std::move(blob)});
         ++sinceSnapshot;
         if (snapshotEvery != 0 && sinceSnapshot >= snapshotEvery) {
@@ -320,12 +346,32 @@ void
 CheckpointSession::unitDone(std::string blob)
 {
     const std::lock_guard<std::mutex> lock(mu);
-    AEGIS_ASSERT(current.partial.has_value(),
-                 "unitDone without an open unit");
+    AEGIS_ASSERT(unitOpen, "unitDone without an open unit");
+    const CheckpointPartial &open = current.partials.back();
     current.completed.push_back(CheckpointUnit{
-        current.partial->index, current.partial->fingerprint,
-        current.partial->kind, std::move(blob)});
-    current.partial.reset();
+        open.index, open.fingerprint, open.kind, std::move(blob)});
+    current.partials.pop_back();
+    unitOpen = false;
+    sinceSnapshot = 0;
+    const Status s = writeSnapshotLocked();
+    if (!s.ok())
+        warnWriteFailure(s);
+}
+
+void
+CheckpointSession::shardUnitDone()
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    AEGIS_ASSERT(unitOpen, "shardUnitDone without an open unit");
+    // Chunks arrive in completion order (worker-count dependent);
+    // sorting keeps the file bytes deterministic for a given shard.
+    std::vector<CheckpointChunk> &chunks =
+        current.partials.back().chunks;
+    std::sort(chunks.begin(), chunks.end(),
+              [](const CheckpointChunk &a, const CheckpointChunk &b) {
+                  return a.index < b.index;
+              });
+    unitOpen = false;
     sinceSnapshot = 0;
     const Status s = writeSnapshotLocked();
     if (!s.ok())
@@ -339,9 +385,32 @@ CheckpointSession::writeSnapshot()
     return writeSnapshotLocked();
 }
 
+void
+CheckpointSession::setReadOnly(bool value)
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    readOnly = value;
+}
+
+void
+CheckpointSession::noteSkippedChunks(std::uint64_t n)
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    skipped += n;
+}
+
+std::uint64_t
+CheckpointSession::skippedChunks() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return skipped;
+}
+
 Status
 CheckpointSession::writeSnapshotLocked()
 {
+    if (readOnly)
+        return Status();
     return atomicWriteFile(filePath, encodeCheckpoint(current));
 }
 

@@ -1,0 +1,66 @@
+#include "sim/shard.h"
+
+#include <charconv>
+
+namespace aegis::sim {
+
+namespace {
+
+bool
+parseU32(std::string_view text, std::uint32_t &out)
+{
+    if (text.empty())
+        return false;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    const std::from_chars_result r = std::from_chars(first, last, out);
+    return r.ec == std::errc() && r.ptr == last;
+}
+
+} // namespace
+
+std::string
+ShardSpec::label() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+Expected<ShardSpec>
+ShardSpec::parse(const std::string &text)
+{
+    using Result = Expected<ShardSpec>;
+    const auto malformed = [&text] {
+        return Result::failure("expects <index>/<count> with 0 <= "
+                               "index < count (e.g. `0/4'), got `" +
+                               text + "'");
+    };
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos)
+        return malformed();
+    ShardSpec spec;
+    if (!parseU32(std::string_view(text).substr(0, slash),
+                  spec.index) ||
+        !parseU32(std::string_view(text).substr(slash + 1), spec.count))
+        return malformed();
+    if (spec.count == 0)
+        return Result::failure("shard count must be at least 1, got `" +
+                               text + "'");
+    if (spec.index >= spec.count)
+        return Result::failure(
+            "shard index " + std::to_string(spec.index) +
+            " is out of range for " + std::to_string(spec.count) +
+            " shards (indexes are 0-based: 0.." +
+            std::to_string(spec.count - 1) + ")");
+    return spec;
+}
+
+std::string
+shardArtifactStem(const std::string &dir, std::uint32_t index)
+{
+    std::string stem = dir;
+    if (!stem.empty() && stem.back() != '/')
+        stem += '/';
+    return stem + "shard_" + std::to_string(index);
+}
+
+} // namespace aegis::sim

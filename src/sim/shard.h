@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shard-aware partitioning of the Monte-Carlo chunk grid.
+ *
+ * The parallel reducer lays every study on a fixed chunk grid whose
+ * decomposition never depends on the worker count (util/parallel.h).
+ * A shard is a static slice of that grid: shard i of N owns every
+ * chunk whose index is congruent to i mod N. Because chunk results
+ * merge in chunk order regardless of who computed them, N shard
+ * processes can compute disjoint chunk sets and a later merge +
+ * resume reproduces the single-process study bit for bit.
+ */
+
+#ifndef AEGIS_SIM_SHARD_H
+#define AEGIS_SIM_SHARD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/expected.h"
+
+namespace aegis::sim {
+
+/** One shard's identity within a sharded sweep. */
+struct ShardSpec
+{
+    std::uint32_t index = 0; ///< this shard's position, 0-based
+    std::uint32_t count = 1; ///< total shards in the sweep
+
+    /** True when the sweep is actually split across shards. */
+    bool active() const { return count > 1; }
+
+    /** Does this shard compute chunk @p chunk of the fixed grid? */
+    bool
+    owns(std::size_t chunk) const
+    {
+        return count <= 1 || chunk % count == index;
+    }
+
+    /** "i/N", as written on the command line. */
+    std::string label() const;
+
+    /**
+     * Parse "i/N" with 0 <= i < N and N >= 1. Fails with an
+     * actionable message on anything else (including i >= N, the
+     * classic off-by-one when shard ids are 1-based elsewhere).
+     */
+    static Expected<ShardSpec> parse(const std::string &text);
+};
+
+inline bool
+operator==(const ShardSpec &a, const ShardSpec &b)
+{
+    return a.index == b.index && a.count == b.count;
+}
+
+/** "<dir>/shard_<i>" — the stem every per-shard artifact derives
+ *  from (checkpoint "<stem>.ckpt", manifest "<stem>.json", logs). */
+std::string shardArtifactStem(const std::string &dir,
+                              std::uint32_t index);
+
+} // namespace aegis::sim
+
+#endif // AEGIS_SIM_SHARD_H

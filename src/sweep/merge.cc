@@ -1,0 +1,224 @@
+#include "sweep/merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/shard.h"
+
+namespace aegis::sweep {
+
+namespace {
+
+using sim::CheckpointChunk;
+using sim::CheckpointData;
+using sim::CheckpointPartial;
+
+/** One unit's chunk grid being reassembled across shards. */
+struct UnitAssembly
+{
+    std::uint64_t fingerprint = 0;
+    std::uint8_t kind = 0;
+    std::uint64_t items = 0;
+    std::uint64_t grain = 0;
+    /** chunk index -> (blob, contributing shard) */
+    std::map<std::uint32_t, std::string> chunks;
+};
+
+std::string
+describeIdentity(const CheckpointData &d)
+{
+    return "program `" + d.program + "', seed " +
+           std::to_string(d.masterSeed);
+}
+
+} // namespace
+
+Expected<CheckpointData>
+mergeShardCheckpoints(const std::vector<std::string> &paths,
+                      const MergeOptions &options, MergeReport *report)
+{
+    using Result = Expected<CheckpointData>;
+    MergeReport localReport;
+    MergeReport &rep = report != nullptr ? *report : localReport;
+    rep = MergeReport{};
+
+    if (paths.empty())
+        return Result::failure("merge: no shard checkpoints given");
+
+    // Load every input, skipping (with a warning) only when degraded
+    // operation was requested — a failed shard may leave a torn file
+    // behind, and its surviving chunks are in older snapshots anyway.
+    std::vector<std::pair<std::string, CheckpointData>> inputs;
+    for (const std::string &path : paths) {
+        Expected<CheckpointData> loaded =
+            sim::loadCheckpointFile(path);
+        if (!loaded.ok()) {
+            if (!options.allowMissing)
+                return Result::failure("merge: " + loaded.error());
+            rep.warnings.push_back("skipping `" + path +
+                                   "': " + loaded.error());
+            continue;
+        }
+        inputs.emplace_back(path, std::move(*loaded));
+    }
+    if (inputs.empty())
+        return Result::failure(
+            "merge: no usable shard checkpoint among " +
+            std::to_string(paths.size()) + " input(s)");
+
+    // Same-sweep validation against the first usable input.
+    const CheckpointData &ref = inputs.front().second;
+    const std::string &refPath = inputs.front().first;
+    for (const auto &[path, data] : inputs) {
+        if (data.program != ref.program ||
+            data.flagsFingerprint != ref.flagsFingerprint ||
+            data.masterSeed != ref.masterSeed)
+            return Result::failure(
+                "merge: `" + path + "' (" + describeIdentity(data) +
+                ") belongs to a different sweep than `" + refPath +
+                "' (" + describeIdentity(ref) +
+                "); stale artifact?");
+        if (data.shardCount != ref.shardCount)
+            return Result::failure(
+                "merge: `" + path + "' was written by a sweep of " +
+                std::to_string(data.shardCount) + " shards, `" +
+                refPath + "' by one of " +
+                std::to_string(ref.shardCount));
+    }
+    std::vector<std::uint8_t> shardSeen(ref.shardCount, 0);
+    for (const auto &[path, data] : inputs) {
+        if (shardSeen[data.shardIndex] != 0)
+            return Result::failure(
+                "merge: two inputs claim shard " +
+                std::to_string(data.shardIndex) + " (one is `" + path +
+                "'); duplicate or stale artifact");
+        shardSeen[data.shardIndex] = 1;
+    }
+
+    // A single-process checkpoint (shard count 1) passes through:
+    // there is nothing to reassemble.
+    if (ref.shardCount == 1) {
+        if (inputs.size() != 1)
+            return Result::failure(
+                "merge: multiple single-process checkpoints given; "
+                "nothing to merge");
+        rep.shardFiles = 1;
+        rep.units = ref.completed.size() + ref.partials.size();
+        for (const CheckpointPartial &p : ref.partials)
+            rep.chunks += p.chunks.size();
+        return inputs.front().second;
+    }
+
+    // Reassemble every unit's grid chunk by chunk.
+    std::map<std::uint32_t, UnitAssembly> units;
+    for (const auto &[path, data] : inputs) {
+        if (!data.completed.empty())
+            return Result::failure(
+                "merge: `" + path + "' holds completed units, which a "
+                "shard worker never produces; stale or cross-wired "
+                "artifact");
+        const sim::ShardSpec shard{data.shardIndex, data.shardCount};
+        for (const CheckpointPartial &p : data.partials) {
+            UnitAssembly &unit = units[p.index];
+            if (unit.grain == 0) {
+                unit.fingerprint = p.fingerprint;
+                unit.kind = p.kind;
+                unit.items = p.items;
+                unit.grain = p.grain;
+            } else if (unit.fingerprint != p.fingerprint ||
+                       unit.kind != p.kind || unit.items != p.items ||
+                       unit.grain != p.grain) {
+                return Result::failure(
+                    "merge: `" + path + "' disagrees about sweep #" +
+                    std::to_string(p.index) +
+                    " (configuration or chunk grid); the shards did "
+                    "not run the same sweep");
+            }
+            if (unit.grain == 0)
+                return Result::failure("merge: `" + path +
+                                       "' records a zero-grain sweep");
+            const std::uint64_t gridChunks =
+                (p.items + unit.grain - 1) / unit.grain;
+            for (const CheckpointChunk &c : p.chunks) {
+                if (c.index >= gridChunks)
+                    return Result::failure(
+                        "merge: `" + path + "' records chunk " +
+                        std::to_string(c.index) +
+                        " outside sweep #" + std::to_string(p.index) +
+                        "'s grid of " + std::to_string(gridChunks));
+                if (!shard.owns(c.index))
+                    return Result::failure(
+                        "merge: `" + path + "' (shard " +
+                        shard.label() + ") records chunk " +
+                        std::to_string(c.index) +
+                        ", which belongs to shard " +
+                        std::to_string(c.index % data.shardCount) +
+                        "; stale or cross-wired artifact");
+                if (!unit.chunks.emplace(c.index, c.blob).second)
+                    return Result::failure(
+                        "merge: chunk " + std::to_string(c.index) +
+                        " of sweep #" + std::to_string(p.index) +
+                        " appears twice (second copy in `" + path +
+                        "')");
+            }
+        }
+    }
+
+    // Coverage: full grids unless degradation was allowed.
+    if (!options.allowMissing) {
+        for (std::uint32_t s = 0; s < ref.shardCount; ++s)
+            if (shardSeen[s] == 0)
+                return Result::failure(
+                    "merge: no checkpoint for shard " +
+                    std::to_string(s) + "/" +
+                    std::to_string(ref.shardCount) +
+                    " (pass --allow-missing to merge a degraded "
+                    "sweep)");
+        std::uint32_t expectUnit = 0;
+        for (const auto &[index, unit] : units) {
+            (void)unit;
+            if (index != expectUnit++)
+                return Result::failure(
+                    "merge: sweep #" + std::to_string(expectUnit - 1) +
+                    " is missing from every shard checkpoint");
+        }
+    }
+    CheckpointData out;
+    out.program = ref.program;
+    out.flagsFingerprint = ref.flagsFingerprint;
+    out.masterSeed = ref.masterSeed;
+    out.shardIndex = 0;
+    out.shardCount = 1;
+    for (auto &[index, unit] : units) {
+        const std::uint64_t gridChunks =
+            (unit.items + unit.grain - 1) / unit.grain;
+        const std::uint64_t present = unit.chunks.size();
+        if (present < gridChunks) {
+            if (!options.allowMissing)
+                return Result::failure(
+                    "merge: sweep #" + std::to_string(index) +
+                    " covers only " + std::to_string(present) +
+                    " of " + std::to_string(gridChunks) +
+                    " chunks (pass --allow-missing to merge a "
+                    "degraded sweep)");
+            rep.missingChunks += gridChunks - present;
+        }
+        CheckpointPartial merged;
+        merged.index = index;
+        merged.fingerprint = unit.fingerprint;
+        merged.kind = unit.kind;
+        merged.items = unit.items;
+        merged.grain = unit.grain;
+        merged.chunks.reserve(unit.chunks.size());
+        for (auto &[chunkIndex, blob] : unit.chunks)
+            merged.chunks.push_back(
+                CheckpointChunk{chunkIndex, std::move(blob)});
+        rep.chunks += merged.chunks.size();
+        out.partials.push_back(std::move(merged));
+    }
+    rep.shardFiles = inputs.size();
+    rep.units = out.partials.size();
+    return out;
+}
+
+} // namespace aegis::sweep

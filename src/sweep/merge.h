@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-exact merge of per-shard checkpoints back into one checkpoint.
+ *
+ * Each shard worker leaves an AEGISCKP file whose units are chunk
+ * grids covering only the chunks that shard owns (index ≡ shard mod
+ * N, see sim/shard.h). Merging is pure reassembly: the chunk blobs
+ * are byte-identical to what a single process would have produced,
+ * so concatenating the grids per unit — after validating that every
+ * input belongs to the same sweep, that chunk provenance matches the
+ * owning shard, and that nothing is duplicated — yields a checkpoint
+ * a plain `--resume` run restores into the exact single-process
+ * study. No study deserialization happens here; corruption is caught
+ * by the per-file checksum plus the structural checks below, and the
+ * finalizing bench run re-verifies every blob as it restores it.
+ */
+
+#ifndef AEGIS_SWEEP_MERGE_H
+#define AEGIS_SWEEP_MERGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "util/expected.h"
+
+namespace aegis::sweep {
+
+struct MergeOptions
+{
+    /**
+     * Tolerate missing coverage: unreadable/corrupt shard files are
+     * skipped with a warning, and units may end up with chunk gaps
+     * (failed shards' lost work). The supervisor sets this when some
+     * shard exhausted its retries — the merged checkpoint then
+     * finalizes into a "partial" manifest instead of no manifest.
+     * When false, any gap or bad input fails the merge.
+     */
+    bool allowMissing = false;
+};
+
+/** What a merge did, for log lines and degradation decisions. */
+struct MergeReport
+{
+    std::size_t shardFiles = 0;      ///< inputs merged
+    std::size_t units = 0;           ///< units in the output
+    std::uint64_t chunks = 0;        ///< chunks in the output
+    std::uint64_t missingChunks = 0; ///< expected but absent
+    std::vector<std::string> warnings;
+
+    bool complete() const { return missingChunks == 0; }
+};
+
+/**
+ * Merge the shard checkpoints at @p paths into one unsharded
+ * checkpoint (shard 0/1) whose units are full chunk grids, ready for
+ * a `--resume` (or `--resume --finalize-partial`) run to restore.
+ *
+ * Validation (all failures name the offending file):
+ *  - every input decodes, checksums, and belongs to the same
+ *    program / flags fingerprint / master seed;
+ *  - every input declares the same shard count, and no two inputs
+ *    claim the same shard index;
+ *  - per unit, every input agrees on fingerprint, kind, items and
+ *    grain;
+ *  - every chunk is owned by the shard that recorded it (stale or
+ *    cross-wired artifacts are rejected) and appears exactly once;
+ *  - without allowMissing: every unit's grid is fully covered and
+ *    every shard contributed a file.
+ */
+Expected<sim::CheckpointData>
+mergeShardCheckpoints(const std::vector<std::string> &paths,
+                      const MergeOptions &options,
+                      MergeReport *report = nullptr);
+
+} // namespace aegis::sweep
+
+#endif // AEGIS_SWEEP_MERGE_H

@@ -1,0 +1,141 @@
+#include "sweep/shard_report.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/atomic_file.h"
+
+namespace aegis::sweep {
+
+namespace {
+
+constexpr std::string_view kHeader = "aegis-shard-report v1";
+
+bool
+takeToken(std::string_view &line, std::string_view &token)
+{
+    while (!line.empty() && line.front() == ' ')
+        line.remove_prefix(1);
+    if (line.empty())
+        return false;
+    const std::size_t end = line.find(' ');
+    token = line.substr(0, end);
+    line.remove_prefix(end == std::string_view::npos ? line.size()
+                                                     : end);
+    return true;
+}
+
+template <typename Int>
+bool
+parseInt(std::string_view text, Int &out)
+{
+    if (text.empty())
+        return false;
+    const std::from_chars_result r =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return r.ec == std::errc() && r.ptr == text.data() + text.size();
+}
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    if (text.empty())
+        return false;
+    const std::from_chars_result r =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return r.ec == std::errc() && r.ptr == text.data() + text.size();
+}
+
+} // namespace
+
+std::string
+encodeShardReport(const std::vector<obs::ShardEntry> &entries)
+{
+    std::string out(kHeader);
+    out += '\n';
+    char buf[96];
+    for (const obs::ShardEntry &e : entries) {
+        std::snprintf(buf, sizeof buf,
+                      "shard %" PRIu32 " %s %" PRIu32 " %" PRId32
+                      " %.3f",
+                      e.index, e.status.c_str(), e.attempts,
+                      e.exitCode, e.wallSeconds);
+        out += buf;
+        if (!e.detail.empty()) {
+            out += ' ';
+            out += e.detail;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Expected<std::vector<obs::ShardEntry>>
+decodeShardReport(std::string_view text, const std::string &path)
+{
+    using Result = Expected<std::vector<obs::ShardEntry>>;
+    const auto malformed = [&path](const std::string &what) {
+        return Result::failure("shard report `" + path + "' " + what);
+    };
+
+    std::vector<obs::ShardEntry> entries;
+    bool sawHeader = false;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string_view::npos)
+            end = text.size();
+        std::string_view line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        if (!sawHeader) {
+            if (line != kHeader)
+                return malformed("has a bad header (is this really a "
+                                 "shard report?)");
+            sawHeader = true;
+            continue;
+        }
+        std::string_view tag, index, status, attempts, exitCode, wall;
+        if (!takeToken(line, tag) || tag != "shard" ||
+            !takeToken(line, index) || !takeToken(line, status) ||
+            !takeToken(line, attempts) || !takeToken(line, exitCode) ||
+            !takeToken(line, wall))
+            return malformed("has a malformed entry line");
+        obs::ShardEntry e;
+        e.status = std::string(status);
+        if (!parseInt(index, e.index) ||
+            (e.status != "ok" && e.status != "failed") ||
+            !parseInt(attempts, e.attempts) ||
+            !parseInt(exitCode, e.exitCode) ||
+            !parseDouble(wall, e.wallSeconds))
+            return malformed("has a malformed entry field");
+        while (!line.empty() && line.front() == ' ')
+            line.remove_prefix(1);
+        e.detail = std::string(line);
+        entries.push_back(std::move(e));
+    }
+    if (!sawHeader)
+        return malformed("is empty");
+    return entries;
+}
+
+Expected<std::vector<obs::ShardEntry>>
+loadShardReportFile(const std::string &path)
+{
+    Expected<std::string> bytes = readFile(path);
+    if (!bytes.ok())
+        return Expected<std::vector<obs::ShardEntry>>::failure(
+            bytes.error());
+    return decodeShardReport(*bytes, path);
+}
+
+Status
+writeShardReportFile(const std::string &path,
+                     const std::vector<obs::ShardEntry> &entries)
+{
+    return atomicWriteFile(path, encodeShardReport(entries));
+}
+
+} // namespace aegis::sweep

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text codec for the per-shard outcome report the sweep supervisor
+ * writes and the finalizing bench run reads (via --shards-report) to
+ * embed a `shards` section in the merged manifest. A tiny line
+ * format, not JSON: the repo's JSON support is writer-only by design
+ * (deterministic emission), and two processes of the same build
+ * exchanging a handful of fields do not justify a parser.
+ *
+ * Format (one entry per line, detail is the rest of the line):
+ *   aegis-shard-report v1
+ *   shard <index> <ok|failed> <attempts> <exitCode> <wallSeconds> [detail]
+ */
+
+#ifndef AEGIS_SWEEP_SHARD_REPORT_H
+#define AEGIS_SWEEP_SHARD_REPORT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "util/expected.h"
+
+namespace aegis::sweep {
+
+/** Serialize @p entries as the report text. */
+std::string encodeShardReport(
+    const std::vector<obs::ShardEntry> &entries);
+
+/** Parse report text; malformed input fails naming @p path. */
+Expected<std::vector<obs::ShardEntry>>
+decodeShardReport(std::string_view text, const std::string &path);
+
+/** Read and decode the report at @p path. */
+Expected<std::vector<obs::ShardEntry>>
+loadShardReportFile(const std::string &path);
+
+/** Atomically write @p entries to @p path. */
+Status writeShardReportFile(const std::string &path,
+                            const std::vector<obs::ShardEntry> &entries);
+
+} // namespace aegis::sweep
+
+#endif // AEGIS_SWEEP_SHARD_REPORT_H

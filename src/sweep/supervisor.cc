@@ -1,0 +1,514 @@
+#include "sweep/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include <sys/stat.h>
+
+#include "obs/manifest.h"
+#include "sim/checkpoint.h"
+#include "sim/shard.h"
+#include "sweep/merge.h"
+#include "sweep/shard_report.h"
+#include "util/atomic_file.h"
+#include "util/chaos.h"
+#include "util/error.h"
+
+namespace aegis::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    return dt.count();
+}
+
+/** Checkpoint mtime in nanoseconds, -1 when the file is absent. The
+ *  worker's periodic atomic snapshots bump it; a flat mtime is the
+ *  stall signal. */
+std::int64_t
+fileMtimeNs(const std::string &path)
+{
+    struct ::stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+               1000000000 +
+           st.st_mtim.tv_nsec;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct ::stat st = {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+void
+note(const std::string &line)
+{
+    std::fprintf(stderr, "aegis-sweep: %s\n", line.c_str());
+}
+
+/** One shard's supervision state. */
+struct ShardState
+{
+    enum class Phase { Pending, Running, Backoff, Done, Failed };
+
+    Phase phase = Phase::Pending;
+    pid_t pid = -1;
+    std::uint32_t attempts = 0; ///< spawns so far
+    Clock::time_point attemptStart{};
+    Clock::time_point backoffUntil{};
+    Clock::time_point lastProgress{};
+    std::int64_t lastMtimeNs = -1;
+    double wallSeconds = 0.0;
+    int lastExit = 0;
+    std::string detail;
+
+    bool
+    settled() const
+    {
+        return phase == Phase::Done || phase == Phase::Failed;
+    }
+};
+
+/** Flags the supervisor owns; the bench command must not set them. */
+constexpr const char *kReservedFlags[] = {
+    "--shard",         "--checkpoint", "--checkpoint-every",
+    "--resume",        "--json",       "--shards-report",
+    "--finalize-partial"};
+
+class Supervisor
+{
+  public:
+    explicit Supervisor(const SupervisorOptions &options)
+        : opt(options), states(options.shards)
+    {}
+
+    int run();
+
+  private:
+    std::string ckptPath(std::uint32_t i) const;
+    void spawnShard(std::uint32_t i);
+    void noteAttemptEnd(std::uint32_t i, const ExitStatus &status);
+    void noteFailure(std::uint32_t i, int exitCode,
+                     const std::string &why, bool fatal);
+    void pollRunning(std::uint32_t i);
+    std::vector<obs::ShardEntry> reportEntries() const;
+    int mergeAndFinalize(bool anyFailed);
+
+    const SupervisorOptions &opt;
+    std::vector<ShardState> states;
+    std::map<std::uint32_t, std::string> chaos;
+};
+
+std::string
+Supervisor::ckptPath(std::uint32_t i) const
+{
+    return sim::shardArtifactStem(opt.outDir, i) + ".ckpt";
+}
+
+void
+Supervisor::spawnShard(std::uint32_t i)
+{
+    ShardState &st = states[i];
+    const std::string stem = sim::shardArtifactStem(opt.outDir, i);
+    const sim::ShardSpec shard{i, opt.shards};
+
+    SpawnSpec spec;
+    spec.argv = opt.benchCommand;
+    spec.argv.insert(spec.argv.end(),
+                     {"--shard", shard.label(),
+                      "--checkpoint", stem + ".ckpt",
+                      "--checkpoint-every",
+                      std::to_string(opt.checkpointEvery),
+                      "--json", stem + ".json", "--quiet"});
+    const bool resume = fileExists(stem + ".ckpt");
+    if (resume)
+        spec.argv.push_back("--resume");
+    spec.stdoutPath = stem + ".out";
+    spec.stderrPath = stem + ".err";
+
+    // Chaos is injected into the target shard's FIRST attempt only —
+    // a retry that re-inherits the fault could never succeed and the
+    // recovery path (the thing under test) would never run. When any
+    // injection is configured the supervisor owns AEGIS_CHAOS in all
+    // workers, so a stray environment value cannot double-fault.
+    if (!chaos.empty()) {
+        const auto hit = chaos.find(i);
+        if (hit != chaos.end() && st.attempts == 0)
+            spec.env.emplace_back("AEGIS_CHAOS", hit->second);
+        else
+            spec.env.emplace_back("AEGIS_CHAOS", "");
+    }
+
+    Expected<pid_t> pid = spawnProcess(spec);
+    if (!pid.ok()) {
+        noteFailure(i, -1, "spawn failed: " + pid.error(),
+                    /*fatal=*/true);
+        return;
+    }
+    ++st.attempts;
+    st.pid = *pid;
+    st.phase = ShardState::Phase::Running;
+    st.attemptStart = Clock::now();
+    st.lastProgress = st.attemptStart;
+    st.lastMtimeNs = fileMtimeNs(stem + ".ckpt");
+    note("shard " + shard.label() + ": attempt " +
+         std::to_string(st.attempts) + " started (pid " +
+         std::to_string(*pid) + (resume ? ", resuming)" : ")"));
+}
+
+void
+Supervisor::noteAttemptEnd(std::uint32_t i, const ExitStatus &status)
+{
+    ShardState &st = states[i];
+    // aegis-lint: allow(DET-FLOAT shard-report wall-clock bookkeeping)
+    st.wallSeconds += secondsSince(st.attemptStart);
+    st.pid = -1;
+    if (status.ok()) {
+        st.phase = ShardState::Phase::Done;
+        st.detail.clear();
+        st.lastExit = 0;
+        note("shard " + std::to_string(i) + "/" +
+             std::to_string(opt.shards) + ": done after " +
+             std::to_string(st.attempts) + " attempt(s)");
+        return;
+    }
+    const int code =
+        status.signaled ? 128 + status.code : status.code;
+    // Usage/configuration errors (exit 2) and unrunnable binaries
+    // (126/127) will fail identically on every retry; fail fast.
+    const bool fatal =
+        !status.signaled &&
+        (status.code == 2 || status.code == 126 || status.code == 127);
+    noteFailure(i, code, "worker ended with " + status.describe(),
+                fatal);
+}
+
+void
+Supervisor::noteFailure(std::uint32_t i, int exitCode,
+                        const std::string &why, bool fatal)
+{
+    ShardState &st = states[i];
+    st.lastExit = exitCode;
+    st.detail = why;
+    st.pid = -1;
+    if (fatal || st.attempts > opt.retries) {
+        st.phase = ShardState::Phase::Failed;
+        note("shard " + std::to_string(i) + "/" +
+             std::to_string(opt.shards) + ": " + why +
+             (fatal ? "; not retrying"
+                    : "; retry budget exhausted (" +
+                          std::to_string(opt.retries) + ")") +
+             " — shard marked failed");
+        return;
+    }
+    const double delay = opt.backoff.delaySec(st.attempts - 1);
+    st.phase = ShardState::Phase::Backoff;
+    st.backoffUntil =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(delay));
+    char delayText[32];
+    std::snprintf(delayText, sizeof delayText, "%.2f", delay);
+    note("shard " + std::to_string(i) + "/" +
+         std::to_string(opt.shards) + ": " + why + "; retry " +
+         std::to_string(st.attempts) + "/" +
+         std::to_string(opt.retries) + " in " + delayText + "s");
+}
+
+void
+Supervisor::pollRunning(std::uint32_t i)
+{
+    ShardState &st = states[i];
+    const std::optional<ExitStatus> exited = pollProcess(st.pid);
+    if (exited.has_value()) {
+        noteAttemptEnd(i, *exited);
+        return;
+    }
+
+    const auto putDown = [&](const std::string &why) {
+        killProcess(st.pid);
+        // The SIGKILL cannot be refused; reap synchronously so the
+        // pid is not reused under us.
+        (void)waitProcess(st.pid);
+        // aegis-lint: allow(DET-FLOAT shard-report wall-clock bookkeeping)
+        st.wallSeconds += secondsSince(st.attemptStart);
+        st.pid = -1;
+        noteFailure(i, 128 + 9, why, /*fatal=*/false);
+    };
+
+    if (opt.timeoutSec > 0 &&
+        secondsSince(st.attemptStart) > opt.timeoutSec) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.1f", opt.timeoutSec);
+        putDown("attempt exceeded its deadline of " +
+                std::string(buf) + "s; killed");
+        return;
+    }
+
+    if (opt.stallTimeoutSec > 0) {
+        const std::int64_t mtime = fileMtimeNs(ckptPath(i));
+        if (mtime != st.lastMtimeNs) {
+            st.lastMtimeNs = mtime;
+            st.lastProgress = Clock::now();
+        } else if (secondsSince(st.lastProgress) >
+                   opt.stallTimeoutSec) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.1f",
+                          opt.stallTimeoutSec);
+            putDown("stalled (no checkpoint progress for " +
+                    std::string(buf) + "s); killed");
+            return;
+        }
+    }
+}
+
+std::vector<obs::ShardEntry>
+Supervisor::reportEntries() const
+{
+    std::vector<obs::ShardEntry> entries;
+    entries.reserve(states.size());
+    for (std::uint32_t i = 0; i < states.size(); ++i) {
+        const ShardState &st = states[i];
+        obs::ShardEntry e;
+        e.index = i;
+        e.status =
+            st.phase == ShardState::Phase::Done ? "ok" : "failed";
+        e.attempts = st.attempts;
+        e.exitCode = st.lastExit;
+        e.wallSeconds = st.wallSeconds;
+        e.detail = st.detail;
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+int
+Supervisor::mergeAndFinalize(bool anyFailed)
+{
+    // Merge whatever checkpoints exist — a failed shard's last
+    // snapshot still carries every chunk it managed to finish, and
+    // salvaging that work is the point of graceful degradation.
+    std::vector<std::string> ckpts;
+    for (std::uint32_t i = 0; i < opt.shards; ++i)
+        if (fileExists(ckptPath(i)))
+            ckpts.push_back(ckptPath(i));
+    if (ckpts.empty()) {
+        note("no shard produced a checkpoint; nothing to merge");
+        return 1;
+    }
+
+    MergeOptions mergeOptions;
+    mergeOptions.allowMissing = anyFailed;
+    MergeReport mergeReport;
+    Expected<sim::CheckpointData> merged =
+        mergeShardCheckpoints(ckpts, mergeOptions, &mergeReport);
+    if (!merged.ok()) {
+        note(merged.error());
+        return 1;
+    }
+    for (const std::string &w : mergeReport.warnings)
+        note(w);
+    note("merged " + std::to_string(mergeReport.shardFiles) +
+         " shard checkpoint(s): " +
+         std::to_string(mergeReport.units) + " sweep(s), " +
+         std::to_string(mergeReport.chunks) + " chunk(s)" +
+         (mergeReport.missingChunks != 0
+              ? ", " + std::to_string(mergeReport.missingChunks) +
+                    " missing (degraded)"
+              : ""));
+
+    const std::string mergedCkpt =
+        !opt.mergedCheckpoint.empty()
+            ? opt.mergedCheckpoint
+            : opt.outDir + "/merged.ckpt";
+    const std::string mergedJson = !opt.mergedJson.empty()
+                                       ? opt.mergedJson
+                                       : opt.outDir + "/merged.json";
+    const Status wrote =
+        atomicWriteFile(mergedCkpt, encodeCheckpoint(*merged));
+    if (!wrote.ok()) {
+        note("cannot write merged checkpoint: " + wrote.error());
+        return 1;
+    }
+
+    const std::string reportPath = opt.outDir + "/shards.report";
+    const Status report =
+        writeShardReportFile(reportPath, reportEntries());
+    if (!report.ok()) {
+        note("cannot write shard report: " + report.error());
+        return 1;
+    }
+
+    // Finalize: a --resume --finalize-partial run restores the merged
+    // grids through the existing bit-exact chunk-merge path and emits
+    // the manifest. It computes nothing, so it is fast; it inherits
+    // our stdout so the sweep ends with the familiar tables.
+    SpawnSpec fin;
+    fin.argv = opt.benchCommand;
+    fin.argv.insert(fin.argv.end(),
+                    {"--checkpoint", mergedCkpt, "--resume",
+                     "--finalize-partial", "--shards-report",
+                     reportPath, "--json", mergedJson, "--quiet"});
+    // The finalize step is control plane, not a crash-test subject.
+    fin.env.emplace_back("AEGIS_CHAOS", "");
+    Expected<pid_t> pid = spawnProcess(fin);
+    if (!pid.ok()) {
+        note("cannot spawn finalize run: " + pid.error());
+        return 1;
+    }
+    Expected<ExitStatus> fstatus = waitProcess(*pid);
+    if (!fstatus.ok()) {
+        note("finalize: " + fstatus.error());
+        return 1;
+    }
+    if (!fstatus->ok()) {
+        note("finalize run ended with " + fstatus->describe());
+        return 1;
+    }
+    note("manifest written to `" + mergedJson + "'" +
+         (anyFailed || mergeReport.missingChunks != 0
+              ? " (status: partial — see its shards section)"
+              : ""));
+    return 0;
+}
+
+int
+Supervisor::run()
+{
+    if (opt.benchCommand.empty()) {
+        note("no bench command given");
+        return 2;
+    }
+    for (const std::string &arg : opt.benchCommand)
+        for (const char *reserved : kReservedFlags)
+            if (arg == reserved ||
+                arg.rfind(std::string(reserved) + "=", 0) == 0) {
+                note("the bench command must not set " +
+                     std::string(reserved) +
+                     " — the supervisor owns it");
+                return 2;
+            }
+    try {
+        chaos = parseShardChaos(opt.chaosSpec, opt.shards);
+    } catch (const std::exception &ex) {
+        note(ex.what());
+        return 2;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.outDir, ec);
+    if (ec) {
+        note("cannot create output directory `" + opt.outDir +
+             "': " + ec.message());
+        return 1;
+    }
+
+    note("sharding across " + std::to_string(opt.shards) +
+         " worker(s), retry budget " + std::to_string(opt.retries) +
+         " per shard");
+    for (std::uint32_t i = 0; i < opt.shards; ++i)
+        spawnShard(i);
+
+    for (;;) {
+        bool allSettled = true;
+        for (std::uint32_t i = 0; i < opt.shards; ++i) {
+            ShardState &st = states[i];
+            switch (st.phase) {
+            case ShardState::Phase::Running:
+                pollRunning(i);
+                break;
+            case ShardState::Phase::Backoff:
+                if (Clock::now() >= st.backoffUntil)
+                    spawnShard(i);
+                break;
+            case ShardState::Phase::Pending:
+                spawnShard(i);
+                break;
+            case ShardState::Phase::Done:
+            case ShardState::Phase::Failed:
+                break;
+            }
+            allSettled = allSettled && states[i].settled();
+        }
+        if (allSettled)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opt.pollSec));
+    }
+
+    bool anyFailed = false;
+    for (const ShardState &st : states)
+        anyFailed =
+            anyFailed || st.phase == ShardState::Phase::Failed;
+    return mergeAndFinalize(anyFailed);
+}
+
+} // namespace
+
+std::map<std::uint32_t, std::string>
+parseShardChaos(const std::string &spec, std::uint32_t shards)
+{
+    std::map<std::uint32_t, std::string> out;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(start, end - start);
+        start = end + 1;
+        if (start > spec.size() && item.empty())
+            break;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        AEGIS_REQUIRE(eq != std::string::npos && eq != 0,
+                      "--chaos expects <shard>=<AEGIS_CHAOS spec> "
+                      "entries separated by ';', got `" +
+                          item + "'");
+        const std::string indexText = item.substr(0, eq);
+        const std::string chaosText = item.substr(eq + 1);
+        std::size_t used = 0;
+        unsigned long index = 0;
+        try {
+            index = std::stoul(indexText, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        AEGIS_REQUIRE(used == indexText.size() && !indexText.empty(),
+                      "--chaos shard index `" + indexText +
+                          "' is not a number");
+        AEGIS_REQUIRE(index < shards,
+                      "--chaos shard index " + indexText +
+                          " is out of range for " +
+                          std::to_string(shards) + " shards");
+        AEGIS_REQUIRE(!chaosText.empty(),
+                      "--chaos entry for shard " + indexText +
+                          " has an empty AEGIS_CHAOS spec");
+        // Malformed specs are rejected here, before any worker runs.
+        (void)parseChaosSpec(chaosText.c_str());
+        AEGIS_REQUIRE(
+            out.emplace(static_cast<std::uint32_t>(index), chaosText)
+                .second,
+            "--chaos lists shard " + indexText + " twice");
+    }
+    return out;
+}
+
+int
+runSweepSupervisor(const SupervisorOptions &options)
+{
+    Supervisor supervisor(options);
+    return supervisor.run();
+}
+
+} // namespace aegis::sweep

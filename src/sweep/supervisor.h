@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fault-tolerant sweep supervisor: runs one Monte-Carlo bench as N
+ * shard subprocesses over the fixed chunk grid, survives worker
+ * crashes, hangs and I/O failures, and reassembles a bit-identical
+ * result.
+ *
+ * Lifecycle per shard: spawn `bench --shard i/N --checkpoint ...`,
+ * watch it with three detectors — exit status, a per-attempt deadline
+ * and a liveness check on the shard checkpoint's mtime (a worker that
+ * stops snapshotting has stalled even if it never exits) — and on
+ * failure re-dispatch after a deterministic exponential backoff, with
+ * `--resume` so the retry continues from the last snapshot instead of
+ * restarting. A shard that exhausts its retry budget is recorded as
+ * failed and the sweep degrades gracefully: the merge tolerates the
+ * gap and the final manifest says "status": "partial" with a `shards`
+ * section naming the casualty, instead of the supervisor crashing.
+ *
+ * After the shards settle, the per-shard checkpoints merge
+ * (sweep/merge.h) into one checkpoint, and a final bench run with
+ * `--resume --finalize-partial` restores it through the existing
+ * bit-exact chunk-merge path — producing the same manifest bytes
+ * (modulo advisory wall-clock fields) as a single-process run.
+ */
+
+#ifndef AEGIS_SWEEP_SUPERVISOR_H
+#define AEGIS_SWEEP_SUPERVISOR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+#include "util/subprocess.h"
+
+namespace aegis::sweep {
+
+struct SupervisorOptions
+{
+    /** The bench invocation to shard: binary plus its own flags. Must
+     *  not already carry the flags the supervisor appends (--shard,
+     *  --checkpoint, --resume, --json, ...). */
+    std::vector<std::string> benchCommand;
+    /** Directory for every sweep artifact (created if absent). */
+    std::string outDir;
+    std::uint32_t shards = 4;
+    /** Retries per shard after its first attempt. */
+    std::uint32_t retries = 2;
+    /** Per-attempt wall-clock deadline in seconds (0 = none). */
+    double timeoutSec = 0.0;
+    /** Kill an attempt when its checkpoint mtime has not advanced for
+     *  this many seconds (0 = no stall detection). */
+    double stallTimeoutSec = 30.0;
+    /** Supervisor poll interval in seconds. */
+    double pollSec = 0.05;
+    BackoffPolicy backoff;
+    /** --checkpoint-every passed to the workers. Dense snapshots (1)
+     *  double as the liveness signal for stall detection. */
+    std::uint32_t checkpointEvery = 1;
+    /**
+     * Fault injection for tests: "<shard>=<AEGIS_CHAOS spec>" entries
+     * separated by ';' (specs contain commas), e.g.
+     * "1=kill-after-chunks=3;2=hang-after-chunks=2". The spec applies
+     * to that shard's FIRST attempt only — retries run clean, so the
+     * recovery path is what gets tested. When any --chaos is given
+     * the supervisor fully controls AEGIS_CHAOS in every worker.
+     */
+    std::string chaosSpec;
+    /** Output paths; default "<outDir>/merged.ckpt" / ".json". */
+    std::string mergedCheckpoint;
+    std::string mergedJson;
+};
+
+/** Parsed per-shard chaos injections (exposed for tests). Throws
+ *  ConfigError on malformed input or shard indexes out of range. */
+std::map<std::uint32_t, std::string>
+parseShardChaos(const std::string &spec, std::uint32_t shards);
+
+/**
+ * Run the sharded sweep end to end: shards, retries, merge, finalize.
+ * Returns the supervisor's exit code — 0 when a merged manifest was
+ * produced (including degraded "partial" sweeps with failed shards),
+ * 1 on supervisor-fatal errors (nothing to merge, unwritable output,
+ * finalize failure), 2 on configuration errors.
+ */
+int runSweepSupervisor(const SupervisorOptions &options);
+
+} // namespace aegis::sweep
+
+#endif // AEGIS_SWEEP_SUPERVISOR_H

@@ -82,12 +82,24 @@ atomicWriteFile(const std::string &path, std::string_view data)
         return status;
     }
 
-    // Make the rename itself durable. Failure to sync the directory
-    // is not worth failing the run over: the data file is complete.
-    const int dirFd = ::open(dirOf(path).c_str(),
-                             O_RDONLY | O_DIRECTORY);
+    // Make the rename itself durable: without the directory fsync the
+    // data file is safe against a process crash but a power loss can
+    // roll the directory entry back to the old file — or to nothing.
+    // A checkpoint that survived _Exit(137) must also survive the
+    // machine dying, so a real sync failure is a real failure; only
+    // filesystems that cannot sync directories at all (EINVAL /
+    // ENOTSUP, e.g. some network mounts) are excused, the rename then
+    // being the strongest guarantee available.
+    const std::string dir = dirOf(path);
+    const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (dirFd >= 0) {
-        ::fsync(dirFd);
+        if (::fsync(dirFd) != 0 && errno != EINVAL &&
+            errno != ENOTSUP && errno != EOPNOTSUPP) {
+            status = Status::failure("fsync of directory `" + dir +
+                                     "' failed: " + errnoText());
+            ::close(dirFd);
+            return status;
+        }
         ::close(dirFd);
     }
     return Status();

@@ -21,6 +21,17 @@ namespace aegis {
  * fsync it, rename() over @p path, then fsync the directory. Honours
  * the AEGIS_CHAOS io-fail-rate hook. Never throws; failures carry an
  * actionable message (path + errno text).
+ *
+ * Durability guarantee: on success the new contents survive both a
+ * process crash (_Exit / SIGKILL) and a power loss. The data bytes
+ * reach stable storage (fsync of the temp file) *before* the rename
+ * makes them visible, and the directory entry is fsynced *after* the
+ * rename so the rename itself is journaled — a reader therefore sees
+ * either the complete old file or the complete new file, never a torn
+ * mixture and never a zero-length hole where the old file was. A
+ * directory-fsync failure is reported as a Status failure (except on
+ * filesystems that do not support syncing directories, where the
+ * rename is the best obtainable guarantee).
  */
 Status atomicWriteFile(const std::string &path, std::string_view data);
 

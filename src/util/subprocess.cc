@@ -1,0 +1,134 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace aegis {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+ExitStatus
+fromWaitStatus(int status)
+{
+    ExitStatus out;
+    if (WIFSIGNALED(status)) {
+        out.signaled = true;
+        out.code = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+        out.code = WEXITSTATUS(status);
+    } else {
+        // Stopped/continued never reach us (no WUNTRACED); treat any
+        // other shape as an abnormal end.
+        out.signaled = true;
+        out.code = 0;
+    }
+    return out;
+}
+
+/** In the child between fork and exec: async-signal-safe calls only
+ *  (open/dup2/_exit), no allocation, no stdio. */
+bool
+redirectTo(const char *path, int targetFd)
+{
+    if (path == nullptr || *path == '\0')
+        return true;
+    const int fd =
+        ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return false;
+    const bool ok = ::dup2(fd, targetFd) == targetFd;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+std::string
+ExitStatus::describe() const
+{
+    return (signaled ? "signal " : "exit ") + std::to_string(code);
+}
+
+Expected<pid_t>
+spawnProcess(const SpawnSpec &spec)
+{
+    using Result = Expected<pid_t>;
+    if (spec.argv.empty())
+        return Result::failure("spawn: empty argv");
+
+    // Build the argv array before forking — the child must not
+    // allocate between fork and exec.
+    std::vector<char *> argv;
+    argv.reserve(spec.argv.size() + 1);
+    for (const std::string &arg : spec.argv)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return Result::failure("fork failed: " + errnoText());
+    if (pid == 0) {
+        // Child. setenv allocates, so it runs first and is the one
+        // exception to the no-allocation rule — acceptable because
+        // the parent is single-threaded at spawn time by contract of
+        // the supervisor (the only caller).
+        for (const auto &[name, value] : spec.env) {
+            if (value.empty())
+                ::unsetenv(name.c_str());
+            else
+                ::setenv(name.c_str(), value.c_str(), 1);
+        }
+        if (!redirectTo(spec.stdoutPath.c_str(), STDOUT_FILENO) ||
+            !redirectTo(spec.stderrPath.c_str(), STDERR_FILENO))
+            ::_exit(126);
+        ::execvp(argv[0], argv.data());
+        ::_exit(127); // exec failed (bench binary missing/unrunnable)
+    }
+    return pid;
+}
+
+std::optional<ExitStatus>
+pollProcess(pid_t pid)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid)
+        return fromWaitStatus(status);
+    return std::nullopt;
+}
+
+Expected<ExitStatus>
+waitProcess(pid_t pid)
+{
+    using Result = Expected<ExitStatus>;
+    int status = 0;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, 0);
+        if (r == pid)
+            return fromWaitStatus(status);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return Result::failure("waitpid failed: " + errnoText());
+    }
+}
+
+void
+killProcess(pid_t pid)
+{
+    if (pid > 0)
+        ::kill(pid, SIGKILL);
+}
+
+} // namespace aegis

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal POSIX subprocess control for the sweep supervisor: spawn a
+ * worker with environment overrides and log redirection, poll it
+ * without blocking, and put it down with SIGKILL when it times out or
+ * stalls. Plus the deterministic exponential backoff policy retries
+ * are scheduled with (no jitter: reproducibility is a feature here,
+ * and the workers are our own processes, not a shared service).
+ */
+
+#ifndef AEGIS_UTIL_SUBPROCESS_H
+#define AEGIS_UTIL_SUBPROCESS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "util/expected.h"
+
+namespace aegis {
+
+/** How a child process ended. */
+struct ExitStatus
+{
+    bool signaled = false; ///< true: killed by `code` signal
+    int code = 0;          ///< exit code, or the signal number
+
+    bool ok() const { return !signaled && code == 0; }
+    /** "exit 3" / "signal 9", for log lines. */
+    std::string describe() const;
+};
+
+/** One child process to launch. */
+struct SpawnSpec
+{
+    /** argv[0] is the program (resolved via PATH). */
+    std::vector<std::string> argv;
+    /** Extra environment entries; a pair with an empty value unsets
+     *  the variable in the child (setenv/unsetenv semantics). */
+    std::vector<std::pair<std::string, std::string>> env;
+    /** Redirect the child's stdout/stderr to these paths (appending,
+     *  so retries accumulate one log per shard); empty = inherit. */
+    std::string stdoutPath;
+    std::string stderrPath;
+};
+
+/** Fork+exec @p spec. Failure to fork or redirect is reported here;
+ *  an exec failure surfaces as the child exiting 127. */
+Expected<pid_t> spawnProcess(const SpawnSpec &spec);
+
+/** Non-blocking poll: the exit status once the child ended, nullopt
+ *  while it is still running. */
+std::optional<ExitStatus> pollProcess(pid_t pid);
+
+/** Blocking wait for the child to end. */
+Expected<ExitStatus> waitProcess(pid_t pid);
+
+/** SIGKILL the child. Reap it with waitProcess afterwards. */
+void killProcess(pid_t pid);
+
+/**
+ * Deterministic exponential backoff: retry r waits
+ * min(initialSec * multiplier^r, capSec) seconds.
+ */
+struct BackoffPolicy
+{
+    double initialSec = 0.5;
+    double capSec = 8.0;
+    double multiplier = 2.0;
+
+    double
+    delaySec(std::uint32_t retryIndex) const
+    {
+        double delay = initialSec;
+        for (std::uint32_t i = 0; i < retryIndex; ++i) {
+            delay = delay * multiplier;
+            if (delay >= capSec)
+                return capSec;
+        }
+        return delay < capSec ? delay : capSec;
+    }
+};
+
+} // namespace aegis
+
+#endif // AEGIS_UTIL_SUBPROCESS_H

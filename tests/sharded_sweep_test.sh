@@ -1,0 +1,110 @@
+#!/bin/sh
+# Sharded-sweep supervisor integration test.
+#
+# Runs a bench to completion for a golden manifest, then re-runs it as
+# a 4-shard sweep under tools/aegis-sweep three ways:
+#
+#  1. clean — all shards succeed; the merged manifest must be
+#     bit-identical to the golden run in every deterministic field,
+#     and the standalone `aegis-sweep merge` of the shard checkpoints
+#     must reproduce the supervisor's merged checkpoint byte for byte;
+#  2. chaos — one shard is killed mid-sweep and another hangs (stall
+#     detection must SIGKILL it); both recover via retries and the
+#     merged manifest is still bit-identical to the golden run;
+#  3. exhausted — a shard is killed with a zero retry budget; the
+#     sweep degrades gracefully: supervisor exit 0, merged manifest
+#     says "status": "partial" and its shards section names the
+#     casualty.
+#
+# Usage: sharded_sweep_test.sh <bench-binary> <aegis-sweep> <tools-dir>
+
+set -u
+
+BENCH=${1:?usage: sharded_sweep_test.sh <bench> <aegis-sweep> <tools-dir>}
+SWEEP=${2:?usage: sharded_sweep_test.sh <bench> <aegis-sweep> <tools-dir>}
+TOOLS=${3:?usage: sharded_sweep_test.sh <bench> <aegis-sweep> <tools-dir>}
+PYTHON=${PYTHON:-python3}
+FLAGS="--blocks 96 --seed 7"
+
+WORK=$(mktemp -d) || exit 1
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# 1. Golden: the uninterrupted single-process run.
+"$BENCH" $FLAGS --quiet --json "$WORK/golden.json" >/dev/null ||
+    fail "golden run exited $?"
+
+# 2. Clean 4-shard sweep.
+"$SWEEP" run --out-dir "$WORK/clean" --shards 4 --retries 2 \
+    --backoff 0.1 --backoff-cap 0.5 \
+    -- "$BENCH" $FLAGS >/dev/null 2>"$WORK/clean.log" ||
+    fail "clean sharded sweep exited $? ($(cat "$WORK/clean.log"))"
+"$PYTHON" "$TOOLS/validate_manifest.py" "$WORK/clean/merged.json" ||
+    fail "clean merged manifest fails schema validation"
+"$PYTHON" "$TOOLS/compare_manifests.py" \
+    "$WORK/golden.json" "$WORK/clean/merged.json" ||
+    fail "clean sharded sweep diverged from the single-process run"
+grep -q '"status": "complete"' "$WORK/clean/merged.json" ||
+    fail "clean sweep manifest is not marked complete"
+OK_COUNT=$(grep -c '"status": "ok"' "$WORK/clean/merged.json")
+[ "$OK_COUNT" -eq 4 ] ||
+    fail "clean sweep shards section has $OK_COUNT ok entries, want 4"
+
+# 2b. The standalone merge subcommand reproduces the supervisor's
+# merged checkpoint byte for byte.
+"$SWEEP" merge --out "$WORK/remerged.ckpt" \
+    "$WORK/clean/shard_0.ckpt" "$WORK/clean/shard_1.ckpt" \
+    "$WORK/clean/shard_2.ckpt" "$WORK/clean/shard_3.ckpt" \
+    2>/dev/null ||
+    fail "standalone merge exited $?"
+cmp -s "$WORK/remerged.ckpt" "$WORK/clean/merged.ckpt" ||
+    fail "standalone merge differs from the supervisor's merge"
+
+# 3. Chaos sweep: shard 1 dies abruptly after 3 chunks, shard 2 hangs
+# after 2 chunks (the stall detector must put it down); both faults
+# hit the first attempt only, so the retries recover the sweep.
+"$SWEEP" run --out-dir "$WORK/chaos" --shards 4 --retries 2 \
+    --stall-timeout 2 --backoff 0.1 --backoff-cap 0.5 \
+    --chaos "1=kill-after-chunks=3;2=hang-after-chunks=2" \
+    -- "$BENCH" $FLAGS >/dev/null 2>"$WORK/chaos.log" ||
+    fail "chaos sharded sweep exited $? ($(cat "$WORK/chaos.log"))"
+"$PYTHON" "$TOOLS/compare_manifests.py" \
+    "$WORK/golden.json" "$WORK/chaos/merged.json" ||
+    fail "chaos sharded sweep diverged from the single-process run"
+grep -q '"status": "complete"' "$WORK/chaos/merged.json" ||
+    fail "recovered chaos sweep is not marked complete"
+grep -q "stalled" "$WORK/chaos.log" ||
+    fail "the stall detector never fired ($(cat "$WORK/chaos.log"))"
+grep -q "retry" "$WORK/chaos.log" ||
+    fail "no retry was attempted ($(cat "$WORK/chaos.log"))"
+
+# 4. Retry exhaustion: shard 3 is killed and has no retry budget. The
+# sweep must degrade gracefully — exit 0, "partial" manifest naming
+# the failed shard — instead of aborting.
+"$SWEEP" run --out-dir "$WORK/exhausted" --shards 4 --retries 0 \
+    --backoff 0.1 \
+    --chaos "3=kill-after-chunks=1" \
+    -- "$BENCH" $FLAGS >/dev/null 2>"$WORK/exhausted.log" ||
+    fail "degraded sweep exited $? ($(cat "$WORK/exhausted.log"))"
+"$PYTHON" "$TOOLS/validate_manifest.py" \
+    "$WORK/exhausted/merged.json" ||
+    fail "degraded merged manifest fails schema validation"
+grep -q '"status": "partial"' "$WORK/exhausted/merged.json" ||
+    fail "degraded sweep manifest is not marked partial"
+grep -q '"status": "failed"' "$WORK/exhausted/merged.json" ||
+    fail "degraded sweep manifest does not record the failed shard"
+
+# 5. Reserved flags in the bench command are a configuration error.
+"$SWEEP" run --out-dir "$WORK/bad" \
+    -- "$BENCH" $FLAGS --json "$WORK/own.json" \
+    >/dev/null 2>&1
+STATUS=$?
+[ "$STATUS" -eq 2 ] ||
+    fail "reserved --json in bench command exited $STATUS, want 2"
+
+echo "PASS sharded sweep: fault-tolerant and bit-identical"
+exit 0

@@ -152,7 +152,7 @@ sampleCheckpoint()
     partial.items = 64;
     partial.grain = 16;
     partial.chunks.push_back(CheckpointChunk{2, blob.data()});
-    data.partial = partial;
+    data.partials.push_back(partial);
     return data;
 }
 
@@ -168,10 +168,57 @@ TEST(CheckpointFile, EncodeDecodeRoundTrips)
     ASSERT_EQ(back->completed.size(), 1u);
     EXPECT_EQ(back->completed[0].fingerprint, 0xabcdefu);
     EXPECT_EQ(back->completed[0].blob, data.completed[0].blob);
-    ASSERT_TRUE(back->partial.has_value());
-    EXPECT_EQ(back->partial->items, 64u);
-    ASSERT_EQ(back->partial->chunks.size(), 1u);
-    EXPECT_EQ(back->partial->chunks[0].index, 2u);
+    ASSERT_EQ(back->partials.size(), 1u);
+    EXPECT_EQ(back->partials[0].items, 64u);
+    ASSERT_EQ(back->partials[0].chunks.size(), 1u);
+    EXPECT_EQ(back->partials[0].chunks[0].index, 2u);
+    EXPECT_EQ(back->shardIndex, 0u);
+    EXPECT_EQ(back->shardCount, 1u);
+}
+
+TEST(CheckpointFile, ShardIdentityAndMultiplePartialsRoundTrip)
+{
+    CheckpointData data = sampleCheckpoint();
+    data.shardIndex = 2;
+    data.shardCount = 4;
+    data.completed.clear(); // shard workers never complete units
+    CheckpointPartial second;
+    second.index = 3;
+    second.fingerprint = 0x777;
+    second.kind = 2;
+    second.items = 96;
+    second.grain = 16;
+    second.chunks.push_back(CheckpointChunk{2, "blob-a"});
+    second.chunks.push_back(CheckpointChunk{6, "blob-b"});
+    data.partials.push_back(second);
+
+    const Expected<CheckpointData> back =
+        decodeCheckpoint(encodeCheckpoint(data), "x");
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back->shardIndex, 2u);
+    EXPECT_EQ(back->shardCount, 4u);
+    ASSERT_EQ(back->partials.size(), 2u);
+    EXPECT_EQ(back->partials[1].index, 3u);
+    EXPECT_EQ(back->partials[1].items, 96u);
+    ASSERT_EQ(back->partials[1].chunks.size(), 2u);
+    EXPECT_EQ(back->partials[1].chunks[1].blob, "blob-b");
+}
+
+TEST(CheckpointFile, InvalidShardIdentityRejected)
+{
+    CheckpointData data = sampleCheckpoint();
+    data.shardIndex = 4;
+    data.shardCount = 4; // index out of range
+    const Expected<CheckpointData> r =
+        decodeCheckpoint(encodeCheckpoint(data), "ck");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("shard"), std::string::npos) << r.error();
+
+    data.shardIndex = 0;
+    data.shardCount = 0; // zero shards is meaningless
+    const Expected<CheckpointData> z =
+        decodeCheckpoint(encodeCheckpoint(data), "ck");
+    EXPECT_FALSE(z.ok());
 }
 
 TEST(CheckpointFile, BadMagicRejected)
@@ -202,6 +249,51 @@ TEST(CheckpointFile, TruncationRejected)
         const Expected<CheckpointData> r = decodeCheckpoint(
             std::string_view(image).substr(0, keep), "ck");
         EXPECT_FALSE(r.ok()) << "kept " << keep << " bytes";
+    }
+}
+
+TEST(CheckpointFile, TruncationAtEveryPrefixRejectedCleanly)
+{
+    // A crash can cut the file anywhere: inside the magic, the
+    // version, the length/checksum words, or mid-payload. Every
+    // proper prefix must come back as a structured error naming the
+    // path — never a crash, never a silently partial decode.
+    const std::string image = encodeCheckpoint(sampleCheckpoint());
+    ASSERT_GT(image.size(), 28u); // header is 28 bytes
+    for (std::size_t keep = 0; keep < image.size(); ++keep) {
+        const Expected<CheckpointData> r = decodeCheckpoint(
+            std::string_view(image).substr(0, keep), "trunc.ckpt");
+        ASSERT_FALSE(r.ok()) << "kept " << keep << " of "
+                             << image.size() << " bytes";
+        EXPECT_NE(r.error().find("trunc.ckpt"), std::string::npos)
+            << "kept " << keep << ": " << r.error();
+    }
+}
+
+TEST(CheckpointFile, CorruptionAtSeveralOffsetsRejected)
+{
+    // Flip one byte at offsets spread across every file region; the
+    // decoder must reject each image with a structured error (which
+    // detector fires — magic, version, length, checksum — depends on
+    // the offset, but none may pass).
+    const std::string image = encodeCheckpoint(sampleCheckpoint());
+    const std::size_t offsets[] = {
+        0,                   // magic
+        9,                   // version word
+        14,                  // payload-size word
+        21,                  // checksum word
+        28,                  // first payload byte
+        28 + (image.size() - 28) / 2, // mid-payload
+        image.size() - 1,    // last payload byte
+    };
+    for (const std::size_t at : offsets) {
+        std::string bad = image;
+        bad[at] = static_cast<char>(bad[at] ^ 0x5a);
+        const Expected<CheckpointData> r =
+            decodeCheckpoint(bad, "corrupt.ckpt");
+        ASSERT_FALSE(r.ok()) << "flip at byte " << at;
+        EXPECT_NE(r.error().find("corrupt.ckpt"), std::string::npos)
+            << "flip at byte " << at << ": " << r.error();
     }
 }
 

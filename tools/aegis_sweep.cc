@@ -1,0 +1,225 @@
+/**
+ * @file
+ * aegis-sweep: fault-tolerant sharded sweep driver.
+ *
+ *   aegis-sweep run --out-dir DIR [options] -- <bench invocation>
+ *     Shard the bench across N worker subprocesses with retry /
+ *     timeout / backoff supervision, merge the shard checkpoints and
+ *     finalize a single manifest bit-identical (modulo wall-clock
+ *     fields) to a single-process run. See sweep/supervisor.h.
+ *
+ *   aegis-sweep merge --out FILE [--allow-missing] <shard.ckpt>...
+ *     Just the merge step, for sweeps whose shards ran elsewhere
+ *     (e.g. different machines sharing a filesystem).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sweep/merge.h"
+#include "sweep/supervisor.h"
+#include "util/atomic_file.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace aegis;
+
+constexpr FlagSpec kRunFlags[] = {
+    {"out-dir", FlagKind::String, "",
+     "directory for all sweep artifacts (required; created if "
+     "absent)"},
+    {"shards", FlagKind::Uint, "4", "worker subprocesses to shard "
+     "the chunk grid across"},
+    {"retries", FlagKind::Uint, "2",
+     "retry budget per shard after its first attempt"},
+    {"timeout", FlagKind::Double, "0",
+     "per-attempt wall-clock deadline in seconds (0 = none)"},
+    {"stall-timeout", FlagKind::Double, "30",
+     "kill an attempt when its checkpoint has not advanced for this "
+     "many seconds (0 = no stall detection)"},
+    {"poll", FlagKind::Double, "0.05",
+     "supervisor poll interval in seconds"},
+    {"backoff", FlagKind::Double, "0.5",
+     "initial retry backoff in seconds (doubles per retry)"},
+    {"backoff-cap", FlagKind::Double, "8",
+     "upper bound on the retry backoff in seconds"},
+    {"checkpoint-every", FlagKind::Uint, "1",
+     "worker snapshot cadence in chunks (dense snapshots double as "
+     "the liveness signal)"},
+    {"chaos", FlagKind::String, "",
+     "fault injection: '<shard>=<AEGIS_CHAOS spec>' entries "
+     "separated by ';', applied to that shard's first attempt only"},
+    {"merged-checkpoint", FlagKind::String, "",
+     "merged checkpoint path (default <out-dir>/merged.ckpt)"},
+    {"merged-json", FlagKind::String, "",
+     "merged manifest path (default <out-dir>/merged.json)"},
+};
+
+void
+printUsage()
+{
+    std::cout
+        << "usage: aegis-sweep run --out-dir DIR [options] -- "
+           "<bench invocation>\n"
+           "       aegis-sweep merge --out FILE [--allow-missing] "
+           "<shard.ckpt>...\n"
+           "\n"
+           "`aegis-sweep run --help' lists the run options.\n";
+}
+
+int
+runCommand(int argc, const char *const *argv)
+{
+    // Split at "--": supervisor flags on the left, the bench
+    // invocation to shard on the right.
+    int split = argc;
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], "--") == 0) {
+            split = i;
+            break;
+        }
+
+    std::vector<const char *> left;
+    left.push_back("aegis-sweep run");
+    for (int i = 0; i < split; ++i)
+        left.push_back(argv[i]);
+
+    CliParser cli("aegis-sweep run",
+                  "Shard a Monte-Carlo bench across fault-tolerant "
+                  "worker subprocesses");
+    cli.addAll(kRunFlags);
+    const Expected<CliParser::ParseResult> parsed =
+        cli.tryParse(static_cast<int>(left.size()), left.data());
+    if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.error() << "\n";
+        return 2;
+    }
+    if (parsed.value() == CliParser::ParseResult::Help)
+        return 0;
+    if (cli.getString("out-dir").empty()) {
+        std::cerr << "error: --out-dir is required\n";
+        return 2;
+    }
+    if (split >= argc) {
+        std::cerr << "error: no bench invocation given (append `-- "
+                     "<bench> <flags...>')\n";
+        return 2;
+    }
+    if (cli.getUint("shards") == 0) {
+        std::cerr << "error: --shards must be at least 1\n";
+        return 2;
+    }
+
+    sweep::SupervisorOptions options;
+    for (int i = split + 1; i < argc; ++i)
+        options.benchCommand.push_back(argv[i]);
+    options.outDir = cli.getString("out-dir");
+    options.shards = static_cast<std::uint32_t>(cli.getUint("shards"));
+    options.retries =
+        static_cast<std::uint32_t>(cli.getUint("retries"));
+    options.timeoutSec = cli.getDouble("timeout");
+    options.stallTimeoutSec = cli.getDouble("stall-timeout");
+    options.pollSec = cli.getDouble("poll");
+    options.backoff.initialSec = cli.getDouble("backoff");
+    options.backoff.capSec = cli.getDouble("backoff-cap");
+    options.checkpointEvery =
+        static_cast<std::uint32_t>(cli.getUint("checkpoint-every"));
+    options.chaosSpec = cli.getString("chaos");
+    options.mergedCheckpoint = cli.getString("merged-checkpoint");
+    options.mergedJson = cli.getString("merged-json");
+    return sweep::runSweepSupervisor(options);
+}
+
+int
+mergeCommand(int argc, const char *const *argv)
+{
+    std::string outPath;
+    sweep::MergeOptions options;
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--allow-missing") {
+            options.allowMissing = true;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --out needs a path\n";
+                return 2;
+            }
+            outPath = argv[++i];
+        } else if (arg == "--help") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "error: unknown merge option `" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (outPath.empty() || paths.empty()) {
+        std::cerr << "error: usage: aegis-sweep merge --out FILE "
+                     "[--allow-missing] <shard.ckpt>...\n";
+        return 2;
+    }
+
+    sweep::MergeReport report;
+    const Expected<sim::CheckpointData> merged =
+        sweep::mergeShardCheckpoints(paths, options, &report);
+    if (!merged.ok()) {
+        std::cerr << "error: " << merged.error() << "\n";
+        return 1;
+    }
+    for (const std::string &w : report.warnings)
+        std::cerr << "warning: " << w << "\n";
+    const Status wrote =
+        atomicWriteFile(outPath, sim::encodeCheckpoint(*merged));
+    if (!wrote.ok()) {
+        std::cerr << "error: " << wrote.error() << "\n";
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "merged %zu shard checkpoint(s) into `%s': %zu "
+                 "sweep(s), %llu chunk(s)%s\n",
+                 report.shardFiles, outPath.c_str(), report.units,
+                 static_cast<unsigned long long>(report.chunks),
+                 report.missingChunks != 0 ? " (degraded)" : "");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    const char *const *rest = argv + 2;
+    const int restCount = argc - 2;
+    try {
+        if (command == "run")
+            return runCommand(restCount, rest);
+        if (command == "merge")
+            return mergeCommand(restCount, rest);
+        if (command == "--help" || command == "help") {
+            printUsage();
+            return 0;
+        }
+    } catch (const std::exception &ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 1;
+    }
+    std::cerr << "error: unknown command `" << command
+              << "' (expected run or merge)\n";
+    printUsage();
+    return 2;
+}

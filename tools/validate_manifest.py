@@ -82,6 +82,10 @@ def check_timeseries(manifest, errors):
         if "timeseries" not in manifest:
             errors.append("$: schemaVersion %d requires a timeseries "
                           "section" % version)
+    if isinstance(version, int) and version >= 5:
+        if "shards" not in manifest:
+            errors.append("$: schemaVersion %d requires a shards "
+                          "section" % version)
     for i, series in enumerate(manifest.get("timeseries", [])):
         if not isinstance(series, dict):
             continue
