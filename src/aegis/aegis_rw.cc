@@ -16,7 +16,8 @@ namespace aegis::core {
 AegisRwScheme::AegisRwScheme(std::uint32_t a, std::uint32_t b,
                              std::uint32_t block_bits)
     : part(a, b, block_bits),
-      rom(std::make_shared<const CollisionRom>(part)), invVector(b)
+      rom(std::make_shared<const CollisionRom>(part)),
+      schemeName("aegis-rw-" + part.formation()), invVector(b)
 {
     masks.rebuild(part, slope);
 }
@@ -28,10 +29,10 @@ AegisRwScheme::forHeight(std::uint32_t b, std::uint32_t block_bits)
     return AegisRwScheme(p.a(), p.b(), block_bits);
 }
 
-std::string
+const std::string &
 AegisRwScheme::name() const
 {
-    return "aegis-rw-" + part.formation();
+    return schemeName;
 }
 
 std::size_t

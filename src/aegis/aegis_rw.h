@@ -35,7 +35,7 @@ class AegisRwScheme : public scheme::Scheme
     static AegisRwScheme forHeight(std::uint32_t b,
                                    std::uint32_t block_bits);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override { return part.blockBits(); }
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
@@ -75,6 +75,8 @@ class AegisRwScheme : public scheme::Scheme
 
     Partition part;
     std::shared_ptr<const CollisionRom> rom;    ///< shared across clones
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
     GroupMaskCache masks;    ///< rebuilt eagerly on slope changes
     std::uint32_t slope = 0;
     BitVector invVector;

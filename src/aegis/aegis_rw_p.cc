@@ -37,7 +37,9 @@ AegisRwPScheme::AegisRwPScheme(std::uint32_t a, std::uint32_t b,
                                std::uint32_t pointers)
     : part(a, b, block_bits),
       rom(std::make_shared<const CollisionRom>(part)),
-      maxPointers(pointers)
+      maxPointers(pointers),
+      schemeName("aegis-rw-p" + std::to_string(pointers) + "-" +
+                 part.formation())
 {
     AEGIS_REQUIRE(pointers >= 1, "Aegis-rw-p needs at least one pointer");
     masks.rebuild(part, slope);
@@ -51,11 +53,10 @@ AegisRwPScheme::forHeight(std::uint32_t b, std::uint32_t block_bits,
     return AegisRwPScheme(p.a(), p.b(), block_bits, pointers);
 }
 
-std::string
+const std::string &
 AegisRwPScheme::name() const
 {
-    return "aegis-rw-p" + std::to_string(maxPointers) + "-" +
-           part.formation();
+    return schemeName;
 }
 
 std::size_t

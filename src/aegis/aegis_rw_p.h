@@ -41,7 +41,7 @@ class AegisRwPScheme : public scheme::Scheme
                                     std::uint32_t block_bits,
                                     std::uint32_t pointers);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override { return part.blockBits(); }
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
@@ -81,6 +81,8 @@ class AegisRwPScheme : public scheme::Scheme
     std::shared_ptr<const CollisionRom> rom;
     GroupMaskCache masks;    ///< rebuilt eagerly on slope changes
     std::uint32_t maxPointers;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
 
     // --- per-block metadata ---
     std::uint32_t slope = 0;

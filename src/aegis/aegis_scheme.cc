@@ -8,6 +8,8 @@
 #include "aegis/trackers.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pcm/cell_array_batch.h"
+#include "scheme/batch.h"
 #include "util/error.h"
 
 namespace aegis::core {
@@ -64,7 +66,11 @@ AegisScheme::AegisScheme(std::uint32_t a, std::uint32_t b,
                          std::uint32_t block_bits, bool use_cache)
     : policy(Partition(a, b, block_bits)), invVector(b),
       cacheMode(use_cache)
-{}
+{
+    // Matches the factory spelling so names round-trip.
+    schemeName = std::string("aegis-") + (use_cache ? "cache-" : "") +
+                 policy.partition().formation();
+}
 
 AegisScheme
 AegisScheme::forHeight(std::uint32_t b, std::uint32_t block_bits,
@@ -74,12 +80,10 @@ AegisScheme::forHeight(std::uint32_t b, std::uint32_t block_bits,
     return AegisScheme(part.a(), part.b(), block_bits, use_cache);
 }
 
-std::string
+const std::string &
 AegisScheme::name() const
 {
-    // Matches the factory spelling so names round-trip.
-    return std::string("aegis-") + (cacheMode ? "cache-" : "") +
-           policy.partition().formation();
+    return schemeName;
 }
 
 std::size_t
@@ -124,6 +128,32 @@ AegisScheme::write(pcm::CellArray &cells, const BitVector &data)
         }
     }
     return outcome;
+}
+
+AEGIS_HOT void
+AegisScheme::writeBatch(pcm::CellArrayBatch &cells,
+                        const pcm::LaneMatrix &data,
+                        std::span<scheme::WriteOutcome> outcomes,
+                        scheme::BatchWorkspace &ws)
+{
+    scheme::detail::inversionWriteBatch(
+        *this, cells, data, outcomes, ws, cacheMode,
+        [](AegisScheme *s) -> BitVector & { return s->invVector; });
+}
+
+AEGIS_HOT void
+AegisScheme::readBatch(const pcm::CellArrayBatch &cells,
+                       pcm::LaneMatrix &out,
+                       scheme::BatchWorkspace &ws) const
+{
+    scheme::detail::inversionReadBatch(
+        *this, cells, out, ws,
+        [](const AegisScheme *s) -> const BitVector & {
+            return s->invVector;
+        },
+        [](const AegisScheme *s, std::size_t g) {
+            return s->policy.groupMask(g);
+        });
 }
 
 BitVector

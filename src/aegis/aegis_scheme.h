@@ -91,7 +91,7 @@ class AegisScheme : public scheme::Scheme
                                  std::uint32_t block_bits,
                                  bool use_cache = false);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override;
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
@@ -101,6 +101,16 @@ class AegisScheme : public scheme::Scheme
     BitVector read(const pcm::CellArray &cells) const override;
     AEGIS_HOT void readInto(const pcm::CellArray &cells,
                             BitVector &out) const override;
+    /** Lane-parallel fast path for speculatively clean lanes (see
+     *  scheme::detail::inversionWriteBatch); aegis-cache stages
+     *  per-block. */
+    AEGIS_HOT void writeBatch(pcm::CellArrayBatch &cells,
+                              const pcm::LaneMatrix &data,
+                              std::span<scheme::WriteOutcome> outcomes,
+                              scheme::BatchWorkspace &ws) override;
+    AEGIS_HOT void readBatch(const pcm::CellArrayBatch &cells,
+                             pcm::LaneMatrix &out,
+                             scheme::BatchWorkspace &ws) const override;
     void reset() override;
     std::unique_ptr<scheme::Scheme> clone() const override;
 
@@ -126,6 +136,8 @@ class AegisScheme : public scheme::Scheme
      *  allocation-free once warmed. */
     pcm::FaultSet knownScratch;
     bool cacheMode = false;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
 };
 
 } // namespace aegis::core

@@ -271,12 +271,13 @@ SchemeAuditor::SchemeAuditor(std::unique_ptr<scheme::Scheme> inner_scheme)
     if (const core::Partition *part = partitionOf(*wrapped))
         verifyStructureOnce(*part);
     verifyBudget(*wrapped);
+    auditedName = wrapped->name() + "+audit";
 }
 
-std::string
+const std::string &
 SchemeAuditor::name() const
 {
-    return wrapped->name() + "+audit";
+    return auditedName;
 }
 
 std::size_t

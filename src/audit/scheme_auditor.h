@@ -54,7 +54,7 @@ class SchemeAuditor : public scheme::Scheme
     /** Wrap @p inner_scheme; runs the one-time structural audit. */
     explicit SchemeAuditor(std::unique_ptr<scheme::Scheme> inner_scheme);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override;
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override;
@@ -114,6 +114,8 @@ class SchemeAuditor : public scheme::Scheme
     std::string dumpState(const pcm::CellArray &cells) const;
 
     std::unique_ptr<scheme::Scheme> wrapped;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string auditedName;
     BitVector shadow;
     bool haveShadow = false;
     mutable std::uint64_t numWrites = 0;

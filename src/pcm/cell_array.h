@@ -96,6 +96,10 @@ class CellArray
     void reset();
 
   private:
+    /** The batch container mirrors these planes lane-major and moves
+     *  whole lanes in and out (extractLane/depositLane). */
+    friend class CellArrayBatch;
+
     BitVector stored;
     BitVector stuckMask;
     BitVector stuckValue;

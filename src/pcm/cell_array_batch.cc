@@ -1,0 +1,320 @@
+#include "pcm/cell_array_batch.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/simd/simd.h"
+
+namespace aegis::pcm {
+
+namespace {
+
+constexpr std::size_t kWordBits = BitVector::kWordBits;
+
+std::size_t
+wordCount(std::size_t bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// LaneMatrix
+
+void
+LaneMatrix::resize(std::size_t bits_per_lane, std::size_t lanes)
+{
+    bitsLane = bits_per_lane;
+    laneCount = lanes;
+    wordsLane = wordCount(bits_per_lane);
+    words.assign(wordsLane * lanes, 0);
+}
+
+AEGIS_HOT void
+LaneMatrix::loadLane(std::size_t l, const BitVector &bits)
+{
+    AEGIS_ASSERT(l < laneCount, "LaneMatrix::loadLane lane out of range");
+    AEGIS_ASSERT(bits.size() == bitsLane,
+                 "LaneMatrix::loadLane width mismatch");
+    std::uint64_t *dst = lane(l);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi)
+        dst[wi] = bits.word(wi);
+}
+
+AEGIS_HOT void
+LaneMatrix::storeLane(std::size_t l, BitVector &out) const
+{
+    AEGIS_ASSERT(l < laneCount, "LaneMatrix::storeLane lane out of range");
+    if (out.size() != bitsLane)
+        out = BitVector(bitsLane);
+    const std::uint64_t *src = lane(l);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi)
+        out.setWord(wi, src[wi]);
+}
+
+bool
+LaneMatrix::getBit(std::size_t l, std::size_t i) const
+{
+    AEGIS_ASSERT(l < laneCount && i < bitsLane,
+                 "LaneMatrix::getBit out of range");
+    return (lane(l)[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+AEGIS_HOT void
+LaneMatrix::setBit(std::size_t l, std::size_t i, bool value)
+{
+    AEGIS_ASSERT(l < laneCount && i < bitsLane,
+                 "LaneMatrix::setBit out of range");
+    const std::uint64_t mask = 1ull << (i % kWordBits);
+    if (value)
+        lane(l)[i / kWordBits] |= mask;
+    else
+        lane(l)[i / kWordBits] &= ~mask;
+}
+
+// ---------------------------------------------------------------------------
+// CellArrayBatch
+
+CellArrayBatch::CellArrayBatch(std::size_t cells_per_lane,
+                               std::size_t lanes, WearTracking wear)
+    : cells(cells_per_lane), laneCount(lanes),
+      wordsLane(wordCount(cells_per_lane)), wearMode(wear),
+      storedW(wordsLane * lanes, 0), stuckMaskW(wordsLane * lanes, 0),
+      stuckValueW(wordsLane * lanes, 0), scratchW(wordsLane * lanes, 0),
+      wearPerCell(wear == WearTracking::PerCell ? cells_per_lane * lanes
+                                                : 0,
+                  0),
+      laneWrites(lanes, 0), laneFaults(lanes, 0)
+{
+    AEGIS_REQUIRE(cells_per_lane > 0,
+                  "CellArrayBatch needs at least one cell per lane");
+    AEGIS_REQUIRE(lanes > 0, "CellArrayBatch needs at least one lane");
+}
+
+void
+CellArrayBatch::injectFault(std::size_t lane, std::size_t i,
+                            bool stuck_value)
+{
+    AEGIS_REQUIRE(lane < laneCount && i < cells,
+                  "CellArrayBatch::injectFault out of range");
+    std::uint64_t *mask = stuckMaskW.data() + planeOffset(lane);
+    std::uint64_t *value = stuckValueW.data() + planeOffset(lane);
+    const std::size_t wi = i / kWordBits;
+    const std::uint64_t bit = 1ull << (i % kWordBits);
+    if ((mask[wi] & bit) == 0)
+        ++laneFaults[lane];
+    mask[wi] |= bit;
+    if (stuck_value)
+        value[wi] |= bit;
+    else
+        value[wi] &= ~bit;
+}
+
+bool
+CellArrayBatch::isStuck(std::size_t lane, std::size_t i) const
+{
+    AEGIS_ASSERT(lane < laneCount && i < cells,
+                 "CellArrayBatch::isStuck out of range");
+    const std::uint64_t *mask = stuckMaskW.data() + planeOffset(lane);
+    return (mask[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+bool
+CellArrayBatch::readBit(std::size_t lane, std::size_t i) const
+{
+    AEGIS_ASSERT(lane < laneCount && i < cells,
+                 "CellArrayBatch::readBit out of range");
+    const std::size_t wi = planeOffset(lane) + i / kWordBits;
+    const std::uint64_t bit = 1ull << (i % kWordBits);
+    const std::uint64_t eff = (storedW[wi] & ~stuckMaskW[wi]) |
+                              (stuckValueW[wi] & stuckMaskW[wi]);
+    return (eff & bit) != 0;
+}
+
+FaultSet
+CellArrayBatch::faults(std::size_t lane) const
+{
+    AEGIS_REQUIRE(lane < laneCount,
+                  "CellArrayBatch::faults lane out of range");
+    FaultSet out;
+    out.reserve(laneFaults[lane]);
+    const std::uint64_t *mask = stuckMaskW.data() + planeOffset(lane);
+    const std::uint64_t *value = stuckValueW.data() + planeOffset(lane);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi) {
+        std::uint64_t w = mask[wi];
+        while (w != 0) {
+            const std::size_t b =
+                static_cast<std::size_t>(std::countr_zero(w));
+            const std::size_t pos = wi * kWordBits + b;
+            out.push_back(Fault{static_cast<std::uint32_t>(pos),
+                                ((value[wi] >> b) & 1ull) != 0});
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+CellArrayBatch::cellWritesAt(std::size_t lane, std::size_t i) const
+{
+    AEGIS_REQUIRE(wearMode == WearTracking::PerCell,
+                  "per-cell wear requires WearTracking::PerCell");
+    AEGIS_ASSERT(lane < laneCount && i < cells,
+                 "CellArrayBatch::cellWritesAt out of range");
+    return wearPerCell[lane * cells + i];
+}
+
+void
+CellArrayBatch::reset()
+{
+    std::fill(storedW.begin(), storedW.end(), 0);
+    std::fill(stuckMaskW.begin(), stuckMaskW.end(), 0);
+    std::fill(stuckValueW.begin(), stuckValueW.end(), 0);
+    std::fill(wearPerCell.begin(), wearPerCell.end(), 0);
+    std::fill(laneWrites.begin(), laneWrites.end(), 0);
+    std::fill(laneFaults.begin(), laneFaults.end(), 0);
+}
+
+AEGIS_HOT void
+CellArrayBatch::readLaneInto(std::size_t lane, BitVector &out) const
+{
+    AEGIS_ASSERT(lane < laneCount,
+                 "CellArrayBatch::readLaneInto lane out of range");
+    if (out.size() != cells)
+        out = BitVector(cells);
+    const std::size_t off = planeOffset(lane);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi) {
+        const std::uint64_t m = stuckMaskW[off + wi];
+        out.setWord(wi, (storedW[off + wi] & ~m) |
+                            (stuckValueW[off + wi] & m));
+    }
+}
+
+AEGIS_HOT void
+CellArrayBatch::readAllInto(LaneMatrix &out) const
+{
+    if (out.bitsPerLane() != cells || out.lanes() != laneCount) {
+        // aegis-lint: allow(HOT-ALLOC grows only until the batch geometry stabilizes; steady state is a no-op)
+        out.resize(cells, laneCount);
+    }
+    simd::selectWords(out.data(), storedW.data(), stuckValueW.data(),
+                      stuckMaskW.data(), storedW.size());
+}
+
+AEGIS_HOT void
+CellArrayBatch::writeDifferentialLanes(const LaneMatrix &targets,
+                                       std::size_t first,
+                                       std::size_t count,
+                                       std::size_t *programmed)
+{
+    AEGIS_REQUIRE(targets.bitsPerLane() == cells &&
+                      targets.lanes() == laneCount,
+                  "batch write geometry mismatch");
+    AEGIS_REQUIRE(first + count <= laneCount,
+                  "batch write lane run out of range");
+    if (count == 0)
+        return;
+    const std::size_t w0 = planeOffset(first);
+    const std::size_t nw = count * wordsLane;
+    // diff = effective ^ target over the whole contiguous lane run.
+    simd::selectWords(scratchW.data() + w0, storedW.data() + w0,
+                      stuckValueW.data() + w0, stuckMaskW.data() + w0,
+                      nw);
+    simd::xorWords(scratchW.data() + w0, targets.data() + w0, nw);
+    simd::popcountLanes(scratchW.data() + w0, wordsLane, wordsLane,
+                        count, programmed);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        total += programmed[i];
+        laneWrites[first + i] += programmed[i];
+    }
+    if (wearMode == WearTracking::PerCell) {
+        for (std::size_t i = 0; i < count; ++i) {
+            std::uint64_t *wear =
+                wearPerCell.data() + (first + i) * cells;
+            const std::uint64_t *diff =
+                scratchW.data() + planeOffset(first + i);
+            for (std::size_t wi = 0; wi < wordsLane; ++wi) {
+                std::uint64_t w = diff[wi];
+                while (w != 0) {
+                    ++wear[wi * kWordBits +
+                           static_cast<std::size_t>(std::countr_zero(w))];
+                    w &= w - 1;
+                }
+            }
+        }
+    }
+    // Stuck cells absorb their pulse; only healthy diff bits land.
+    simd::xorAndNotWords(storedW.data() + w0, scratchW.data() + w0,
+                         stuckMaskW.data() + w0, nw);
+    obs::bump(obs::Counter::DiffWrites, count);
+    obs::bump(obs::Counter::DiffBitsFlipped, total);
+}
+
+AEGIS_HOT void
+CellArrayBatch::speculativeMismatches(const LaneMatrix &targets,
+                                      std::size_t *out) const
+{
+    AEGIS_REQUIRE(targets.bitsPerLane() == cells &&
+                      targets.lanes() == laneCount,
+                  "batch classify geometry mismatch");
+    // scratch = select(target, stuckValue, stuckMask) differs from
+    // target exactly at stuck cells whose value conflicts, so the
+    // per-lane xor-popcount is the would-be verify mismatch count.
+    simd::selectWords(scratchW.data(), targets.data(),
+                      stuckValueW.data(), stuckMaskW.data(),
+                      scratchW.size());
+    simd::xorPopcountLanes(scratchW.data(), targets.data(), wordsLane,
+                           wordsLane, laneCount, out);
+}
+
+void
+CellArrayBatch::extractLane(std::size_t lane, CellArray &out) const
+{
+    AEGIS_REQUIRE(lane < laneCount,
+                  "CellArrayBatch::extractLane lane out of range");
+    AEGIS_REQUIRE(out.size() == cells,
+                  "CellArrayBatch::extractLane size mismatch");
+    const std::size_t off = planeOffset(lane);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi) {
+        out.stored.setWord(wi, storedW[off + wi]);
+        out.stuckMask.setWord(wi, stuckMaskW[off + wi]);
+        out.stuckValue.setWord(wi, stuckValueW[off + wi]);
+    }
+    if (wearMode == WearTracking::PerCell) {
+        const std::uint64_t *wear = wearPerCell.data() + lane * cells;
+        std::copy(wear, wear + cells, out.writesPerCell.begin());
+    } else {
+        std::fill(out.writesPerCell.begin(), out.writesPerCell.end(),
+                  0);
+    }
+    out.numFaults = laneFaults[lane];
+    out.cellWrites = laneWrites[lane];
+}
+
+void
+CellArrayBatch::depositLane(std::size_t lane, const CellArray &src)
+{
+    AEGIS_REQUIRE(lane < laneCount,
+                  "CellArrayBatch::depositLane lane out of range");
+    AEGIS_REQUIRE(src.size() == cells,
+                  "CellArrayBatch::depositLane size mismatch");
+    const std::size_t off = planeOffset(lane);
+    for (std::size_t wi = 0; wi < wordsLane; ++wi) {
+        storedW[off + wi] = src.stored.word(wi);
+        stuckMaskW[off + wi] = src.stuckMask.word(wi);
+        stuckValueW[off + wi] = src.stuckValue.word(wi);
+    }
+    if (wearMode == WearTracking::PerCell) {
+        std::copy(src.writesPerCell.begin(), src.writesPerCell.end(),
+                  wearPerCell.begin() +
+                      static_cast<std::ptrdiff_t>(lane * cells));
+    }
+    laneFaults[lane] = static_cast<std::uint32_t>(src.numFaults);
+    laneWrites[lane] = src.cellWrites;
+}
+
+} // namespace aegis::pcm

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Structure-of-arrays batch of PCM data blocks.
+ *
+ * CellArrayBatch holds N block-lives ("lanes") with each bit plane —
+ * stored values, stuck masks, stuck values — packed lane-major into
+ * one contiguous word buffer, so batched operations run the SIMD
+ * kernels (util/simd/) across many blocks per pass instead of
+ * dispatching per-block virtual calls over scattered heap state.
+ * Semantics per lane are exactly CellArray's: a stuck cell is readable
+ * at its stuck value and silently absorbs program pulses.
+ *
+ * Wear accounting is selectable: per-lane program totals (the cheap
+ * default for throughput work) or full per-cell counters (what
+ * CellArray always keeps — the fuzz oracle uses this mode to demand
+ * bit-identical wear against the per-block path).
+ *
+ * extractLane/depositLane bridge a lane to a scratch CellArray so the
+ * per-block scheme path can service lanes the batched fast path cannot
+ * (see Scheme::writeBatch) without any semantic drift.
+ */
+
+#ifndef AEGIS_PCM_CELL_ARRAY_BATCH_H
+#define AEGIS_PCM_CELL_ARRAY_BATCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pcm/cell_array.h"
+#include "pcm/fault.h"
+#include "util/bit_vector.h"
+#include "util/hot.h"
+
+namespace aegis::pcm {
+
+/**
+ * Lane-major packed bit planes: @p lanes logical blocks of
+ * @p bitsPerLane bits, lane l occupying words
+ * [l * laneWords(), (l+1) * laneWords()). Tail bits of a lane's final
+ * word are kept zero (the BitVector invariant), so whole-buffer kernel
+ * passes are safe. This is the transfer type of the batched scheme
+ * API: data in, decoded data out.
+ */
+class LaneMatrix
+{
+  public:
+    LaneMatrix() = default;
+
+    LaneMatrix(std::size_t bits_per_lane, std::size_t lanes)
+    { resize(bits_per_lane, lanes); }
+
+    /** Size for @p lanes lanes of @p bits_per_lane bits; zero-fills. */
+    void resize(std::size_t bits_per_lane, std::size_t lanes);
+
+    std::size_t lanes() const { return laneCount; }
+    std::size_t bitsPerLane() const { return bitsLane; }
+    std::size_t laneWords() const { return wordsLane; }
+    std::size_t totalWords() const { return words.size(); }
+
+    std::uint64_t *lane(std::size_t l)
+    { return words.data() + l * wordsLane; }
+
+    const std::uint64_t *lane(std::size_t l) const
+    { return words.data() + l * wordsLane; }
+
+    std::uint64_t *data() { return words.data(); }
+    const std::uint64_t *data() const { return words.data(); }
+
+    /** Copy @p bits (width bitsPerLane()) into lane @p l. */
+    AEGIS_HOT void loadLane(std::size_t l, const BitVector &bits);
+
+    /** Copy lane @p l into @p out, reusing its allocation when the
+     *  width already matches. */
+    AEGIS_HOT void storeLane(std::size_t l, BitVector &out) const;
+
+    /** Bit @p i of lane @p l. */
+    bool getBit(std::size_t l, std::size_t i) const;
+
+    /** Set bit @p i of lane @p l to @p value. */
+    AEGIS_HOT void setBit(std::size_t l, std::size_t i, bool value);
+
+  private:
+    std::size_t bitsLane = 0;
+    std::size_t laneCount = 0;
+    std::size_t wordsLane = 0;
+    std::vector<std::uint64_t> words;
+};
+
+/** A batch of N same-sized PCM blocks as structure-of-arrays lanes. */
+class CellArrayBatch
+{
+  public:
+    /** Wear-accounting granularity (see file comment). */
+    enum class WearTracking
+    {
+        PerLaneTotal,
+        PerCell,
+    };
+
+    CellArrayBatch(std::size_t cells_per_lane, std::size_t lanes,
+                   WearTracking wear = WearTracking::PerLaneTotal);
+
+    std::size_t lanes() const { return laneCount; }
+    std::size_t cellsPerLane() const { return cells; }
+    std::size_t laneWords() const { return wordsLane; }
+    WearTracking wearTracking() const { return wearMode; }
+
+    /** Make cell @p i of lane @p lane permanently stuck at
+     *  @p stuck_value. */
+    void injectFault(std::size_t lane, std::size_t i, bool stuck_value);
+
+    bool isStuck(std::size_t lane, std::size_t i) const;
+
+    /** Effective value of cell @p i of lane @p lane. */
+    bool readBit(std::size_t lane, std::size_t i) const;
+
+    std::size_t faultCount(std::size_t lane) const
+    { return laneFaults[lane]; }
+
+    /** Lane @p lane's current faults in position order. */
+    FaultSet faults(std::size_t lane) const;
+
+    /** Total cell programs absorbed by lane @p lane. */
+    std::uint64_t cellWrites(std::size_t lane) const
+    { return laneWrites[lane]; }
+
+    /** Cell programs of one cell (PerCell tracking only). */
+    std::uint64_t cellWritesAt(std::size_t lane, std::size_t i) const;
+
+    /** All lanes back to healthy, zeroed, wear cleared; keeps every
+     *  allocation. */
+    void reset();
+
+    /** Effective values of lane @p lane into @p out (word-parallel). */
+    AEGIS_HOT void readLaneInto(std::size_t lane, BitVector &out) const;
+
+    /** Effective values of every lane into @p out (one kernel pass
+     *  over the whole batch). */
+    AEGIS_HOT void readAllInto(LaneMatrix &out) const;
+
+    /**
+     * Differential write of lanes [first, first + count) from the
+     * matching lanes of @p targets: per lane, exactly
+     * CellArray::writeDifferential — program the cells whose effective
+     * value differs, stuck cells absorb their pulse — executed as
+     * kernel passes over the contiguous lane run. programmed[i]
+     * receives lane first+i's programmed-cell count; DiffWrites /
+     * DiffBitsFlipped are bumped by the same totals the per-block path
+     * would produce.
+     */
+    AEGIS_HOT void writeDifferentialLanes(const LaneMatrix &targets,
+                                          std::size_t first,
+                                          std::size_t count,
+                                          std::size_t *programmed);
+
+    /**
+     * out[l] = number of stuck cells of lane l whose stuck value
+     * conflicts with the lane's bits in @p targets — the count of
+     * verify mismatches a differential write of @p targets would hit.
+     * Zero means the lane commits clean in one pass: the speculative
+     * classification the batched scheme fast paths are built on.
+     */
+    AEGIS_HOT void speculativeMismatches(const LaneMatrix &targets,
+                                         std::size_t *out) const;
+
+    /**
+     * Copy lane @p lane's full state (planes, faults, wear) into
+     * @p out, which must have cellsPerLane() cells. In PerLaneTotal
+     * mode @p out's per-cell wear counters are zeroed and only the
+     * total carries over.
+     */
+    void extractLane(std::size_t lane, CellArray &out) const;
+
+    /** Copy @p src's full state back into lane @p lane (the inverse
+     *  of extractLane). */
+    void depositLane(std::size_t lane, const CellArray &src);
+
+  private:
+    std::size_t planeOffset(std::size_t lane) const
+    { return lane * wordsLane; }
+
+    std::size_t cells;
+    std::size_t laneCount;
+    std::size_t wordsLane;
+    WearTracking wearMode;
+
+    std::vector<std::uint64_t> storedW;
+    std::vector<std::uint64_t> stuckMaskW;
+    std::vector<std::uint64_t> stuckValueW;
+    /** Diff/effective scratch for the batched operations; mutable so
+     *  const classification can use it (batches are not shared across
+     *  threads, like CellArray). */
+    mutable std::vector<std::uint64_t> scratchW;
+
+    std::vector<std::uint64_t> wearPerCell; ///< PerCell mode only
+    std::vector<std::uint64_t> laneWrites;
+    std::vector<std::uint32_t> laneFaults;
+};
+
+} // namespace aegis::pcm
+
+#endif // AEGIS_PCM_CELL_ARRAY_BATCH_H

@@ -1,0 +1,77 @@
+#include "scheme/batch.h"
+
+#include "pcm/cell_array_batch.h"
+#include "util/error.h"
+
+namespace aegis::scheme {
+
+void
+BatchWorkspace::bind(const Scheme &proto, std::size_t lanes)
+{
+    AEGIS_REQUIRE(lanes > 0, "BatchWorkspace needs at least one lane");
+    if (staging.has_value() && boundName == proto.name() &&
+        boundBits == proto.blockBits() && laneSchemes.size() == lanes)
+        return;
+    laneSchemes.clear();
+    laneSchemes.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l)
+        laneSchemes.push_back(proto.clone());
+    staging.emplace(proto.blockBits());
+    mismatchScratch.assign(lanes, 0);
+    programmedScratch.assign(lanes, 0);
+    boundName = proto.name();
+    boundBits = proto.blockBits();
+}
+
+void
+BatchWorkspace::resetLanes()
+{
+    for (auto &s : laneSchemes)
+        s->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Default batched entry points: loop the per-block path through the
+// staging array. Correct for every scheme from day one; word-parallel
+// schemes override with lane-run kernel passes.
+
+void
+Scheme::writeBatch(pcm::CellArrayBatch &cells,
+                   const pcm::LaneMatrix &data,
+                   std::span<WriteOutcome> outcomes, BatchWorkspace &ws)
+{
+    AEGIS_REQUIRE(cells.cellsPerLane() == blockBits(),
+                  "batch block size must match the scheme");
+    AEGIS_REQUIRE(data.bitsPerLane() == blockBits() &&
+                      data.lanes() == cells.lanes(),
+                  "batch data geometry mismatch");
+    AEGIS_REQUIRE(outcomes.size() == cells.lanes(),
+                  "one WriteOutcome per lane required");
+    ws.bind(*this, cells.lanes());
+    pcm::CellArray &staging = ws.stagingArray();
+    for (std::size_t l = 0; l < cells.lanes(); ++l) {
+        cells.extractLane(l, staging);
+        data.storeLane(l, ws.dataScratch);
+        outcomes[l] = ws.laneScheme(l)->write(staging, ws.dataScratch);
+        cells.depositLane(l, staging);
+    }
+}
+
+void
+Scheme::readBatch(const pcm::CellArrayBatch &cells, pcm::LaneMatrix &out,
+                  BatchWorkspace &ws) const
+{
+    AEGIS_REQUIRE(cells.cellsPerLane() == blockBits(),
+                  "batch block size must match the scheme");
+    ws.bind(*this, cells.lanes());
+    if (out.bitsPerLane() != blockBits() || out.lanes() != cells.lanes())
+        out.resize(blockBits(), cells.lanes());
+    pcm::CellArray &staging = ws.stagingArray();
+    for (std::size_t l = 0; l < cells.lanes(); ++l) {
+        cells.extractLane(l, staging);
+        ws.laneScheme(l)->readInto(staging, ws.outScratch);
+        out.loadLane(l, ws.outScratch);
+    }
+}
+
+} // namespace aegis::scheme

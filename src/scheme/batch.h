@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Workspace state for the batched scheme API (Scheme::writeBatch /
+ * readBatch).
+ *
+ * A batch of lanes needs one scheme instance per lane, because scheme
+ * metadata (inversion vectors, ECP entries, slope counters) evolves
+ * per protected block. BatchWorkspace owns those instances as clones
+ * of the prototype scheme it is bound to, plus the staging CellArray
+ * and scratch vectors the default per-lane loop and the word-parallel
+ * overrides share. Bind once, then reuse: steady-state batch calls
+ * allocate nothing.
+ *
+ * The workspace is the batch's metadata home — after a writeBatch,
+ * lane l's fault knowledge lives in laneScheme(l), not in the
+ * prototype. One workspace therefore belongs to exactly one batch of
+ * block-lives at a time; resetLanes() recycles it for fresh lives.
+ */
+
+#ifndef AEGIS_SCHEME_BATCH_H
+#define AEGIS_SCHEME_BATCH_H
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pcm/cell_array.h"
+#include "pcm/cell_array_batch.h"
+#include "scheme/scheme.h"
+#include "util/bit_vector.h"
+#include "util/error.h"
+#include "util/simd/simd.h"
+
+namespace aegis::scheme {
+
+/** Reusable per-lane schemes + scratch for batched writes/reads. */
+class BatchWorkspace
+{
+  public:
+    /**
+     * Bind to @p proto with @p lanes lanes: clone one scheme per lane
+     * and size the staging array. A no-op when already bound to the
+     * same scheme name, block size and lane count — rebinding to a
+     * different shape discards all lane metadata.
+     */
+    void bind(const Scheme &proto, std::size_t lanes);
+
+    bool bound() const { return staging.has_value(); }
+
+    std::size_t lanes() const { return laneSchemes.size(); }
+
+    /** Lane @p l's scheme instance (its metadata home). */
+    Scheme *laneScheme(std::size_t l) { return laneSchemes[l].get(); }
+
+    const Scheme *laneScheme(std::size_t l) const
+    { return laneSchemes[l].get(); }
+
+    /** reset() every lane scheme (fresh block-lives, same binding). */
+    void resetLanes();
+
+    /** The per-block staging array (bound() must hold). */
+    pcm::CellArray &stagingArray() { return *staging; }
+
+    // Scratch shared by the default loop and the scheme overrides;
+    // public because the overrides live in several scheme TUs.
+    BitVector dataScratch;
+    BitVector outScratch;
+    std::vector<std::size_t> mismatchScratch;
+    std::vector<std::size_t> programmedScratch;
+
+  private:
+    std::vector<std::unique_ptr<Scheme>> laneSchemes;
+    std::optional<pcm::CellArray> staging;
+    std::string boundName;
+    std::size_t boundBits = 0;
+};
+
+namespace detail {
+
+/**
+ * Shared batched-write driver for the partition-and-inversion schemes
+ * (Aegis, SAFER). In their non-cache variants every write starts with
+ * an empty known-fault set, so a lane whose speculative classification
+ * reports zero conflicting stuck cells is guaranteed to take exactly
+ * one program pass, verify clean and end with a zero inversion vector
+ * — byte-identical state and counters to writeWithInversion, without
+ * running it. Maximal runs of such lanes commit as contiguous kernel
+ * passes; every other lane (and, wholesale, the directory-backed cache
+ * variants, whose fault knowledge is per-lane anyway) stages through
+ * the exact per-block path. @p invOf maps a lane scheme to its
+ * (mutable) inversion vector.
+ */
+template <typename ConcreteScheme, typename InvOf>
+void
+inversionWriteBatch(ConcreteScheme &self, pcm::CellArrayBatch &cells,
+                    const pcm::LaneMatrix &data,
+                    std::span<WriteOutcome> outcomes, BatchWorkspace &ws,
+                    bool cache_mode, InvOf invOf)
+{
+    AEGIS_REQUIRE(cells.cellsPerLane() == self.blockBits() &&
+                      data.bitsPerLane() == self.blockBits() &&
+                      data.lanes() == cells.lanes(),
+                  "batch geometry must match the scheme");
+    AEGIS_REQUIRE(outcomes.size() == cells.lanes(),
+                  "one WriteOutcome per lane required");
+    if (cache_mode) {
+        self.Scheme::writeBatch(cells, data, outcomes, ws);
+        return;
+    }
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeWrite);
+    const std::size_t lanes = cells.lanes();
+    ws.bind(self, lanes);
+    cells.speculativeMismatches(data, ws.mismatchScratch.data());
+    std::size_t l = 0;
+    while (l < lanes) {
+        if (ws.mismatchScratch[l] != 0) {
+            pcm::CellArray &staging = ws.stagingArray();
+            cells.extractLane(l, staging);
+            data.storeLane(l, ws.dataScratch);
+            outcomes[l] = ws.laneScheme(l)->write(staging, ws.dataScratch);
+            cells.depositLane(l, staging);
+            ++l;
+            continue;
+        }
+        std::size_t run = l + 1;
+        while (run < lanes && ws.mismatchScratch[run] == 0)
+            ++run;
+        cells.writeDifferentialLanes(data, l, run - l,
+                                     ws.programmedScratch.data() + l);
+        obs::bump(obs::Counter::ProgramPasses, run - l);
+        for (; l < run; ++l) {
+            auto *ls = static_cast<ConcreteScheme *>(ws.laneScheme(l));
+            invOf(ls).fill(false);
+            WriteOutcome o;
+            o.ok = true;
+            o.programPasses = 1;
+            o.io.programPasses = 1;
+            o.io.verifyReads = 1;
+            outcomes[l] = o;
+        }
+    }
+}
+
+/**
+ * Batched decode for the partition-and-inversion schemes: one select
+ * pass over the whole batch, then each lane's inversion undone by
+ * xoring its set groups' membership masks straight into the lane span.
+ * @p maskOf maps (lane scheme, group) to the group's membership mask.
+ */
+template <typename ConcreteScheme, typename InvOf, typename MaskOf>
+void
+inversionReadBatch(const ConcreteScheme &self,
+                   const pcm::CellArrayBatch &cells, pcm::LaneMatrix &out,
+                   BatchWorkspace &ws, InvOf invOf, MaskOf maskOf)
+{
+    AEGIS_REQUIRE(cells.cellsPerLane() == self.blockBits(),
+                  "batch geometry must match the scheme");
+    AEGIS_TRACE_SCOPE(obs::Scope::SchemeRead);
+    ws.bind(self, cells.lanes());
+    cells.readAllInto(out);
+    for (std::size_t l = 0; l < cells.lanes(); ++l) {
+        const auto *ls =
+            static_cast<const ConcreteScheme *>(ws.laneScheme(l));
+        invOf(ls).forEachSetBit([&](std::size_t g) {
+            simd::xorWords(out.lane(l), maskOf(ls, g)->words().data(),
+                           out.laneWords());
+        });
+    }
+}
+
+} // namespace detail
+
+} // namespace aegis::scheme
+
+#endif // AEGIS_SCHEME_BATCH_H

@@ -35,7 +35,7 @@ class EcpScheme : public Scheme
      */
     EcpScheme(std::size_t block_bits, std::size_t num_entries);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override { return entriesMax; }
@@ -45,6 +45,15 @@ class EcpScheme : public Scheme
     BitVector read(const pcm::CellArray &cells) const override;
     AEGIS_HOT void readInto(const pcm::CellArray &cells,
                             BitVector &out) const override;
+    /** Lane-parallel fast path for lanes with no entries and no
+     *  conflicting stuck cell; other lanes stage per-block. */
+    AEGIS_HOT void writeBatch(pcm::CellArrayBatch &cells,
+                              const pcm::LaneMatrix &data,
+                              std::span<WriteOutcome> outcomes,
+                              BatchWorkspace &ws) override;
+    AEGIS_HOT void readBatch(const pcm::CellArrayBatch &cells,
+                             pcm::LaneMatrix &out,
+                             BatchWorkspace &ws) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -77,6 +86,8 @@ class EcpScheme : public Scheme
 
     std::size_t bits;
     std::size_t entriesMax;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
     std::vector<Entry> entries;
     /** Reusable verification scratch so steady-state writes stay
      *  allocation-free once warmed. */

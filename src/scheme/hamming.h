@@ -54,7 +54,11 @@ class HammingScheme : public Scheme
   public:
     explicit HammingScheme(std::size_t block_bits);
 
-    std::string name() const override { return "hamming72_64"; }
+    const std::string &name() const override
+    {
+        static const std::string n = "hamming72_64";
+        return n;
+    }
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override { return (bits / 64) * 8; }
     std::size_t hardFtc() const override { return 1; }

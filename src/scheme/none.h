@@ -22,7 +22,11 @@ class NoneScheme : public Scheme
   public:
     explicit NoneScheme(std::size_t block_bits);
 
-    std::string name() const override { return "none"; }
+    const std::string &name() const override
+    {
+        static const std::string n = "none";
+        return n;
+    }
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override { return 0; }
     std::size_t hardFtc() const override { return 0; }
@@ -32,6 +36,15 @@ class NoneScheme : public Scheme
     BitVector read(const pcm::CellArray &cells) const override;
     AEGIS_HOT void readInto(const pcm::CellArray &cells,
                             BitVector &out) const override;
+    /** Fully lane-parallel: one classification pass plus one
+     *  differential-commit pass over the whole batch. */
+    AEGIS_HOT void writeBatch(pcm::CellArrayBatch &cells,
+                              const pcm::LaneMatrix &data,
+                              std::span<WriteOutcome> outcomes,
+                              BatchWorkspace &ws) override;
+    AEGIS_HOT void readBatch(const pcm::CellArrayBatch &cells,
+                             pcm::LaneMatrix &out,
+                             BatchWorkspace &ws) const override;
     void reset() override {}
     std::unique_ptr<Scheme> clone() const override;
 

@@ -197,7 +197,8 @@ RdisSolver::inversionMaskInto(const RdisMarks &marks,
 
 RdisScheme::RdisScheme(std::size_t block_bits, std::size_t rows,
                        std::size_t depth)
-    : bits(block_bits), solver(rows, block_bits / rows, depth)
+    : bits(block_bits), solver(rows, block_bits / rows, depth),
+      schemeName("rdis" + std::to_string(depth))
 {
     AEGIS_REQUIRE(rows > 0 && block_bits % rows == 0,
                   "block size must be divisible by the grid height");
@@ -213,10 +214,10 @@ RdisScheme::refreshMask()
     solver.inversionMaskInto(marks, bits, invMask);
 }
 
-std::string
+const std::string &
 RdisScheme::name() const
 {
-    return "rdis" + std::to_string(solver.depth());
+    return schemeName;
 }
 
 std::size_t

@@ -109,7 +109,7 @@ class RdisScheme : public Scheme
     explicit RdisScheme(std::size_t block_bits, std::size_t rows = 16,
                         std::size_t depth = 3);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override { return solver.depth(); }
@@ -144,6 +144,8 @@ class RdisScheme : public Scheme
 
     std::size_t bits;
     RdisSolver solver;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
     RdisMarks marks;
     /** Per-bit inversion implied by marks, cached so reads are one
      *  word-parallel XOR instead of a per-bit mask rebuild. */

@@ -8,7 +8,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-
+#include "pcm/cell_array_batch.h"
+#include "scheme/batch.h"
 #include "util/error.h"
 
 namespace aegis::scheme {
@@ -292,6 +293,8 @@ SaferPartition::setFields(std::vector<std::uint8_t> fields)
 SaferScheme::SaferScheme(std::size_t block_bits, std::size_t num_groups,
                          bool use_cache)
     : bits(block_bits), numGroups(num_groups), cacheMode(use_cache),
+      schemeName("safer" + std::to_string(num_groups) +
+                 (use_cache ? "-cache" : "")),
       part(block_bits, isPowerOfTwo(num_groups) ? log2Exact(num_groups) : 0,
            use_cache),
       invVector(num_groups)
@@ -301,11 +304,10 @@ SaferScheme::SaferScheme(std::size_t block_bits, std::size_t num_groups,
     maxFields = log2Exact(num_groups);
 }
 
-std::string
+const std::string &
 SaferScheme::name() const
 {
-    return "safer" + std::to_string(numGroups) +
-           (cacheMode ? "-cache" : "");
+    return schemeName;
 }
 
 std::size_t
@@ -347,6 +349,31 @@ SaferScheme::write(pcm::CellArray &cells, const BitVector &data)
         }
     }
     return outcome;
+}
+
+AEGIS_HOT void
+SaferScheme::writeBatch(pcm::CellArrayBatch &cells,
+                        const pcm::LaneMatrix &data,
+                        std::span<WriteOutcome> outcomes,
+                        BatchWorkspace &ws)
+{
+    detail::inversionWriteBatch(
+        *this, cells, data, outcomes, ws, cacheMode,
+        [](SaferScheme *s) -> BitVector & { return s->invVector; });
+}
+
+AEGIS_HOT void
+SaferScheme::readBatch(const pcm::CellArrayBatch &cells,
+                       pcm::LaneMatrix &out, BatchWorkspace &ws) const
+{
+    detail::inversionReadBatch(
+        *this, cells, out, ws,
+        [](const SaferScheme *s) -> const BitVector & {
+            return s->invVector;
+        },
+        [](const SaferScheme *s, std::size_t g) {
+            return s->part.groupMask(g);
+        });
 }
 
 BitVector

@@ -93,7 +93,7 @@ class SaferScheme : public Scheme
     SaferScheme(std::size_t block_bits, std::size_t num_groups,
                 bool use_cache);
 
-    std::string name() const override;
+    const std::string &name() const override;
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override;
     std::size_t hardFtc() const override { return maxFields + 1; }
@@ -103,6 +103,16 @@ class SaferScheme : public Scheme
     BitVector read(const pcm::CellArray &cells) const override;
     AEGIS_HOT void readInto(const pcm::CellArray &cells,
                             BitVector &out) const override;
+    /** Lane-parallel fast path for speculatively clean lanes (see
+     *  scheme::detail::inversionWriteBatch); SAFER-cache stages
+     *  per-block. */
+    AEGIS_HOT void writeBatch(pcm::CellArrayBatch &cells,
+                              const pcm::LaneMatrix &data,
+                              std::span<WriteOutcome> outcomes,
+                              BatchWorkspace &ws) override;
+    AEGIS_HOT void readBatch(const pcm::CellArrayBatch &cells,
+                             pcm::LaneMatrix &out,
+                             BatchWorkspace &ws) const override;
     void reset() override;
     std::unique_ptr<Scheme> clone() const override;
 
@@ -128,6 +138,8 @@ class SaferScheme : public Scheme
     std::size_t numGroups;
     std::size_t maxFields;
     bool cacheMode;
+    /** Fixed at construction; name() hands out a reference. */
+    std::string schemeName;
     SaferPartition part;
     BitVector invVector;
     InversionWorkspace writeWs;

@@ -74,7 +74,8 @@ runPairingStudy(const ExperimentConfig &config, std::size_t points)
         config.lifetimeKind, config.lifetimeMean, config.lifetimeParam);
     const BlockSimulator block_sim(*scheme, *lifetime, config.wear,
                                    config.tracker);
-    const PageSimulator page_sim(block_sim, geom.blocksPerPage());
+    const PageSimulator page_sim(block_sim, geom.blocksPerPage(),
+                                 config.batch);
 
     // Per-page block death times.
     std::vector<std::vector<double>> page_deaths(config.pages);

@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/simd/simd.h"
 
 namespace aegis {
 
@@ -81,10 +82,7 @@ BitVector::invert()
 AEGIS_HOT std::size_t
 BitVector::popcount() const
 {
-    std::size_t n = 0;
-    for (auto w : wordStore)
-        n += static_cast<std::size_t>(std::popcount(w));
-    return n;
+    return simd::popcountWords(wordStore.data(), wordStore.size());
 }
 
 std::vector<std::size_t>
@@ -119,8 +117,8 @@ AEGIS_HOT BitVector &
 BitVector::xorAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        wordStore[i] ^= other.wordStore[i];
+    simd::xorWords(wordStore.data(), other.wordStore.data(),
+                   wordStore.size());
     return *this;
 }
 
@@ -128,8 +126,8 @@ AEGIS_HOT BitVector &
 BitVector::andAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        wordStore[i] &= other.wordStore[i];
+    simd::andWords(wordStore.data(), other.wordStore.data(),
+                   wordStore.size());
     return *this;
 }
 
@@ -137,8 +135,8 @@ AEGIS_HOT BitVector &
 BitVector::orAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        wordStore[i] |= other.wordStore[i];
+    simd::orWords(wordStore.data(), other.wordStore.data(),
+                  wordStore.size());
     return *this;
 }
 
@@ -146,8 +144,8 @@ AEGIS_HOT BitVector &
 BitVector::andNotAssign(const BitVector &other)
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        wordStore[i] &= ~other.wordStore[i];
+    simd::andNotWords(wordStore.data(), other.wordStore.data(),
+                      wordStore.size());
     return *this;
 }
 
@@ -156,8 +154,8 @@ BitVector::xorAssignAndNot(const BitVector &value, const BitVector &mask)
 {
     AEGIS_ASSERT(numBits == value.numBits && numBits == mask.numBits,
                  "BitVector size mismatch");
-    for (std::size_t i = 0; i < wordStore.size(); ++i)
-        wordStore[i] ^= value.wordStore[i] & ~mask.wordStore[i];
+    simd::xorAndNotWords(wordStore.data(), value.wordStore.data(),
+                         mask.wordStore.data(), wordStore.size());
     return *this;
 }
 
@@ -171,10 +169,9 @@ BitVector::assignSelect(const BitVector &base, const BitVector &chosen,
     numBits = base.numBits;
     // aegis-lint: allow(HOT-ALLOC grows only until operand widths stabilize; steady state is a no-op)
     wordStore.resize(base.wordStore.size());
-    for (std::size_t i = 0; i < wordStore.size(); ++i) {
-        wordStore[i] = (base.wordStore[i] & ~mask.wordStore[i]) |
-                       (chosen.wordStore[i] & mask.wordStore[i]);
-    }
+    simd::selectWords(wordStore.data(), base.wordStore.data(),
+                      chosen.wordStore.data(), mask.wordStore.data(),
+                      wordStore.size());
 }
 
 AEGIS_HOT void
@@ -187,21 +184,24 @@ BitVector::assignFrom(const BitVector &other)
 AEGIS_HOT bool
 BitVector::equals(const BitVector &other) const
 {
-    return numBits == other.numBits && wordStore == other.wordStore;
+    return numBits == other.numBits &&
+           simd::firstMismatchWords(wordStore.data(),
+                                    other.wordStore.data(),
+                                    wordStore.size()) ==
+               wordStore.size();
 }
 
 std::size_t
 BitVector::firstMismatch(const BitVector &other) const
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    for (std::size_t wi = 0; wi < wordStore.size(); ++wi) {
-        const std::uint64_t diff = wordStore[wi] ^ other.wordStore[wi];
-        if (diff != 0) {
-            return wi * kWordBits +
-                   static_cast<std::size_t>(std::countr_zero(diff));
-        }
-    }
-    return numBits;
+    const std::size_t wi = simd::firstMismatchWords(
+        wordStore.data(), other.wordStore.data(), wordStore.size());
+    if (wi == wordStore.size())
+        return numBits;
+    const std::uint64_t diff = wordStore[wi] ^ other.wordStore[wi];
+    return wi * kWordBits +
+           static_cast<std::size_t>(std::countr_zero(diff));
 }
 
 BitVector
@@ -216,12 +216,9 @@ std::size_t
 BitVector::hammingDistance(const BitVector &other) const
 {
     AEGIS_ASSERT(numBits == other.numBits, "BitVector size mismatch");
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < wordStore.size(); ++i) {
-        n += static_cast<std::size_t>(
-            std::popcount(wordStore[i] ^ other.wordStore[i]));
-    }
-    return n;
+    return simd::xorPopcountWords(wordStore.data(),
+                                  other.wordStore.data(),
+                                  wordStore.size());
 }
 
 std::string

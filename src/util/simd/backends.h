@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Internal registry of the concrete kernel tables (src/util/simd only).
+ */
+
+#ifndef AEGIS_UTIL_SIMD_BACKENDS_H
+#define AEGIS_UTIL_SIMD_BACKENDS_H
+
+#include "util/simd/simd.h"
+
+namespace aegis::simd::detail {
+
+/** The portable scalar table — always available, the startup default. */
+extern const Backend kScalarBackend;
+
+/**
+ * The AVX2 table, or nullptr when this build was compiled without the
+ * backend or the running CPU lacks AVX2 (checked at runtime, so one
+ * binary serves both old and new machines).
+ */
+const Backend *avx2Backend();
+
+} // namespace aegis::simd::detail
+
+#endif // AEGIS_UTIL_SIMD_BACKENDS_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Startup backend selection and the test override hook.
+ */
+
+#include "util/simd/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/simd/backends.h"
+
+namespace aegis::simd {
+
+namespace detail {
+constinit const Backend *gActive = &kScalarBackend;
+} // namespace detail
+
+namespace {
+
+const Backend *
+autoBackend()
+{
+    if (const Backend *b = detail::avx2Backend())
+        return b;
+    return &detail::kScalarBackend;
+}
+
+/**
+ * One-shot startup selection: best available backend, overridden by
+ * AEGIS_SIMD. Runs during this TU's static initialization; kernel
+ * calls that happen to run earlier see the scalar table, which is
+ * bit-exact with every other backend, so ordering cannot change any
+ * result.
+ */
+struct StartupSelect
+{
+    StartupSelect()
+    {
+        const char *env = std::getenv("AEGIS_SIMD");
+        if (env != nullptr && *env != '\0') {
+            if (selectBackend(env))
+                return;
+            std::fprintf(stderr,
+                         "warning: AEGIS_SIMD=%s unknown or unavailable"
+                         " on this build/CPU; using auto selection\n",
+                         env);
+        }
+        detail::gActive = autoBackend();
+    }
+};
+
+const StartupSelect startupSelect;
+
+} // namespace
+
+const char *
+backendName()
+{
+    return detail::gActive->name;
+}
+
+bool
+avx2Available()
+{
+    return detail::avx2Backend() != nullptr;
+}
+
+bool
+selectBackend(std::string_view name)
+{
+    if (name == "auto") {
+        detail::gActive = autoBackend();
+        return true;
+    }
+    if (name == "scalar") {
+        detail::gActive = &detail::kScalarBackend;
+        return true;
+    }
+    if (name == "avx2") {
+        if (const Backend *b = detail::avx2Backend()) {
+            detail::gActive = b;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+} // namespace aegis::simd

@@ -240,7 +240,11 @@ class DefectiveScheme : public scheme::Scheme
         : bits(n), flaw(defect)
     {}
 
-    std::string name() const override { return "defective"; }
+    const std::string &name() const override
+    {
+        static const std::string n = "defective";
+        return n;
+    }
     std::size_t blockBits() const override { return bits; }
     std::size_t overheadBits() const override { return 4; }
     std::size_t hardFtc() const override { return 4; }

@@ -42,6 +42,11 @@ Rule catalogue (run with --list-rules for the same text):
               (and everything they reach at file-local depth), allow
               only async-signal-safe calls (POSIX list) plus the
               blessed lock-free CancelToken operations.
+  SIMD-CONFINE  ban raw SIMD intrinsics (the _mm*/__m128/__m256/__m512
+              families) and *intrin.h includes outside src/util/simd/.
+              Everything else must go through the runtime-dispatched
+              kernel layer (util/simd/simd.h), or forced-scalar runs
+              (AEGIS_SIMD=scalar) silently diverge from production.
   LINT-SUPPRESS  an aegis-lint: allow(...) comment with no reason, an
               unknown rule id, or one that suppresses nothing.
 
@@ -86,6 +91,9 @@ RULES = {
                  "touch the heap",
     "SIG-SAFE": "only async-signal-safe calls are allowed in signal "
                 "handlers",
+    "SIMD-CONFINE": "raw SIMD intrinsics are confined to "
+                    "src/util/simd/; use the dispatched kernels in "
+                    "util/simd/simd.h",
     "LINT-SUPPRESS": "malformed or unused aegis-lint suppression",
 }
 
@@ -96,6 +104,21 @@ RULES = {
 # driven control flow that never touches result cells.
 DET_EXEMPT_PREFIXES = ("src/obs/", "src/sweep/")
 DET_EXEMPT_FILES = ("src/util/chaos.cc", "src/util/chaos.h")
+
+# The only place allowed to touch raw SIMD intrinsics. Everything
+# else must call the runtime-dispatched kernels (util/simd/simd.h),
+# or the AEGIS_SIMD=scalar override no longer covers the code that
+# production executes and forced-scalar runs silently diverge.
+SIMD_EXEMPT_PREFIXES = ("src/util/simd/",)
+
+# Intrinsic spellings: _mm_/_mm256_/_mm512_... calls and the __m128/
+# __m256/__m512 vector types (with i/d/h suffixes).
+SIMD_IDENT_RE = re.compile(r"^(_mm\d*_\w+|__m(128|256|512)\w*)$")
+
+# Intrinsics headers. The tokenizer drops preprocessor lines, so
+# includes are matched against the raw text line by line.
+SIMD_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*[<"]([^<">]*intrin[^<">]*\.h)[>"]')
 
 # Virtual clocks whose now() reads *simulated* time (deterministic
 # ticks), not the wall clock. sim_clock (sim/timing/clock.h) is named
@@ -862,6 +885,29 @@ def check_sig_safe(tokens, relpath, findings):
                 "async-signal-safe" % (t.text, d.name)))
 
 
+def simd_exempt(relpath):
+    return relpath.replace(os.sep, "/").startswith(
+        SIMD_EXEMPT_PREFIXES)
+
+
+def check_simd_confine(tokens, text, relpath, findings):
+    if simd_exempt(relpath):
+        return
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        m = SIMD_INCLUDE_RE.match(line)
+        if m:
+            findings.append(Finding(
+                relpath, line_no, m.start(1) + 1, "SIMD-CONFINE",
+                "intrinsics header '%s' included outside "
+                "src/util/simd/" % m.group(1)))
+    for t in tokens:
+        if t.kind == "id" and SIMD_IDENT_RE.match(t.text):
+            findings.append(Finding(
+                relpath, t.line, t.col, "SIMD-CONFINE",
+                "raw SIMD intrinsic '%s'; call the dispatched "
+                "kernels in util/simd/simd.h instead" % t.text))
+
+
 # --------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------
@@ -894,14 +940,14 @@ def lint_tokens_for(path, engine, repo_root, sink_suppressions=True):
         tokens = tokenize_with_libclang(text, path, suppressions, bad)
     else:
         tokens = tokenize(text, path, suppressions, bad)
-    _token_cache[key] = (tokens, suppressions, bad)
+    _token_cache[key] = (tokens, suppressions, bad, text)
     return _token_cache[key]
 
 
 def lint_file(path, repo_root, engine):
     relpath = os.path.relpath(os.path.abspath(path), repo_root)
-    tokens, suppressions, bad_sup = lint_tokens_for(path, engine,
-                                                    repo_root)
+    tokens, suppressions, bad_sup, text = lint_tokens_for(path, engine,
+                                                          repo_root)
     findings = []
     check_det_rand(tokens, relpath, findings)
     check_det_chrono(tokens, relpath, findings)
@@ -915,6 +961,7 @@ def lint_file(path, repo_root, engine):
 
     check_hot_alloc(tokens, relpath, findings)
     check_sig_safe(tokens, relpath, findings)
+    check_simd_confine(tokens, text, relpath, findings)
 
     # Apply suppressions: a finding is silenced when its line, or the
     # line below a comment-only line (i.e. the annotation sits right

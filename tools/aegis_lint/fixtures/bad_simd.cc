@@ -1,0 +1,27 @@
+// Fixture: raw SIMD use SIMD-CONFINE must catch. Outside
+// src/util/simd/ both the intrinsics headers and the _mm*/__m256
+// spellings are findings; a justified allow() silences one.
+
+#include <immintrin.h>
+#include <x86intrin.h>
+#include <cstdint>
+
+std::uint64_t
+rawLaneXor(const std::uint64_t *a, const std::uint64_t *b)
+{
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b));
+    const __m256i vx = _mm256_xor_si256(va, vb);
+    std::uint64_t out[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), vx);
+    return out[0] ^ out[1] ^ out[2] ^ out[3];
+}
+
+int
+blessedProbe()
+{
+    // aegis-lint: allow(SIMD-CONFINE fixture demonstrating a justified escape)
+    return static_cast<int>(_mm_popcnt_u64(0xffull));
+}
